@@ -1,0 +1,93 @@
+//! Finite-difference gradient checking.
+//!
+//! Exposed publicly (not just `#[cfg(test)]`) so downstream crates — layers
+//! in `fedzkt-nn`, whole models in `fedzkt-models` — can validate their own
+//! gradients in their test suites.
+
+use crate::Var;
+use fedzkt_tensor::Tensor;
+
+/// Central finite-difference gradient of a scalar function at `x`.
+///
+/// Evaluates `f` twice per element, so keep `x` small (tests use ≤ a few
+/// hundred elements).
+pub fn finite_difference(mut f: impl FnMut(&Tensor) -> f32, x: &Tensor, eps: f32) -> Tensor {
+    let mut grad = Tensor::zeros(x.shape());
+    let mut probe = x.clone();
+    for i in 0..x.len() {
+        let orig = probe.data()[i];
+        probe.data_mut()[i] = orig + eps;
+        let plus = f(&probe);
+        probe.data_mut()[i] = orig - eps;
+        let minus = f(&probe);
+        probe.data_mut()[i] = orig;
+        grad.data_mut()[i] = (plus - minus) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Check the analytic gradient of `build` (a scalar-valued graph of one
+/// input) against central finite differences at `x`.
+///
+/// `build` is called many times and must be deterministic. The comparison
+/// uses a mixed absolute/relative tolerance.
+///
+/// # Panics
+/// Panics (with the offending index and values) when any component
+/// disagrees — intended for use inside tests.
+pub fn check_gradients(name: &str, build: impl Fn(&Var) -> Var, x: &Tensor, tol: f32) {
+    let input = Var::parameter(x.clone());
+    let out = build(&input);
+    assert_eq!(out.shape(), Vec::<usize>::new(), "{name}: gradcheck output must be scalar");
+    out.backward();
+    let analytic = input
+        .grad()
+        .unwrap_or_else(|| panic!("{name}: no gradient reached the input"));
+
+    let numeric = finite_difference(
+        |probe| {
+            let v = Var::parameter(probe.clone());
+            build(&v).value().item()
+        },
+        x,
+        1e-2,
+    );
+
+    for i in 0..x.len() {
+        let (a, n) = (analytic.data()[i], numeric.data()[i]);
+        let denom = 1.0f32.max(a.abs()).max(n.abs());
+        assert!(
+            (a - n).abs() / denom <= tol,
+            "{name}: gradient mismatch at {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_difference_of_quadratic() {
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        let g = finite_difference(|t| t.data().iter().map(|v| v * v).sum(), &x, 1e-3);
+        for (gi, xi) in g.data().iter().zip(x.data()) {
+            assert!((gi - 2.0 * xi).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn check_gradients_accepts_correct_op() {
+        let x = Tensor::from_vec(vec![0.5, -0.3, 1.2], &[3]).unwrap();
+        check_gradients("square", |v| v.square().sum_all(), &x, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn check_gradients_rejects_wrong_gradient() {
+        // `detach` hides the true dependency, so the analytic grad is a
+        // constant 1 while the numeric grad is 2x — must be caught.
+        let x = Tensor::from_vec(vec![2.0], &[1]).unwrap();
+        check_gradients("broken", |v| v.detach().mul(v).sum_all(), &x, 1e-3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Activation functions and (log-)softmax.
+
+use crate::Var;
+use fedzkt_tensor::Tensor;
+
+impl Var {
+    /// Rectified linear unit `max(x, 0)`.
+    pub fn relu(&self) -> Var {
+        let x = self.value_clone();
+        let value = x.map(|v| v.max(0.0));
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(
+                g.zip_map(&x, |gi, xi| if xi > 0.0 { gi } else { 0.0 }).expect("relu backward"),
+            )]
+        })
+    }
+
+    /// Leaky ReLU with negative slope `slope` (generator default 0.2).
+    pub fn leaky_relu(&self, slope: f32) -> Var {
+        let x = self.value_clone();
+        let value = x.map(|v| if v > 0.0 { v } else { slope * v });
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(
+                g.zip_map(&x, |gi, xi| if xi > 0.0 { gi } else { slope * gi })
+                    .expect("leaky_relu backward"),
+            )]
+        })
+    }
+
+    /// ReLU6 `min(max(x, 0), 6)` — the MobileNetV2 activation.
+    pub fn relu6(&self) -> Var {
+        let x = self.value_clone();
+        let value = x.map(|v| v.clamp(0.0, 6.0));
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(
+                g.zip_map(&x, |gi, xi| if xi > 0.0 && xi < 6.0 { gi } else { 0.0 })
+                    .expect("relu6 backward"),
+            )]
+        })
+    }
+
+    /// Hyperbolic tangent (generator output squashing).
+    pub fn tanh(&self) -> Var {
+        let value = self.value().map(f32::tanh);
+        let y = value.clone();
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(g.zip_map(&y, |gi, yi| gi * (1.0 - yi * yi)).expect("tanh backward"))]
+        })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let y = value.clone();
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(
+                g.zip_map(&y, |gi, yi| gi * yi * (1.0 - yi)).expect("sigmoid backward"),
+            )]
+        })
+    }
+
+    /// Row-wise softmax of a `[N, K]` node (class probabilities).
+    ///
+    /// # Panics
+    /// Panics when the node is not 2-D.
+    pub fn softmax(&self) -> Var {
+        let value = self.value().softmax_rows().expect("softmax requires [N, K]");
+        let y = value.clone();
+        Var::from_op(value, vec![self.clone()], move |g| {
+            let (n, k) = (y.shape()[0], y.shape()[1]);
+            let mut out = vec![0.0f32; n * k];
+            for i in 0..n {
+                let yr = &y.data()[i * k..(i + 1) * k];
+                let gr = &g.data()[i * k..(i + 1) * k];
+                let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                for j in 0..k {
+                    out[i * k + j] = yr[j] * (gr[j] - dot);
+                }
+            }
+            vec![Some(Tensor::from_vec(out, &[n, k]).expect("softmax backward"))]
+        })
+    }
+
+    /// Row-wise log-softmax of a `[N, K]` node.
+    ///
+    /// # Panics
+    /// Panics when the node is not 2-D.
+    pub fn log_softmax(&self) -> Var {
+        let probs = self.value().softmax_rows().expect("log_softmax requires [N, K]");
+        let value = probs.map(|p| p.max(1e-30).ln());
+        let p = probs;
+        Var::from_op(value, vec![self.clone()], move |g| {
+            let (n, k) = (p.shape()[0], p.shape()[1]);
+            let mut out = vec![0.0f32; n * k];
+            for i in 0..n {
+                let pr = &p.data()[i * k..(i + 1) * k];
+                let gr = &g.data()[i * k..(i + 1) * k];
+                let gsum: f32 = gr.iter().sum();
+                for j in 0..k {
+                    out[i * k + j] = gr[j] - pr[j] * gsum;
+                }
+            }
+            vec![Some(Tensor::from_vec(out, &[n, k]).expect("log_softmax backward"))]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v2(data: Vec<f32>, shape: &[usize]) -> Var {
+        Var::parameter(Tensor::from_vec(data, shape).unwrap())
+    }
+
+    #[test]
+    fn relu_masks_negative() {
+        let x = v2(vec![-1.0, 2.0], &[2]);
+        let y = x.relu();
+        assert_eq!(y.value().data(), &[0.0, 2.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu6_saturates() {
+        let x = v2(vec![-1.0, 3.0, 7.0], &[3]);
+        let y = x.relu6();
+        assert_eq!(y.value().data(), &[0.0, 3.0, 6.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn leaky_relu_passes_scaled_negative() {
+        let x = v2(vec![-2.0, 2.0], &[2]);
+        let y = x.leaky_relu(0.1);
+        assert!((y.value().data()[0] + 0.2).abs() < 1e-6);
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        assert!((g.data()[0] - 0.1).abs() < 1e-6);
+        assert!((g.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_grad_matches_identity() {
+        let x = v2(vec![0.3], &[1]);
+        x.tanh().sum_all().backward();
+        let y = 0.3f32.tanh();
+        let expected = 1.0 - y * y;
+        assert!((x.grad().unwrap().data()[0] - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_at_zero() {
+        let x = v2(vec![0.0], &[1]);
+        let y = x.sigmoid();
+        assert!((y.value().item() - 0.5).abs() < 1e-6);
+        y.sum_all().backward();
+        assert!((x.grad().unwrap().data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_grad_sums_to_zero() {
+        let x = v2(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let y = x.softmax();
+        let rows = y.value_clone();
+        for i in 0..2 {
+            let s: f32 = rows.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Uniform output grad: softmax gradient must vanish per row.
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        for i in 0..2 {
+            let s: f32 = g.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let x = v2(vec![0.5, -1.0, 2.0], &[1, 3]);
+        let a = x.log_softmax().value_clone();
+        let b = x.softmax().value_clone().map(|p| p.ln());
+        for (u, w) in a.data().iter().zip(b.data()) {
+            assert!((u - w).abs() < 1e-5);
+        }
+    }
+}

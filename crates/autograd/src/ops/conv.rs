@@ -1,0 +1,295 @@
+//! 2-D convolution (with groups/depthwise support) via im2col lowering.
+
+use crate::Var;
+use fedzkt_tensor::ops::{col2im, im2col, Conv2dGeometry};
+use fedzkt_tensor::Tensor;
+
+impl Var {
+    /// 2-D convolution over an NCHW batch.
+    ///
+    /// * `self`: input `[N, C, H, W]`
+    /// * `weight`: kernels `[OC, C / groups, KH, KW]`
+    /// * `stride`, `pad`: applied to both spatial dims
+    /// * `groups`: channel groups; `groups == C` with `OC == C` gives a
+    ///   depthwise convolution (MobileNetV2/ShuffleNetV2 building block)
+    ///
+    /// # Panics
+    /// Panics when shapes are inconsistent, `groups` does not divide both
+    /// `C` and `OC`, or the kernel does not fit the padded input.
+    pub fn conv2d(&self, weight: &Var, stride: usize, pad: usize, groups: usize) -> Var {
+        let x = self.value_clone();
+        let w = weight.value_clone();
+        let xs = x.shape().to_vec();
+        let ws = w.shape().to_vec();
+        assert_eq!(xs.len(), 4, "conv2d input must be [N, C, H, W], got {xs:?}");
+        assert_eq!(ws.len(), 4, "conv2d weight must be [OC, C/g, KH, KW], got {ws:?}");
+        let (n, c, h, width) = (xs[0], xs[1], xs[2], xs[3]);
+        let (oc, c_per_g, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+        assert!(groups > 0 && c % groups == 0 && oc % groups == 0, "groups {groups} must divide C={c} and OC={oc}");
+        assert_eq!(c / groups, c_per_g, "weight in-channels {c_per_g} != C/groups {}", c / groups);
+
+        let geom = Conv2dGeometry::new(c_per_g, h, width, kh, kw, stride, pad)
+            .expect("conv2d geometry");
+        let (oh, ow) = (geom.out_h, geom.out_w);
+        let oc_per_g = oc / groups;
+        let group_in = c_per_g * h * width;
+        let group_out = oc_per_g * oh * ow;
+        let kvol = c_per_g * kh * kw;
+
+        // Forward: per sample, per group: out = W_g [OCg, kvol] x col [kvol, OHOW].
+        let mut out = vec![0.0f32; n * oc * oh * ow];
+        let mut cols: Vec<Vec<f32>> = Vec::with_capacity(n * groups);
+        for s in 0..n {
+            let sample = &x.data()[s * c * h * width..(s + 1) * c * h * width];
+            for g in 0..groups {
+                let col = im2col(&sample[g * group_in..(g + 1) * group_in], &geom);
+                let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
+                let dst = &mut out[s * oc * oh * ow + g * group_out
+                    ..s * oc * oh * ow + (g + 1) * group_out];
+                gemm_into(wg, &col, dst, oc_per_g, kvol, oh * ow);
+                cols.push(col);
+            }
+        }
+        let value = Tensor::from_vec(out, &[n, oc, oh, ow]).expect("conv2d output");
+
+        let need = (self.requires_grad(), weight.requires_grad());
+        Var::from_op(value, vec![self.clone(), weight.clone()], move |grad| {
+            let mut gx = need.0.then(|| vec![0.0f32; n * c * h * width]);
+            let mut gw = need.1.then(|| vec![0.0f32; oc * kvol]);
+            for s in 0..n {
+                for g in 0..groups {
+                    let go = &grad.data()[s * oc * oh * ow + g * group_out
+                        ..s * oc * oh * ow + (g + 1) * group_out];
+                    let col = &cols[s * groups + g];
+                    if let Some(gw) = gw.as_mut() {
+                        // dW_g += go [OCg, OHOW] x col^T [OHOW, kvol]
+                        let dst = &mut gw[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
+                        gemm_nt_into(go, col, dst, oc_per_g, oh * ow, kvol);
+                    }
+                    if let Some(gx) = gx.as_mut() {
+                        // dcol = W_g^T [kvol, OCg] x go [OCg, OHOW]
+                        let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
+                        let mut dcol = vec![0.0f32; kvol * oh * ow];
+                        gemm_tn_into(wg, go, &mut dcol, oc_per_g, kvol, oh * ow);
+                        let gslice = col2im(&dcol, &geom);
+                        let dst = &mut gx[s * c * h * width + g * group_in
+                            ..s * c * h * width + (g + 1) * group_in];
+                        for (d, v) in dst.iter_mut().zip(gslice) {
+                            *d += v;
+                        }
+                    }
+                }
+            }
+            vec![
+                gx.map(|v| Tensor::from_vec(v, &[n, c, h, width]).expect("conv2d dX")),
+                gw.map(|v| Tensor::from_vec(v, &[oc, c_per_g, kh, kw]).expect("conv2d dW")),
+            ]
+        })
+    }
+
+    /// Add a per-channel bias `[C]` over an NCHW batch.
+    ///
+    /// # Panics
+    /// Panics when `self` is not 4-D or `bias` is not `[C]`.
+    pub fn add_channel_bias(&self, bias: &Var) -> Var {
+        let xs = self.shape();
+        assert_eq!(xs.len(), 4, "add_channel_bias input must be NCHW");
+        let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+        assert_eq!(bias.shape(), vec![c], "bias must be [C]");
+        let hw = h * w;
+        let mut out = self.value_clone().into_vec();
+        {
+            let b = bias.value();
+            for s in 0..n {
+                for ch in 0..c {
+                    let base = s * c * hw + ch * hw;
+                    let bv = b.data()[ch];
+                    for px in &mut out[base..base + hw] {
+                        *px += bv;
+                    }
+                }
+            }
+        }
+        let value = Tensor::from_vec(out, &xs).expect("add_channel_bias");
+        let need = (self.requires_grad(), bias.requires_grad());
+        Var::from_op(value, vec![self.clone(), bias.clone()], move |g| {
+            let gb = need.1.then(|| {
+                let mut acc = vec![0.0f32; c];
+                for s in 0..n {
+                    for ch in 0..c {
+                        let base = s * c * hw + ch * hw;
+                        acc[ch] += g.data()[base..base + hw].iter().sum::<f32>();
+                    }
+                }
+                Tensor::from_vec(acc, &[c]).expect("channel bias grad")
+            });
+            vec![need.0.then(|| g.clone()), gb]
+        })
+    }
+}
+
+/// `out = a[m,k] x b[k,n]` (row-major, out pre-zeroed).
+fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        let or = &mut out[i * n..(i + 1) * n];
+        for (t, &av) in ar.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let br = &b[t * n..(t + 1) * n];
+            for (o, &bv) in or.iter_mut().zip(br) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out += a[m,k] x b[n,k]^T` (accumulating).
+fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        let or = &mut out[i * n..(i + 1) * n];
+        for (j, o) in or.iter_mut().enumerate() {
+            let br = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for t in 0..k {
+                acc += ar[t] * br[t];
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// `out += a[k,m]^T x b[k,n]` (accumulating).
+fn gemm_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    for t in 0..k {
+        let ar = &a[t * m..(t + 1) * m];
+        let br = &b[t * n..(t + 1) * n];
+        for i in 0..m {
+            let av = ar[i];
+            if av == 0.0 {
+                continue;
+            }
+            let or = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in or.iter_mut().zip(br) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_tensor::seeded_rng;
+
+    /// Direct (definition-level) convolution for cross-checking.
+    fn conv_naive(
+        x: &Tensor,
+        w: &Tensor,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Tensor {
+        let (n, _c, h, wid) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oc, cpg, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+        let oh = (h + 2 * pad - kh) / stride + 1;
+        let ow = (wid + 2 * pad - kw) / stride + 1;
+        let ocpg = oc / groups;
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for s in 0..n {
+            for o in 0..oc {
+                let g = o / ocpg;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ci in 0..cpg {
+                            let cin = g * cpg + ci;
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= wid as isize {
+                                        continue;
+                                    }
+                                    acc += x.at(&[s, cin, iy as usize, ix as usize]).unwrap()
+                                        * w.at(&[o, ci, ky, kx]).unwrap();
+                                }
+                            }
+                        }
+                        out.set(&[s, o, oy, ox], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv2d_matches_naive_dense() {
+        let mut rng = seeded_rng(21);
+        let x = Tensor::randn(&[2, 3, 6, 5], &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let out = Var::constant(x.clone())
+                .conv2d(&Var::constant(w.clone()), stride, pad, 1);
+            let expected = conv_naive(&x, &w, stride, pad, 1);
+            assert_eq!(out.shape(), expected.shape().to_vec());
+            for (a, b) in out.value().data().iter().zip(expected.data()) {
+                assert!((a - b).abs() < 1e-3, "{a} vs {b} (stride {stride} pad {pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_naive_grouped_and_depthwise() {
+        let mut rng = seeded_rng(22);
+        let x = Tensor::randn(&[1, 4, 5, 5], &mut rng);
+        // Grouped: groups=2.
+        let wg = Tensor::randn(&[6, 2, 3, 3], &mut rng);
+        let out = Var::constant(x.clone()).conv2d(&Var::constant(wg.clone()), 1, 1, 2);
+        let expected = conv_naive(&x, &wg, 1, 1, 2);
+        for (a, b) in out.value().data().iter().zip(expected.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        // Depthwise: groups=C=4, OC=4.
+        let wd = Tensor::randn(&[4, 1, 3, 3], &mut rng);
+        let out = Var::constant(x.clone()).conv2d(&Var::constant(wd.clone()), 1, 1, 4);
+        let expected = conv_naive(&x, &wd, 1, 1, 4);
+        for (a, b) in out.value().data().iter().zip(expected.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv2d_1x1_is_channel_mixing() {
+        let mut rng = seeded_rng(23);
+        let x = Tensor::randn(&[1, 2, 3, 3], &mut rng);
+        let w = Tensor::randn(&[3, 2, 1, 1], &mut rng);
+        let out = Var::constant(x.clone()).conv2d(&Var::constant(w.clone()), 1, 0, 1);
+        let expected = conv_naive(&x, &w, 1, 0, 1);
+        for (a, b) in out.value().data().iter().zip(expected.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn channel_bias_grad() {
+        let x = Var::parameter(Tensor::zeros(&[2, 3, 2, 2]));
+        let b = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        let y = x.add_channel_bias(&b);
+        assert_eq!(y.value().at(&[0, 1, 0, 0]).unwrap(), 2.0);
+        y.sum_all().backward();
+        // Each channel has N * H * W = 2*2*2 = 8 contributing pixels.
+        assert_eq!(b.grad().unwrap().data(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups")]
+    fn conv2d_rejects_bad_groups() {
+        let x = Var::constant(Tensor::zeros(&[1, 3, 4, 4]));
+        let w = Var::constant(Tensor::zeros(&[4, 1, 3, 3]));
+        let _ = x.conv2d(&w, 1, 1, 2); // 2 does not divide C=3
+    }
+}

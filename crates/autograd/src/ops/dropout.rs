@@ -1,0 +1,75 @@
+//! Inverted dropout.
+
+use crate::Var;
+use fedzkt_tensor::{Prng, Tensor};
+use rand::RngExt;
+
+impl Var {
+    /// Inverted dropout: zero each element with probability `p` and scale
+    /// survivors by `1 / (1 - p)` so the expectation is unchanged. Call only
+    /// during training; evaluation passes should skip the op entirely.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn dropout(&self, p: f32, rng: &mut Prng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        if p == 0.0 {
+            return self.clone();
+        }
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..self.value().len())
+            .map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask, &self.shape()).expect("dropout mask");
+        let value = self.value().mul(&mask).expect("dropout forward");
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(g.mul(&mask).expect("dropout backward"))]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_tensor::seeded_rng;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut rng = seeded_rng(1);
+        let x = Var::parameter(Tensor::ones(&[4]));
+        let y = x.dropout(0.0, &mut rng);
+        assert_eq!(y.value().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn preserves_expectation() {
+        let mut rng = seeded_rng(2);
+        let x = Var::constant(Tensor::ones(&[10_000]));
+        let y = x.dropout(0.3, &mut rng);
+        let mean = y.value().mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = seeded_rng(3);
+        let x = Var::parameter(Tensor::ones(&[64]));
+        let y = x.dropout(0.5, &mut rng);
+        let fwd = y.value_clone();
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        // Gradient nonzero exactly where forward survived.
+        for (f, gi) in fwd.data().iter().zip(g.data()) {
+            assert_eq!(*f == 0.0, *gi == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn rejects_p_one() {
+        let mut rng = seeded_rng(4);
+        let x = Var::constant(Tensor::ones(&[2]));
+        let _ = x.dropout(1.0, &mut rng);
+    }
+}

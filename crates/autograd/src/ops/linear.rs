@@ -1,0 +1,90 @@
+//! Dense (fully connected) operations.
+
+use crate::Var;
+
+impl Var {
+    /// Matrix product `[M, K] x [K, N] -> [M, N]`.
+    ///
+    /// # Panics
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Var) -> Var {
+        let a = self.value_clone();
+        let b = rhs.value_clone();
+        let value = a.matmul(&b).expect("matmul");
+        let need = (self.requires_grad(), rhs.requires_grad());
+        Var::from_op(value, vec![self.clone(), rhs.clone()], move |g| {
+            // dA = g B^T, dB = A^T g.
+            vec![
+                need.0.then(|| g.matmul_nt(&b).expect("matmul backward dA")),
+                need.1.then(|| a.matmul_tn(g).expect("matmul backward dB")),
+            ]
+        })
+    }
+
+    /// Affine layer `x W^T + b` with the PyTorch weight convention
+    /// `W: [out_features, in_features]`, `x: [N, in_features]`.
+    ///
+    /// `bias` may be `None` for bias-free layers.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn linear(&self, weight: &Var, bias: Option<&Var>) -> Var {
+        let x = self.value_clone();
+        let w = weight.value_clone();
+        let value = x.matmul_nt(&w).expect("linear forward");
+        let need = (self.requires_grad(), weight.requires_grad());
+        let out = Var::from_op(value, vec![self.clone(), weight.clone()], move |g| {
+            vec![
+                // dX = g W
+                need.0.then(|| g.matmul(&w).expect("linear backward dX")),
+                // dW = g^T X
+                need.1.then(|| g.matmul_tn(&x).expect("linear backward dW")),
+            ]
+        });
+        match bias {
+            Some(b) => out.add_bias(b),
+            None => out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_tensor::{seeded_rng, Tensor};
+
+    #[test]
+    fn matmul_grads_match_manual() {
+        // f = sum(A B); dA = 1 B^T, dB = A^T 1.
+        let a = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let b = Var::parameter(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap());
+        a.matmul(&b).sum_all().backward();
+        assert_eq!(a.grad().unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn linear_matches_matmul_plus_bias() {
+        let mut rng = seeded_rng(3);
+        let x = Var::constant(Tensor::randn(&[4, 3], &mut rng));
+        let w = Var::parameter(Tensor::randn(&[2, 3], &mut rng));
+        let b = Var::parameter(Tensor::randn(&[2], &mut rng));
+        let y1 = x.linear(&w, Some(&b));
+        let wt = Var::constant(w.value_clone().transpose2d().unwrap());
+        let y2 = x.matmul(&wt).add_bias(&b);
+        for (p, q) in y1.value().data().iter().zip(y2.value().data()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_bias_grad_is_batch_sum() {
+        let x = Var::constant(Tensor::ones(&[5, 3]));
+        let w = Var::parameter(Tensor::zeros(&[2, 3]));
+        let b = Var::parameter(Tensor::zeros(&[2]));
+        x.linear(&w, Some(&b)).sum_all().backward();
+        assert_eq!(b.grad().unwrap().data(), &[5.0, 5.0]);
+        // dW = g^T X = ones[5,2]^T ones[5,3] = 5s
+        assert_eq!(w.grad().unwrap().data(), &[5.0; 6]);
+    }
+}

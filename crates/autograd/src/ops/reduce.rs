@@ -1,0 +1,54 @@
+//! Reductions to scalars.
+
+use crate::Var;
+use fedzkt_tensor::Tensor;
+
+impl Var {
+    /// Sum of all elements, as a scalar node.
+    pub fn sum_all(&self) -> Var {
+        let shape = self.shape();
+        let value = Tensor::scalar(self.value().sum());
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(Tensor::full(&shape, g.item()))]
+        })
+    }
+
+    /// Mean of all elements, as a scalar node.
+    ///
+    /// # Panics
+    /// Panics on empty tensors (division by zero element count).
+    pub fn mean_all(&self) -> Var {
+        let shape = self.shape();
+        let n = self.value().len();
+        assert!(n > 0, "mean_all on empty tensor");
+        let value = Tensor::scalar(self.value().mean());
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(Tensor::full(&shape, g.item() / n as f32))]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_all_backward_is_ones() {
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        x.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_all_backward_is_uniform() {
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        x.mean_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn sum_all_value() {
+        let x = Var::constant(Tensor::from_vec(vec![1.5, 2.5], &[2]).unwrap());
+        assert_eq!(x.sum_all().value().item(), 4.0);
+    }
+}

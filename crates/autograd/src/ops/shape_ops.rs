@@ -1,0 +1,233 @@
+//! Shape-manipulating ops: reshape, flatten, channel concat/narrow/shuffle.
+
+use crate::Var;
+use fedzkt_tensor::Tensor;
+
+impl Var {
+    /// Reinterpret the node with a new shape of equal volume.
+    ///
+    /// # Panics
+    /// Panics when the volumes differ.
+    pub fn reshape(&self, shape: &[usize]) -> Var {
+        let old = self.shape();
+        let value = self.value().reshape(shape).expect("reshape");
+        Var::from_op(value, vec![self.clone()], move |g| {
+            vec![Some(g.reshape(&old).expect("reshape backward"))]
+        })
+    }
+
+    /// Flatten everything but the batch dimension: `[N, ...] -> [N, rest]`.
+    ///
+    /// # Panics
+    /// Panics on scalars.
+    pub fn flatten_batch(&self) -> Var {
+        let s = self.shape();
+        assert!(!s.is_empty(), "flatten_batch on scalar");
+        let rest: usize = s[1..].iter().product();
+        self.reshape(&[s[0], rest])
+    }
+
+    /// Concatenate NCHW nodes along the channel dimension.
+    ///
+    /// # Panics
+    /// Panics when the list is empty or batch/spatial dims disagree.
+    pub fn concat_channels(parts: &[&Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_channels of zero tensors");
+        let s0 = parts[0].shape();
+        assert_eq!(s0.len(), 4, "concat_channels expects NCHW");
+        let (n, h, w) = (s0[0], s0[2], s0[3]);
+        let channels: Vec<usize> = parts
+            .iter()
+            .map(|p| {
+                let s = p.shape();
+                assert_eq!(
+                    (s[0], s[2], s[3]),
+                    (n, h, w),
+                    "concat_channels batch/spatial mismatch"
+                );
+                s[1]
+            })
+            .collect();
+        let c_total: usize = channels.iter().sum();
+        let hw = h * w;
+        let mut out = vec![0.0f32; n * c_total * hw];
+        for smp in 0..n {
+            let mut ch_off = 0usize;
+            for (p, &c) in parts.iter().zip(&channels) {
+                let v = p.value();
+                let src = &v.data()[smp * c * hw..(smp + 1) * c * hw];
+                let dst_base = smp * c_total * hw + ch_off * hw;
+                out[dst_base..dst_base + c * hw].copy_from_slice(src);
+                ch_off += c;
+            }
+        }
+        let value = Tensor::from_vec(out, &[n, c_total, h, w]).expect("concat out");
+        let parents: Vec<Var> = parts.iter().map(|p| (*p).clone()).collect();
+        let chans = channels.clone();
+        Var::from_op(value, parents, move |g| {
+            let mut grads = Vec::with_capacity(chans.len());
+            let mut ch_off = 0usize;
+            for &c in &chans {
+                let mut dx = vec![0.0f32; n * c * hw];
+                for smp in 0..n {
+                    let src_base = smp * c_total * hw + ch_off * hw;
+                    dx[smp * c * hw..(smp + 1) * c * hw]
+                        .copy_from_slice(&g.data()[src_base..src_base + c * hw]);
+                }
+                grads.push(Some(Tensor::from_vec(dx, &[n, c, h, w]).expect("concat dX")));
+                ch_off += c;
+            }
+            grads
+        })
+    }
+
+    /// Take channels `start..start + len` of an NCHW node (the ShuffleNetV2
+    /// channel split is two `narrow_channels` calls).
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the channel count.
+    pub fn narrow_channels(&self, start: usize, len: usize) -> Var {
+        let s = self.shape();
+        assert_eq!(s.len(), 4, "narrow_channels expects NCHW");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert!(start + len <= c, "narrow {start}..{} exceeds C={c}", start + len);
+        let hw = h * w;
+        let mut out = vec![0.0f32; n * len * hw];
+        {
+            let v = self.value();
+            for smp in 0..n {
+                let src_base = smp * c * hw + start * hw;
+                out[smp * len * hw..(smp + 1) * len * hw]
+                    .copy_from_slice(&v.data()[src_base..src_base + len * hw]);
+            }
+        }
+        let value = Tensor::from_vec(out, &[n, len, h, w]).expect("narrow out");
+        Var::from_op(value, vec![self.clone()], move |g| {
+            let mut dx = vec![0.0f32; n * c * hw];
+            for smp in 0..n {
+                let dst_base = smp * c * hw + start * hw;
+                dx[dst_base..dst_base + len * hw]
+                    .copy_from_slice(&g.data()[smp * len * hw..(smp + 1) * len * hw]);
+            }
+            vec![Some(Tensor::from_vec(dx, &[n, c, h, w]).expect("narrow dX"))]
+        })
+    }
+
+    /// ShuffleNet channel shuffle: reshape `[N, g, C/g, H, W]`, transpose the
+    /// two channel axes, flatten back.
+    ///
+    /// # Panics
+    /// Panics when `groups` does not divide the channel count.
+    pub fn channel_shuffle(&self, groups: usize) -> Var {
+        let s = self.shape();
+        assert_eq!(s.len(), 4, "channel_shuffle expects NCHW");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert!(groups > 0 && c % groups == 0, "groups {groups} must divide C={c}");
+        let per = c / groups;
+        let hw = h * w;
+        // Forward permutation: output channel j = (j % groups) * per + j / groups
+        // reads input channel ... derive: out[b, j] = in[b, perm(j)] where
+        // perm maps output index (i2, g2) -> input (g2, i2).
+        let mut out = vec![0.0f32; n * c * hw];
+        {
+            let v = self.value();
+            for smp in 0..n {
+                for g in 0..groups {
+                    for i in 0..per {
+                        let src = smp * c * hw + (g * per + i) * hw;
+                        let dst = smp * c * hw + (i * groups + g) * hw;
+                        out[dst..dst + hw].copy_from_slice(&v.data()[src..src + hw]);
+                    }
+                }
+            }
+        }
+        let value = Tensor::from_vec(out, &s).expect("shuffle out");
+        let shape = s.clone();
+        Var::from_op(value, vec![self.clone()], move |gr| {
+            let mut dx = vec![0.0f32; n * c * hw];
+            for smp in 0..n {
+                for g in 0..groups {
+                    for i in 0..per {
+                        let src = smp * c * hw + (g * per + i) * hw;
+                        let dst = smp * c * hw + (i * groups + g) * hw;
+                        dx[src..src + hw].copy_from_slice(&gr.data()[dst..dst + hw]);
+                    }
+                }
+            }
+            vec![Some(Tensor::from_vec(dx, &shape).expect("shuffle dX"))]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_roundtrip_gradient() {
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        x.reshape(&[4]).reshape(&[1, 4]).sum_all().backward();
+        assert_eq!(x.grad().unwrap().shape(), &[2, 2]);
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn flatten_batch_keeps_first_dim() {
+        let x = Var::constant(Tensor::zeros(&[3, 2, 4, 4]));
+        assert_eq!(x.flatten_batch().shape(), vec![3, 32]);
+    }
+
+    #[test]
+    fn concat_then_narrow_roundtrips() {
+        let a = Var::parameter(Tensor::full(&[1, 2, 2, 2], 1.0));
+        let b = Var::parameter(Tensor::full(&[1, 3, 2, 2], 2.0));
+        let cat = Var::concat_channels(&[&a, &b]);
+        assert_eq!(cat.shape(), vec![1, 5, 2, 2]);
+        let back_a = cat.narrow_channels(0, 2);
+        let back_b = cat.narrow_channels(2, 3);
+        assert_eq!(back_a.value().data(), a.value().data());
+        assert_eq!(back_b.value().data(), b.value().data());
+        // Gradients split correctly.
+        cat.narrow_channels(0, 2).sum_all().backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0; 8]);
+        assert!(b.grad().is_none() || b.grad().unwrap().data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn channel_shuffle_is_a_permutation() {
+        // C=4, groups=2: channels [0 1 2 3] -> [0 2 1 3].
+        let data: Vec<f32> = (0..4).map(|c| c as f32).collect();
+        let mut full = Vec::new();
+        for c in &data {
+            full.extend([*c; 4]); // 2x2 plane per channel
+        }
+        let x = Var::parameter(Tensor::from_vec(full, &[1, 4, 2, 2]).unwrap());
+        let y = x.channel_shuffle(2);
+        let v = y.value_clone();
+        let chan = |i: usize| v.data()[i * 4];
+        assert_eq!([chan(0), chan(1), chan(2), chan(3)], [0.0, 2.0, 1.0, 3.0]);
+        // Backward is the inverse permutation: weighted sum recovers order.
+        let w = Var::constant(
+            Tensor::from_vec(
+                (0..16).map(|i| (i / 4) as f32).collect(),
+                &[1, 4, 2, 2],
+            )
+            .unwrap(),
+        );
+        y.mul(&w).sum_all().backward();
+        let g = x.grad().unwrap();
+        let gch = |i: usize| g.data()[i * 4];
+        // Output channel weights [0,1,2,3] land on input channels [0,2,1,3].
+        assert_eq!([gch(0), gch(1), gch(2), gch(3)], [0.0, 2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn shuffle_then_inverse_shuffle_is_identity() {
+        let x = Var::constant(
+            Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[1, 6, 2, 2]).unwrap(),
+        );
+        // shuffle with g then with C/g inverts the permutation.
+        let y = x.channel_shuffle(2).channel_shuffle(3);
+        assert_eq!(y.value().data(), x.value().data());
+    }
+}

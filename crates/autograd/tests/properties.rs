@@ -1,0 +1,142 @@
+//! Property-based tests on autodiff invariants.
+
+use fedzkt_autograd::loss::{cross_entropy, kl_div_probs, mean_vars};
+use fedzkt_autograd::{DistillLoss, Var};
+use fedzkt_tensor::{seeded_rng, Tensor};
+use proptest::prelude::*;
+
+fn randn(shape: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(shape, &mut seeded_rng(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Linearity of the tape: d/dx [a·f + b·g] = a·f' + b·g'.
+    #[test]
+    fn backward_is_linear(seed in 0u64..300, a in -2.0f32..2.0, b in -2.0f32..2.0) {
+        let x0 = randn(&[6], seed);
+        let grad_of = |build: &dyn Fn(&Var) -> Var| -> Tensor {
+            let x = Var::parameter(x0.clone());
+            build(&x).backward();
+            x.grad().unwrap()
+        };
+        let gf = grad_of(&|x| x.square().sum_all());
+        let gg = grad_of(&|x| x.tanh().sum_all());
+        let gsum = grad_of(&|x| {
+            x.square().sum_all().scale(a).add(&x.tanh().sum_all().scale(b))
+        });
+        for i in 0..6 {
+            let expected = a * gf.data()[i] + b * gg.data()[i];
+            prop_assert!((gsum.data()[i] - expected).abs() < 1e-3,
+                "{} vs {}", gsum.data()[i], expected);
+        }
+    }
+
+    /// Gradient accumulation: running backward twice doubles leaf grads.
+    #[test]
+    fn double_backward_doubles_leaf_grads(seed in 0u64..300) {
+        let x = Var::parameter(randn(&[5], seed));
+        let y = x.square().sum_all();
+        y.backward();
+        let g1 = x.grad().unwrap();
+        y.backward();
+        let g2 = x.grad().unwrap();
+        for i in 0..5 {
+            prop_assert!((g2.data()[i] - 2.0 * g1.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    /// softmax output of any logits is a probability distribution, and the
+    /// gradient of its sum is ~0 (it maps onto the simplex).
+    #[test]
+    fn softmax_simplex_invariant(seed in 0u64..300, n in 1usize..5, k in 2usize..8) {
+        let x = Var::parameter(randn(&[n, k], seed));
+        let s = x.softmax();
+        let v = s.value_clone();
+        for row in 0..n {
+            let sum: f32 = v.data()[row * k..(row + 1) * k].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+        s.sum_all().backward();
+        let g = x.grad().unwrap();
+        prop_assert!(g.data().iter().all(|gi| gi.abs() < 1e-4));
+    }
+
+    /// Cross-entropy is minimised at the one-hot target: loss of extreme
+    /// correct logits < loss of anything else on the same labels.
+    #[test]
+    fn cross_entropy_prefers_correct_logits(seed in 0u64..300, k in 2usize..6) {
+        let labels = vec![seed as usize % k];
+        let mut onehot = vec![-10.0f32; k];
+        onehot[labels[0]] = 10.0;
+        let good = Var::constant(Tensor::from_vec(onehot, &[1, k]).unwrap());
+        let other = Var::constant(randn(&[1, k], seed));
+        let lg = cross_entropy(&good, &labels).value().item();
+        let lo = cross_entropy(&other, &labels).value().item();
+        prop_assert!(lg <= lo + 1e-5, "{lg} vs {lo}");
+    }
+
+    /// KL(p ‖ p) = 0 and KL(p ‖ q) ≥ 0.
+    #[test]
+    fn kl_gibbs_inequality(seed in 0u64..300, k in 2usize..7) {
+        let p = Var::constant(randn(&[2, k], seed)).softmax();
+        let q = Var::constant(randn(&[2, k], seed + 1)).softmax();
+        prop_assert!(kl_div_probs(&p, &p).value().item().abs() < 1e-4);
+        prop_assert!(kl_div_probs(&p, &q).value().item() > -1e-4);
+    }
+
+    /// The SL loss is bounded by 2 (ℓ1 distance of two distributions) and
+    /// symmetric under argument exchange.
+    #[test]
+    fn sl_loss_bounded_and_symmetric(seed in 0u64..300, n in 1usize..4, k in 2usize..6) {
+        let a = Var::constant(randn(&[n, k], seed));
+        let b = Var::constant(randn(&[n, k], seed + 7));
+        let ab = DistillLoss::Sl.eval(&a, &[&b]).value().item();
+        let ba = DistillLoss::Sl.eval(&b, &[&a]).value().item();
+        prop_assert!((0.0..=2.0 + 1e-5).contains(&ab), "{ab}");
+        prop_assert!((ab - ba).abs() < 1e-5);
+    }
+
+    /// mean_vars really is the arithmetic mean.
+    #[test]
+    fn mean_vars_matches_manual(seed in 0u64..300, k in 1usize..5) {
+        let tensors: Vec<Tensor> = (0..k).map(|i| randn(&[4], seed + i as u64)).collect();
+        let vars: Vec<Var> = tensors.iter().map(|t| Var::constant(t.clone())).collect();
+        let refs: Vec<&Var> = vars.iter().collect();
+        let mean = mean_vars(&refs).value_clone();
+        for i in 0..4 {
+            let manual: f32 =
+                tensors.iter().map(|t| t.data()[i]).sum::<f32>() / k as f32;
+            prop_assert!((mean.data()[i] - manual).abs() < 1e-5);
+        }
+    }
+
+    /// detach() zeroes exactly the detached path's contribution.
+    #[test]
+    fn detach_partitions_gradient(seed in 0u64..300) {
+        let x0 = randn(&[4], seed).map(|v| v + 3.0); // keep positive
+        // y = x^2 + c*x with c = detach(x): grad = 2x + c = 3x.
+        let x = Var::parameter(x0.clone());
+        let y = x.square().add(&x.detach().mul(&x)).sum_all();
+        y.backward();
+        let g = x.grad().unwrap();
+        for i in 0..4 {
+            prop_assert!((g.data()[i] - 3.0 * x0.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    /// Every distillation loss is non-negative and zero against itself.
+    #[test]
+    fn distill_losses_are_divergences(seed in 0u64..300) {
+        let logits = randn(&[3, 5], seed);
+        for kind in [DistillLoss::Kl, DistillLoss::LogitL1, DistillLoss::Sl] {
+            let s = Var::constant(logits.clone());
+            let same = kind.eval(&s, &[&Var::constant(logits.clone())]).value().item();
+            prop_assert!(same.abs() < 1e-4, "{kind}: self-distance {same}");
+            let other = Var::constant(randn(&[3, 5], seed + 13));
+            let cross = kind.eval(&s, &[&other]).value().item();
+            prop_assert!(cross > -1e-5, "{kind}: negative divergence {cross}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Data-pipeline benchmarks: synthetic dataset generation and the three
+//! partitioners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedzkt_data::{DataFamily, Partition, SynthConfig};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth_generate");
+    group.sample_size(10);
+    for family in [DataFamily::MnistLike, DataFamily::Cifar10Like] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.name()),
+            &family,
+            |bench, &family| {
+                bench.iter(|| {
+                    let cfg = SynthConfig {
+                        family,
+                        img: 16,
+                        train_n: 256,
+                        test_n: 64,
+                        seed: 1,
+                        ..Default::default()
+                    };
+                    black_box(cfg.generate())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    let labels: Vec<usize> = (0..10_000).map(|i| i % 10).collect();
+    for (name, partition) in [
+        ("iid", Partition::Iid),
+        ("quantity_c2", Partition::QuantitySkew { classes_per_device: 2 }),
+        ("dirichlet_b05", Partition::Dirichlet { beta: 0.5 }),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(partition.split(&labels, 10, 10, 7).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_partitions);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end round benchmarks: one FedZKT round (device update +
+//! adversarial distillation + bidirectional transfer) vs one FedAvg round,
+//! at tiny scale — the ablation for the paper's "compute-intensive work
+//! lives at the server" design claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedzkt_bench::{build_workload, Tier};
+use fedzkt_core::FedZkt;
+use fedzkt_data::{DataFamily, Partition};
+use fedzkt_fl::{FedAvg, FedAvgConfig};
+use fedzkt_models::ModelSpec;
+use std::hint::black_box;
+
+fn bench_fedzkt_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round");
+    group.sample_size(10);
+    let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
+    group.bench_function("fedzkt_tiny", |bench| {
+        bench.iter(|| {
+            let mut fed = FedZkt::new(&w.zoo, &w.train, &w.shards, w.test.clone(), w.fedzkt);
+            black_box(fed.round(0))
+        });
+    });
+    group.bench_function("fedavg_tiny", |bench| {
+        bench.iter(|| {
+            let mut fed = FedAvg::new(
+                ModelSpec::Mlp { hidden: 16 },
+                &w.train,
+                &w.shards,
+                w.test.clone(),
+                FedAvgConfig { rounds: 1, local_epochs: 1, batch_size: 16, ..Default::default() },
+            );
+            black_box(fed.round(0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fedzkt_round);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Layer- and model-level benchmarks: forward/backward cost of the zoo
+//! members and the generator (the unit of work inside every distillation
+//! iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedzkt_autograd::Var;
+use fedzkt_models::{GeneratorSpec, ModelSpec};
+use fedzkt_nn::Module;
+use fedzkt_tensor::{seeded_rng, Tensor};
+use std::hint::black_box;
+
+const IMG: usize = 16;
+const BATCH: usize = 16;
+
+fn bench_zoo_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zoo_forward");
+    group.sample_size(10);
+    let mut rng = seeded_rng(1);
+    let x = Tensor::randn(&[BATCH, 3, IMG, IMG], &mut rng);
+    for spec in ModelSpec::paper_zoo_cifar() {
+        let model = spec.build(3, 10, IMG, 7);
+        group.bench_function(spec.name(), |bench| {
+            bench.iter(|| {
+                black_box(
+                    fedzkt_autograd::no_grad(|| model.forward(&Var::constant(x.clone())))
+                        .value_clone(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_zoo_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zoo_forward_backward");
+    group.sample_size(10);
+    let mut rng = seeded_rng(2);
+    let x = Tensor::randn(&[BATCH, 3, IMG, IMG], &mut rng);
+    for spec in [ModelSpec::ShuffleNetV2 { size: 0.5 }, ModelSpec::LeNet { scale: 1.0, deep: true }] {
+        let model = spec.build(3, 10, IMG, 7);
+        group.bench_function(spec.name(), |bench| {
+            bench.iter(|| {
+                let y = model.forward(&Var::constant(x.clone()));
+                let loss = y.square().sum_all();
+                loss.backward();
+                for p in model.params() {
+                    p.zero_grad();
+                }
+                let out = loss.value().item();
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    let g = GeneratorSpec { z_dim: 32, ngf: 8 }.build(3, IMG, 3);
+    let mut rng = seeded_rng(3);
+    let z = g.sample_z(BATCH, &mut rng);
+    group.bench_function("forward", |bench| {
+        bench.iter(|| {
+            black_box(fedzkt_autograd::no_grad(|| g.forward(&Var::constant(z.clone()))).value_clone())
+        });
+    });
+    group.bench_function("forward_backward", |bench| {
+        bench.iter(|| {
+            let out = g.forward(&Var::constant(z.clone()));
+            let loss = out.square().sum_all();
+            loss.backward();
+            for p in g.params() {
+                p.zero_grad();
+            }
+            let item = loss.value().item();
+            black_box(item)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zoo_forward, bench_zoo_backward, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the tensor substrate: GEMM and im2col dominate
+//! training time, so their throughput bounds every experiment above.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedzkt_tensor::ops::{im2col, Conv2dGeometry};
+use fedzkt_tensor::{seeded_rng, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[16usize, 64, 128] {
+        let mut rng = seeded_rng(1);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_variants");
+    group.sample_size(20);
+    let mut rng = seeded_rng(2);
+    let a = Tensor::randn(&[64, 64], &mut rng);
+    let b = Tensor::randn(&[64, 64], &mut rng);
+    group.bench_function("nn", |bench| bench.iter(|| black_box(a.matmul(&b).unwrap())));
+    group.bench_function("nt", |bench| bench.iter(|| black_box(a.matmul_nt(&b).unwrap())));
+    group.bench_function("tn", |bench| bench.iter(|| black_box(a.matmul_tn(&b).unwrap())));
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    group.sample_size(20);
+    for &(ch, img) in &[(3usize, 16usize), (16, 16), (16, 32)] {
+        let g = Conv2dGeometry::new(ch, img, img, 3, 3, 1, 1).unwrap();
+        let mut rng = seeded_rng(3);
+        let x = Tensor::randn(&[g.input_len()], &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("c{ch}_i{img}")),
+            &g,
+            |bench, g| {
+                bench.iter(|| black_box(im2col(x.data(), g)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let x = Tensor::randn(&[256, 10], &mut rng);
+    c.bench_function("softmax_rows_256x10", |bench| {
+        bench.iter(|| black_box(x.softmax_rows().unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_matmul_variants, bench_im2col, bench_softmax);
+criterion_main!(benches);

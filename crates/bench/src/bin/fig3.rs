@@ -1,0 +1,31 @@
+//! Figure 3 — learning curves of FedZKT and FedMD (CIFAR-10, IID, public =
+//! CIFAR-100-like). Expected shape: FedMD leads early (public-data
+//! bootstrap), FedZKT crosses over and finishes higher.
+
+use fedzkt_bench::{banner, build_public, build_workload, pct, run_fedmd, run_fedzkt, ExpOptions};
+use fedzkt_data::{DataFamily, Partition};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Figure 3: learning curves (CIFAR-10, IID)", &opts);
+    let workload = build_workload(DataFamily::Cifar10Like, Partition::Iid, opts.tier, opts.seed);
+    let zkt = run_fedzkt(&workload, workload.fedzkt);
+    let public = build_public(&workload, DataFamily::Cifar100Like, opts.seed);
+    let md = run_fedmd(&workload, public, workload.fedmd);
+
+    println!("{:>6} {:>12} {:>12}", "round", "FedMD", "FedZKT");
+    let mut csv = String::from("round,fedmd,fedzkt\n");
+    let n = zkt.rounds.len().max(md.rounds.len());
+    for i in 0..n {
+        let m = md.rounds.get(i).map(|r| r.avg_device_accuracy).unwrap_or(f32::NAN);
+        let z = zkt.rounds.get(i).map(|r| r.avg_device_accuracy).unwrap_or(f32::NAN);
+        println!("{:>6} {:>12} {:>12}", i + 1, pct(m), pct(z));
+        csv.push_str(&format!("{},{:.4},{:.4}\n", i + 1, m, z));
+    }
+    println!(
+        "\nfinal: FedMD {}  FedZKT {}",
+        pct(md.final_accuracy()),
+        pct(zkt.final_accuracy())
+    );
+    opts.write_csv("fig3.csv", &csv);
+}

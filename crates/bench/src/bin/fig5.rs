@@ -1,0 +1,59 @@
+//! Figure 5 — per-device learning curves under heterogeneous architectures
+//! (CIFAR-10, IID): ten devices cycling through Models A–E of Table V.
+//! Expected shape: the two LeNet devices (Model E) plateau below the
+//! ShuffleNetV2/MobileNetV2 devices.
+
+use fedzkt_bench::{banner, build_workload_scaled, pct, ExpOptions, Scale};
+use fedzkt_core::FedZkt;
+use fedzkt_data::{DataFamily, Partition};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Figure 5: per-device learning curves (CIFAR-10, IID, Models A-E)", &opts);
+    let mut scale = Scale::for_family(DataFamily::Cifar10Like, opts.tier);
+    scale.devices = 10; // the paper's setup for this figure
+    let workload = build_workload_scaled(
+        DataFamily::Cifar10Like,
+        Partition::Iid,
+        opts.tier,
+        opts.seed,
+        scale,
+    );
+    let mut fed = FedZkt::new(
+        &workload.zoo,
+        &workload.train,
+        &workload.shards,
+        workload.test.clone(),
+        workload.fedzkt,
+    );
+    let log = fed.run().clone();
+
+    // Header: device/model names.
+    print!("{:>6}", "round");
+    for (i, spec) in workload.zoo.iter().enumerate() {
+        print!(" dev{:<2}:{:<18}", i + 1, spec.name());
+    }
+    println!();
+    let mut csv = String::from("round");
+    for i in 0..workload.zoo.len() {
+        csv.push_str(&format!(",device{}", i + 1));
+    }
+    csv.push('\n');
+    for r in &log.rounds {
+        print!("{:>6}", r.round);
+        csv.push_str(&r.round.to_string());
+        for acc in &r.device_accuracy {
+            print!(" {:>24}", pct(*acc));
+            csv.push_str(&format!(",{acc:.4}"));
+        }
+        println!();
+        csv.push('\n');
+    }
+    println!("\nfinal per-device accuracies:");
+    if let Some(last) = log.rounds.last() {
+        for (i, (spec, acc)) in workload.zoo.iter().zip(&last.device_accuracy).enumerate() {
+            println!("  Device {:>2} ({}): {}", i + 1, spec.name(), pct(*acc));
+        }
+    }
+    opts.write_csv("fig5.csv", &csv);
+}

@@ -1,0 +1,54 @@
+//! Figure 6 — straggler effect: average accuracy when only a portion
+//! p ∈ {0.2, 0.4, 0.6, 0.8, 1.0} of devices trains each round (MNIST and
+//! CIFAR-10, IID). Expected shape: stable for p ≥ 0.4; slower and noisier
+//! at p = 0.2.
+
+use fedzkt_bench::{banner, pct, run_fedzkt, ExpOptions};
+use fedzkt_core::FedZktConfig;
+use fedzkt_data::{DataFamily, Partition};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Figure 6: straggler effect (MNIST & CIFAR-10, IID)", &opts);
+    let portions = [0.2f32, 0.4, 0.6, 0.8, 1.0];
+    let mut csv = String::from("family,p,round,accuracy\n");
+    for family in [DataFamily::MnistLike, DataFamily::Cifar10Like] {
+        println!("[{}]", family.name());
+        let mut scale = fedzkt_bench::Scale::for_family(family, opts.tier);
+        if opts.tier == fedzkt_bench::Tier::Quick {
+            // Five participation levels per family: cap rounds so the sweep
+            // stays within the quick-tier time budget.
+            scale.rounds = scale.rounds.min(6);
+        }
+        let workload =
+            fedzkt_bench::build_workload_scaled(family, Partition::Iid, opts.tier, opts.seed, scale);
+        print!("{:>6}", "round");
+        for p in portions {
+            print!(" {:>10}", format!("p={p}"));
+        }
+        println!();
+        let logs: Vec<_> = portions
+            .iter()
+            .map(|&p| {
+                let cfg = FedZktConfig { participation: p, ..workload.fedzkt };
+                run_fedzkt(&workload, cfg)
+            })
+            .collect();
+        let rounds = logs[0].rounds.len();
+        for r in 0..rounds {
+            print!("{:>6}", r + 1);
+            for (pi, log) in logs.iter().enumerate() {
+                let acc = log.rounds[r].avg_device_accuracy;
+                print!(" {:>10}", pct(acc));
+                csv.push_str(&format!("{},{},{},{acc:.4}\n", family.name(), portions[pi], r + 1));
+            }
+            println!();
+        }
+        print!("{:>6}", "final");
+        for log in &logs {
+            print!(" {:>10}", pct(log.final_accuracy()));
+        }
+        println!("\n");
+    }
+    opts.write_csv("fig6.csv", &csv);
+}

@@ -1,0 +1,52 @@
+//! Figure 7 — effect of the device count K ∈ {5, 10, 15, 20} (MNIST and
+//! CIFAR-10, IID). Expected shape: subtle effect (a few points of
+//! accuracy), smaller K slightly ahead.
+
+use fedzkt_bench::{banner, build_workload_scaled, pct, run_fedzkt, ExpOptions, Scale};
+use fedzkt_data::{DataFamily, Partition};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Figure 7: effect of device number (MNIST & CIFAR-10, IID)", &opts);
+    let ks = [5usize, 10, 15, 20];
+    let mut csv = String::from("family,devices,round,accuracy\n");
+    for family in [DataFamily::MnistLike, DataFamily::Cifar10Like] {
+        println!("[{}]", family.name());
+        print!("{:>6}", "round");
+        for k in ks {
+            print!(" {:>12}", format!("{k} devices"));
+        }
+        println!();
+        let logs: Vec<_> = ks
+            .iter()
+            .map(|&k| {
+                let mut scale = Scale::for_family(family, opts.tier);
+                scale.devices = k;
+                if opts.tier == fedzkt_bench::Tier::Quick {
+                    // Up to 20 devices per run: cap rounds to bound the
+                    // sweep's quick-tier cost.
+                    scale.rounds = scale.rounds.min(6);
+                }
+                let workload =
+                    build_workload_scaled(family, Partition::Iid, opts.tier, opts.seed, scale);
+                run_fedzkt(&workload, workload.fedzkt)
+            })
+            .collect();
+        let rounds = logs[0].rounds.len();
+        for r in 0..rounds {
+            print!("{:>6}", r + 1);
+            for (ki, log) in logs.iter().enumerate() {
+                let acc = log.rounds[r].avg_device_accuracy;
+                print!(" {:>12}", pct(acc));
+                csv.push_str(&format!("{},{},{},{acc:.4}\n", family.name(), ks[ki], r + 1));
+            }
+            println!();
+        }
+        print!("{:>6}", "final");
+        for log in &logs {
+            print!(" {:>12}", pct(log.final_accuracy()));
+        }
+        println!("\n");
+    }
+    opts.write_csv("fig7.csv", &csv);
+}

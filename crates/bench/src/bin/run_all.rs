@@ -1,0 +1,28 @@
+//! Run every table/figure experiment in sequence by invoking the sibling
+//! binaries (so each prints its own artifact), forwarding the common flags.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let order = [
+        "table1", "fig2", "fig3", "fig4", "table2", "fig5", "table3", "fig6", "table4", "fig7",
+        "ablation",
+    ];
+    let started = std::time::Instant::now();
+    for bin in order {
+        let path = dir.join(bin);
+        println!("\n>>> running {bin} {}", args.join(" "));
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!(
+        "\nall experiments complete in {:.1} min; CSVs in target/experiments/",
+        started.elapsed().as_secs_f64() / 60.0
+    );
+}

@@ -1,0 +1,52 @@
+//! Table III — lower/upper bound of on-device performance (CIFAR-10, IID):
+//! for each of the ten devices of Figure 5, the accuracy of its
+//! architecture trained on its own shard only (lower) vs on the union of
+//! all shards (upper). FedZKT's per-device accuracy should approach the
+//! upper bound.
+
+use fedzkt_bench::{banner, build_workload_scaled, pct, ExpOptions, Scale, Tier};
+use fedzkt_core::{centralized_bound, local_only_bound, BoundConfig};
+use fedzkt_data::{DataFamily, Dataset, Partition};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    banner("Table III: per-device lower/upper bounds (CIFAR-10, IID)", &opts);
+    let mut scale = Scale::for_family(DataFamily::Cifar10Like, opts.tier);
+    scale.devices = 10;
+    let workload = build_workload_scaled(
+        DataFamily::Cifar10Like,
+        Partition::Iid,
+        opts.tier,
+        opts.seed,
+        scale,
+    );
+    let shards: Vec<Dataset> =
+        workload.shards.iter().map(|idx| workload.train.subset(idx)).collect();
+    let refs: Vec<&Dataset> = shards.iter().collect();
+    let cfg = BoundConfig {
+        epochs: match opts.tier {
+            Tier::Paper => 100,
+            Tier::Quick => 10,
+            Tier::Tiny => 2,
+        },
+        batch_size: workload.fedzkt.device_batch,
+        lr: workload.fedzkt.device_lr,
+        seed: opts.seed,
+        ..Default::default()
+    };
+
+    println!("{:<30} {:>12} {:>12}", "Model Architecture", "Upper Bound", "Lower Bound");
+    let mut csv = String::from("device,architecture,upper,lower\n");
+    for (i, spec) in workload.zoo.iter().enumerate() {
+        let lower = local_only_bound(*spec, &shards[i], &workload.test, &cfg);
+        let upper = centralized_bound(*spec, &refs, &workload.test, &cfg);
+        println!(
+            "{:<30} {:>12} {:>12}",
+            format!("Device {}: {}", i + 1, spec.name()),
+            pct(upper),
+            pct(lower)
+        );
+        csv.push_str(&format!("{},{},{upper:.4},{lower:.4}\n", i + 1, spec.name()));
+    }
+    opts.write_csv("table3.csv", &csv);
+}

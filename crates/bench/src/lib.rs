@@ -1,0 +1,396 @@
+//! # fedzkt-bench
+//!
+//! Experiment harness reproducing every table and figure of the FedZKT
+//! paper's evaluation (§IV). Each `src/bin/*` binary regenerates one
+//! artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — IID accuracy, FedZKT vs FedMD (incl. public-dataset sensitivity) |
+//! | `fig2`   | Figure 2 — ‖∇ₓL‖ for SL / KL / ℓ1 over rounds |
+//! | `fig3`   | Figure 3 — learning curves, FedZKT vs FedMD (CIFAR-10) |
+//! | `fig4`   | Figure 4 — non-IID accuracy across c and β |
+//! | `table2` | Table II — loss-function ablation under non-IID |
+//! | `fig5`   | Figure 5 — per-device learning curves, heterogeneous zoo |
+//! | `table3` | Table III — per-device lower/upper bounds |
+//! | `fig6`   | Figure 6 — straggler portions p |
+//! | `table4` | Table IV — ℓ2-regularization ablation |
+//! | `fig7`   | Figure 7 — device counts K |
+//! | `run_all`| everything above, emitting an EXPERIMENTS.md fragment |
+//!
+//! All binaries accept `--paper` (paper-scale parameters), `--seed N` and
+//! `--scale quick|tiny`; results print as aligned tables and are written as
+//! CSV under `target/experiments/`.
+
+#![warn(missing_docs)]
+
+use fedzkt_core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
+use fedzkt_data::{DataFamily, Dataset, Partition, SynthConfig};
+use fedzkt_fl::RunLog;
+use fedzkt_models::{GeneratorSpec, ModelSpec};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Workload tier: how much compute an experiment spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Minutes-scale CPU runs (default), preserving the paper's qualitative
+    /// shapes.
+    Quick,
+    /// Seconds-scale smoke runs (CI-friendly).
+    Tiny,
+    /// The paper's §IV-A3 parameters (hours on CPU).
+    Paper,
+}
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Workload tier.
+    pub tier: Tier,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+    /// Binary-specific flags the common parser did not recognise
+    /// (e.g. fig4's `--skew quantity`).
+    pub extras: Vec<String>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            tier: Tier::Quick,
+            seed: 42,
+            out_dir: PathBuf::from("target/experiments"),
+            extras: Vec::new(),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parse `--paper`, `--scale quick|tiny|paper`, `--seed N`, `--out DIR`
+    /// from `std::env::args`; unrecognised arguments are collected into
+    /// [`ExpOptions::extras`] for binary-specific flags.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument list (testable form of
+    /// [`ExpOptions::from_args`]).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = ExpOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper" => opts.tier = Tier::Paper,
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    opts.tier = match v.as_str() {
+                        "quick" => Tier::Quick,
+                        "tiny" => Tier::Tiny,
+                        "paper" => Tier::Paper,
+                        other => {
+                            eprintln!("unknown scale '{other}' (quick|tiny|paper)");
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--seed" => {
+                    opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+                }
+                "--out" => {
+                    opts.out_dir = PathBuf::from(args.next().unwrap_or_default());
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: [--paper | --scale quick|tiny|paper] [--seed N] [--out DIR]"
+                    );
+                    std::process::exit(0);
+                }
+                other => opts.extras.push(other.to_string()),
+            }
+        }
+        opts
+    }
+
+    /// Value following `flag` among the extra arguments, if present.
+    pub fn extra_value(&self, flag: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.extras.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Write a CSV artifact, creating the output directory if needed.
+    pub fn write_csv(&self, name: &str, contents: &str) {
+        std::fs::create_dir_all(&self.out_dir).expect("create output dir");
+        let path = self.out_dir.join(name);
+        let mut f = std::fs::File::create(&path).expect("create CSV");
+        f.write_all(contents.as_bytes()).expect("write CSV");
+        println!("  [csv] {}", path.display());
+    }
+}
+
+/// A fully specified federated workload: dataset, shards, zoo and configs
+/// sized to a [`Tier`].
+pub struct Workload {
+    /// Private training data.
+    pub train: Dataset,
+    /// Held-out test data.
+    pub test: Dataset,
+    /// Device shards (index sets into `train`).
+    pub shards: Vec<Vec<usize>>,
+    /// Per-device architectures.
+    pub zoo: Vec<ModelSpec>,
+    /// FedZKT configuration.
+    pub fedzkt: FedZktConfig,
+    /// FedMD configuration.
+    pub fedmd: FedMdConfig,
+}
+
+/// Tier-dependent scale parameters for one dataset family.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Device count `K`.
+    pub devices: usize,
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Local epochs `T_l`.
+    pub local_epochs: usize,
+    /// Server distillation iterations `nD`.
+    pub distill_iters: usize,
+    /// Image side length.
+    pub img: usize,
+    /// Training samples.
+    pub train_n: usize,
+    /// Test samples.
+    pub test_n: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+impl Scale {
+    /// Scale for a family and tier.
+    pub fn for_family(family: DataFamily, tier: Tier) -> Scale {
+        let cifar = matches!(family, DataFamily::Cifar10Like);
+        match tier {
+            Tier::Paper => Scale {
+                devices: 10,
+                rounds: if cifar { 100 } else { 50 },
+                local_epochs: if cifar { 10 } else { 5 },
+                distill_iters: if cifar { 500 } else { 200 },
+                img: if cifar { 32 } else { 28 },
+                train_n: 50_000,
+                test_n: 10_000,
+                batch: 256,
+            },
+            Tier::Quick => Scale {
+                devices: 5,
+                rounds: if cifar { 8 } else { 7 },
+                local_epochs: 2,
+                distill_iters: if cifar { 20 } else { 14 },
+                img: 12,
+                train_n: 600,
+                test_n: 300,
+                batch: 32,
+            },
+            Tier::Tiny => Scale {
+                devices: 3,
+                rounds: 2,
+                local_epochs: 1,
+                distill_iters: 4,
+                img: 8,
+                train_n: 120,
+                test_n: 60,
+                batch: 16,
+            },
+        }
+    }
+}
+
+/// Build the standard workload for a private family, partition and tier.
+pub fn build_workload(
+    family: DataFamily,
+    partition: Partition,
+    tier: Tier,
+    seed: u64,
+) -> Workload {
+    let s = Scale::for_family(family, tier);
+    build_workload_scaled(family, partition, tier, seed, s)
+}
+
+/// Build a workload with explicit scale overrides (used by fig5/6/7 which
+/// vary K and rounds).
+pub fn build_workload_scaled(
+    family: DataFamily,
+    partition: Partition,
+    tier: Tier,
+    seed: u64,
+    s: Scale,
+) -> Workload {
+    let (train, test) = SynthConfig {
+        family,
+        img: s.img,
+        train_n: s.train_n,
+        test_n: s.test_n,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    let shards = partition
+        .split(train.labels(), train.num_classes(), s.devices, seed.wrapping_add(17))
+        .expect("partition");
+    let base_zoo = if family == DataFamily::Cifar10Like {
+        ModelSpec::paper_zoo_cifar()
+    } else {
+        ModelSpec::paper_zoo_small()
+    };
+    let zoo = ModelSpec::assign_round_robin(&base_zoo, s.devices);
+    let global_model = if family == DataFamily::Cifar10Like {
+        ModelSpec::MobileNetV2 { width: 1.0 }
+    } else {
+        ModelSpec::SmallCnn { base_channels: 8 }
+    };
+    let generator = match tier {
+        Tier::Paper => GeneratorSpec { z_dim: 100, ngf: 32 },
+        Tier::Quick => GeneratorSpec { z_dim: 32, ngf: 8 },
+        Tier::Tiny => GeneratorSpec { z_dim: 16, ngf: 4 },
+    };
+    // Learning rates: the paper's values (0.01 / 1e-3) are tuned for
+    // nD = 200–500 server iterations; the reduced tiers compensate with
+    // proportionally larger steps.
+    let fedzkt = FedZktConfig {
+        rounds: s.rounds,
+        local_epochs: s.local_epochs,
+        distill_iters: s.distill_iters,
+        transfer_iters: s.distill_iters,
+        device_batch: s.batch,
+        distill_batch: s.batch,
+        device_lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
+        server_lr: 0.01,
+        transfer_lr: 0.01,
+        generator_lr: 1e-3,
+        generator,
+        global_model,
+        seed,
+        ..Default::default()
+    };
+    let fedmd = FedMdConfig {
+        rounds: s.rounds,
+        public_warmup_epochs: s.local_epochs,
+        private_warmup_epochs: s.local_epochs,
+        alignment_size: (s.train_n / 4).clamp(32, 5000),
+        digest_epochs: 1,
+        revisit_epochs: s.local_epochs,
+        batch_size: s.batch,
+        lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
+        seed,
+        ..Default::default()
+    };
+    Workload { train, test, shards, zoo, fedzkt, fedmd }
+}
+
+/// The public dataset FedMD pairs with a private family in Table I
+/// (MNIST↔FASHION, FASHION↔MNIST, KMNIST↔FASHION; CIFAR-10 is handled
+/// separately with both CIFAR-100 and SVHN).
+pub fn fedmd_public_family(private: DataFamily) -> DataFamily {
+    match private {
+        DataFamily::MnistLike => DataFamily::FashionLike,
+        DataFamily::FashionLike => DataFamily::MnistLike,
+        DataFamily::KmnistLike => DataFamily::FashionLike,
+        _ => DataFamily::Cifar100Like,
+    }
+}
+
+/// Generate a public dataset geometrically compatible with `workload`.
+pub fn build_public(workload: &Workload, family: DataFamily, seed: u64) -> Dataset {
+    let (public, _) = SynthConfig {
+        family,
+        img: workload.train.img_size(),
+        train_n: workload.train.len(),
+        test_n: 8,
+        seed: seed.wrapping_add(0x9999),
+        ..Default::default()
+    }
+    .generate();
+    public
+}
+
+/// Run FedZKT on a workload, returning its log.
+pub fn run_fedzkt(workload: &Workload, cfg: FedZktConfig) -> RunLog {
+    let mut fed =
+        FedZkt::new(&workload.zoo, &workload.train, &workload.shards, workload.test.clone(), cfg);
+    fed.run().clone()
+}
+
+/// Run FedMD on a workload with the given public dataset.
+pub fn run_fedmd(workload: &Workload, public: Dataset, cfg: FedMdConfig) -> RunLog {
+    let mut fed = FedMd::new(
+        &workload.zoo,
+        &workload.train,
+        &workload.shards,
+        public,
+        workload.test.clone(),
+        cfg,
+    );
+    fed.run().clone()
+}
+
+/// Format an accuracy as the paper prints them.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Print a named experiment header.
+pub fn banner(name: &str, opts: &ExpOptions) {
+    println!("================================================================");
+    println!("{name}   (tier: {:?}, seed: {})", opts.tier, opts.seed);
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_workload_builds() {
+        let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
+        assert_eq!(w.shards.len(), 3);
+        assert_eq!(w.zoo.len(), 3);
+        assert_eq!(w.train.len(), 120);
+    }
+
+    #[test]
+    fn cifar_workload_uses_cifar_zoo() {
+        let w = build_workload(DataFamily::Cifar10Like, Partition::Iid, Tier::Tiny, 1);
+        assert!(matches!(w.zoo[0], ModelSpec::ShuffleNetV2 { .. }));
+        assert_eq!(w.train.channels(), 3);
+    }
+
+    #[test]
+    fn public_family_pairing_matches_table1() {
+        assert_eq!(fedmd_public_family(DataFamily::MnistLike), DataFamily::FashionLike);
+        assert_eq!(fedmd_public_family(DataFamily::FashionLike), DataFamily::MnistLike);
+        assert_eq!(fedmd_public_family(DataFamily::KmnistLike), DataFamily::FashionLike);
+    }
+
+    #[test]
+    fn tiny_fedzkt_and_fedmd_run_end_to_end() {
+        let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 2);
+        let log = run_fedzkt(&w, w.fedzkt);
+        assert_eq!(log.rounds.len(), 2);
+        let public = build_public(&w, DataFamily::FashionLike, 2);
+        let log = run_fedmd(&w, public, FedMdConfig { rounds: 1, ..w.fedmd });
+        assert_eq!(log.rounds.len(), 1);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9776), "97.76%");
+    }
+}

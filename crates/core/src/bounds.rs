@@ -1,0 +1,127 @@
+//! Per-device performance bounds (Table III).
+//!
+//! * **Lower bound**: the on-device model trained on its own shard only —
+//!   what a device achieves without any federation.
+//! * **Upper bound**: the same architecture trained on the union of all
+//!   shards — what the device could achieve if every peer's data were
+//!   centralised.
+//!
+//! The paper reads FedZKT's success off the gap: per-device accuracy after
+//! federation approaches the upper bound.
+
+use fedzkt_data::Dataset;
+use fedzkt_fl::{evaluate, train_local, LocalTrainConfig};
+use fedzkt_models::ModelSpec;
+use fedzkt_tensor::split_seed;
+
+/// Configuration shared by both bound trainers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundConfig {
+    /// Training epochs (paper: 100 for CIFAR-10).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// SGD weight decay (paper: 5e-4).
+    pub weight_decay: f32,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for BoundConfig {
+    fn default() -> Self {
+        BoundConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            eval_batch: 64,
+            seed: 0,
+        }
+    }
+}
+
+fn train_and_eval(spec: ModelSpec, train: &Dataset, test: &Dataset, cfg: &BoundConfig) -> f32 {
+    let model = spec.build(
+        train.channels(),
+        train.num_classes(),
+        train.img_size(),
+        split_seed(cfg.seed, 0xB0),
+    );
+    train_local(
+        model.as_ref(),
+        train,
+        &LocalTrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+            weight_decay: cfg.weight_decay,
+            prox_mu: 0.0,
+            seed: split_seed(cfg.seed, 0xB1),
+        },
+    );
+    evaluate(model.as_ref(), test, cfg.eval_batch)
+}
+
+/// Lower bound: train `spec` on `shard` alone and return test accuracy.
+pub fn local_only_bound(
+    spec: ModelSpec,
+    shard: &Dataset,
+    test: &Dataset,
+    cfg: &BoundConfig,
+) -> f32 {
+    train_and_eval(spec, shard, test, cfg)
+}
+
+/// Upper bound: train `spec` on the union of all shards (centralised data)
+/// and return test accuracy.
+pub fn centralized_bound(
+    spec: ModelSpec,
+    shards: &[&Dataset],
+    test: &Dataset,
+    cfg: &BoundConfig,
+) -> f32 {
+    let union = Dataset::concat(shards);
+    train_and_eval(spec, &union, test, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_data::{DataFamily, Partition, SynthConfig};
+
+    #[test]
+    fn upper_bound_beats_lower_bound() {
+        let (train, test) = SynthConfig {
+            family: DataFamily::MnistLike,
+            img: 8,
+            train_n: 160,
+            test_n: 80,
+            classes: 4,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
+        // Skewed shards make local-only visibly worse.
+        let shards = Partition::QuantitySkew { classes_per_device: 2 }
+            .split(train.labels(), 4, 4, 3)
+            .unwrap();
+        let datasets: Vec<Dataset> = shards.iter().map(|s| train.subset(s)).collect();
+        let refs: Vec<&Dataset> = datasets.iter().collect();
+        let spec = ModelSpec::SmallCnn { base_channels: 4 };
+        let cfg = BoundConfig { epochs: 6, lr: 0.05, seed: 5, ..Default::default() };
+        let lower = local_only_bound(spec, &datasets[0], &test, &cfg);
+        let upper = centralized_bound(spec, &refs, &test, &cfg);
+        assert!(
+            upper > lower + 0.1,
+            "centralised {upper} should clearly beat local-only {lower}"
+        );
+    }
+}

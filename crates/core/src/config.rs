@@ -1,0 +1,142 @@
+//! FedZKT hyperparameters.
+
+use fedzkt_autograd::DistillLoss;
+use fedzkt_models::{GeneratorSpec, ModelSpec};
+use serde::{Deserialize, Serialize};
+
+/// All knobs of a FedZKT run (defaults follow §IV-A3, scaled to the
+/// synthetic quick workloads; the bench harness's `--paper` mode restores
+/// paper values such as `nD = 200/500` and batch 256).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedZktConfig {
+    /// Communication rounds `T` (paper: 50 small / 100 CIFAR).
+    pub rounds: usize,
+    /// Local epochs per round `T_l` (paper: 5 small / 10 CIFAR).
+    pub local_epochs: usize,
+    /// Server distillation iterations `nD = nG = nS` per round
+    /// (paper: 200 small / 500 CIFAR).
+    pub distill_iters: usize,
+    /// Bidirectional-transfer iterations (global → devices, Eq. 8);
+    /// the paper reuses `nD`.
+    pub transfer_iters: usize,
+    /// On-device mini-batch size (paper: 256).
+    pub device_batch: usize,
+    /// Generated-batch size for distillation (paper: 256).
+    pub distill_batch: usize,
+    /// On-device SGD learning rate (paper: 0.01).
+    pub device_lr: f32,
+    /// On-device SGD momentum.
+    pub device_momentum: f32,
+    /// Server/global-model SGD learning rate `η_S` (paper: 0.01).
+    pub server_lr: f32,
+    /// Learning rate for the global→device bidirectional transfer (Eq. 8).
+    /// The paper reuses `η_S`; exposed separately because it controls how
+    /// hard devices are pulled toward the (possibly still-weak) global
+    /// model — ablated in the bench harness.
+    pub transfer_lr: f32,
+    /// Generator Adam learning rate `η_G` (paper: 0.001).
+    pub generator_lr: f32,
+    /// Disagreement loss `L` for the zero-shot game (paper proposal: SL).
+    pub loss: DistillLoss,
+    /// ℓ2 proximal coefficient μ of Eq. 9 (0 disables; the paper uses the
+    /// plain `‖·‖²` term, i.e. μ = 1, for non-IID runs).
+    pub prox_mu: f32,
+    /// Fraction of devices active per round (stragglers, §IV-C3).
+    pub participation: f32,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Generator architecture.
+    pub generator: GeneratorSpec,
+    /// Global (server) model architecture `F`.
+    pub global_model: ModelSpec,
+    /// Record `‖∇ₓL‖` for all three candidate losses every round (Fig. 2).
+    pub probe_grad_norms: bool,
+    /// Ablation switch: use a *freshly initialised* generator for the
+    /// global→device transfer instead of reusing the adversarially trained
+    /// one. The paper's design (§III-B3) argues reuse is what makes Eq. 8
+    /// effective; this knob lets the bench harness test that claim.
+    pub fresh_generator_for_transfer: bool,
+}
+
+impl Default for FedZktConfig {
+    fn default() -> Self {
+        FedZktConfig {
+            rounds: 10,
+            local_epochs: 2,
+            distill_iters: 30,
+            transfer_iters: 30,
+            device_batch: 32,
+            distill_batch: 32,
+            device_lr: 0.01,
+            device_momentum: 0.9,
+            server_lr: 0.01,
+            transfer_lr: 0.01,
+            generator_lr: 1e-3,
+            loss: DistillLoss::Sl,
+            prox_mu: 0.0,
+            participation: 1.0,
+            eval_batch: 64,
+            seed: 0,
+            generator: GeneratorSpec::default(),
+            global_model: ModelSpec::SmallCnn { base_channels: 8 },
+            probe_grad_norms: false,
+            fresh_generator_for_transfer: false,
+        }
+    }
+}
+
+impl FedZktConfig {
+    /// Paper-scale parameters for the small datasets (MNIST/KMNIST/FASHION):
+    /// `T = 50`, `T_l = 5`, `nD = 200`, batch 256.
+    pub fn paper_small() -> Self {
+        FedZktConfig {
+            rounds: 50,
+            local_epochs: 5,
+            distill_iters: 200,
+            transfer_iters: 200,
+            device_batch: 256,
+            distill_batch: 256,
+            ..Default::default()
+        }
+    }
+
+    /// Paper-scale parameters for CIFAR-10: `T = 100`, `T_l = 10`,
+    /// `nD = 500`, batch 256.
+    pub fn paper_cifar() -> Self {
+        FedZktConfig {
+            rounds: 100,
+            local_epochs: 10,
+            distill_iters: 500,
+            transfer_iters: 500,
+            device_batch: 256,
+            distill_batch: 256,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_use_sl_loss_and_full_participation() {
+        let cfg = FedZktConfig::default();
+        assert_eq!(cfg.loss, DistillLoss::Sl);
+        assert_eq!(cfg.participation, 1.0);
+        assert_eq!(cfg.prox_mu, 0.0);
+    }
+
+    #[test]
+    fn paper_presets_match_section_iv_a3() {
+        let small = FedZktConfig::paper_small();
+        assert_eq!((small.rounds, small.local_epochs, small.distill_iters), (50, 5, 200));
+        let cifar = FedZktConfig::paper_cifar();
+        assert_eq!((cifar.rounds, cifar.local_epochs, cifar.distill_iters), (100, 10, 500));
+        assert_eq!(cifar.device_batch, 256);
+        assert!((cifar.generator_lr - 1e-3).abs() < 1e-9);
+        assert!((cifar.server_lr - 0.01).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,472 @@
+//! The FedZKT orchestrator (Algorithms 1–3 of the paper).
+
+use crate::{FedZktConfig, GradNormProbe};
+use fedzkt_autograd::loss::kl_div_probs;
+use fedzkt_autograd::{no_grad, Var};
+use fedzkt_data::Dataset;
+use fedzkt_fl::{
+    evaluate, train_local, CommTracker, LocalTrainConfig, ParticipationSampler, RoundMetrics,
+    RunLog,
+};
+use fedzkt_models::{Generator, ModelSpec};
+use fedzkt_nn::{state_dict, Adam, AdamConfig, Module, MultiStepLr, Optimizer, Sgd, SgdConfig};
+use fedzkt_tensor::{seeded_rng, split_seed, Prng, Tensor};
+
+/// One simulated device: an architecture chosen independently of its peers
+/// (the paper's core premise) plus its private shard.
+struct DeviceState {
+    spec: ModelSpec,
+    model: Box<dyn Module>,
+    data: Dataset,
+}
+
+/// A FedZKT federated-learning simulation.
+///
+/// See the crate docs for the protocol; construct with [`FedZkt::new`] and
+/// drive with [`FedZkt::run`] (or [`FedZkt::round`] for custom loops).
+pub struct FedZkt {
+    cfg: FedZktConfig,
+    devices: Vec<DeviceState>,
+    global: Box<dyn Module>,
+    generator: Generator,
+    generator_opt: Adam,
+    test: Dataset,
+    sampler: ParticipationSampler,
+    log: RunLog,
+    probe: GradNormProbe,
+    rng: Prng,
+}
+
+impl FedZkt {
+    /// Build a simulation.
+    ///
+    /// * `zoo[i]` — architecture of device `i` (heterogeneous by design);
+    /// * `shards[i]` — index set of device `i`'s private data in `train`;
+    /// * `test` — held-out evaluation set.
+    ///
+    /// # Panics
+    /// Panics when `zoo`/`shards` lengths differ or are empty.
+    pub fn new(
+        zoo: &[ModelSpec],
+        train: &Dataset,
+        shards: &[Vec<usize>],
+        test: Dataset,
+        cfg: FedZktConfig,
+    ) -> Self {
+        assert!(!zoo.is_empty(), "need at least one device");
+        assert_eq!(zoo.len(), shards.len(), "zoo/shards length mismatch");
+        let (channels, classes, img) = (train.channels(), train.num_classes(), train.img_size());
+        // Footnote 1 of Algorithm 1: all models Glorot-initialised; the
+        // same initialisation is not required across devices, so each
+        // device gets its own stream.
+        let devices: Vec<DeviceState> = zoo
+            .iter()
+            .zip(shards)
+            .enumerate()
+            .map(|(i, (spec, idx))| DeviceState {
+                spec: *spec,
+                model: spec.build(channels, classes, img, split_seed(cfg.seed, 100 + i as u64)),
+                data: train.subset(idx),
+            })
+            .collect();
+        let global = cfg.global_model.build(channels, classes, img, split_seed(cfg.seed, 7));
+        let generator = cfg.generator.build(channels, img, split_seed(cfg.seed, 8));
+        let generator_opt = Adam::new(
+            generator.params(),
+            AdamConfig { lr: cfg.generator_lr, ..Default::default() },
+        );
+        let sampler =
+            ParticipationSampler::new(devices.len(), cfg.participation, split_seed(cfg.seed, 9));
+        FedZkt {
+            cfg,
+            devices,
+            global,
+            generator,
+            generator_opt,
+            test,
+            sampler,
+            log: RunLog::new(),
+            probe: GradNormProbe::new(),
+            rng: seeded_rng(split_seed(cfg.seed, 10)),
+        }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The architecture of device `k`.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn device_spec(&self, k: usize) -> ModelSpec {
+        self.devices[k].spec
+    }
+
+    /// The global (server) model `F`.
+    pub fn global_model(&self) -> &dyn Module {
+        self.global.as_ref()
+    }
+
+    /// Device `k`'s current on-device model.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn device_model(&self, k: usize) -> &dyn Module {
+        self.devices[k].model.as_ref()
+    }
+
+    /// The server-side generator `G`.
+    pub fn generator(&self) -> &Generator {
+        &self.generator
+    }
+
+    /// The run log so far.
+    pub fn log(&self) -> &RunLog {
+        &self.log
+    }
+
+    /// The Figure-2 gradient-norm probe (populated when
+    /// `cfg.probe_grad_norms` is set).
+    pub fn probe(&self) -> &GradNormProbe {
+        &self.probe
+    }
+
+    /// Execute one communication round (0-based `round`), returning its
+    /// metrics.
+    pub fn round(&mut self, round: usize) -> RoundMetrics {
+        let active = self.sampler.active(round);
+        let mut comm = CommTracker::new(self.devices.len());
+        let mut loss_sum = 0.0f32;
+
+        // ---- On-device update (Algorithm 2) ----
+        for &k in &active {
+            let dev = &self.devices[k];
+            let loss = train_local(
+                dev.model.as_ref(),
+                &dev.data,
+                &LocalTrainConfig {
+                    epochs: self.cfg.local_epochs,
+                    batch_size: self.cfg.device_batch,
+                    lr: self.cfg.device_lr,
+                    momentum: self.cfg.device_momentum,
+                    weight_decay: 0.0,
+                    prox_mu: self.cfg.prox_mu,
+                    seed: split_seed(self.cfg.seed, (round * 1009 + k) as u64),
+                },
+            );
+            loss_sum += loss;
+            // Upload ŵ_k: the device's own (small) parameters only.
+            comm.record_upload(k, state_dict(dev.model.as_ref()).byte_size());
+        }
+
+        // ---- Server update (Algorithm 3) ----
+        self.server_update(&active);
+
+        // Figure-2 probe: measured after the adversarial game so it sees
+        // the current F / f_ens disagreement landscape.
+        if self.cfg.probe_grad_norms {
+            // Dedicated RNG stream: probing must not shift the training
+            // run's random sequence.
+            let mut probe_rng = seeded_rng(split_seed(self.cfg.seed, 0xF160 + round as u64));
+            let z = self.generator.sample_z(self.cfg.distill_batch.min(16), &mut probe_rng);
+            let x = no_grad(|| self.generator.forward(&Var::constant(z))).value_clone();
+            let teachers: Vec<&dyn Module> =
+                self.devices.iter().map(|d| d.model.as_ref()).collect();
+            self.probe.measure(round + 1, self.global.as_ref(), &teachers, &x);
+        }
+
+        // ---- Transfer w_k back (Algorithm 1, line 12) ----
+        for &k in &active {
+            comm.record_download(k, state_dict(self.devices[k].model.as_ref()).byte_size());
+        }
+
+        // ---- Evaluation ----
+        let device_accuracy: Vec<f32> = self
+            .devices
+            .iter()
+            .map(|d| evaluate(d.model.as_ref(), &self.test, self.cfg.eval_batch))
+            .collect();
+        let avg = device_accuracy.iter().sum::<f32>() / device_accuracy.len() as f32;
+        let mut metrics = RoundMetrics::new(round + 1);
+        metrics.avg_device_accuracy = avg;
+        metrics.device_accuracy = device_accuracy;
+        metrics.global_accuracy =
+            Some(evaluate(self.global.as_ref(), &self.test, self.cfg.eval_batch));
+        metrics.train_loss = loss_sum / active.len().max(1) as f32;
+        metrics.upload_bytes = comm.total_upload();
+        metrics.download_bytes = comm.total_download();
+        metrics.active_devices = active;
+        metrics
+    }
+
+    /// Algorithm 3: the zero-shot distillation game followed by the
+    /// bidirectional transfer. Teachers run in eval mode (their running
+    /// statistics must not absorb synthetic data).
+    fn server_update(&mut self, active: &[usize]) {
+        let n_d = self.cfg.distill_iters;
+        if n_d == 0 {
+            return;
+        }
+        let gen_schedule = MultiStepLr::paper_schedule(self.cfg.generator_lr, n_d);
+        let server_schedule = MultiStepLr::paper_schedule(self.cfg.server_lr, n_d);
+        let global_opt = Sgd::new(
+            self.global.params(),
+            SgdConfig { lr: self.cfg.server_lr, momentum: 0.9, weight_decay: 0.0 },
+        );
+        for d in &self.devices {
+            d.model.set_training(false);
+        }
+        self.global.set_training(true);
+        self.generator.set_training(true);
+
+        // ---- Knowledge transfer: devices -> global model (Eq. 2) ----
+        for iter in 0..n_d {
+            gen_schedule.apply(&self.generator_opt, iter);
+            server_schedule.apply(&global_opt, iter);
+
+            // Generator step: maximise disagreement. Gradients flow through
+            // the student AND the teachers into x = G(z), then into θ.
+            self.generator_opt.zero_grad();
+            let z = Var::constant(self.generator.sample_z(self.cfg.distill_batch, &mut self.rng));
+            let x = self.generator.forward(&z);
+            let student = self.global.forward(&x);
+            let teacher_logits: Vec<Var> =
+                self.devices.iter().map(|d| d.model.forward(&x)).collect();
+            let teacher_refs: Vec<&Var> = teacher_logits.iter().collect();
+            let l_g = self.cfg.loss.eval(&student, &teacher_refs).neg();
+            l_g.backward();
+            self.generator_opt.step();
+            // Discard gradients the generator step deposited on the student
+            // and teachers (their optimizers must not see them).
+            for p in self.global.params() {
+                p.zero_grad();
+            }
+            self.clear_device_grads();
+
+            // Global-model step: minimise disagreement on a fresh batch.
+            // x is fixed here, so the generator and teachers run without
+            // tape and the teacher signal enters as constants.
+            global_opt.zero_grad();
+            let z = Var::constant(self.generator.sample_z(self.cfg.distill_batch, &mut self.rng));
+            let (x, teacher_logits) = no_grad(|| {
+                let x = self.generator.forward(&z);
+                let t: Vec<Tensor> =
+                    self.devices.iter().map(|d| d.model.forward(&x).value_clone()).collect();
+                (x.value_clone(), t)
+            });
+            let x = Var::constant(x);
+            let student = self.global.forward(&x);
+            let teacher_vars: Vec<Var> = teacher_logits.into_iter().map(Var::constant).collect();
+            let teacher_refs: Vec<&Var> = teacher_vars.iter().collect();
+            let l_s = self.cfg.loss.eval(&student, &teacher_refs);
+            l_s.backward();
+            global_opt.step();
+        }
+
+        // ---- Knowledge transfer: global model -> on-device models (Eq. 8) ----
+        // The well-trained generator is reused; the KL loss distills the
+        // (fixed) global model into each active device's architecture.
+        self.global.set_training(false);
+        // Device models distill in train mode, as in the data-free
+        // distillation literature the paper builds on: batch statistics of
+        // the generated batch normalise the student's activations while it
+        // absorbs the central knowledge. (The subsequent DeviceUpdate on
+        // real data re-estimates the running statistics.)
+        let transfer_schedule =
+            MultiStepLr::paper_schedule(self.cfg.transfer_lr, self.cfg.transfer_iters.max(1));
+        let device_opts: Vec<(usize, Sgd)> = active
+            .iter()
+            .map(|&k| {
+                self.devices[k].model.set_training(true);
+                (
+                    k,
+                    Sgd::new(
+                        self.devices[k].model.params(),
+                        SgdConfig { lr: self.cfg.transfer_lr, momentum: 0.9, weight_decay: 0.0 },
+                    ),
+                )
+            })
+            .collect();
+        // Ablation: optionally replace the trained generator with a fresh
+        // random one for this phase (cfg.fresh_generator_for_transfer).
+        let fresh_generator = self.cfg.fresh_generator_for_transfer.then(|| {
+            self.cfg.generator.build(
+                self.devices[0].data.channels(),
+                self.devices[0].data.img_size(),
+                split_seed(self.cfg.seed, 0xF4E5),
+            )
+        });
+        let transfer_generator: &Generator = fresh_generator.as_ref().unwrap_or(&self.generator);
+        for iter in 0..self.cfg.transfer_iters {
+            let z =
+                Var::constant(transfer_generator.sample_z(self.cfg.distill_batch, &mut self.rng));
+            let (x, global_probs) = no_grad(|| {
+                let x = transfer_generator.forward(&z);
+                let p = self.global.forward(&x).softmax().value_clone();
+                (x.value_clone(), p)
+            });
+            let x = Var::constant(x);
+            let teacher_probs = Var::constant(global_probs);
+            for (k, opt) in &device_opts {
+                transfer_schedule.apply(opt, iter);
+                opt.zero_grad();
+                let student_probs = self.devices[*k].model.forward(&x).softmax();
+                // Eq. 8 with KL loss: minimise KL(F ‖ f'_k) over f'_k.
+                let loss = kl_div_probs(&teacher_probs, &student_probs);
+                loss.backward();
+                opt.step();
+            }
+        }
+        self.global.set_training(true);
+        for d in &self.devices {
+            d.model.set_training(true);
+        }
+    }
+
+    fn clear_device_grads(&self) {
+        for d in &self.devices {
+            for p in d.model.params() {
+                p.zero_grad();
+            }
+        }
+    }
+
+    /// Run all configured rounds, returning the log.
+    pub fn run(&mut self) -> &RunLog {
+        for round in 0..self.cfg.rounds {
+            let metrics = self.round(round);
+            self.log.push(metrics);
+        }
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_autograd::DistillLoss;
+    use fedzkt_data::{DataFamily, Partition, SynthConfig};
+    use fedzkt_models::GeneratorSpec;
+
+    fn tiny_setup(cfg: FedZktConfig) -> FedZkt {
+        let (train, test) = SynthConfig {
+            family: DataFamily::MnistLike,
+            img: 8,
+            train_n: 96,
+            test_n: 48,
+            classes: 4,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        let shards = Partition::Iid.split(train.labels(), 4, 3, 5).unwrap();
+        let zoo = vec![
+            ModelSpec::Mlp { hidden: 16 },
+            ModelSpec::SmallCnn { base_channels: 2 },
+            ModelSpec::LeNet { scale: 0.5, deep: false },
+        ];
+        FedZkt::new(&zoo, &train, &shards, test, cfg)
+    }
+
+    fn tiny_cfg() -> FedZktConfig {
+        FedZktConfig {
+            rounds: 2,
+            local_epochs: 2,
+            distill_iters: 4,
+            transfer_iters: 4,
+            device_batch: 16,
+            distill_batch: 8,
+            device_lr: 0.05,
+            generator: GeneratorSpec { z_dim: 16, ngf: 4 },
+            global_model: ModelSpec::SmallCnn { base_channels: 4 },
+            seed: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runs_heterogeneous_round_and_improves() {
+        let mut fed = tiny_setup(FedZktConfig { rounds: 3, ..tiny_cfg() });
+        let log = fed.run();
+        assert_eq!(log.rounds.len(), 3);
+        // Above-chance (0.25 for 4 classes) after a few rounds.
+        assert!(log.final_accuracy() > 0.3, "accuracy {}", log.final_accuracy());
+        assert!(log.rounds.iter().all(|r| r.avg_device_accuracy.is_finite()));
+    }
+
+    #[test]
+    fn devices_exchange_only_their_own_parameters() {
+        let mut fed = tiny_setup(tiny_cfg());
+        let metrics = fed.round(0);
+        let expected: u64 = (0..fed.devices())
+            .map(|k| state_dict(fed.device_model(k)).byte_size() as u64)
+            .sum();
+        assert_eq!(metrics.upload_bytes, expected);
+        assert_eq!(metrics.download_bytes, expected);
+        // In particular, traffic excludes the global model and generator.
+        let server_side = state_dict(fed.global_model()).byte_size()
+            + state_dict(fed.generator()).byte_size();
+        assert!(metrics.upload_bytes < server_side as u64 + expected);
+    }
+
+    #[test]
+    fn stragglers_keep_their_stale_models() {
+        let mut fed = tiny_setup(FedZktConfig { participation: 0.34, ..tiny_cfg() });
+        // Snapshot all device params, run a round, verify inactive devices
+        // are bit-identical.
+        let before: Vec<_> = (0..fed.devices())
+            .map(|k| state_dict(fed.device_model(k)))
+            .collect();
+        let metrics = fed.round(0);
+        assert_eq!(metrics.active_devices.len(), 1);
+        for k in 0..fed.devices() {
+            let unchanged = state_dict(fed.device_model(k)) == before[k];
+            assert_eq!(
+                unchanged,
+                !metrics.active_devices.contains(&k),
+                "device {k} active={} unchanged={unchanged}",
+                metrics.active_devices.contains(&k)
+            );
+        }
+    }
+
+    #[test]
+    fn probe_collects_when_enabled() {
+        let mut fed = tiny_setup(FedZktConfig { probe_grad_norms: true, rounds: 2, ..tiny_cfg() });
+        fed.run();
+        assert_eq!(fed.probe().records().len(), 2);
+        assert!(fed.probe().records().iter().all(|r| r.kl >= 0.0 && r.sl >= 0.0));
+    }
+
+    #[test]
+    fn all_three_losses_run() {
+        for loss in [DistillLoss::Kl, DistillLoss::LogitL1, DistillLoss::Sl] {
+            let mut fed = tiny_setup(FedZktConfig { loss, rounds: 1, ..tiny_cfg() });
+            let log = fed.run();
+            assert!(log.final_accuracy().is_finite(), "{loss} produced NaN");
+        }
+    }
+
+    #[test]
+    fn zero_distill_iters_degenerates_to_local_training() {
+        let mut fed = tiny_setup(FedZktConfig {
+            distill_iters: 0,
+            transfer_iters: 0,
+            rounds: 1,
+            ..tiny_cfg()
+        });
+        let log = fed.run();
+        assert_eq!(log.rounds.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut fed = tiny_setup(FedZktConfig { rounds: 1, ..tiny_cfg() });
+            fed.run().final_accuracy()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,163 @@
+//! The labelled image [`Dataset`] container.
+
+use fedzkt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// An in-memory labelled image dataset (NCHW images in `[-1, 1]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset from an image batch and labels.
+    ///
+    /// # Panics
+    /// Panics when `images` is not 4-D, the batch size differs from
+    /// `labels.len()`, or a label is `>= num_classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.ndim(), 4, "images must be [N, C, H, W]");
+        assert_eq!(images.shape()[0], labels.len(), "batch/labels mismatch");
+        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        Dataset { images, labels, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image channel count.
+    pub fn channels(&self) -> usize {
+        self.images.shape()[1]
+    }
+
+    /// Image side length (images are square).
+    pub fn img_size(&self) -> usize {
+        self.images.shape()[2]
+    }
+
+    /// All images as one `[N, C, H, W]` tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Gather a mini-batch by sample indices.
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let images = self.images.gather_first(indices).expect("batch indices in range");
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        (images, labels)
+    }
+
+    /// A new dataset containing only the given samples (device shard).
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let (images, labels) = self.batch(indices);
+        Dataset { images, labels, num_classes: self.num_classes }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Number of distinct classes present.
+    pub fn distinct_classes(&self) -> usize {
+        self.class_counts().iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Concatenate several datasets (e.g. the centralized "upper bound"
+    /// union of all device shards in Table III).
+    ///
+    /// # Panics
+    /// Panics when the list is empty or geometries/class counts disagree.
+    pub fn concat(parts: &[&Dataset]) -> Dataset {
+        assert!(!parts.is_empty(), "concat of zero datasets");
+        let num_classes = parts[0].num_classes;
+        assert!(parts.iter().all(|p| p.num_classes == num_classes), "class count mismatch");
+        let images: Vec<&Tensor> = parts.iter().map(|p| &p.images).collect();
+        let images = Tensor::concat_first(&images).expect("image geometry mismatch");
+        let labels = parts.iter().flat_map(|p| p.labels.iter().copied()).collect();
+        Dataset { images, labels, num_classes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let images = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[4, 1, 2, 2]).unwrap();
+        Dataset::new(images, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.channels(), 1);
+        assert_eq!(d.img_size(), 2);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+        assert_eq!(d.distinct_classes(), 2);
+    }
+
+    #[test]
+    fn batch_gathers_rows() {
+        let d = toy();
+        let (x, y) = d.batch(&[2, 0]);
+        assert_eq!(x.shape(), &[2, 1, 2, 2]);
+        assert_eq!(y, vec![0, 0]);
+        assert_eq!(x.data()[0], 8.0);
+    }
+
+    #[test]
+    fn subset_and_concat_roundtrip() {
+        let d = toy();
+        let a = d.subset(&[0, 1]);
+        let b = d.subset(&[2, 3]);
+        let back = Dataset::concat(&[&a, &b]);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = Dataset::new(images, vec![5], 2);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let d = toy();
+        let e = d.subset(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.distinct_classes(), 0);
+    }
+}

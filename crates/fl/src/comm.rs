@@ -1,0 +1,90 @@
+//! Communication accounting.
+//!
+//! A central claim of FedZKT is that devices only ever exchange *their own
+//! on-device model parameters* — never the (large) global model or the
+//! generator. The tracker lets experiments assert that per-round traffic
+//! for device `k` is `O(|w_k|)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates uplink/downlink bytes per device for one round.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommTracker {
+    up: Vec<u64>,
+    down: Vec<u64>,
+}
+
+impl CommTracker {
+    /// Create a tracker for `devices` devices.
+    pub fn new(devices: usize) -> Self {
+        CommTracker { up: vec![0; devices], down: vec![0; devices] }
+    }
+
+    /// Record an upload (device → server).
+    ///
+    /// # Panics
+    /// Panics when `device` is out of range.
+    pub fn record_upload(&mut self, device: usize, bytes: usize) {
+        self.up[device] += bytes as u64;
+    }
+
+    /// Record a download (server → device).
+    ///
+    /// # Panics
+    /// Panics when `device` is out of range.
+    pub fn record_download(&mut self, device: usize, bytes: usize) {
+        self.down[device] += bytes as u64;
+    }
+
+    /// Uplink bytes of one device.
+    pub fn upload_bytes(&self, device: usize) -> u64 {
+        self.up[device]
+    }
+
+    /// Downlink bytes of one device.
+    pub fn download_bytes(&self, device: usize) -> u64 {
+        self.down[device]
+    }
+
+    /// Total uplink bytes across devices.
+    pub fn total_upload(&self) -> u64 {
+        self.up.iter().sum()
+    }
+
+    /// Total downlink bytes across devices.
+    pub fn total_download(&self) -> u64 {
+        self.down.iter().sum()
+    }
+
+    /// Reset all counters (start of a round).
+    pub fn reset(&mut self) {
+        self.up.iter_mut().for_each(|b| *b = 0);
+        self.down.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets() {
+        let mut t = CommTracker::new(3);
+        t.record_upload(0, 100);
+        t.record_upload(0, 50);
+        t.record_download(2, 10);
+        assert_eq!(t.upload_bytes(0), 150);
+        assert_eq!(t.download_bytes(2), 10);
+        assert_eq!(t.total_upload(), 150);
+        assert_eq!(t.total_download(), 10);
+        t.reset();
+        assert_eq!(t.total_upload() + t.total_download(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_device() {
+        let mut t = CommTracker::new(1);
+        t.record_upload(1, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! FedAvg and FedProx reference implementations (homogeneous on-device
+//! models).
+//!
+//! These are the "classical federated learning" baselines of the paper's
+//! §II-A: all devices share one architecture, and the server element-wise
+//! averages parameters. They double as substrate validation (the FedZKT
+//! claim is precisely that this paradigm breaks when architectures differ).
+
+use crate::{
+    evaluate, train_local, CommTracker, LocalTrainConfig, ParticipationSampler, RoundMetrics,
+    RunLog,
+};
+use fedzkt_data::Dataset;
+use fedzkt_models::ModelSpec;
+use fedzkt_nn::{load_state_dict, state_dict, Module, StateDict};
+use fedzkt_tensor::split_seed;
+
+/// Configuration for [`FedAvg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedAvgConfig {
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Local epochs per round `T_l`.
+    pub local_epochs: usize,
+    /// Local mini-batch size.
+    pub batch_size: usize,
+    /// Local SGD learning rate.
+    pub lr: f32,
+    /// Local SGD momentum.
+    pub momentum: f32,
+    /// Participation fraction `p` (1.0 = all devices each round).
+    pub participation: f32,
+    /// FedProx proximal coefficient μ (0 = plain FedAvg).
+    pub prox_mu: f32,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Default for FedAvgConfig {
+    fn default() -> Self {
+        FedAvgConfig {
+            rounds: 10,
+            local_epochs: 1,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            participation: 1.0,
+            prox_mu: 0.0,
+            eval_batch: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// A FedAvg (or, with `prox_mu > 0`, FedProx) simulation over homogeneous
+/// on-device models.
+pub struct FedAvg {
+    cfg: FedAvgConfig,
+    global: Box<dyn Module>,
+    device_model: Box<dyn Module>,
+    shards: Vec<Dataset>,
+    test: Dataset,
+    sampler: ParticipationSampler,
+    log: RunLog,
+}
+
+impl FedAvg {
+    /// Build a simulation: every device runs `spec`; `shards[i]` is the
+    /// index set of device `i` in `train`.
+    ///
+    /// # Panics
+    /// Panics when `shards` is empty.
+    pub fn new(spec: ModelSpec, train: &Dataset, shards: &[Vec<usize>], test: Dataset, cfg: FedAvgConfig) -> Self {
+        assert!(!shards.is_empty(), "need at least one device");
+        let global = spec.build(train.channels(), train.num_classes(), train.img_size(), cfg.seed);
+        // One scratch model reused for every device's local training (the
+        // simulation is sequential, so state is loaded per device).
+        let device_model =
+            spec.build(train.channels(), train.num_classes(), train.img_size(), cfg.seed);
+        let datasets = shards.iter().map(|idx| train.subset(idx)).collect();
+        let sampler = ParticipationSampler::new(shards.len(), cfg.participation, split_seed(cfg.seed, 0xAC7));
+        FedAvg { cfg, global, device_model, shards: datasets, test, sampler, log: RunLog::new() }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The run log so far.
+    pub fn log(&self) -> &RunLog {
+        &self.log
+    }
+
+    /// The global model.
+    pub fn global_model(&self) -> &dyn Module {
+        self.global.as_ref()
+    }
+
+    /// Execute one communication round.
+    pub fn round(&mut self, round: usize) -> RoundMetrics {
+        let active = self.sampler.active(round);
+        let global_sd = state_dict(self.global.as_ref());
+        let mut comm = CommTracker::new(self.shards.len());
+        let mut updates: Vec<(usize, StateDict)> = Vec::with_capacity(active.len());
+        let mut loss_sum = 0.0f32;
+        for &dev in &active {
+            load_state_dict(self.device_model.as_ref(), &global_sd).expect("homogeneous zoo");
+            comm.record_download(dev, global_sd.byte_size());
+            let loss = train_local(
+                self.device_model.as_ref(),
+                &self.shards[dev],
+                &LocalTrainConfig {
+                    epochs: self.cfg.local_epochs,
+                    batch_size: self.cfg.batch_size,
+                    lr: self.cfg.lr,
+                    momentum: self.cfg.momentum,
+                    weight_decay: 0.0,
+                    prox_mu: self.cfg.prox_mu,
+                    seed: split_seed(self.cfg.seed, (round * 1000 + dev) as u64),
+                },
+            );
+            loss_sum += loss;
+            let sd = state_dict(self.device_model.as_ref());
+            comm.record_upload(dev, sd.byte_size());
+            updates.push((dev, sd));
+        }
+        // Weighted element-wise average (weights = shard sizes).
+        let averaged = average_state_dicts(
+            &updates
+                .iter()
+                .map(|(dev, sd)| (self.shards[*dev].len() as f32, sd))
+                .collect::<Vec<_>>(),
+        );
+        load_state_dict(self.global.as_ref(), &averaged).expect("averaged state dict");
+
+        let global_acc = evaluate(self.global.as_ref(), &self.test, self.cfg.eval_batch);
+        let mut metrics = RoundMetrics::new(round + 1);
+        metrics.global_accuracy = Some(global_acc);
+        // Homogeneous setting: every device ends the round holding the
+        // global model, so device accuracy == global accuracy.
+        metrics.avg_device_accuracy = global_acc;
+        metrics.device_accuracy = vec![global_acc; self.shards.len()];
+        metrics.train_loss = loss_sum / active.len().max(1) as f32;
+        metrics.upload_bytes = comm.total_upload();
+        metrics.download_bytes = comm.total_download();
+        metrics.active_devices = active;
+        metrics
+    }
+
+    /// Run all configured rounds, returning the log.
+    pub fn run(&mut self) -> &RunLog {
+        for round in 0..self.cfg.rounds {
+            let metrics = self.round(round);
+            self.log.push(metrics);
+        }
+        &self.log
+    }
+}
+
+/// Weighted element-wise average of state dicts (FedAvg aggregation).
+///
+/// # Panics
+/// Panics when the list is empty or layouts disagree.
+pub(crate) fn average_state_dicts(weighted: &[(f32, &StateDict)]) -> StateDict {
+    assert!(!weighted.is_empty(), "no updates to average");
+    let total: f32 = weighted.iter().map(|(w, _)| *w).sum();
+    let mut out = weighted[0].1.clone();
+    let scale0 = weighted[0].0 / total;
+    for t in out.params.iter_mut().chain(out.buffers.iter_mut()) {
+        *t = t.mul_scalar(scale0);
+    }
+    for (w, sd) in &weighted[1..] {
+        let scale = *w / total;
+        for (acc, t) in out.params.iter_mut().zip(&sd.params) {
+            acc.add_scaled_inplace(t, scale).expect("param layout");
+        }
+        for (acc, t) in out.buffers.iter_mut().zip(&sd.buffers) {
+            acc.add_scaled_inplace(t, scale).expect("buffer layout");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_data::{DataFamily, Partition, SynthConfig};
+
+    fn setup(prox_mu: f32, participation: f32) -> FedAvg {
+        let (train, test) = SynthConfig {
+            family: DataFamily::MnistLike,
+            img: 8,
+            train_n: 120,
+            test_n: 60,
+            classes: 4,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let shards = Partition::Iid.split(train.labels(), 4, 3, 7).unwrap();
+        FedAvg::new(
+            ModelSpec::Mlp { hidden: 24 },
+            &train,
+            &shards,
+            test,
+            FedAvgConfig {
+                rounds: 4,
+                local_epochs: 2,
+                batch_size: 16,
+                lr: 0.05,
+                participation,
+                prox_mu,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fedavg_learns_above_chance() {
+        let mut fed = setup(0.0, 1.0);
+        let log = fed.run();
+        assert_eq!(log.rounds.len(), 4);
+        assert!(log.final_accuracy() > 0.4, "accuracy {}", log.final_accuracy());
+    }
+
+    #[test]
+    fn fedprox_also_learns() {
+        let mut fed = setup(0.5, 1.0);
+        assert!(fed.run().final_accuracy() > 0.35);
+    }
+
+    #[test]
+    fn partial_participation_still_progresses() {
+        let mut fed = setup(0.0, 0.5);
+        let log = fed.run();
+        assert!(log.rounds.iter().all(|r| r.active_devices.len() == 2));
+        assert!(log.final_accuracy() > 0.3);
+    }
+
+    #[test]
+    fn comm_bytes_match_model_size() {
+        let mut fed = setup(0.0, 1.0);
+        let metrics = fed.round(0);
+        let sd_bytes = state_dict(fed.global_model()).byte_size() as u64;
+        assert_eq!(metrics.upload_bytes, 3 * sd_bytes);
+        assert_eq!(metrics.download_bytes, 3 * sd_bytes);
+    }
+
+    #[test]
+    fn average_state_dicts_weighted() {
+        use fedzkt_tensor::Tensor;
+        let a = StateDict { params: vec![Tensor::full(&[2], 0.0)], buffers: vec![] };
+        let b = StateDict { params: vec![Tensor::full(&[2], 3.0)], buffers: vec![] };
+        let avg = average_state_dicts(&[(1.0, &a), (2.0, &b)]);
+        assert_eq!(avg.params[0].data(), &[2.0, 2.0]);
+    }
+}

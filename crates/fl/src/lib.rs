@@ -1,0 +1,49 @@
+//! # fedzkt-fl
+//!
+//! Federated-learning simulation substrate: device/round bookkeeping,
+//! participation sampling (straggler modelling), local training, accuracy
+//! evaluation, communication accounting, a simulated wall clock with
+//! heterogeneous device resources, per-round metrics/CSV export, and two
+//! reference algorithms with homogeneous models — **FedAvg** (McMahan et
+//! al.) and **FedProx** (ℓ2-proximal local objective) — used both as
+//! substrate validation and as conceptual baselines for the FedZKT
+//! comparison in `fedzkt-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use fedzkt_data::{DataFamily, Partition, SynthConfig};
+//! use fedzkt_fl::{FedAvg, FedAvgConfig};
+//! use fedzkt_models::ModelSpec;
+//!
+//! let (train, test) = SynthConfig {
+//!     family: DataFamily::MnistLike, img: 8, train_n: 64, test_n: 32, seed: 1,
+//!     ..Default::default()
+//! }.generate();
+//! let shards = Partition::Iid.split(train.labels(), 10, 2, 3).unwrap();
+//! let mut fed = FedAvg::new(
+//!     ModelSpec::Mlp { hidden: 16 },
+//!     &train, &shards, test,
+//!     FedAvgConfig { rounds: 1, local_epochs: 1, ..Default::default() },
+//! );
+//! let log = fed.run();
+//! assert_eq!(log.rounds.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod comm;
+mod eval;
+mod fedavg;
+mod metrics;
+mod participation;
+mod simclock;
+mod training;
+
+pub use comm::CommTracker;
+pub use eval::{accuracy, evaluate};
+pub use fedavg::{FedAvg, FedAvgConfig};
+pub use metrics::{RoundMetrics, RunLog};
+pub use participation::ParticipationSampler;
+pub use simclock::{DeviceResources, SimClock};
+pub use training::{train_local, LocalTrainConfig};

@@ -1,0 +1,141 @@
+//! Per-round metrics and run logs.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics recorded after one communication round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// 1-based communication round.
+    pub round: usize,
+    /// Mean test accuracy over on-device models (the paper's "average
+    /// accuracy").
+    pub avg_device_accuracy: f32,
+    /// Per-device test accuracies.
+    pub device_accuracy: Vec<f32>,
+    /// Global/server model test accuracy, when the algorithm has one.
+    pub global_accuracy: Option<f32>,
+    /// Mean last-epoch local training loss over active devices.
+    pub train_loss: f32,
+    /// Device→server traffic this round (bytes).
+    pub upload_bytes: u64,
+    /// Server→device traffic this round (bytes).
+    pub download_bytes: u64,
+    /// Simulated round duration (seconds), when a clock is attached.
+    pub sim_seconds: f64,
+    /// Devices that participated.
+    pub active_devices: Vec<usize>,
+}
+
+impl RoundMetrics {
+    /// An empty record for `round`.
+    pub fn new(round: usize) -> Self {
+        RoundMetrics {
+            round,
+            avg_device_accuracy: 0.0,
+            device_accuracy: Vec::new(),
+            global_accuracy: None,
+            train_loss: 0.0,
+            upload_bytes: 0,
+            download_bytes: 0,
+            sim_seconds: 0.0,
+            active_devices: Vec::new(),
+        }
+    }
+}
+
+/// The full trace of a federated run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunLog {
+    /// One record per round, in order.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl RunLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        RunLog::default()
+    }
+
+    /// Append a round record.
+    pub fn push(&mut self, metrics: RoundMetrics) {
+        self.rounds.push(metrics);
+    }
+
+    /// Final average device accuracy (0 when empty).
+    pub fn final_accuracy(&self) -> f32 {
+        self.rounds.last().map(|r| r.avg_device_accuracy).unwrap_or(0.0)
+    }
+
+    /// Final global-model accuracy, when available.
+    pub fn final_global_accuracy(&self) -> Option<f32> {
+        self.rounds.last().and_then(|r| r.global_accuracy)
+    }
+
+    /// Best average device accuracy across rounds.
+    pub fn best_accuracy(&self) -> f32 {
+        self.rounds.iter().map(|r| r.avg_device_accuracy).fold(0.0, f32::max)
+    }
+
+    /// The accuracy series (for learning-curve figures).
+    pub fn accuracy_series(&self) -> Vec<f32> {
+        self.rounds.iter().map(|r| r.avg_device_accuracy).collect()
+    }
+
+    /// Render as CSV (header + one row per round).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,avg_device_accuracy,global_accuracy,train_loss,upload_bytes,download_bytes,sim_seconds,active_devices\n",
+        );
+        for r in &self.rounds {
+            out.push_str(&format!(
+                "{},{:.4},{},{:.4},{},{},{:.2},{}\n",
+                r.round,
+                r.avg_device_accuracy,
+                r.global_accuracy.map(|g| format!("{g:.4}")).unwrap_or_default(),
+                r.train_loss,
+                r.upload_bytes,
+                r.download_bytes,
+                r.sim_seconds,
+                r.active_devices.len(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, acc: f32) -> RoundMetrics {
+        RoundMetrics { avg_device_accuracy: acc, ..RoundMetrics::new(round) }
+    }
+
+    #[test]
+    fn final_and_best_accuracy() {
+        let mut log = RunLog::new();
+        log.push(record(1, 0.5));
+        log.push(record(2, 0.8));
+        log.push(record(3, 0.7));
+        assert_eq!(log.final_accuracy(), 0.7);
+        assert_eq!(log.best_accuracy(), 0.8);
+        assert_eq!(log.accuracy_series(), vec![0.5, 0.8, 0.7]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut log = RunLog::new();
+        log.push(record(1, 0.25));
+        let csv = log.to_csv();
+        assert!(csv.starts_with("round,"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("1,0.2500"));
+    }
+
+    #[test]
+    fn empty_log_defaults() {
+        let log = RunLog::new();
+        assert_eq!(log.final_accuracy(), 0.0);
+        assert_eq!(log.final_global_accuracy(), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Active-device sampling: the straggler model of §IV-C3.
+
+use fedzkt_tensor::{seeded_rng, split_seed};
+use rand::seq::SliceRandom;
+
+/// Samples which devices participate in each round.
+///
+/// In every round a fraction `p` of the `k` devices is active (at least
+/// one); the remaining devices are stragglers that neither train nor
+/// receive updates that round — exactly the protocol of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParticipationSampler {
+    fraction: f32,
+    devices: usize,
+    seed: u64,
+}
+
+impl ParticipationSampler {
+    /// Create a sampler over `devices` devices with participation fraction
+    /// `fraction` (clamped to `(0, 1]`).
+    ///
+    /// # Panics
+    /// Panics when `devices == 0` or `fraction <= 0`.
+    pub fn new(devices: usize, fraction: f32, seed: u64) -> Self {
+        assert!(devices > 0, "need at least one device");
+        assert!(fraction > 0.0, "participation fraction must be positive");
+        ParticipationSampler { fraction: fraction.min(1.0), devices, seed }
+    }
+
+    /// Number of active devices per round.
+    pub fn active_count(&self) -> usize {
+        ((self.devices as f32 * self.fraction).round() as usize).clamp(1, self.devices)
+    }
+
+    /// The sorted set of active devices for `round` (deterministic in
+    /// `(seed, round)`).
+    pub fn active(&self, round: usize) -> Vec<usize> {
+        let m = self.active_count();
+        if m == self.devices {
+            return (0..self.devices).collect();
+        }
+        let mut rng = seeded_rng(split_seed(self.seed, round as u64));
+        let mut ids: Vec<usize> = (0..self.devices).collect();
+        ids.shuffle(&mut rng);
+        let mut active = ids[..m].to_vec();
+        active.sort_unstable();
+        active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_participation_selects_everyone() {
+        let s = ParticipationSampler::new(10, 1.0, 1);
+        assert_eq!(s.active(3), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fraction_controls_count() {
+        for (p, expected) in [(0.2f32, 2usize), (0.4, 4), (0.6, 6), (0.8, 8)] {
+            let s = ParticipationSampler::new(10, p, 2);
+            assert_eq!(s.active_count(), expected);
+            assert_eq!(s.active(0).len(), expected);
+        }
+    }
+
+    #[test]
+    fn at_least_one_device() {
+        let s = ParticipationSampler::new(3, 0.01, 3);
+        assert_eq!(s.active_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_and_round_varying() {
+        let s = ParticipationSampler::new(10, 0.4, 4);
+        assert_eq!(s.active(5), s.active(5));
+        let all_same = (0..10).all(|r| s.active(r) == s.active(0));
+        assert!(!all_same, "different rounds should differ");
+    }
+
+    #[test]
+    fn ids_in_range_and_unique() {
+        let s = ParticipationSampler::new(7, 0.5, 5);
+        for round in 0..20 {
+            let a = s.active(round);
+            assert!(a.iter().all(|&d| d < 7));
+            let mut dedup = a.clone();
+            dedup.dedup();
+            assert_eq!(dedup, a);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Simulated time with heterogeneous device resources.
+//!
+//! The paper motivates FedZKT with MCU-class devices whose compute and
+//! memory are orders of magnitude below a smartphone's. The simulation
+//! models per-device throughput and link speeds so experiments can report
+//! *simulated* round times alongside accuracy — e.g. showing that FedZKT
+//! rounds are bounded by local SGD on the slowest active device, not by
+//! the server-side distillation.
+
+use fedzkt_tensor::{seeded_rng, split_seed, standard_normal};
+use serde::{Deserialize, Serialize};
+
+/// Compute and link capabilities of one simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceResources {
+    /// Local-training throughput (samples/second).
+    pub compute_samples_per_sec: f32,
+    /// Uplink bandwidth (bytes/second).
+    pub uplink_bytes_per_sec: f32,
+    /// Downlink bandwidth (bytes/second).
+    pub downlink_bytes_per_sec: f32,
+}
+
+impl DeviceResources {
+    /// A nominal smartphone-class device.
+    pub fn smartphone() -> Self {
+        DeviceResources {
+            compute_samples_per_sec: 500.0,
+            uplink_bytes_per_sec: 1e6,
+            downlink_bytes_per_sec: 4e6,
+        }
+    }
+
+    /// A nominal MCU/wearable-class device (≈100× less compute, slow
+    /// links) — the resource-constrained participant FedZKT targets.
+    pub fn microcontroller() -> Self {
+        DeviceResources {
+            compute_samples_per_sec: 5.0,
+            uplink_bytes_per_sec: 2e4,
+            downlink_bytes_per_sec: 5e4,
+        }
+    }
+
+    /// A log-normally heterogeneous population between MCU and smartphone
+    /// class, deterministic in `seed`.
+    pub fn heterogeneous_population(devices: usize, seed: u64) -> Vec<DeviceResources> {
+        (0..devices)
+            .map(|d| {
+                let mut rng = seeded_rng(split_seed(seed, d as u64));
+                let z = standard_normal(&mut rng);
+                // Log-uniform-ish spread over ~2 orders of magnitude.
+                let scale = (z * 1.1).exp();
+                DeviceResources {
+                    compute_samples_per_sec: (50.0 * scale).clamp(2.0, 2000.0),
+                    uplink_bytes_per_sec: (2e5 * scale).clamp(1e4, 4e6),
+                    downlink_bytes_per_sec: (8e5 * scale).clamp(4e4, 1.6e7),
+                }
+            })
+            .collect()
+    }
+
+    /// Seconds to locally process `samples` training samples.
+    pub fn compute_time(&self, samples: usize) -> f64 {
+        samples as f64 / self.compute_samples_per_sec as f64
+    }
+
+    /// Seconds to upload `bytes`.
+    pub fn upload_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.uplink_bytes_per_sec as f64
+    }
+
+    /// Seconds to download `bytes`.
+    pub fn download_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.downlink_bytes_per_sec as f64
+    }
+}
+
+/// Virtual clock advancing by synchronous federated rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    devices: Vec<DeviceResources>,
+    now_s: f64,
+}
+
+impl SimClock {
+    /// Create a clock over a device population.
+    pub fn new(devices: Vec<DeviceResources>) -> Self {
+        SimClock { devices, now_s: 0.0 }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Resources of device `d`.
+    ///
+    /// # Panics
+    /// Panics when `d` is out of range.
+    pub fn device(&self, d: usize) -> &DeviceResources {
+        &self.devices[d]
+    }
+
+    /// Duration of one synchronous round: the slowest active device's
+    /// `download + compute + upload`, plus the server-side time. Advances
+    /// the clock and returns the duration.
+    pub fn advance_round(
+        &mut self,
+        active: &[usize],
+        samples: usize,
+        down_bytes_per_device: &dyn Fn(usize) -> usize,
+        up_bytes_per_device: &dyn Fn(usize) -> usize,
+        server_seconds: f64,
+    ) -> f64 {
+        let device_time = active
+            .iter()
+            .map(|&d| {
+                let r = &self.devices[d];
+                r.download_time(down_bytes_per_device(d))
+                    + r.compute_time(samples)
+                    + r.upload_time(up_bytes_per_device(d))
+            })
+            .fold(0.0f64, f64::max);
+        let dt = device_time + server_seconds;
+        self.now_s += dt;
+        dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcu_is_much_slower_than_smartphone() {
+        let mcu = DeviceResources::microcontroller();
+        let phone = DeviceResources::smartphone();
+        assert!(mcu.compute_time(100) > 50.0 * phone.compute_time(100));
+    }
+
+    #[test]
+    fn population_is_heterogeneous_and_deterministic() {
+        let a = DeviceResources::heterogeneous_population(8, 1);
+        let b = DeviceResources::heterogeneous_population(8, 1);
+        assert_eq!(a, b);
+        let speeds: Vec<f32> = a.iter().map(|r| r.compute_samples_per_sec).collect();
+        let min = speeds.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = speeds.iter().copied().fold(0.0f32, f32::max);
+        assert!(max / min > 2.0, "population not heterogeneous: {speeds:?}");
+    }
+
+    #[test]
+    fn round_time_is_bounded_by_slowest_active() {
+        let pop = vec![DeviceResources::smartphone(), DeviceResources::microcontroller()];
+        let mut clock = SimClock::new(pop);
+        // Only the fast device active.
+        let fast = clock.advance_round(&[0], 100, &|_| 1000, &|_| 1000, 0.5);
+        // Both active: the MCU dominates.
+        let both = clock.advance_round(&[0, 1], 100, &|_| 1000, &|_| 1000, 0.5);
+        assert!(both > 10.0 * fast, "fast {fast}, both {both}");
+        assert!((clock.now() - (fast + both)).abs() < 1e-9);
+    }
+}

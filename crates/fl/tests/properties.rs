@@ -1,0 +1,88 @@
+//! Property-based tests on the FL substrate's public API.
+
+use fedzkt_data::{DataFamily, Partition, SynthConfig};
+use fedzkt_fl::{accuracy, DeviceResources, ParticipationSampler, SimClock};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The participation sampler always returns a sorted, deduplicated,
+    /// in-range, non-empty subset of the requested size.
+    #[test]
+    fn sampler_invariants(devices in 1usize..30, p in 0.01f32..1.0, seed in 0u64..500, round in 0usize..50) {
+        let s = ParticipationSampler::new(devices, p, seed);
+        let active = s.active(round);
+        prop_assert!(!active.is_empty());
+        prop_assert!(active.len() <= devices);
+        prop_assert!(active.windows(2).all(|w| w[0] < w[1]), "sorted & unique");
+        prop_assert!(active.iter().all(|&d| d < devices));
+        prop_assert_eq!(active.len(), s.active_count());
+        // Deterministic.
+        prop_assert_eq!(active, s.active(round));
+    }
+
+    /// Full participation is exactly everyone, for any seed and round.
+    #[test]
+    fn full_participation(devices in 1usize..20, seed in 0u64..100, round in 0usize..20) {
+        let s = ParticipationSampler::new(devices, 1.0, seed);
+        prop_assert_eq!(s.active(round), (0..devices).collect::<Vec<_>>());
+    }
+
+    /// Accuracy is a proportion: in [0, 1], 1 iff identical, monotone in
+    /// the number of agreeing positions.
+    #[test]
+    fn accuracy_is_a_proportion(labels in proptest::collection::vec(0usize..5, 1..40)) {
+        let perfect = accuracy(&labels, &labels);
+        prop_assert!((perfect - 1.0).abs() < 1e-6);
+        let mut wrong = labels.clone();
+        wrong[0] = (wrong[0] + 1) % 5;
+        let one_off = accuracy(&wrong, &labels);
+        prop_assert!(one_off < 1.0);
+        prop_assert!((one_off - (labels.len() - 1) as f32 / labels.len() as f32).abs() < 1e-5);
+    }
+
+    /// Simulated round duration is monotone in the active set: adding a
+    /// device can only keep or increase the round time.
+    #[test]
+    fn round_time_monotone_in_active_set(seed in 0u64..200, samples in 1usize..500) {
+        let pop = DeviceResources::heterogeneous_population(4, seed);
+        let mut clock_small = SimClock::new(pop.clone());
+        let mut clock_big = SimClock::new(pop);
+        let small = clock_small.advance_round(&[0, 1], samples, &|_| 1000, &|_| 1000, 0.1);
+        let big = clock_big.advance_round(&[0, 1, 2, 3], samples, &|_| 1000, &|_| 1000, 0.1);
+        prop_assert!(big >= small - 1e-9);
+    }
+
+    /// Partition + subset: every shard of every scheme yields a dataset
+    /// whose class histogram sums back to the shard size.
+    #[test]
+    fn shard_histograms_consistent(seed in 0u64..100, k in 1usize..6) {
+        let (train, _) = SynthConfig {
+            family: DataFamily::MnistLike, img: 8, train_n: 60, test_n: 8,
+            classes: 5, seed, ..Default::default()
+        }.generate();
+        for scheme in [
+            Partition::Iid,
+            Partition::QuantitySkew { classes_per_device: 2 },
+            Partition::Dirichlet { beta: 0.5 },
+        ] {
+            let shards = scheme.split(train.labels(), 5, k, seed).unwrap();
+            for shard in &shards {
+                let sub = train.subset(shard);
+                prop_assert_eq!(sub.class_counts().iter().sum::<usize>(), shard.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn microcontroller_profile_is_resource_constrained() {
+    // The premise of the paper, encoded as a test on the simulator's
+    // device profiles: MCU compute and links are orders of magnitude below
+    // smartphone class.
+    let mcu = DeviceResources::microcontroller();
+    let phone = DeviceResources::smartphone();
+    assert!(phone.compute_samples_per_sec / mcu.compute_samples_per_sec >= 50.0);
+    assert!(phone.uplink_bytes_per_sec / mcu.uplink_bytes_per_sec >= 10.0);
+}

@@ -1,0 +1,109 @@
+//! Contract tests across the whole model zoo: every architecture must
+//! satisfy the interface assumptions the FedZKT orchestrator relies on.
+
+use fedzkt_autograd::{no_grad, Var};
+use fedzkt_models::{GeneratorSpec, ModelSpec};
+use fedzkt_nn::{load_state_dict, param_count, state_dict, Module};
+use fedzkt_tensor::{seeded_rng, Tensor};
+
+fn all_specs() -> Vec<(ModelSpec, usize)> {
+    let mut v: Vec<(ModelSpec, usize)> =
+        ModelSpec::paper_zoo_small().into_iter().map(|s| (s, 1usize)).collect();
+    v.extend(ModelSpec::paper_zoo_cifar().into_iter().map(|s| (s, 3usize)));
+    v
+}
+
+#[test]
+fn state_dict_roundtrip_preserves_outputs_for_every_arch() {
+    for (spec, channels) in all_specs() {
+        let a = spec.build(channels, 10, 12, 5);
+        let b = spec.build(channels, 10, 12, 6);
+        let x = Var::constant(Tensor::randn(&[2, channels, 12, 12], &mut seeded_rng(7)));
+        a.set_training(false);
+        b.set_training(false);
+        let ya = no_grad(|| a.forward(&x)).value_clone();
+        load_state_dict(b.as_ref(), &state_dict(a.as_ref())).unwrap_or_else(|e| {
+            panic!("{}: state dict rejected: {e}", spec.name());
+        });
+        let yb = no_grad(|| b.forward(&x)).value_clone();
+        assert_eq!(ya.data(), yb.data(), "{}: outputs differ after load", spec.name());
+    }
+}
+
+#[test]
+fn every_arch_backpropagates_to_every_parameter() {
+    for (spec, channels) in all_specs() {
+        let m = spec.build(channels, 4, 8, 3);
+        let x = Var::constant(Tensor::randn(&[2, channels, 8, 8], &mut seeded_rng(4)));
+        m.forward(&x).square().sum_all().backward();
+        for (i, p) in m.params().iter().enumerate() {
+            assert!(p.grad().is_some(), "{}: param {i} got no gradient", spec.name());
+        }
+    }
+}
+
+#[test]
+fn every_arch_propagates_input_gradients() {
+    // The generator game needs ∂L/∂x through *teacher* models too.
+    for (spec, channels) in all_specs() {
+        let m = spec.build(channels, 4, 8, 3);
+        let x = Var::parameter(Tensor::randn(&[2, channels, 8, 8], &mut seeded_rng(5)));
+        m.forward(&x).square().sum_all().backward();
+        let g = x.grad().unwrap_or_else(|| panic!("{}: no input grad", spec.name()));
+        assert!(g.norm_l2() > 0.0, "{}: zero input gradient", spec.name());
+    }
+}
+
+#[test]
+fn eval_mode_is_deterministic_for_every_arch() {
+    for (spec, channels) in all_specs() {
+        let m = spec.build(channels, 10, 12, 9);
+        // Move BN stats off their init first.
+        let warm = Var::constant(Tensor::randn(&[4, channels, 12, 12], &mut seeded_rng(1)));
+        let _ = m.forward(&warm);
+        m.set_training(false);
+        let x = Var::constant(Tensor::randn(&[2, channels, 12, 12], &mut seeded_rng(2)));
+        let y1 = no_grad(|| m.forward(&x)).value_clone();
+        let y2 = no_grad(|| m.forward(&x)).value_clone();
+        assert_eq!(y1.data(), y2.data(), "{}: eval mode not pure", spec.name());
+    }
+}
+
+#[test]
+fn logits_are_finite_for_extreme_inputs() {
+    for (spec, channels) in all_specs() {
+        let m = spec.build(channels, 10, 8, 2);
+        for fill in [-1.0f32, 0.0, 1.0] {
+            let x = Var::constant(Tensor::full(&[2, channels, 8, 8], fill));
+            let y = no_grad(|| m.forward(&x));
+            assert!(y.value().all_finite(), "{}: non-finite logits at fill {fill}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn generator_scales_with_spec() {
+    let small = GeneratorSpec { z_dim: 16, ngf: 4 }.build(3, 8, 1);
+    let big = GeneratorSpec { z_dim: 64, ngf: 16 }.build(3, 8, 1);
+    assert!(param_count(&small) < param_count(&big));
+    // Same seed, same spec => identical samples.
+    let g1 = GeneratorSpec::default().build(1, 8, 42);
+    let g2 = GeneratorSpec::default().build(1, 8, 42);
+    let z = g1.sample_z(2, &mut seeded_rng(3));
+    g1.set_training(false);
+    g2.set_training(false);
+    let a = no_grad(|| g1.forward(&Var::constant(z.clone()))).value_clone();
+    let b = no_grad(|| g2.forward(&Var::constant(z))).value_clone();
+    assert_eq!(a.data(), b.data());
+}
+
+#[test]
+fn param_counts_are_stable_across_rebuilds() {
+    // Architecture size must depend only on the spec + geometry, never on
+    // the seed — communication accounting relies on this.
+    for (spec, channels) in all_specs() {
+        let a = param_count(spec.build(channels, 10, 12, 1).as_ref());
+        let b = param_count(spec.build(channels, 10, 12, 999).as_ref());
+        assert_eq!(a, b, "{}", spec.name());
+    }
+}

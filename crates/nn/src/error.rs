@@ -1,0 +1,37 @@
+use std::fmt;
+
+/// Errors from state-dict loading and layer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A state dict does not match the target module's parameter layout.
+    StateDictMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A layer was configured with impossible dimensions.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::StateDictMismatch { detail } => {
+                write!(f, "state dict mismatch: {detail}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid layer config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_detail() {
+        let e = NnError::StateDictMismatch { detail: "param 3 shape".into() };
+        assert!(e.to_string().contains("param 3 shape"));
+    }
+}

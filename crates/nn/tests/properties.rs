@@ -1,0 +1,148 @@
+//! Property-based tests on the layer/optimizer/state-dict layer.
+
+use fedzkt_autograd::{loss::mse, Var};
+use fedzkt_nn::{
+    decode_state_dict, encode_state_dict, load_state_dict, param_count, state_dict, Activation,
+    BatchNorm2d, Conv2d, Conv2dConfig, Linear, Module, MultiStepLr, Optimizer, Sequential, Sgd,
+    SgdConfig, StateDict,
+};
+use fedzkt_tensor::{seeded_rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Checkpoint encode/decode is lossless for arbitrary tensor layouts.
+    #[test]
+    fn checkpoint_roundtrip(seed in 0u64..500, n_params in 0usize..4, n_buffers in 0usize..3) {
+        let mut rng = seeded_rng(seed);
+        let mk = |rng: &mut fedzkt_tensor::Prng, i: usize| {
+            let shapes: [&[usize]; 4] = [&[3], &[2, 2], &[1, 2, 3], &[2, 1, 2, 2]];
+            Tensor::randn(shapes[i % 4], rng)
+        };
+        let sd = StateDict {
+            params: (0..n_params).map(|i| mk(&mut rng, i)).collect(),
+            buffers: (0..n_buffers).map(|i| mk(&mut rng, i + 1)).collect(),
+        };
+        let decoded = decode_state_dict(&encode_state_dict(&sd)).unwrap();
+        prop_assert_eq!(sd, decoded);
+    }
+
+    /// load_state_dict(state_dict(m)) is the identity on model behaviour.
+    #[test]
+    fn state_dict_preserves_function(seed_a in 0u64..200, seed_b in 0u64..200) {
+        let build = |seed: u64| {
+            let mut rng = seeded_rng(seed);
+            Sequential::new(vec![
+                Box::new(Linear::new(4, 6, true, &mut rng)) as Box<dyn Module>,
+                Box::new(Activation::Tanh),
+                Box::new(Linear::new(6, 3, true, &mut rng)),
+            ])
+        };
+        let a = build(seed_a);
+        let b = build(seed_b);
+        load_state_dict(&b, &state_dict(&a)).unwrap();
+        let x = Var::constant(Tensor::randn(&[2, 4], &mut seeded_rng(9)));
+        let ya = a.forward(&x).value_clone();
+        let yb = b.forward(&x).value_clone();
+        prop_assert_eq!(ya.data(), yb.data());
+    }
+
+    /// One SGD step moves parameters opposite to the gradient.
+    #[test]
+    fn sgd_step_descends(seed in 0u64..200, lr in 0.001f32..0.1) {
+        let w = Var::parameter(Tensor::randn(&[4], &mut seeded_rng(seed)));
+        let before = w.value_clone();
+        let opt = Sgd::new(vec![w.clone()], SgdConfig { lr, ..Default::default() });
+        opt.zero_grad();
+        w.square().sum_all().backward();
+        let grad = w.grad().unwrap();
+        opt.step();
+        let after = w.value_clone();
+        for i in 0..4 {
+            let expected = before.data()[i] - lr * grad.data()[i];
+            prop_assert!((after.data()[i] - expected).abs() < 1e-5);
+        }
+    }
+
+    /// MultiStepLr is non-increasing and respects the decay factor exactly.
+    #[test]
+    fn schedule_monotone(base in 0.001f32..1.0, total in 4usize..200) {
+        let s = MultiStepLr::paper_schedule(base, total);
+        let mut prev = f32::INFINITY;
+        for it in 0..total {
+            let lr = s.lr_at(it);
+            prop_assert!(lr <= prev + 1e-9);
+            prev = lr;
+        }
+        prop_assert!((s.lr_at(0) - base).abs() < 1e-7);
+        prop_assert!((s.lr_at(total - 1) - base * 0.09).abs() < base * 0.01);
+    }
+
+    /// Conv2d output geometry matches the closed-form formula for any
+    /// legal configuration.
+    #[test]
+    fn conv_layer_geometry(
+        seed in 0u64..100, in_c in 1usize..4, out_c in 1usize..4,
+        kernel in 1usize..4, stride in 1usize..3, pad in 0usize..2, img in 6usize..12,
+    ) {
+        prop_assume!(img + 2 * pad >= kernel);
+        let mut rng = seeded_rng(seed);
+        let conv = Conv2d::new(
+            Conv2dConfig { in_channels: in_c, out_channels: out_c, kernel, stride, pad, groups: 1, bias: true },
+            &mut rng,
+        );
+        let y = conv.forward(&Var::constant(Tensor::zeros(&[1, in_c, img, img])));
+        let expect = (img + 2 * pad - kernel) / stride + 1;
+        prop_assert_eq!(y.shape(), vec![1, out_c, expect, expect]);
+    }
+
+    /// Training a linear layer on a linear target strictly reduces the loss.
+    #[test]
+    fn training_reduces_loss(seed in 0u64..200) {
+        let mut rng = seeded_rng(seed);
+        let model = Linear::new(3, 1, true, &mut rng);
+        let x = Var::constant(Tensor::randn(&[16, 3], &mut rng));
+        let target = Var::constant(Tensor::randn(&[16, 1], &mut rng));
+        let opt = Sgd::new(model.params(), SgdConfig { lr: 0.05, ..Default::default() });
+        let initial = mse(&model.forward(&x), &target).value().item();
+        for _ in 0..20 {
+            opt.zero_grad();
+            mse(&model.forward(&x), &target).backward();
+            opt.step();
+        }
+        let trained = mse(&model.forward(&x), &target).value().item();
+        prop_assert!(trained < initial + 1e-6, "loss {initial} -> {trained}");
+    }
+
+    /// BatchNorm in eval mode is a fixed affine map: two forward passes of
+    /// the same input agree bit-for-bit, regardless of other inputs seen.
+    #[test]
+    fn batchnorm_eval_is_pure(seed in 0u64..200) {
+        let bn = BatchNorm2d::new(3);
+        let mut rng = seeded_rng(seed);
+        // Train-mode pass to move the running stats somewhere non-trivial.
+        let _ = bn.forward(&Var::constant(Tensor::randn(&[4, 3, 2, 2], &mut rng)));
+        bn.set_training(false);
+        let x = Tensor::randn(&[2, 3, 2, 2], &mut rng);
+        let y1 = bn.forward(&Var::constant(x.clone())).value_clone();
+        let _ = bn.forward(&Var::constant(Tensor::randn(&[5, 3, 2, 2], &mut rng)));
+        let y2 = bn.forward(&Var::constant(x)).value_clone();
+        prop_assert_eq!(y1.data(), y2.data());
+    }
+
+    /// param_count is additive under sequential composition.
+    #[test]
+    fn param_count_additive(a in 1usize..6, b in 1usize..6, c in 1usize..6) {
+        let mut rng = seeded_rng(1);
+        let l1 = Linear::new(a, b, true, &mut rng);
+        let l2 = Linear::new(b, c, true, &mut rng);
+        let expected = param_count(&l1) + param_count(&l2);
+        let seq = Sequential::new(vec![
+            Box::new(Linear::new(a, b, true, &mut rng)) as Box<dyn Module>,
+            Box::new(Linear::new(b, c, true, &mut rng)),
+        ]);
+        prop_assert_eq!(param_count(&seq), expected);
+        prop_assert_eq!(expected, a * b + b + b * c + c);
+    }
+}

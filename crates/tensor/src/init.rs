@@ -1,0 +1,105 @@
+//! Weight initialisation schemes.
+//!
+//! The FedZKT paper initialises all models with Glorot (Xavier)
+//! initialisation (footnote 1 of Algorithm 1, citing Glorot & Bengio 2010);
+//! Kaiming is provided for the ReLU-heavy generator.
+
+use crate::rng::Prng;
+use crate::Tensor;
+
+/// An initialisation scheme for weight tensors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(±sqrt(6 / (fan_in + fan_out)))` — the
+    /// scheme the paper prescribes for every model.
+    GlorotUniform,
+    /// Kaiming/He uniform: `U(±sqrt(6 / fan_in))`, suited to ReLU nets.
+    KaimingUniform,
+    /// All zeros (bias default).
+    Zeros,
+    /// All ones (BatchNorm scale default).
+    Ones,
+    /// Normal with the given standard deviation.
+    Normal(f32),
+}
+
+impl Init {
+    /// Materialise a tensor of `shape` using this scheme.
+    ///
+    /// `fan_in`/`fan_out` are ignored by the constant schemes.
+    pub fn build(self, shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut Prng) -> Tensor {
+        match self {
+            Init::GlorotUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Tensor::rand_uniform(shape, -bound, bound, rng)
+            }
+            Init::KaimingUniform => {
+                let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+                Tensor::rand_uniform(shape, -bound, bound, rng)
+            }
+            Init::Zeros => Tensor::zeros(shape),
+            Init::Ones => Tensor::ones(shape),
+            Init::Normal(std) => Tensor::randn(shape, rng).mul_scalar(std),
+        }
+    }
+}
+
+/// Fan-in/fan-out of a linear layer `[out_features, in_features]`.
+pub fn fan_in_out_linear(out_features: usize, in_features: usize) -> (usize, usize) {
+    (in_features, out_features)
+}
+
+/// Fan-in/fan-out of a conv kernel `[out_c, in_c_per_group, kh, kw]`.
+pub fn fan_in_out_conv2d(
+    out_c: usize,
+    in_c_per_group: usize,
+    kh: usize,
+    kw: usize,
+) -> (usize, usize) {
+    (in_c_per_group * kh * kw, out_c * kh * kw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn glorot_respects_bound() {
+        let mut rng = seeded_rng(1);
+        let (fan_in, fan_out) = (64, 32);
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let w = Init::GlorotUniform.build(&[fan_out, fan_in], fan_in, fan_out, &mut rng);
+        assert!(w.data().iter().all(|x| x.abs() <= bound));
+        // Not degenerate: some mass away from zero.
+        assert!(w.data().iter().any(|x| x.abs() > bound / 4.0));
+    }
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = seeded_rng(2);
+        let bound = (6.0 / 100.0f32).sqrt();
+        let w = Init::KaimingUniform.build(&[10, 100], 100, 10, &mut rng);
+        assert!(w.data().iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn constant_schemes() {
+        let mut rng = seeded_rng(3);
+        assert!(Init::Zeros.build(&[4], 1, 1, &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Ones.build(&[4], 1, 1, &mut rng).data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn fan_helpers() {
+        assert_eq!(fan_in_out_linear(10, 20), (20, 10));
+        assert_eq!(fan_in_out_conv2d(8, 3, 3, 3), (27, 72));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = Init::GlorotUniform.build(&[3, 3], 3, 3, &mut seeded_rng(7));
+        let b = Init::GlorotUniform.build(&[3, 3], 3, 3, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+}

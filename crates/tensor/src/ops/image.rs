@@ -1,0 +1,230 @@
+//! Convolution lowering: `im2col` / `col2im`.
+//!
+//! A 2-D convolution over one NCHW sample is computed as
+//! `weight[OC, C·KH·KW] × im2col(x)[C·KH·KW, OH·OW]`. The backward pass
+//! scatters gradients back with [`col2im`]. Grouped and depthwise
+//! convolutions slice the channel dimension before lowering (handled in
+//! `fedzkt-autograd`).
+
+use crate::shape::conv_output_size;
+use crate::Result;
+
+/// Precomputed geometry for a 2-D convolution or pooling window over a
+/// single sample of shape `[C, H, W]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same for both spatial dims).
+    pub stride: usize,
+    /// Zero padding (same for both spatial dims).
+    pub pad: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Compute the geometry, validating that the window fits.
+    ///
+    /// # Errors
+    /// Returns [`crate::TensorError::InvalidGeometry`] when the kernel does
+    /// not fit in the padded input or the stride is zero.
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self> {
+        let out_h = conv_output_size(in_h, kernel_h, stride, pad)?;
+        let out_w = conv_output_size(in_w, kernel_w, stride, pad)?;
+        Ok(Conv2dGeometry {
+            channels,
+            in_h,
+            in_w,
+            kernel_h,
+            kernel_w,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Rows of the lowered column matrix: `C · KH · KW`.
+    pub fn col_rows(&self) -> usize {
+        self.channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Columns of the lowered column matrix: `OH · OW`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Elements in one input sample: `C · H · W`.
+    pub fn input_len(&self) -> usize {
+        self.channels * self.in_h * self.in_w
+    }
+}
+
+/// Lower one `[C, H, W]` sample into a `[C·KH·KW, OH·OW]` column matrix
+/// (row-major), zero-filling out-of-bounds taps.
+///
+/// # Panics
+/// Debug-asserts that `input` has exactly `geometry.input_len()` elements.
+pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Vec<f32> {
+    debug_assert_eq!(input.len(), g.input_len());
+    let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
+    let (oh, ow) = (g.out_h, g.out_w);
+    let hw = g.in_h * g.in_w;
+    let mut row = 0usize;
+    for c in 0..g.channels {
+        let plane = &input[c * hw..(c + 1) * hw];
+        for kh in 0..g.kernel_h {
+            for kw in 0..g.kernel_w {
+                let dst = &mut col[row * oh * ow..(row + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    let src_row = iy as usize * g.in_w;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        if ix < 0 || ix >= g.in_w as isize {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = plane[src_row + ix as usize];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    col
+}
+
+/// Scatter-accumulate a `[C·KH·KW, OH·OW]` column-matrix gradient back into a
+/// `[C, H, W]` input gradient (the adjoint of [`im2col`]).
+///
+/// # Panics
+/// Debug-asserts that `col` has exactly `geometry.col_rows() * col_cols()`
+/// elements.
+pub fn col2im(col: &[f32], g: &Conv2dGeometry) -> Vec<f32> {
+    debug_assert_eq!(col.len(), g.col_rows() * g.col_cols());
+    let mut input = vec![0.0f32; g.input_len()];
+    let (oh, ow) = (g.out_h, g.out_w);
+    let hw = g.in_h * g.in_w;
+    let mut row = 0usize;
+    for c in 0..g.channels {
+        let plane = &mut input[c * hw..(c + 1) * hw];
+        for kh in 0..g.kernel_h {
+            for kw in 0..g.kernel_w {
+                let src = &col[row * oh * ow..(row + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    let dst_row = iy as usize * g.in_w;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        if ix < 0 || ix >= g.in_w as isize {
+                            continue;
+                        }
+                        plane[dst_row + ix as usize] += src[oy * ow + ox];
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{seeded_rng, Tensor};
+
+    #[test]
+    fn geometry_identity_conv() {
+        // 3x3 kernel, stride 1, pad 1 preserves spatial dims.
+        let g = Conv2dGeometry::new(2, 8, 8, 3, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h, g.out_w), (8, 8));
+        assert_eq!(g.col_rows(), 2 * 9);
+        assert_eq!(g.col_cols(), 64);
+    }
+
+    #[test]
+    fn im2col_1x1_kernel_is_reshape() {
+        let g = Conv2dGeometry::new(2, 3, 3, 1, 1, 1, 0).unwrap();
+        let input: Vec<f32> = (0..18).map(|x| x as f32).collect();
+        let col = im2col(&input, &g);
+        assert_eq!(col, input);
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        // 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 2, 1, 0).unwrap();
+        #[rustfmt::skip]
+        let input = vec![
+            0.0, 1.0, 2.0,
+            3.0, 4.0, 5.0,
+            6.0, 7.0, 8.0,
+        ];
+        let col = im2col(&input, &g);
+        // Rows: taps (0,0), (0,1), (1,0), (1,1); columns: output pixels.
+        #[rustfmt::skip]
+        let expected = vec![
+            0.0, 1.0, 3.0, 4.0,
+            1.0, 2.0, 4.0, 5.0,
+            3.0, 4.0, 6.0, 7.0,
+            4.0, 5.0, 7.0, 8.0,
+        ];
+        assert_eq!(col, expected);
+    }
+
+    #[test]
+    fn im2col_zero_pads_border() {
+        let g = Conv2dGeometry::new(1, 2, 2, 3, 3, 1, 1).unwrap();
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let col = im2col(&input, &g);
+        // Centre tap (kh=1, kw=1) row must reproduce the input.
+        let row = 1 * 3 + 1;
+        assert_eq!(&col[row * 4..(row + 1) * 4], &input[..]);
+        // Top-left tap at output (0,0) reads padding.
+        assert_eq!(col[0], 0.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is exactly what backprop requires.
+        let mut rng = seeded_rng(5);
+        let g = Conv2dGeometry::new(3, 6, 5, 3, 2, 2, 1).unwrap();
+        let x = Tensor::randn(&[g.input_len()], &mut rng);
+        let y = Tensor::randn(&[g.col_rows() * g.col_cols()], &mut rng);
+        let lhs: f32 = im2col(x.data(), &g).iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(col2im(y.data(), &g)).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn geometry_rejects_oversized_kernel() {
+        assert!(Conv2dGeometry::new(1, 2, 2, 5, 5, 1, 0).is_err());
+    }
+}

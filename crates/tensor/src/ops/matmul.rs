@@ -1,0 +1,206 @@
+//! Cache-blocked matrix multiplication.
+//!
+//! The workspace's convolutions lower to GEMM via `im2col`, so this kernel
+//! dominates training time. The implementation is a straightforward
+//! `i-k-j` loop order (streaming over the output row while broadcasting one
+//! `lhs` element), which vectorises well and avoids the pathological
+//! column-stride access of the naive `i-j-k` order. No unsafe code.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product `[M, K] x [K, N] -> [M, N]`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::MatmulDims`] when inner dimensions disagree.
+    ///
+    /// ```
+    /// use fedzkt_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?.data(), a.data());
+    /// # Ok::<(), fedzkt_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = mat_dims(self)?;
+        let (k2, n) = mat_dims(rhs)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDims {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product with the right operand transposed:
+    /// `[M, K] x [N, K]^T -> [M, N]`.
+    ///
+    /// Equivalent to `self.matmul(&rhs.transpose2d()?)` but without
+    /// materialising the transpose; used heavily in linear-layer backward
+    /// passes.
+    ///
+    /// # Errors
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = mat_dims(self)?;
+        let (n, k2) = mat_dims(rhs)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDims {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let ar = &a[i * k..(i + 1) * k];
+            let or = &mut out[i * n..(i + 1) * n];
+            for (j, o) in or.iter_mut().enumerate() {
+                let br = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for t in 0..k {
+                    acc += ar[t] * br[t];
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product with the left operand transposed:
+    /// `[K, M]^T x [K, N] -> [M, N]`.
+    ///
+    /// # Errors
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (k, m) = mat_dims(self)?;
+        let (k2, n) = mat_dims(rhs)?;
+        if k != k2 {
+            return Err(TensorError::MatmulDims {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for t in 0..k {
+            let ar = &a[t * m..(t + 1) * m];
+            let br = &b[t * n..(t + 1) * n];
+            for i in 0..m {
+                let av = ar[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let or = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in or.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+fn mat_dims(t: &Tensor) -> Result<(usize, usize)> {
+    if t.ndim() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.ndim() });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// `out += a[m,k] * b[k,n]` with `out` zero-initialised by the caller.
+pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        let or = &mut out[i * n..(i + 1) * n];
+        for (t, &av) in ar.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let br = &b[t * n..(t + 1) * n];
+            for (o, &bv) in or.iter_mut().zip(br) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for t in 0..k {
+                    acc += a.data()[i * k + t] * b.data()[t * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).unwrap()
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = seeded_rng(11);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8), (13, 1, 9)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            assert_close(&a.matmul(&b).unwrap(), &naive_matmul(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = seeded_rng(12);
+        let a = Tensor::randn(&[4, 6], &mut rng);
+        let b = Tensor::randn(&[5, 6], &mut rng);
+        let expected = a.matmul(&b.transpose2d().unwrap()).unwrap();
+        assert_close(&a.matmul_nt(&b).unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = seeded_rng(13);
+        let a = Tensor::randn(&[6, 4], &mut rng);
+        let b = Tensor::randn(&[6, 5], &mut rng);
+        let expected = a.transpose2d().unwrap().matmul(&b).unwrap();
+        assert_close(&a.matmul_tn(&b).unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(matches!(a.matmul(&b), Err(TensorError::MatmulDims { .. })));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_with_zero_rows() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[0, 4]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Heavier tensor operations: matrix multiplication and convolution
+//! lowering. Elementwise arithmetic and reductions live directly on
+//! [`Tensor`](crate::Tensor).
+
+mod image;
+mod matmul;
+
+pub use image::{col2im, im2col, Conv2dGeometry};

@@ -1,0 +1,138 @@
+//! Property-based tests for the tensor substrate.
+
+use fedzkt_tensor::ops::{col2im, im2col, Conv2dGeometry};
+use fedzkt_tensor::{conv_output_size, seeded_rng, Tensor};
+use proptest::prelude::*;
+
+fn small_tensor(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim, proptest::collection::vec(-10.0f32..10.0, max_dim * max_dim))
+        .prop_map(|(r, c, mut data)| {
+            data.truncate(r * c);
+            while data.len() < r * c {
+                data.push(0.5);
+            }
+            Tensor::from_vec(data, &[r, c]).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in small_tensor(6)) {
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in small_tensor(6)) {
+        let b = a.map(|x| x.sin());
+        let back = a.sub(&b).unwrap().add(&b).unwrap();
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mul_scalar_distributes(a in small_tensor(5), s in -3.0f32..3.0) {
+        let lhs = a.add(&a).unwrap().mul_scalar(s);
+        let rhs = a.mul_scalar(s).add(&a.mul_scalar(s)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data(a in small_tensor(5)) {
+        let n = a.len();
+        let r = a.reshape(&[n]).unwrap();
+        prop_assert_eq!(r.data(), a.data());
+    }
+
+    #[test]
+    fn softmax_rows_is_a_distribution(a in small_tensor(6)) {
+        let s = a.softmax_rows().unwrap();
+        let d = a.shape()[1];
+        for row in 0..a.shape()[0] {
+            let slice = &s.data()[row * d..(row + 1) * d];
+            let sum: f32 = slice.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(slice.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in small_tensor(5), shift in -50.0f32..50.0) {
+        let s1 = a.softmax_rows().unwrap();
+        let s2 = a.add_scalar(shift).softmax_rows().unwrap();
+        for (x, y) in s1.data().iter().zip(s2.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(seed in 0u64..500) {
+        let mut rng = seeded_rng(seed);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[4, 2], &mut rng);
+        let c = Tensor::randn(&[4, 2], &mut rng);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..500) {
+        // (A B)^T == B^T A^T
+        let mut rng = seeded_rng(seed);
+        let a = Tensor::randn(&[3, 5], &mut rng);
+        let b = Tensor::randn(&[5, 4], &mut rng);
+        let lhs = a.matmul(&b).unwrap().transpose2d().unwrap();
+        let rhs = b
+            .transpose2d().unwrap()
+            .matmul(&a.transpose2d().unwrap())
+            .unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_output_size_monotone_in_padding(
+        input in 3usize..24, kernel in 1usize..4, stride in 1usize..3, pad in 0usize..3,
+    ) {
+        prop_assume!(input + 2 * pad >= kernel);
+        let base = conv_output_size(input, kernel, stride, pad).unwrap();
+        let more = conv_output_size(input, kernel, stride, pad + 1).unwrap();
+        prop_assert!(more >= base);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        seed in 0u64..200, c in 1usize..3, h in 3usize..8, k in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2,
+    ) {
+        prop_assume!(h + 2 * pad >= k);
+        let g = Conv2dGeometry::new(c, h, h, k, k, stride, pad).unwrap();
+        let mut rng = seeded_rng(seed);
+        let x = Tensor::randn(&[g.input_len()], &mut rng);
+        let y = Tensor::randn(&[g.col_rows() * g.col_cols()], &mut rng);
+        let lhs: f32 = im2col(x.data(), &g).iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(col2im(y.data(), &g)).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn gather_matches_slice(start in 0usize..3, len in 1usize..3) {
+        let t = Tensor::from_vec((0..30).map(|x| x as f32).collect(), &[6, 5]).unwrap();
+        let end = (start + len).min(6);
+        let idx: Vec<usize> = (start..end).collect();
+        let gathered = t.gather_first(&idx).unwrap();
+        let sliced = t.slice_first(start, end).unwrap();
+        prop_assert_eq!(gathered.data(), sliced.data());
+    }
+}

@@ -1,0 +1,66 @@
+//! Straggler robustness (§IV-C3): run FedZKT with different participation
+//! portions p and compare the learning curves — Figure 6 in miniature.
+//!
+//! ```sh
+//! cargo run --release --example straggler_effect
+//! ```
+
+use fedzkt::core::{FedZkt, FedZktConfig};
+use fedzkt::data::{DataFamily, Partition, SynthConfig};
+use fedzkt::models::{GeneratorSpec, ModelSpec};
+
+fn main() {
+    let devices = 5;
+    let (train, test) = SynthConfig {
+        family: DataFamily::MnistLike,
+        img: 12,
+        train_n: 600,
+        test_n: 300,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+    let shards = Partition::Iid
+        .split(train.labels(), train.num_classes(), devices, 5)
+        .expect("partition");
+    let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), devices);
+    let base = FedZktConfig {
+        rounds: 6,
+        local_epochs: 2,
+        distill_iters: 16,
+        transfer_iters: 16,
+        device_lr: 0.05,
+        generator: GeneratorSpec { z_dim: 32, ngf: 8 },
+        global_model: ModelSpec::SmallCnn { base_channels: 8 },
+        seed: 5,
+        ..Default::default()
+    };
+
+    let portions = [0.2f32, 0.6, 1.0];
+    let mut curves = Vec::new();
+    for &p in &portions {
+        let mut fed = FedZkt::new(
+            &zoo,
+            &train,
+            &shards,
+            test.clone(),
+            FedZktConfig { participation: p, ..base },
+        );
+        let log = fed.run().clone();
+        println!(
+            "p = {p}: active per round = {:?}",
+            log.rounds.iter().map(|r| r.active_devices.len()).collect::<Vec<_>>()
+        );
+        curves.push(log.accuracy_series());
+    }
+
+    println!("\nround  {}", portions.map(|p| format!("{:>8}", format!("p={p}"))).join(" "));
+    for r in 0..curves[0].len() {
+        print!("{:>5}", r + 1);
+        for c in &curves {
+            print!("  {:>6.1}%", 100.0 * c[r]);
+        }
+        println!();
+    }
+    println!("\nAs in the paper: only very small p (0.2) noticeably slows learning.");
+}

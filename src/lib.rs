@@ -1,0 +1,42 @@
+//! # fedzkt
+//!
+//! A from-scratch Rust reproduction of **FedZKT: Zero-Shot Knowledge
+//! Transfer towards Resource-Constrained Federated Learning with
+//! Heterogeneous On-Device Models** (Zhang, Wu & Yuan, ICDCS 2022,
+//! arXiv:2109.03775).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — dense f32 NCHW tensors, GEMM, im2col, init, RNG;
+//! * [`autograd`] — reverse-mode autodiff and the distillation losses
+//!   (KL / logit-ℓ1 / **SL**);
+//! * [`nn`] — layers, optimizers, schedules, state dicts;
+//! * [`models`] — the heterogeneous on-device model zoo + generator;
+//! * [`data`] — synthetic dataset families and non-IID partitioners;
+//! * [`fl`] — federated simulation substrate, FedAvg/FedProx;
+//! * [`core`] — FedZKT itself (Algorithms 1–3), FedMD, bounds, probes.
+//!
+//! See `examples/` for runnable entry points and `crates/bench/src/bin/`
+//! for the per-table/figure experiment harness.
+//!
+//! ```no_run
+//! use fedzkt::core::{FedZkt, FedZktConfig};
+//! use fedzkt::data::{DataFamily, Partition, SynthConfig};
+//! use fedzkt::models::ModelSpec;
+//!
+//! let (train, test) = SynthConfig { family: DataFamily::MnistLike, ..Default::default() }.generate();
+//! let shards = Partition::Iid.split(train.labels(), train.num_classes(), 5, 1).unwrap();
+//! let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), 5);
+//! let mut fed = FedZkt::new(&zoo, &train, &shards, test, FedZktConfig::default());
+//! println!("final accuracy: {:.3}", fed.run().final_accuracy());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use fedzkt_autograd as autograd;
+pub use fedzkt_core as core;
+pub use fedzkt_data as data;
+pub use fedzkt_fl as fl;
+pub use fedzkt_models as models;
+pub use fedzkt_nn as nn;
+pub use fedzkt_tensor as tensor;

@@ -1,0 +1,181 @@
+//! Cross-crate integration tests: tiny but complete federated runs of
+//! every algorithm in the workspace.
+
+use fedzkt::core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
+use fedzkt::data::{DataFamily, Dataset, Partition, SynthConfig};
+use fedzkt::fl::{FedAvg, FedAvgConfig};
+use fedzkt::models::{GeneratorSpec, ModelSpec};
+
+fn mnist_like(seed: u64) -> (Dataset, Dataset) {
+    SynthConfig {
+        family: DataFamily::MnistLike,
+        img: 8,
+        train_n: 120,
+        test_n: 60,
+        classes: 4,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn tiny_zkt_cfg(seed: u64) -> FedZktConfig {
+    FedZktConfig {
+        rounds: 2,
+        local_epochs: 1,
+        distill_iters: 4,
+        transfer_iters: 4,
+        device_batch: 16,
+        distill_batch: 8,
+        device_lr: 0.05,
+        generator: GeneratorSpec { z_dim: 16, ngf: 4 },
+        global_model: ModelSpec::SmallCnn { base_channels: 4 },
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fedzkt_full_pipeline_heterogeneous() {
+    let (train, test) = mnist_like(1);
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 2).unwrap();
+    let zoo = vec![
+        ModelSpec::Mlp { hidden: 16 },
+        ModelSpec::SmallCnn { base_channels: 2 },
+        ModelSpec::LeNet { scale: 0.5, deep: false },
+    ];
+    let mut fed = FedZkt::new(&zoo, &train, &shards, test, tiny_zkt_cfg(1));
+    let log = fed.run();
+    assert_eq!(log.rounds.len(), 2);
+    assert!(log.rounds.iter().all(|r| r.avg_device_accuracy.is_finite()));
+    assert!(log.rounds.iter().all(|r| r.upload_bytes > 0 && r.download_bytes > 0));
+}
+
+#[test]
+fn fedzkt_beats_local_only_on_skewed_data() {
+    // With 2 classes per device out of 4, federation must help: each
+    // device alone can never classify the classes it has never seen.
+    let (train, test) = SynthConfig {
+        family: DataFamily::MnistLike,
+        img: 8,
+        train_n: 240,
+        test_n: 120,
+        classes: 4,
+        seed: 3,
+        ..Default::default()
+    }
+    .generate();
+    let shards = Partition::QuantitySkew { classes_per_device: 2 }
+        .split(train.labels(), 4, 4, 3)
+        .unwrap();
+    let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), 4);
+
+    // Local-only: train each device on its shard, average accuracies.
+    let mut local_acc = 0.0f32;
+    for (i, shard) in shards.iter().enumerate() {
+        let spec = zoo[i];
+        let acc = fedzkt::core::local_only_bound(
+            spec,
+            &train.subset(shard),
+            &test,
+            &fedzkt::core::BoundConfig { epochs: 4, lr: 0.05, seed: 7, ..Default::default() },
+        );
+        local_acc += acc / shards.len() as f32;
+    }
+
+    let cfg = FedZktConfig { rounds: 4, prox_mu: 1.0, ..tiny_zkt_cfg(3) };
+    let mut fed = FedZkt::new(&zoo, &train, &shards, test, cfg);
+    let fed_acc = fed.run().final_accuracy();
+    // Local-only models top out near 50% (they see half the classes).
+    assert!(local_acc < 0.62, "local-only unexpectedly strong: {local_acc}");
+    assert!(
+        fed_acc > local_acc - 0.05,
+        "federation should not be far below local-only: fed {fed_acc} vs local {local_acc}"
+    );
+}
+
+#[test]
+fn fedmd_full_pipeline_with_public_data() {
+    let (train, test) = mnist_like(5);
+    let (public, _) = SynthConfig {
+        family: DataFamily::FashionLike,
+        img: 8,
+        train_n: 80,
+        test_n: 8,
+        classes: 4,
+        seed: 6,
+        ..Default::default()
+    }
+    .generate();
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 5).unwrap();
+    let zoo = vec![
+        ModelSpec::Mlp { hidden: 16 },
+        ModelSpec::SmallCnn { base_channels: 2 },
+        ModelSpec::LeNet { scale: 0.5, deep: false },
+    ];
+    let mut fed = FedMd::new(
+        &zoo,
+        &train,
+        &shards,
+        public,
+        test,
+        FedMdConfig {
+            rounds: 2,
+            public_warmup_epochs: 1,
+            private_warmup_epochs: 1,
+            alignment_size: 32,
+            digest_epochs: 1,
+            revisit_epochs: 1,
+            batch_size: 16,
+            lr: 0.05,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let log = fed.run();
+    assert_eq!(log.rounds.len(), 2);
+    assert!(log.final_accuracy() > 0.25, "acc {}", log.final_accuracy());
+}
+
+#[test]
+fn fedavg_homogeneous_baseline() {
+    let (train, test) = mnist_like(8);
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 8).unwrap();
+    let mut fed = FedAvg::new(
+        ModelSpec::Mlp { hidden: 16 },
+        &train,
+        &shards,
+        test,
+        FedAvgConfig { rounds: 3, local_epochs: 2, batch_size: 16, lr: 0.05, seed: 8, ..Default::default() },
+    );
+    let log = fed.run();
+    assert!(log.final_accuracy() > 0.3, "acc {}", log.final_accuracy());
+}
+
+#[test]
+fn same_seed_reproduces_entire_run() {
+    let run = || {
+        let (train, test) = mnist_like(9);
+        let shards = Partition::Dirichlet { beta: 0.5 }.split(train.labels(), 4, 3, 9).unwrap();
+        let zoo = vec![
+            ModelSpec::Mlp { hidden: 16 },
+            ModelSpec::SmallCnn { base_channels: 2 },
+            ModelSpec::LeNet { scale: 0.5, deep: false },
+        ];
+        let mut fed = FedZkt::new(&zoo, &train, &shards, test, tiny_zkt_cfg(9));
+        fed.run().clone()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce the full log bit-for-bit");
+}
+
+#[test]
+fn single_device_federation_degenerates_gracefully() {
+    let (train, test) = mnist_like(10);
+    let shards = Partition::Iid.split(train.labels(), 4, 1, 10).unwrap();
+    let zoo = vec![ModelSpec::Mlp { hidden: 16 }];
+    let mut fed = FedZkt::new(&zoo, &train, &shards, test, tiny_zkt_cfg(10));
+    let log = fed.run();
+    assert!(log.final_accuracy().is_finite());
+}

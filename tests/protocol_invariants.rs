@@ -1,0 +1,146 @@
+//! Invariants of the FedZKT protocol that hold by design and must hold in
+//! the implementation — the properties DESIGN.md §6 calls out.
+
+use fedzkt::core::{FedZkt, FedZktConfig};
+use fedzkt::data::{DataFamily, Partition, SynthConfig};
+use fedzkt::models::{GeneratorSpec, ModelSpec};
+use fedzkt::nn::{param_bytes, state_dict};
+
+fn setup(cfg: FedZktConfig) -> (FedZkt, usize) {
+    let (train, test) = SynthConfig {
+        family: DataFamily::MnistLike,
+        img: 8,
+        train_n: 120,
+        test_n: 60,
+        classes: 4,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate();
+    let k = 3;
+    let shards = Partition::Iid.split(train.labels(), 4, k, 21).unwrap();
+    let zoo = vec![
+        ModelSpec::Mlp { hidden: 16 },
+        ModelSpec::SmallCnn { base_channels: 2 },
+        ModelSpec::LeNet { scale: 0.5, deep: false },
+    ];
+    (FedZkt::new(&zoo, &train, &shards, test, cfg), k)
+}
+
+fn tiny_cfg() -> FedZktConfig {
+    FedZktConfig {
+        rounds: 1,
+        local_epochs: 1,
+        distill_iters: 3,
+        transfer_iters: 3,
+        device_batch: 16,
+        distill_batch: 8,
+        device_lr: 0.05,
+        generator: GeneratorSpec { z_dim: 16, ngf: 4 },
+        global_model: ModelSpec::SmallCnn { base_channels: 4 },
+        seed: 2,
+        ..Default::default()
+    }
+}
+
+/// The resource-constrained-device claim: per-device traffic is the size of
+/// that device's own model — independent of the global model and generator
+/// sizes, which live only at the server.
+#[test]
+fn device_traffic_is_own_model_sized() {
+    let (mut fed, k) = setup(tiny_cfg());
+    let metrics = fed.round(0);
+    let per_device: u64 =
+        (0..k).map(|d| state_dict(fed.device_model(d)).byte_size() as u64).sum();
+    assert_eq!(metrics.upload_bytes, per_device);
+    assert_eq!(metrics.download_bytes, per_device);
+
+    // Inflating the server-side models must not change device traffic.
+    let big_cfg = FedZktConfig {
+        generator: GeneratorSpec { z_dim: 64, ngf: 16 },
+        global_model: ModelSpec::SmallCnn { base_channels: 16 },
+        ..tiny_cfg()
+    };
+    let (mut big_fed, _) = setup(big_cfg);
+    let big_metrics = big_fed.round(0);
+    assert_eq!(big_metrics.upload_bytes, metrics.upload_bytes);
+    assert_eq!(big_metrics.download_bytes, metrics.download_bytes);
+    assert!(
+        param_bytes(big_fed.global_model()) > param_bytes(fed.global_model()),
+        "sanity: the big config really is bigger"
+    );
+}
+
+/// Model heterogeneity is real: the zoo members have pairwise different
+/// parameter layouts, so FedAvg-style element-wise averaging is impossible.
+#[test]
+fn zoo_is_architecturally_incompatible() {
+    let (fed, k) = setup(tiny_cfg());
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let sa = state_dict(fed.device_model(a));
+            let sb = state_dict(fed.device_model(b));
+            let layout = |sd: &fedzkt::nn::StateDict| -> Vec<Vec<usize>> {
+                sd.params.iter().map(|t| t.shape().to_vec()).collect()
+            };
+            assert_ne!(layout(&sa), layout(&sb), "devices {a} and {b} share a layout");
+        }
+    }
+}
+
+/// The server's bidirectional transfer must actually move information:
+/// after one round every *active* device's parameters differ from the
+/// pure-local-training counterfactual.
+#[test]
+fn server_distillation_changes_device_models() {
+    let with_server = {
+        let (mut fed, _) = setup(tiny_cfg());
+        fed.round(0);
+        state_dict(fed.device_model(0))
+    };
+    let without_server = {
+        let cfg = FedZktConfig { distill_iters: 0, transfer_iters: 0, ..tiny_cfg() };
+        let (mut fed, _) = setup(cfg);
+        fed.round(0);
+        state_dict(fed.device_model(0))
+    };
+    assert_ne!(with_server, without_server, "server update had no effect on device 0");
+}
+
+/// All models stay finite through the adversarial game (failure injection:
+/// the logit-ℓ1 loss with a high LR is the most explosion-prone setting).
+#[test]
+fn training_stays_finite_under_aggressive_settings() {
+    let cfg = FedZktConfig {
+        loss: fedzkt::core::DistillLoss::LogitL1,
+        server_lr: 0.1,
+        generator_lr: 0.01,
+        rounds: 2,
+        ..tiny_cfg()
+    };
+    let (mut fed, k) = setup(cfg);
+    fed.run();
+    for d in 0..k {
+        for p in fed.device_model(d).params() {
+            assert!(p.value().all_finite(), "device {d} has non-finite parameters");
+        }
+    }
+    for p in fed.global_model().params() {
+        assert!(p.value().all_finite(), "global model has non-finite parameters");
+    }
+}
+
+/// Probing gradients (Fig. 2) must not perturb training: a probed run and
+/// an unprobed run produce identical models.
+#[test]
+fn probe_is_side_effect_free() {
+    let (mut probed, _) = setup(FedZktConfig { probe_grad_norms: true, ..tiny_cfg() });
+    let (mut plain, _) = setup(FedZktConfig { probe_grad_norms: false, ..tiny_cfg() });
+    probed.round(0);
+    plain.round(0);
+    assert_eq!(
+        state_dict(probed.device_model(0)),
+        state_dict(plain.device_model(0)),
+        "probe changed training trajectory"
+    );
+}
