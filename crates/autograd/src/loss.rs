@@ -247,7 +247,7 @@ mod tests {
     fn l2_penalty_matches_manual() {
         let w = Var::parameter(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
         let r = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
-        let p = l2_penalty(&[w.clone()], &[r]);
+        let p = l2_penalty(std::slice::from_ref(&w), &[r]);
         assert!((p.value().item() - 5.0).abs() < 1e-6);
         p.backward();
         assert_eq!(w.grad().unwrap().data(), &[2.0, 4.0]);

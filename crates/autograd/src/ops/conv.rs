@@ -25,7 +25,7 @@ impl Var {
         assert_eq!(ws.len(), 4, "conv2d weight must be [OC, C/g, KH, KW], got {ws:?}");
         let (n, c, h, width) = (xs[0], xs[1], xs[2], xs[3]);
         let (oc, c_per_g, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
-        assert!(groups > 0 && c % groups == 0 && oc % groups == 0, "groups {groups} must divide C={c} and OC={oc}");
+        assert!(groups > 0 && c.is_multiple_of(groups) && oc.is_multiple_of(groups), "groups {groups} must divide C={c} and OC={oc}");
         assert_eq!(c / groups, c_per_g, "weight in-channels {c_per_g} != C/groups {}", c / groups);
 
         let geom = Conv2dGeometry::new(c_per_g, h, width, kh, kw, stride, pad)
@@ -116,9 +116,9 @@ impl Var {
             let gb = need.1.then(|| {
                 let mut acc = vec![0.0f32; c];
                 for s in 0..n {
-                    for ch in 0..c {
+                    for (ch, a) in acc.iter_mut().enumerate() {
                         let base = s * c * hw + ch * hw;
-                        acc[ch] += g.data()[base..base + hw].iter().sum::<f32>();
+                        *a += g.data()[base..base + hw].iter().sum::<f32>();
                     }
                 }
                 Tensor::from_vec(acc, &[c]).expect("channel bias grad")

@@ -10,9 +10,9 @@ fn channel_mean(x: &Tensor) -> Vec<f32> {
     let m = (n * hw) as f32;
     let mut out = vec![0.0f32; c];
     for smp in 0..n {
-        for ch in 0..c {
+        for (ch, o) in out.iter_mut().enumerate() {
             let base = smp * c * hw + ch * hw;
-            out[ch] += x.data()[base..base + hw].iter().sum::<f32>();
+            *o += x.data()[base..base + hw].iter().sum::<f32>();
         }
     }
     for v in &mut out {
@@ -164,9 +164,9 @@ impl Var {
             let gm = gamma.value();
             let bt = beta.value();
             for smp in 0..n {
-                for ch in 0..c {
+                for (ch, &is) in inv_std.iter().enumerate() {
                     let base = smp * c * hw + ch * hw;
-                    let (mu, is) = (running_mean.data()[ch], inv_std[ch]);
+                    let mu = running_mean.data()[ch];
                     let (gv, bv) = (gm.data()[ch], bt.data()[ch]);
                     for i in 0..hw {
                         let xh = (x.data()[base + i] - mu) * is;
@@ -187,9 +187,9 @@ impl Var {
                 let dx = need.0.then(|| {
                     let mut dx = vec![0.0f32; g.len()];
                     for smp in 0..n {
-                        for ch in 0..c {
+                        for (ch, &is) in inv_std.iter().enumerate() {
                             let base = smp * c * hw + ch * hw;
-                            let k = gamma_val.data()[ch] * inv_std[ch];
+                            let k = gamma_val.data()[ch] * is;
                             for i in 0..hw {
                                 dx[base + i] = k * g.data()[base + i];
                             }

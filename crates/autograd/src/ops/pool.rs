@@ -121,8 +121,8 @@ impl Var {
         let (n, c, hw) = (s[0], s[1], s[2] * s[3]);
         let inv = 1.0 / hw as f32;
         let mut out = vec![0.0f32; n * c];
-        for i in 0..n * c {
-            out[i] = x.data()[i * hw..(i + 1) * hw].iter().sum::<f32>() * inv;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = x.data()[i * hw..(i + 1) * hw].iter().sum::<f32>() * inv;
         }
         let value = Tensor::from_vec(out, &[n, c]).expect("gap out");
         Var::from_op(value, vec![self.clone()], move |g| {

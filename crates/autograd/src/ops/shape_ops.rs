@@ -122,7 +122,7 @@ impl Var {
         let s = self.shape();
         assert_eq!(s.len(), 4, "channel_shuffle expects NCHW");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-        assert!(groups > 0 && c % groups == 0, "groups {groups} must divide C={c}");
+        assert!(groups > 0 && c.is_multiple_of(groups), "groups {groups} must divide C={c}");
         let per = c / groups;
         let hw = h * w;
         // Forward permutation: output channel j = (j % groups) * per + j / groups

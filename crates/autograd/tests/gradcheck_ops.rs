@@ -319,7 +319,7 @@ fn grad_losses() {
     );
     check_gradients(
         "l2_penalty",
-        |v| l2_penalty(std::slice::from_ref(v), &[target.clone()]),
+        |v| l2_penalty(std::slice::from_ref(v), std::slice::from_ref(&target)),
         &logits,
         1e-2,
     );

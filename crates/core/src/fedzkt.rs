@@ -421,8 +421,8 @@ mod tests {
             .collect();
         let metrics = fed.round(0);
         assert_eq!(metrics.active_devices.len(), 1);
-        for k in 0..fed.devices() {
-            let unchanged = state_dict(fed.device_model(k)) == before[k];
+        for (k, snapshot) in before.iter().enumerate() {
+            let unchanged = state_dict(fed.device_model(k)) == *snapshot;
             assert_eq!(
                 unchanged,
                 !metrics.active_devices.contains(&k),

@@ -311,7 +311,7 @@ mod tests {
             // Mean within-device class-distribution entropy.
             let mut total_entropy = 0.0f32;
             for shard in &shards {
-                let mut counts = vec![0f32; 10];
+                let mut counts = [0f32; 10];
                 for &i in shard {
                     counts[l[i]] += 1.0;
                 }

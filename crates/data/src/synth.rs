@@ -207,14 +207,17 @@ fn color_field(img: usize, channels: usize, rng: &mut Prng) -> Vec<f32> {
 /// structure).
 fn stripe_digits(img: usize, channels: usize, class: usize, rng: &mut Prng) -> Vec<f32> {
     let mut out = vec![0.0f32; channels * img * img];
-    let period = 2 + class % 4;
+    // Narrow periods keep the energy in high spatial frequencies, which is
+    // what separates this family from the smooth low-frequency
+    // [`color_field`] manifold even on tiny images.
+    let period = 1 + class % 3;
     let bg = if rng.random::<f32>() > 0.5 { 0.9 } else { -0.9 };
     for c in 0..channels {
-        let flip = if (c + class) % 2 == 0 { 1.0 } else { -1.0 };
+        let flip = if (c + class).is_multiple_of(2) { 1.0 } else { -1.0 };
         let plane = &mut out[c * img * img..(c + 1) * img * img];
         for y in 0..img {
             for x in 0..img {
-                let stripe: f32 = if (x / period) % 2 == 0 { 1.0 } else { -1.0 };
+                let stripe: f32 = if (x / period).is_multiple_of(2) { 1.0 } else { -1.0 };
                 plane[y * img + x] = (bg * flip * stripe).clamp(-1.0, 1.0);
             }
         }

@@ -47,7 +47,7 @@ struct ShuffleUnit {
 
 impl ShuffleUnit {
     fn stride1(channels: usize, rng: &mut Prng) -> Self {
-        assert!(channels % 2 == 0, "stride-1 shuffle unit needs even channels");
+        assert!(channels.is_multiple_of(2), "stride-1 shuffle unit needs even channels");
         let half = channels / 2;
         ShuffleUnit {
             stride: 1,
@@ -59,7 +59,7 @@ impl ShuffleUnit {
     }
 
     fn stride2(in_c: usize, out_c: usize, rng: &mut Prng) -> Self {
-        assert!(out_c % 2 == 0, "stride-2 shuffle unit needs even out channels");
+        assert!(out_c.is_multiple_of(2), "stride-2 shuffle unit needs even out channels");
         let half = out_c / 2;
         ShuffleUnit {
             stride: 2,

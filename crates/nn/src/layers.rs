@@ -103,8 +103,8 @@ impl Conv2d {
     pub fn new(cfg: Conv2dConfig, rng: &mut Prng) -> Self {
         assert!(
             cfg.groups > 0
-                && cfg.in_channels % cfg.groups == 0
-                && cfg.out_channels % cfg.groups == 0,
+                && cfg.in_channels.is_multiple_of(cfg.groups)
+                && cfg.out_channels.is_multiple_of(cfg.groups),
             "groups {} must divide in {} and out {}",
             cfg.groups,
             cfg.in_channels,

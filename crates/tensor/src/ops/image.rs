@@ -204,7 +204,7 @@ mod tests {
         let input = vec![1.0, 2.0, 3.0, 4.0];
         let col = im2col(&input, &g);
         // Centre tap (kh=1, kw=1) row must reproduce the input.
-        let row = 1 * 3 + 1;
+        let row = 3 + 1; // kh * kw_count + kw with kh = kw = 1
         assert_eq!(&col[row * 4..(row + 1) * 4], &input[..]);
         // Top-left tap at output (0,0) reads padding.
         assert_eq!(col[0], 0.0);

@@ -253,7 +253,7 @@ impl Tensor {
             return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
         }
         let n = self.shape[0];
-        let row = if n == 0 { 0 } else { self.data.len() / n };
+        let row = self.data.len().checked_div(n).unwrap_or(0);
         let mut data = Vec::with_capacity(indices.len() * row);
         for &i in indices {
             if i >= n {
@@ -437,8 +437,8 @@ impl Tensor {
         let (n, d) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; d];
         for i in 0..n {
-            for j in 0..d {
-                out[j] += self.data[i * d + j];
+            for (j, acc) in out.iter_mut().enumerate() {
+                *acc += self.data[i * d + j];
             }
         }
         Tensor::from_vec(out, &[d])

@@ -70,7 +70,8 @@ fn mid_run_device_models_survive_the_wire_format() {
 
 #[test]
 fn checkpoint_files_resume_training() {
-    let dir = std::env::temp_dir().join("fedzkt_resume_test");
+    // Unique per process: parallel test invocations must not race.
+    let dir = std::env::temp_dir().join(format!("fedzkt_resume_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 
     // Run one round, checkpoint device 0 to disk.
@@ -108,4 +109,41 @@ fn corrupted_checkpoint_is_rejected_not_loaded() {
     let before = state_dict(other_arch.as_ref());
     assert!(load_state_dict(other_arch.as_ref(), &sd).is_err());
     assert_eq!(state_dict(other_arch.as_ref()), before);
+}
+
+#[test]
+fn every_paper_zoo_architecture_survives_a_file_roundtrip() {
+    // The save→load path must be lossless for every architecture a device
+    // can pick: the small zoo (1-channel input) and the CIFAR zoo, whose
+    // ShuffleNetV2/MobileNetV2 members carry batch-norm running-stat
+    // buffers — the part of a state dict most easily lost in a wire
+    // format. Unique per-process dir: parallel `cargo test` invocations on
+    // one machine must not race on the checkpoint files.
+    let dir = std::env::temp_dir().join(format!("fedzkt_zoo_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let zoos = [
+        (ModelSpec::paper_zoo_small(), 1usize),
+        (ModelSpec::paper_zoo_cifar(), 3usize),
+    ];
+    for (z, (zoo, in_channels)) in zoos.iter().enumerate() {
+        for (i, spec) in zoo.iter().enumerate() {
+            let model = spec.build(*in_channels, 10, 8, 1000 + i as u64);
+            let sd = state_dict(model.as_ref());
+            let path = dir.join(format!("zoo_{z}_{i}.fzkt"));
+            fedzkt::nn::save_state_dict(&sd, &path).unwrap();
+            let loaded = fedzkt::nn::load_state_dict_file(&path).unwrap();
+            assert_eq!(sd, loaded, "{}: file round-trip lost data", spec.name());
+            // Restoring into a differently-seeded twin reproduces the exact
+            // state dict, so a checkpoint fully determines the model.
+            let twin = spec.build(*in_channels, 10, 8, 9_999);
+            load_state_dict(twin.as_ref(), &loaded).unwrap();
+            assert_eq!(
+                state_dict(twin.as_ref()),
+                sd,
+                "{}: restored twin differs",
+                spec.name()
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,193 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Supports the benchmark-definition surface the `fedzkt_bench` targets
+//! use — `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`/`bench_with_input`, `BenchmarkId` —
+//! and executes each benchmark a small, bounded number of iterations,
+//! reporting mean wall-clock time per iteration. No statistics, plots or
+//! HTML reports; the point is that `cargo bench` compiles and produces
+//! comparable one-line numbers offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs closures under timing; handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `f`, running it a small fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup, then a bounded measured run.
+        black_box(f());
+        let iters = 5u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iterations == 0 {
+            println!("{id:<40} (no measurement)");
+        } else {
+            let per_iter = self.elapsed.as_secs_f64() / self.iterations as f64;
+            println!("{id:<40} time: {:>12.3} µs/iter", per_iter * 1e6);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.id);
+        self
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(8usize), &8usize, |b, &n| {
+            b.iter(|| black_box(n * n));
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1u32)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and metric
+//! types so that a real serde can be dropped in once a registry is
+//! available, but no code path actually serializes offline. The traits are
+//! therefore empty markers, blanket-implemented for every type, and the
+//! derive macros (re-exported from the `serde_derive` shim) expand to
+//! nothing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
