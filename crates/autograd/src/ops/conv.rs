@@ -1,8 +1,15 @@
-//! 2-D convolution (with groups/depthwise support) via im2col lowering.
+//! 2-D convolution (with groups/depthwise support) via batched im2col
+//! lowering.
+//!
+//! The whole batch is lowered into one `[kvol, N·OH·OW]` column matrix per
+//! channel group ([`im2col_batch`]) and convolved with a single GEMM per
+//! group — forward and backward both dispatch to the workspace's unified
+//! kernel layer [`fedzkt_tensor::ops::gemm`], so large batches engage its
+//! row-partitioned multi-threading automatically.
 
 use crate::Var;
-use fedzkt_tensor::ops::{col2im, im2col, Conv2dGeometry};
-use fedzkt_tensor::Tensor;
+use fedzkt_tensor::ops::{col2im, gemm, im2col_batch, Conv2dGeometry};
+use fedzkt_tensor::{par, Tensor};
 
 impl Var {
     /// 2-D convolution over an NCHW batch.
@@ -33,52 +40,91 @@ impl Var {
         let (oh, ow) = (geom.out_h, geom.out_w);
         let oc_per_g = oc / groups;
         let group_in = c_per_g * h * width;
-        let group_out = oc_per_g * oh * ow;
         let kvol = c_per_g * kh * kw;
 
-        // Forward: per sample, per group: out = W_g [OCg, kvol] x col [kvol, OHOW].
-        let mut out = vec![0.0f32; n * oc * oh * ow];
-        let mut cols: Vec<Vec<f32>> = Vec::with_capacity(n * groups);
-        for s in 0..n {
-            let sample = &x.data()[s * c * h * width..(s + 1) * c * h * width];
-            for g in 0..groups {
-                let col = im2col(&sample[g * group_in..(g + 1) * group_in], &geom);
-                let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
-                let dst = &mut out[s * oc * oh * ow + g * group_out
-                    ..s * oc * oh * ow + (g + 1) * group_out];
-                gemm_into(wg, &col, dst, oc_per_g, kvol, oh * ow);
-                cols.push(col);
+        // Forward: per group, ONE GEMM over the whole batch:
+        //   out_g [OCg, N·OHOW] = W_g [OCg, kvol] x col_g [kvol, N·OHOW],
+        // where col_g's columns are sample-major (im2col_batch). The lowered
+        // matrices are kept for the backward pass.
+        let hw_out = oh * ow;
+        let ncols = n * hw_out;
+        let sample_stride = c * h * width;
+        let mut out = vec![0.0f32; n * oc * hw_out];
+        let cols: Vec<Vec<f32>> = (0..groups)
+            .map(|g| im2col_batch(x.data(), g * group_in, sample_stride, n, &geom))
+            .collect();
+        for (g, col) in cols.iter().enumerate() {
+            let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
+            let mut og = vec![0.0f32; oc_per_g * ncols];
+            gemm::gemm_nn(wg, col, &mut og, oc_per_g, kvol, ncols);
+            // Scatter [OCg, N·OHOW] (sample-major columns) into NCHW layout.
+            for s in 0..n {
+                for ol in 0..oc_per_g {
+                    let src = &og[ol * ncols + s * hw_out..][..hw_out];
+                    out[s * oc * hw_out + (g * oc_per_g + ol) * hw_out..][..hw_out]
+                        .copy_from_slice(src);
+                }
             }
         }
         let value = Tensor::from_vec(out, &[n, oc, oh, ow]).expect("conv2d output");
 
         let need = (self.requires_grad(), weight.requires_grad());
         Var::from_op(value, vec![self.clone(), weight.clone()], move |grad| {
-            let mut gx = need.0.then(|| vec![0.0f32; n * c * h * width]);
+            let mut gx = need.0.then(|| vec![0.0f32; n * sample_stride]);
             let mut gw = need.1.then(|| vec![0.0f32; oc * kvol]);
-            for s in 0..n {
-                for g in 0..groups {
-                    let go = &grad.data()[s * oc * oh * ow + g * group_out
-                        ..s * oc * oh * ow + (g + 1) * group_out];
-                    let col = &cols[s * groups + g];
-                    if let Some(gw) = gw.as_mut() {
-                        // dW_g += go [OCg, OHOW] x col^T [OHOW, kvol]
-                        let dst = &mut gw[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
-                        gemm_nt_into(go, col, dst, oc_per_g, oh * ow, kvol);
-                    }
-                    if let Some(gx) = gx.as_mut() {
-                        // dcol = W_g^T [kvol, OCg] x go [OCg, OHOW]
-                        let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
-                        let mut dcol = vec![0.0f32; kvol * oh * ow];
-                        gemm_tn_into(wg, go, &mut dcol, oc_per_g, kvol, oh * ow);
-                        let gslice = col2im(&dcol, &geom);
-                        let dst = &mut gx[s * c * h * width + g * group_in
-                            ..s * c * h * width + (g + 1) * group_in];
-                        for (d, v) in dst.iter_mut().zip(gslice) {
-                            *d += v;
-                        }
+            // dcol_g is needed per group before the sample-parallel col2im
+            // scatter, so groups are processed in two phases.
+            let mut dcols: Vec<Vec<f32>> = Vec::with_capacity(if need.0 { groups } else { 0 });
+            for (g, col) in cols.iter().enumerate() {
+                // Gather grad group g into [OCg, N·OHOW] sample-major columns.
+                let mut go = vec![0.0f32; oc_per_g * ncols];
+                for s in 0..n {
+                    for ol in 0..oc_per_g {
+                        let src = &grad.data()
+                            [s * oc * hw_out + (g * oc_per_g + ol) * hw_out..][..hw_out];
+                        go[ol * ncols + s * hw_out..][..hw_out].copy_from_slice(src);
                     }
                 }
+                if let Some(gw) = gw.as_mut() {
+                    // dW_g += go [OCg, N·OHOW] x col_g^T [N·OHOW, kvol]
+                    let dst = &mut gw[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
+                    gemm::gemm_nt(&go, col, dst, oc_per_g, ncols, kvol);
+                }
+                if need.0 {
+                    // dcol_g = W_g^T [kvol, OCg] x go [OCg, N·OHOW]
+                    let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
+                    let mut dcol = vec![0.0f32; kvol * ncols];
+                    gemm::gemm_tn(wg, &go, &mut dcol, oc_per_g, kvol, ncols);
+                    dcols.push(dcol);
+                }
+            }
+            if let Some(gx) = gx.as_mut() {
+                // col2im is independent per sample; samples own disjoint
+                // contiguous [C, H, W] gradient slices, so they scatter in
+                // parallel (bit-identical for any thread count).
+                let threads = if n * groups * kvol * hw_out >= par::PAR_MIN_ELEMS {
+                    par::max_threads()
+                } else {
+                    1
+                };
+                par::for_each_chunk_mut(gx, sample_stride, threads, |s0, chunk| {
+                    let mut dcol_s = vec![0.0f32; kvol * hw_out];
+                    for (ds, slice) in chunk.chunks_mut(sample_stride).enumerate() {
+                        let s = s0 + ds;
+                        for (g, dcol) in dcols.iter().enumerate() {
+                            for r in 0..kvol {
+                                dcol_s[r * hw_out..(r + 1) * hw_out].copy_from_slice(
+                                    &dcol[r * ncols + s * hw_out..][..hw_out],
+                                );
+                            }
+                            let gslice = col2im(&dcol_s, &geom);
+                            let dst = &mut slice[g * group_in..(g + 1) * group_in];
+                            for (d, v) in dst.iter_mut().zip(gslice) {
+                                *d += v;
+                            }
+                        }
+                    }
+                });
             }
             vec![
                 gx.map(|v| Tensor::from_vec(v, &[n, c, h, width]).expect("conv2d dX")),
@@ -125,57 +171,6 @@ impl Var {
             });
             vec![need.0.then(|| g.clone()), gb]
         })
-    }
-}
-
-/// `out = a[m,k] x b[k,n]` (row-major, out pre-zeroed).
-fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let ar = &a[i * k..(i + 1) * k];
-        let or = &mut out[i * n..(i + 1) * n];
-        for (t, &av) in ar.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let br = &b[t * n..(t + 1) * n];
-            for (o, &bv) in or.iter_mut().zip(br) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
-/// `out += a[m,k] x b[n,k]^T` (accumulating).
-fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let ar = &a[i * k..(i + 1) * k];
-        let or = &mut out[i * n..(i + 1) * n];
-        for (j, o) in or.iter_mut().enumerate() {
-            let br = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for t in 0..k {
-                acc += ar[t] * br[t];
-            }
-            *o += acc;
-        }
-    }
-}
-
-/// `out += a[k,m]^T x b[k,n]` (accumulating).
-fn gemm_tn_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
-    for t in 0..k {
-        let ar = &a[t * m..(t + 1) * m];
-        let br = &b[t * n..(t + 1) * n];
-        for i in 0..m {
-            let av = ar[i];
-            if av == 0.0 {
-                continue;
-            }
-            let or = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in or.iter_mut().zip(br) {
-                *o += av * bv;
-            }
-        }
     }
 }
 

@@ -3,9 +3,9 @@
 //! at tiny scale — the ablation for the paper's "compute-intensive work
 //! lives at the server" design claim.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedzkt_bench::{build_workload, Tier};
-use fedzkt_core::FedZkt;
+use fedzkt_core::{FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
 use fedzkt_fl::{FedAvg, FedAvgConfig};
 use fedzkt_models::ModelSpec;
@@ -36,5 +36,24 @@ fn bench_fedzkt_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fedzkt_round);
+/// Device-parallel local training across thread counts (the device update is
+/// the embarrassingly parallel phase of a round; results are bit-identical
+/// for every thread count, only wall-clock varies).
+fn bench_round_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_threads");
+    group.sample_size(10);
+    let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
+            bench.iter(|| {
+                let cfg = FedZktConfig { threads: t, ..w.fedzkt };
+                let mut fed = FedZkt::new(&w.zoo, &w.train, &w.shards, w.test.clone(), cfg);
+                black_box(fed.round(0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fedzkt_round, bench_round_threads);
 criterion_main!(benches);

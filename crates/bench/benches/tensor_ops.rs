@@ -2,8 +2,8 @@
 //! training time, so their throughput bounds every experiment above.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedzkt_tensor::ops::{im2col, Conv2dGeometry};
-use fedzkt_tensor::{seeded_rng, Tensor};
+use fedzkt_tensor::ops::{gemm, im2col, Conv2dGeometry};
+use fedzkt_tensor::{par, seeded_rng, Tensor};
 use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -32,6 +32,32 @@ fn bench_matmul_variants(c: &mut Criterion) {
     group.finish();
 }
 
+/// The unified kernel layer across thread counts: a 256^3 product is well
+/// above `gemm::PAR_MIN_MACS`, so each thread count exercises the actual row
+/// partition (results are bit-identical by design; only throughput varies).
+fn bench_gemm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_threads");
+    group.sample_size(10);
+    let n = 256usize;
+    let mut rng = seeded_rng(5);
+    let a = Tensor::randn(&[n, n], &mut rng);
+    let b = Tensor::randn(&[n, n], &mut rng);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
+            par::set_threads(t);
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                gemm::gemm_nn(a.data(), b.data(), &mut out, n, n, n);
+                black_box(out)
+            });
+            par::set_threads(0);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(gemm_benches, bench_gemm_threads);
+
 fn bench_im2col(c: &mut Criterion) {
     let mut group = c.benchmark_group("im2col");
     group.sample_size(20);
@@ -59,4 +85,4 @@ fn bench_softmax(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_matmul, bench_matmul_variants, bench_im2col, bench_softmax);
-criterion_main!(benches);
+criterion_main!(benches, gemm_benches);

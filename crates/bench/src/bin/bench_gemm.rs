@@ -1,0 +1,175 @@
+//! Execution-model performance baseline: GEMM and end-to-end round
+//! throughput across worker-thread counts, plus batched-vs-per-sample
+//! convolution lowering. Emits `BENCH_gemm.json` (current directory, or the
+//! path given as the first argument) so later PRs can compare against a
+//! committed baseline.
+//!
+//! Run with `cargo run --release -p fedzkt_bench --bin bench_gemm`.
+
+use fedzkt_core::{FedZkt, FedZktConfig};
+use fedzkt_data::{DataFamily, Partition, SynthConfig};
+use fedzkt_models::{GeneratorSpec, ModelSpec};
+use fedzkt_tensor::ops::{gemm, im2col, im2col_batch, Conv2dGeometry};
+use fedzkt_tensor::{par, seeded_rng, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median-of-runs wall-clock seconds for `f`, after one warmup call.
+fn time_median(runs: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn gemm_seconds(n: usize, threads: usize, runs: usize) -> f64 {
+    let mut rng = seeded_rng(1);
+    let a = Tensor::randn(&[n, n], &mut rng);
+    let b = Tensor::randn(&[n, n], &mut rng);
+    par::set_threads(threads);
+    let secs = time_median(runs, || {
+        let mut out = vec![0.0f32; n * n];
+        gemm::gemm_nn(a.data(), b.data(), &mut out, n, n, n);
+        black_box(&out);
+    });
+    par::set_threads(0);
+    secs
+}
+
+fn round_seconds(devices: usize, threads: usize, runs: usize) -> f64 {
+    let (train, test) = SynthConfig {
+        family: DataFamily::MnistLike,
+        img: 8,
+        train_n: 256,
+        test_n: 64,
+        classes: 4,
+        seed: 3,
+        ..Default::default()
+    }
+    .generate();
+    let shards = Partition::Iid.split(train.labels(), 4, devices, 5).expect("iid split");
+    let zoo = ModelSpec::assign_round_robin(
+        &[
+            ModelSpec::Mlp { hidden: 16 },
+            ModelSpec::SmallCnn { base_channels: 2 },
+            ModelSpec::LeNet { scale: 0.5, deep: false },
+        ],
+        devices,
+    );
+    let cfg = FedZktConfig {
+        rounds: 1,
+        local_epochs: 2,
+        distill_iters: 4,
+        transfer_iters: 4,
+        device_batch: 16,
+        distill_batch: 8,
+        generator: GeneratorSpec { z_dim: 16, ngf: 4 },
+        global_model: ModelSpec::SmallCnn { base_channels: 4 },
+        seed: 1,
+        threads,
+        ..Default::default()
+    };
+    // Construction (dataset clone, model/generator builds) is identical for
+    // every thread count and single-threaded; keep it out of the timed
+    // region so the ratio reflects the round itself.
+    let run_one = || {
+        let mut fed = FedZkt::new(&zoo, &train, &shards, test.clone(), cfg);
+        let t0 = Instant::now();
+        black_box(fed.round(0));
+        t0.elapsed().as_secs_f64()
+    };
+    run_one();
+    let mut samples: Vec<f64> = (0..runs).map(|_| run_one()).collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Forward conv lowering over an 8-sample batch: one whole-batch GEMM vs one
+/// GEMM per sample (the pre-refactor strategy), both single-threaded so the
+/// comparison isolates the lowering strategy from the row partition.
+fn conv_lowering_seconds(runs: usize) -> (f64, f64) {
+    let (n, c, hw, oc) = (8usize, 8usize, 16usize, 16usize);
+    let g = Conv2dGeometry::new(c, hw, hw, 3, 3, 1, 1).expect("conv geometry");
+    let mut rng = seeded_rng(2);
+    let x = Tensor::randn(&[n, c, hw, hw], &mut rng);
+    let w = Tensor::randn(&[oc, c, 3, 3], &mut rng);
+    let kvol = g.col_rows();
+    let cols = g.col_cols();
+    par::set_threads(1);
+    let batched = time_median(runs, || {
+        let col = im2col_batch(x.data(), 0, c * hw * hw, n, &g);
+        let mut out = vec![0.0f32; oc * n * cols];
+        gemm::gemm_nn(w.data(), &col, &mut out, oc, kvol, n * cols);
+        black_box(&out);
+    });
+    let per_sample = time_median(runs, || {
+        for s in 0..n {
+            let col = im2col(&x.data()[s * c * hw * hw..(s + 1) * c * hw * hw], &g);
+            let mut out = vec![0.0f32; oc * cols];
+            gemm::gemm_nn(w.data(), &col, &mut out, oc, kvol, cols);
+            black_box(&out);
+        }
+    });
+    par::set_threads(0);
+    (batched, per_sample)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("host parallelism: {host_cpus}");
+
+    let n = 256usize;
+    let gflop = 2.0 * (n * n * n) as f64 / 1e9;
+    let g1 = gemm_seconds(n, 1, 9);
+    let g4 = gemm_seconds(n, 4, 9);
+    eprintln!("gemm {n}^3: 1 thread {:.2} GFLOP/s, 4 threads {:.2} GFLOP/s", gflop / g1, gflop / g4);
+
+    let (conv_batched, conv_per_sample) = conv_lowering_seconds(9);
+    eprintln!("conv lowering: batched {:.3} ms, per-sample {:.3} ms", conv_batched * 1e3, conv_per_sample * 1e3);
+
+    let devices = 8usize;
+    let r1 = round_seconds(devices, 1, 3);
+    let r4 = round_seconds(devices, 4, 3);
+    eprintln!("FedZkt::round ({devices} devices): 1 thread {r1:.2} s, 4 threads {r4:.2} s");
+
+    let json = format!(
+        r#"{{
+  "generated_by": "cargo run --release -p fedzkt_bench --bin bench_gemm",
+  "host_cpus": {host_cpus},
+  "gemm_256x256x256": {{
+    "threads_1": {{ "seconds": {g1:.6}, "gflops": {gf1:.3} }},
+    "threads_4": {{ "seconds": {g4:.6}, "gflops": {gf4:.3} }},
+    "speedup_4_vs_1": {gsp:.3}
+  }},
+  "conv2d_lowering_n8_c8_16x16_oc16": {{
+    "batched_seconds": {cb:.6},
+    "per_sample_seconds": {cp:.6},
+    "speedup_batched_vs_per_sample": {csp:.3}
+  }},
+  "fedzkt_round_8_devices": {{
+    "threads_1_seconds": {r1:.4},
+    "threads_4_seconds": {r4:.4},
+    "speedup_4_vs_1": {rsp:.3}
+  }},
+  "note": "Thread-count speedups are bounded by host_cpus: on a single-core host threads_4 cannot beat threads_1; re-run on a multi-core host for the parallel baseline. Results are bit-identical across thread counts by construction."
+}}
+"#,
+        gf1 = gflop / g1,
+        gf4 = gflop / g4,
+        gsp = g1 / g4,
+        cb = conv_batched,
+        cp = conv_per_sample,
+        csp = conv_per_sample / conv_batched,
+        rsp = r1 / r4,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_gemm.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -17,6 +17,7 @@
 //! | `table4` | Table IV — ℓ2-regularization ablation |
 //! | `fig7`   | Figure 7 — device counts K |
 //! | `run_all`| everything above, emitting an EXPERIMENTS.md fragment |
+//! | `bench_gemm` | execution-model baseline: GEMM / conv-lowering / round throughput across thread counts → `BENCH_gemm.json` |
 //!
 //! All binaries accept `--paper` (paper-scale parameters), `--seed N` and
 //! `--scale quick|tiny`; results print as aligned tables and are written as

@@ -47,6 +47,13 @@ pub struct FedZktConfig {
     pub eval_batch: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for device-parallel local training; 0 (the default)
+    /// resolves through [`fedzkt_tensor::par::max_threads`]: the
+    /// `FEDZKT_THREADS` environment variable, then available parallelism.
+    /// Same-seed runs are bit-identical for **every** value — thread count
+    /// is a throughput knob, never a semantics knob (enforced by
+    /// `tests/determinism.rs`).
+    pub threads: usize,
     /// Generator architecture.
     pub generator: GeneratorSpec,
     /// Global (server) model architecture `F`.
@@ -79,6 +86,7 @@ impl Default for FedZktConfig {
             participation: 1.0,
             eval_batch: 64,
             seed: 0,
+            threads: 0,
             generator: GeneratorSpec::default(),
             global_model: ModelSpec::SmallCnn { base_channels: 8 },
             probe_grad_norms: false,
@@ -88,6 +96,13 @@ impl Default for FedZktConfig {
 }
 
 impl FedZktConfig {
+    /// The worker-thread count local training actually uses: `threads`, or
+    /// — when 0 — the workspace default from
+    /// [`fedzkt_tensor::par::max_threads`].
+    pub fn resolved_threads(&self) -> usize {
+        fedzkt_tensor::par::resolve_threads(self.threads)
+    }
+
     /// Paper-scale parameters for the small datasets (MNIST/KMNIST/FASHION):
     /// `T = 50`, `T_l = 5`, `nD = 200`, batch 256.
     pub fn paper_small() -> Self {
@@ -127,6 +142,16 @@ mod tests {
         assert_eq!(cfg.loss, DistillLoss::Sl);
         assert_eq!(cfg.participation, 1.0);
         assert_eq!(cfg.prox_mu, 0.0);
+    }
+
+    #[test]
+    fn threads_default_resolves_to_workspace_parallelism() {
+        let cfg = FedZktConfig::default();
+        assert_eq!(cfg.threads, 0);
+        assert_eq!(cfg.resolved_threads(), fedzkt_tensor::par::max_threads());
+        assert!(cfg.resolved_threads() >= 1);
+        let pinned = FedZktConfig { threads: 3, ..Default::default() };
+        assert_eq!(pinned.resolved_threads(), 3);
     }
 
     #[test]

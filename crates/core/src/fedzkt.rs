@@ -5,11 +5,13 @@ use fedzkt_autograd::loss::kl_div_probs;
 use fedzkt_autograd::{no_grad, Var};
 use fedzkt_data::Dataset;
 use fedzkt_fl::{
-    evaluate, train_local, CommTracker, LocalTrainConfig, ParticipationSampler, RoundMetrics,
-    RunLog,
+    evaluate, train_local_fleet, CommTracker, FleetJob, LocalTrainConfig, ParticipationSampler,
+    RoundMetrics, RunLog,
 };
 use fedzkt_models::{Generator, ModelSpec};
-use fedzkt_nn::{state_dict, Adam, AdamConfig, Module, MultiStepLr, Optimizer, Sgd, SgdConfig};
+use fedzkt_nn::{
+    load_state_dict, state_dict, Adam, AdamConfig, Module, MultiStepLr, Optimizer, Sgd, SgdConfig,
+};
 use fedzkt_tensor::{seeded_rng, split_seed, Prng, Tensor};
 
 /// One simulated device: an architecture chosen independently of its peers
@@ -26,6 +28,9 @@ struct DeviceState {
 /// drive with [`FedZkt::run`] (or [`FedZkt::round`] for custom loops).
 pub struct FedZkt {
     cfg: FedZktConfig,
+    /// Data geometry `(channels, classes, img_size)`; worker threads rebuild
+    /// device models against it during the parallel device update.
+    io: (usize, usize, usize),
     devices: Vec<DeviceState>,
     global: Box<dyn Module>,
     generator: Generator,
@@ -79,6 +84,7 @@ impl FedZkt {
             ParticipationSampler::new(devices.len(), cfg.participation, split_seed(cfg.seed, 9));
         FedZkt {
             cfg,
+            io: (channels, classes, img),
             devices,
             global,
             generator,
@@ -141,24 +147,40 @@ impl FedZkt {
         let mut loss_sum = 0.0f32;
 
         // ---- On-device update (Algorithm 2) ----
-        for &k in &active {
-            let dev = &self.devices[k];
-            let loss = train_local(
-                dev.model.as_ref(),
-                &dev.data,
-                &LocalTrainConfig {
-                    epochs: self.cfg.local_epochs,
-                    batch_size: self.cfg.device_batch,
-                    lr: self.cfg.device_lr,
-                    momentum: self.cfg.device_momentum,
-                    weight_decay: 0.0,
-                    prox_mu: self.cfg.prox_mu,
-                    seed: split_seed(self.cfg.seed, (round * 1009 + k) as u64),
-                },
-            );
+        // Devices are independent (the paper's premise), so the active set
+        // trains as a fleet on worker threads: each worker rebuilds its
+        // device's model from a snapshot (the tape is thread-local), trains
+        // on the device's own `split_seed` stream, and results are merged
+        // back in device order — bit-identical for any thread count.
+        let jobs: Vec<FleetJob> = active
+            .iter()
+            .map(|&k| {
+                let dev = &self.devices[k];
+                FleetJob {
+                    spec: dev.spec,
+                    snapshot: state_dict(dev.model.as_ref()),
+                    data: &dev.data,
+                    cfg: LocalTrainConfig {
+                        epochs: self.cfg.local_epochs,
+                        batch_size: self.cfg.device_batch,
+                        lr: self.cfg.device_lr,
+                        momentum: self.cfg.device_momentum,
+                        weight_decay: 0.0,
+                        prox_mu: self.cfg.prox_mu,
+                        seed: split_seed(self.cfg.seed, (round * 1009 + k) as u64),
+                    },
+                    rebuild_seed: split_seed(self.cfg.seed, 0xB11D_0000 + (round * 1009 + k) as u64),
+                }
+            })
+            .collect();
+        let results = train_local_fleet(&jobs, self.io, self.cfg.resolved_threads());
+        drop(jobs);
+        for (&k, (loss, sd)) in active.iter().zip(results) {
             loss_sum += loss;
             // Upload ŵ_k: the device's own (small) parameters only.
-            comm.record_upload(k, state_dict(dev.model.as_ref()).byte_size());
+            comm.record_upload(k, sd.byte_size());
+            load_state_dict(self.devices[k].model.as_ref(), &sd)
+                .expect("fleet result matches device architecture");
         }
 
         // ---- Server update (Algorithm 3) ----

@@ -7,13 +7,13 @@
 //! claim is precisely that this paradigm breaks when architectures differ).
 
 use crate::{
-    evaluate, train_local, CommTracker, LocalTrainConfig, ParticipationSampler, RoundMetrics,
-    RunLog,
+    evaluate, train_local_fleet, CommTracker, FleetJob, LocalTrainConfig, ParticipationSampler,
+    RoundMetrics, RunLog,
 };
 use fedzkt_data::Dataset;
 use fedzkt_models::ModelSpec;
 use fedzkt_nn::{load_state_dict, state_dict, Module, StateDict};
-use fedzkt_tensor::split_seed;
+use fedzkt_tensor::{par, split_seed};
 
 /// Configuration for [`FedAvg`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +36,19 @@ pub struct FedAvgConfig {
     pub eval_batch: usize,
     /// Run seed.
     pub seed: u64,
+    /// Worker threads for device-parallel local training; 0 resolves via
+    /// [`fedzkt_tensor::par::max_threads`] (`FEDZKT_THREADS`, then available
+    /// parallelism). Results are bit-identical for every value.
+    pub threads: usize,
+}
+
+impl FedAvgConfig {
+    /// The worker-thread count local training actually uses: `threads`, or
+    /// — when 0 — the workspace default from
+    /// [`fedzkt_tensor::par::max_threads`].
+    pub fn resolved_threads(&self) -> usize {
+        par::resolve_threads(self.threads)
+    }
 }
 
 impl Default for FedAvgConfig {
@@ -50,6 +63,7 @@ impl Default for FedAvgConfig {
             prox_mu: 0.0,
             eval_batch: 64,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -58,8 +72,9 @@ impl Default for FedAvgConfig {
 /// on-device models.
 pub struct FedAvg {
     cfg: FedAvgConfig,
+    spec: ModelSpec,
+    io: (usize, usize, usize),
     global: Box<dyn Module>,
-    device_model: Box<dyn Module>,
     shards: Vec<Dataset>,
     test: Dataset,
     sampler: ParticipationSampler,
@@ -74,14 +89,11 @@ impl FedAvg {
     /// Panics when `shards` is empty.
     pub fn new(spec: ModelSpec, train: &Dataset, shards: &[Vec<usize>], test: Dataset, cfg: FedAvgConfig) -> Self {
         assert!(!shards.is_empty(), "need at least one device");
-        let global = spec.build(train.channels(), train.num_classes(), train.img_size(), cfg.seed);
-        // One scratch model reused for every device's local training (the
-        // simulation is sequential, so state is loaded per device).
-        let device_model =
-            spec.build(train.channels(), train.num_classes(), train.img_size(), cfg.seed);
+        let io = (train.channels(), train.num_classes(), train.img_size());
+        let global = spec.build(io.0, io.1, io.2, cfg.seed);
         let datasets = shards.iter().map(|idx| train.subset(idx)).collect();
         let sampler = ParticipationSampler::new(shards.len(), cfg.participation, split_seed(cfg.seed, 0xAC7));
-        FedAvg { cfg, global, device_model, shards: datasets, test, sampler, log: RunLog::new() }
+        FedAvg { cfg, spec, io, global, shards: datasets, test, sampler, log: RunLog::new() }
     }
 
     /// Number of devices.
@@ -104,15 +116,17 @@ impl FedAvg {
         let active = self.sampler.active(round);
         let global_sd = state_dict(self.global.as_ref());
         let mut comm = CommTracker::new(self.shards.len());
-        let mut updates: Vec<(usize, StateDict)> = Vec::with_capacity(active.len());
-        let mut loss_sum = 0.0f32;
-        for &dev in &active {
-            load_state_dict(self.device_model.as_ref(), &global_sd).expect("homogeneous zoo");
-            comm.record_download(dev, global_sd.byte_size());
-            let loss = train_local(
-                self.device_model.as_ref(),
-                &self.shards[dev],
-                &LocalTrainConfig {
+        // Every active device starts from the broadcast global snapshot and
+        // trains independently; the fleet driver runs them on worker threads
+        // and returns updates in `active` order, so aggregation below is
+        // bit-deterministic for any thread count.
+        let jobs: Vec<FleetJob> = active
+            .iter()
+            .map(|&dev| FleetJob {
+                spec: self.spec,
+                snapshot: global_sd.clone(),
+                data: &self.shards[dev],
+                cfg: LocalTrainConfig {
                     epochs: self.cfg.local_epochs,
                     batch_size: self.cfg.batch_size,
                     lr: self.cfg.lr,
@@ -121,9 +135,16 @@ impl FedAvg {
                     prox_mu: self.cfg.prox_mu,
                     seed: split_seed(self.cfg.seed, (round * 1000 + dev) as u64),
                 },
-            );
+                rebuild_seed: split_seed(self.cfg.seed, 0xB11D_0000 + (round * 1000 + dev) as u64),
+            })
+            .collect();
+        let results = train_local_fleet(&jobs, self.io, self.cfg.resolved_threads());
+        drop(jobs);
+        let mut updates: Vec<(usize, StateDict)> = Vec::with_capacity(active.len());
+        let mut loss_sum = 0.0f32;
+        for (&dev, (loss, sd)) in active.iter().zip(results) {
+            comm.record_download(dev, global_sd.byte_size());
             loss_sum += loss;
-            let sd = state_dict(self.device_model.as_ref());
             comm.record_upload(dev, sd.byte_size());
             updates.push((dev, sd));
         }

@@ -46,4 +46,4 @@ pub use fedavg::{FedAvg, FedAvgConfig};
 pub use metrics::{RoundMetrics, RunLog};
 pub use participation::ParticipationSampler;
 pub use simclock::{DeviceResources, SimClock};
-pub use training::{train_local, LocalTrainConfig};
+pub use training::{train_local, train_local_fleet, FleetJob, LocalTrainConfig};

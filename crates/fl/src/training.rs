@@ -1,11 +1,13 @@
 //! Local (on-device) training — Algorithm 2 of the paper, with the
-//! optional ℓ2 proximal term of Eq. 9.
+//! optional ℓ2 proximal term of Eq. 9 — and the device-parallel fleet
+//! driver used by the federated orchestrators.
 
 use fedzkt_autograd::loss::{cross_entropy, l2_penalty};
 use fedzkt_autograd::Var;
 use fedzkt_data::{BatchIter, Dataset};
-use fedzkt_nn::{Module, Optimizer, Sgd, SgdConfig};
-use fedzkt_tensor::Tensor;
+use fedzkt_models::ModelSpec;
+use fedzkt_nn::{load_state_dict, state_dict, Module, Optimizer, Sgd, SgdConfig, StateDict};
+use fedzkt_tensor::{par, Tensor};
 
 /// Configuration of one local-training call.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +84,63 @@ pub fn train_local(model: &dyn Module, data: &Dataset, cfg: &LocalTrainConfig) -
     last_epoch_loss
 }
 
+/// One device's unit of work for [`train_local_fleet`].
+///
+/// The autodiff tape is `Rc`-based and cannot cross threads, so a fleet job
+/// carries everything needed to *rebuild* the device's model on a worker: the
+/// architecture, a [`StateDict`] snapshot of its current parameters and
+/// buffers (the snapshot round trip restores both bit-for-bit — guarded by
+/// the checkpoint tests in `fedzkt-nn`), and `rebuild_seed`.
+///
+/// `rebuild_seed` seeds the rebuild's construction: the weight/buffer
+/// initialisation it produces is immediately overwritten by the snapshot,
+/// but any layer state *outside* the state dict (e.g. a dropout layer's
+/// internal RNG — none of the current zoo uses one) is re-derived from it
+/// rather than carried over from the live model. Callers must therefore
+/// derive `rebuild_seed` from their run seed **per round and device** so
+/// such state gets a fresh deterministic stream each round instead of
+/// replaying one sequence forever.
+pub struct FleetJob<'a> {
+    /// Architecture to rebuild on the worker thread.
+    pub spec: ModelSpec,
+    /// Parameter/buffer snapshot loaded into the rebuilt model.
+    pub snapshot: StateDict,
+    /// The device's private shard.
+    pub data: &'a Dataset,
+    /// Local-training hyperparameters (including the device's RNG stream).
+    pub cfg: LocalTrainConfig,
+    /// Seed for the rebuild's (immediately overwritten) initialisation.
+    pub rebuild_seed: u64,
+}
+
+/// Train a fleet of devices concurrently on up to `threads` scoped worker
+/// threads, returning `(final-epoch loss, trained snapshot)` per job **in
+/// job order**.
+///
+/// `io` is the data geometry `(channels, classes, img_size)` every model is
+/// built for. Each job is an independent computation seeded by its own
+/// `cfg.seed` stream, and every thread count — including 1 — runs the same
+/// rebuild-load-train-snapshot sequence, so results are bit-identical
+/// regardless of `threads` (the workspace determinism suite asserts this
+/// across whole federated runs).
+///
+/// # Panics
+/// Panics when a snapshot does not match its spec's architecture.
+pub fn train_local_fleet(
+    jobs: &[FleetJob<'_>],
+    io: (usize, usize, usize),
+    threads: usize,
+) -> Vec<(f32, StateDict)> {
+    let (channels, classes, img) = io;
+    par::map_indexed(jobs.len(), threads, |i| {
+        let job = &jobs[i];
+        let model = job.spec.build(channels, classes, img, job.rebuild_seed);
+        load_state_dict(model.as_ref(), &job.snapshot).expect("fleet snapshot matches spec");
+        let loss = train_local(model.as_ref(), job.data, &job.cfg);
+        (loss, state_dict(model.as_ref()))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +205,54 @@ mod tests {
         for (p, b) in model.params().iter().zip(&before) {
             assert_eq!(&p.value_clone(), b);
         }
+    }
+
+    #[test]
+    fn fleet_results_are_bit_identical_across_thread_counts() {
+        let (train, _) = toy_data(4);
+        let spec = ModelSpec::Mlp { hidden: 8 };
+        let io = (1usize, 4usize, 8usize);
+        let run = |threads: usize| {
+            let jobs: Vec<FleetJob> = (0..3)
+                .map(|k| FleetJob {
+                    spec,
+                    snapshot: state_dict(spec.build(io.0, io.1, io.2, 50 + k).as_ref()),
+                    data: &train,
+                    cfg: LocalTrainConfig { epochs: 1, seed: 90 + k, ..Default::default() },
+                    rebuild_seed: 1000 + k,
+                })
+                .collect();
+            train_local_fleet(&jobs, io, threads)
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            let parallel = run(threads);
+            assert_eq!(serial.len(), parallel.len());
+            for ((ls, sds), (lp, sdp)) in serial.iter().zip(&parallel) {
+                assert_eq!(ls.to_bits(), lp.to_bits(), "threads={threads}");
+                assert_eq!(sds, sdp, "threads={threads}");
+            }
+        }
+        // Devices trained with different seeds must actually diverge.
+        assert_ne!(serial[0].1, serial[1].1);
+    }
+
+    #[test]
+    fn fleet_matches_direct_local_training() {
+        let (train, _) = toy_data(5);
+        let spec = ModelSpec::Mlp { hidden: 8 };
+        let io = (1usize, 4usize, 8usize);
+        let cfg = LocalTrainConfig { epochs: 2, seed: 7, ..Default::default() };
+        // Reference: train a model in place.
+        let reference = spec.build(io.0, io.1, io.2, 42);
+        let snapshot = state_dict(reference.as_ref());
+        let ref_loss = train_local(reference.as_ref(), &train, &cfg);
+        // Fleet: same snapshot, rebuilt on a worker.
+        let jobs =
+            [FleetJob { spec, snapshot, data: &train, cfg, rebuild_seed: 9 }];
+        let out = train_local_fleet(&jobs, io, 2);
+        assert_eq!(out[0].0.to_bits(), ref_loss.to_bits());
+        assert_eq!(out[0].1, state_dict(reference.as_ref()));
     }
 
     #[test]

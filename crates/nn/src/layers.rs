@@ -10,6 +10,12 @@ use std::cell::{Cell, RefCell};
 
 /// Fully connected layer `y = x Wᵀ + b` with Glorot-initialised weights
 /// (`W: [out, in]`).
+///
+/// Forward and backward both lower to the workspace's unified GEMM layer
+/// (`fedzkt_tensor::ops::gemm`) via `Var::linear` — the forward is a single
+/// NT product and the backward a NN (`dX = g W`) plus a TN (`dW = gᵀ X`)
+/// product, so large batches engage the row-partitioned multi-threaded
+/// kernels automatically.
 pub struct Linear {
     weight: Var,
     bias: Option<Var>,

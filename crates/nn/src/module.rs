@@ -76,6 +76,14 @@ pub trait Module {
 /// server ships a device's updated on-device model back as a `StateDict`
 /// (Algorithm 1, line 12), and its encoded size is what the communication
 /// accounting in `fedzkt-fl` measures.
+///
+/// It is also the unit of **thread transfer**: the autodiff tape is
+/// `Rc`-based and cannot cross threads, so the device-parallel fleet driver
+/// in `fedzkt-fl` moves models between workers as `StateDict`s (plain
+/// tensors are `Send`) and rebuilds the module on the destination thread.
+/// The snapshot-rebuild round trip is lossless
+/// ([`state_dict`] → [`load_state_dict`] restores every parameter and
+/// buffer bit-for-bit), which the checkpoint tests guard.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StateDict {
     /// Parameter tensors, in `Module::params` order.

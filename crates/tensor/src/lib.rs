@@ -30,6 +30,7 @@
 mod error;
 mod init;
 pub mod ops;
+pub mod par;
 mod rng;
 mod shape;
 mod tensor;

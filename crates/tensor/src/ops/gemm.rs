@@ -1,0 +1,289 @@
+//! The workspace's single GEMM kernel layer.
+//!
+//! Every matrix product in the workspace — `Tensor::matmul*`, the im2col
+//! convolutions in `fedzkt-autograd`, and through them every linear-layer
+//! forward/backward — lowers to one of the three kernels in this module.
+//! There is deliberately **no other GEMM implementation anywhere in the
+//! workspace**: this is the seam where future backends (SIMD, GPU) plug in.
+//!
+//! ## The accumulate-into contract
+//!
+//! All kernels *accumulate* into the caller-provided output slice:
+//! `out += op(A) × op(B)`. Callers that want a plain product pass a
+//! zero-filled `out`; callers accumulating a gradient (`dW += …`) pass the
+//! running buffer directly and avoid a temporary. `out` must have exactly
+//! `m * n` elements.
+//!
+//! ## Determinism
+//!
+//! For fixed operands each output element is accumulated in a fixed order
+//! (ascending along the contraction dimension), independent of blocking and
+//! of how rows are partitioned across threads. Results are therefore
+//! bit-identical for every thread count — the property the federated
+//! determinism suite (`tests/determinism.rs`) asserts end to end.
+//!
+//! ## Parallelism
+//!
+//! Kernels whose multiply–accumulate count reaches [`PAR_MIN_MACS`]
+//! partition their output rows across up to [`crate::par::max_threads`]
+//! scoped threads; smaller products stay on the calling thread, so tight
+//! loops over tiny matrices never pay a spawn.
+//!
+//! The dense inner loops intentionally have no `a == 0.0` skip branch: on
+//! the dense generator/activation matrices that dominate training it
+//! defeats autovectorisation, and benchmarks showed the sparse inputs that
+//! would profit (one-hot batches) are too small to matter.
+
+use crate::par;
+
+/// Contraction-dimension panel size: one `B` panel (`K_BLOCK × n` floats)
+/// stays cache-resident while a worker streams its rows of `A` over it.
+const K_BLOCK: usize = 128;
+
+/// Minimum number of multiply–accumulates (`m * k * n`) before a kernel
+/// forks; below this the spawn cost of scoped threads outweighs the work.
+pub const PAR_MIN_MACS: usize = 1 << 20;
+
+/// `out += A × B` with `A: [m, k]`, `B: [k, n]`, `out: [m, n]`, all dense
+/// row-major.
+///
+/// # Panics
+/// Debug-asserts the slice lengths implied by `(m, k, n)`.
+pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    row_partitioned(out, m, k, n, |row0, rows| {
+        // i–k–j with K panels: the B panel is reused across every row of
+        // the worker's chunk; out[i][j] accumulates k in ascending order.
+        for k0 in (0..k).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(k);
+            for (i, or) in rows.chunks_exact_mut(n).enumerate() {
+                let ar = &a[(row0 + i) * k..(row0 + i + 1) * k];
+                for t in k0..k1 {
+                    let av = ar[t];
+                    let br = &b[t * n..(t + 1) * n];
+                    for (o, &bv) in or.iter_mut().zip(br) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `out += A × Bᵀ` with `A: [m, k]`, `B: [n, k]`, `out: [m, n]`.
+///
+/// Both operands are traversed along contiguous rows (each output element is
+/// a dot product of two rows), so no transpose is ever materialised.
+///
+/// # Panics
+/// Debug-asserts the slice lengths implied by `(m, k, n)`.
+pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    row_partitioned(out, m, k, n, |row0, rows| {
+        for (i, or) in rows.chunks_exact_mut(n).enumerate() {
+            let ar = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (j, o) in or.iter_mut().enumerate() {
+                let br = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in ar.iter().zip(br) {
+                    acc += x * y;
+                }
+                *o += acc;
+            }
+        }
+    });
+}
+
+/// `out += Aᵀ × B` with `A: [k, m]`, `B: [k, n]`, `out: [m, n]`.
+///
+/// # Panics
+/// Debug-asserts the slice lengths implied by `(k, m, n)`.
+pub fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    row_partitioned(out, m, k, n, |row0, rows| {
+        // t outer keeps both source rows streaming; each out[i][j] still
+        // accumulates t in ascending order whatever the row partition.
+        for t in 0..k {
+            let ar = &a[t * m..(t + 1) * m];
+            let br = &b[t * n..(t + 1) * n];
+            for (i, or) in rows.chunks_exact_mut(n).enumerate() {
+                let av = ar[row0 + i];
+                for (o, &bv) in or.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+/// Run `body(first_row, row_chunk)` over `out`, forking across threads when
+/// the product is large enough. `body` must compute each output row by the
+/// same float sequence regardless of chunking (all three kernels do).
+fn row_partitioned(
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    body: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if m * n == 0 {
+        return; // Nothing to write; k may still be 0 or huge, irrelevant.
+    }
+    let threads = if m * k * n >= PAR_MIN_MACS { par::max_threads() } else { 1 };
+    par::for_each_chunk_mut(out, n, threads, body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{seeded_rng, Tensor};
+
+    fn naive_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for t in 0..k {
+                    out[i * n + j] += a[i * k + t] * b[t * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+        let mut t = vec![0.0f32; x.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                t[c * rows + r] = x[r * cols + c];
+            }
+        }
+        t
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        Tensor::randn(&[len.max(1)], &mut seeded_rng(seed)).data()[..len].to_vec()
+    }
+
+    /// Shapes covering the degenerate cases the kernels must not trip on:
+    /// empty output rows/cols ([0, K] / [K, 0]), an empty contraction
+    /// ([M, 0] × [0, N]), 1×1, and a few dense rectangles (one beyond
+    /// `K_BLOCK` to exercise panelling).
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (0, 3, 4),
+        (3, 0, 4),
+        (3, 4, 0),
+        (0, 0, 0),
+        (1, 1, 1),
+        (2, 3, 4),
+        (5, 7, 3),
+        (8, 8, 8),
+        (13, 1, 9),
+        (3, 150, 5),
+    ];
+
+    #[test]
+    fn nn_matches_naive_on_all_shapes() {
+        for &(m, k, n) in SHAPES {
+            let a = rand_vec(m * k, 1);
+            let b = rand_vec(k * n, 2);
+            let mut out = vec![0.0f32; m * n];
+            gemm_nn(&a, &b, &mut out, m, k, n);
+            let expected = naive_nn(&a, &b, m, k, n);
+            for (x, y) in out.iter().zip(&expected) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_matches_nn_of_transpose_on_all_shapes() {
+        for &(m, k, n) in SHAPES {
+            let a = rand_vec(m * k, 3);
+            let bt = rand_vec(n * k, 4); // B stored as [n, k]
+            let mut out = vec![0.0f32; m * n];
+            gemm_nt(&a, &bt, &mut out, m, k, n);
+            let expected = naive_nn(&a, &transpose(&bt, n, k), m, k, n);
+            for (x, y) in out.iter().zip(&expected) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tn_matches_nn_of_transpose_on_all_shapes() {
+        for &(m, k, n) in SHAPES {
+            let at = rand_vec(k * m, 5); // A stored as [k, m]
+            let b = rand_vec(k * n, 6);
+            let mut out = vec![0.0f32; m * n];
+            gemm_tn(&at, &b, &mut out, k, m, n);
+            let expected = naive_nn(&transpose(&at, k, m), &b, m, k, n);
+            for (x, y) in out.iter().zip(&expected) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate_instead_of_overwriting() {
+        let a = [2.0f32];
+        let b = [3.0f32];
+        let mut out = [10.0f32];
+        gemm_nn(&a, &b, &mut out, 1, 1, 1);
+        assert_eq!(out[0], 16.0);
+        gemm_nt(&a, &b, &mut out, 1, 1, 1);
+        assert_eq!(out[0], 22.0);
+        gemm_tn(&a, &b, &mut out, 1, 1, 1);
+        assert_eq!(out[0], 28.0);
+    }
+
+    #[test]
+    fn parallel_path_is_bit_identical_to_serial() {
+        let _guard = crate::par::TEST_OVERRIDE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Big enough that m*k*n clears PAR_MIN_MACS and the row partition
+        // actually engages.
+        let (m, k, n) = (128, 128, 128);
+        assert!(m * k * n >= PAR_MIN_MACS);
+        let a = rand_vec(m * k, 7);
+        let b = rand_vec(k * n, 8);
+        let run = |threads: usize| {
+            crate::par::set_threads(threads);
+            let mut nn = vec![0.0f32; m * n];
+            gemm_nn(&a, &b, &mut nn, m, k, n);
+            let mut nt = vec![0.0f32; m * n];
+            gemm_nt(&a, &b, &mut nt, m, k, n);
+            let mut tn = vec![0.0f32; m * n];
+            gemm_tn(&a, &b, &mut tn, k, m, n);
+            crate::par::set_threads(0);
+            (nn, nt, tn)
+        };
+        let serial = run(1);
+        for threads in [2usize, 4, 7] {
+            let parallel = run(threads);
+            for (s, p) in [(&serial.0, &parallel.0), (&serial.1, &parallel.1), (&serial.2, &parallel.2)] {
+                for (x, y) in s.iter().zip(p.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_values_are_not_skipped() {
+        // -0.0 propagation: 1·(-0.0) summed from a +0.0 accumulator must
+        // follow IEEE addition, not a skip branch. (+0.0) + (1 × -0.0) = +0.0,
+        // and (-0.0) would be the branchy result of copying the product.
+        let a = [1.0f32];
+        let b = [-0.0f32];
+        let mut out = [0.0f32];
+        gemm_nn(&a, &b, &mut out, 1, 1, 1);
+        assert_eq!(out[0].to_bits(), 0.0f32.to_bits());
+    }
+}

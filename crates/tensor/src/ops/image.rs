@@ -86,15 +86,58 @@ impl Conv2dGeometry {
 /// Debug-asserts that `input` has exactly `geometry.input_len()` elements.
 pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Vec<f32> {
     debug_assert_eq!(input.len(), g.input_len());
-    let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
+    // The single-sample lowering is the batch lowering with n = 1: for one
+    // sample the sample-major column layout degenerates to [C·KH·KW, OH·OW].
+    im2col_batch(input, 0, g.input_len(), 1, g)
+}
+
+/// Lower a whole batch of samples into one `[C·KH·KW, N·OH·OW]` column
+/// matrix whose columns are sample-major: sample `s` occupies columns
+/// `[s·OH·OW, (s+1)·OH·OW)`. One GEMM against this matrix convolves the
+/// entire batch, which is how `fedzkt-autograd` lowers `conv2d` (one kernel
+/// launch per channel group instead of one per sample per group).
+///
+/// * `batch` — the full input buffer (e.g. a whole `[N, C_all, H, W]`
+///   tensor's data);
+/// * `offset` — where sample 0's `[C, H, W]` slice begins within `batch`
+///   (the channel-group offset for grouped convolutions);
+/// * `sample_stride` — elements between consecutive samples (`C_all·H·W`);
+/// * `n` — number of samples.
+///
+/// Rows are filled in parallel (each worker owns a contiguous row range)
+/// when the matrix is large enough; the output is a pure per-element
+/// function of the input, so it is bit-identical for every thread count.
+///
+/// # Panics
+/// Panics when `batch` is too short for `offset + (n-1)·sample_stride +
+/// input_len` elements.
+pub fn im2col_batch(
+    batch: &[f32],
+    offset: usize,
+    sample_stride: usize,
+    n: usize,
+    g: &Conv2dGeometry,
+) -> Vec<f32> {
+    if n > 0 {
+        assert!(
+            offset + (n - 1) * sample_stride + g.input_len() <= batch.len(),
+            "im2col_batch: input buffer too short"
+        );
+    }
+    let cols = g.col_cols();
+    let mut out = vec![0.0f32; g.col_rows() * n * cols];
+    let threads =
+        if out.len() >= crate::par::PAR_MIN_ELEMS { crate::par::max_threads() } else { 1 };
     let (oh, ow) = (g.out_h, g.out_w);
     let hw = g.in_h * g.in_w;
-    let mut row = 0usize;
-    for c in 0..g.channels {
-        let plane = &input[c * hw..(c + 1) * hw];
-        for kh in 0..g.kernel_h {
-            for kw in 0..g.kernel_w {
-                let dst = &mut col[row * oh * ow..(row + 1) * oh * ow];
+    let ktaps = g.kernel_h * g.kernel_w;
+    crate::par::for_each_chunk_mut(&mut out, n * cols, threads, |row0, chunk| {
+        for (dr, dst_row) in chunk.chunks_mut(n * cols).enumerate() {
+            let row = row0 + dr;
+            let (c, kh, kw) = (row / ktaps, row % ktaps / g.kernel_w, row % g.kernel_w);
+            for s in 0..n {
+                let plane = &batch[offset + s * sample_stride + c * hw..][..hw];
+                let dst = &mut dst_row[s * cols..(s + 1) * cols];
                 for oy in 0..oh {
                     let iy = (oy * g.stride + kh) as isize - g.pad as isize;
                     if iy < 0 || iy >= g.in_h as isize {
@@ -109,11 +152,10 @@ pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Vec<f32> {
                         dst[oy * ow + ox] = plane[src_row + ix as usize];
                     }
                 }
-                row += 1;
             }
         }
-    }
-    col
+    });
+    out
 }
 
 /// Scatter-accumulate a `[C·KH·KW, OH·OW]` column-matrix gradient back into a
@@ -221,6 +263,37 @@ mod tests {
         let lhs: f32 = im2col(x.data(), &g).iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.data().iter().zip(col2im(y.data(), &g)).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_batch_matches_per_sample_lowering() {
+        let mut rng = seeded_rng(6);
+        let g = Conv2dGeometry::new(2, 5, 4, 3, 2, 1, 1).unwrap();
+        // Samples carry 3 channels overall; the lowered group starts at
+        // channel 1 (offset = 1 plane), exercising grouped-conv slicing.
+        let (n, c_all) = (3usize, 3usize);
+        let sample_stride = c_all * 5 * 4;
+        let batch = Tensor::randn(&[n * sample_stride], &mut rng);
+        let offset = 5 * 4; // skip channel 0 of sample 0
+        let big = im2col_batch(batch.data(), offset, sample_stride, n, &g);
+        let cols = g.col_cols();
+        for s in 0..n {
+            let sample = &batch.data()[offset + s * sample_stride..][..g.input_len()];
+            let single = im2col(sample, &g);
+            for r in 0..g.col_rows() {
+                assert_eq!(
+                    &big[r * n * cols + s * cols..r * n * cols + (s + 1) * cols],
+                    &single[r * cols..(r + 1) * cols],
+                    "row {r}, sample {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_batch_empty_batch() {
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 2, 1, 0).unwrap();
+        assert!(im2col_batch(&[], 0, 9, 0, &g).is_empty());
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! Cache-blocked matrix multiplication.
+//! Matrix products on [`Tensor`], thin shape-checked wrappers over the
+//! workspace's single GEMM layer ([`crate::ops::gemm`]).
 //!
-//! The workspace's convolutions lower to GEMM via `im2col`, so this kernel
-//! dominates training time. The implementation is a straightforward
-//! `i-k-j` loop order (streaming over the output row while broadcasting one
-//! `lhs` element), which vectorises well and avoids the pathological
-//! column-stride access of the naive `i-j-k` order. No unsafe code.
+//! All three transpose variants validate shapes, allocate a zeroed output
+//! and dispatch to the shared accumulate-into kernels, which handle cache
+//! blocking and (for large products) row-partitioned multi-threading.
 
+use super::gemm;
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
@@ -32,7 +32,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        gemm(self.data(), rhs.data(), &mut out, m, k, n);
+        gemm::gemm_nn(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -54,21 +54,8 @@ impl Tensor {
                 rhs: rhs.shape().to_vec(),
             });
         }
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let ar = &a[i * k..(i + 1) * k];
-            let or = &mut out[i * n..(i + 1) * n];
-            for (j, o) in or.iter_mut().enumerate() {
-                let br = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for t in 0..k {
-                    acc += ar[t] * br[t];
-                }
-                *o = acc;
-            }
-        }
+        gemm::gemm_nt(self.data(), rhs.data(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -86,23 +73,8 @@ impl Tensor {
                 rhs: rhs.shape().to_vec(),
             });
         }
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        for t in 0..k {
-            let ar = &a[t * m..(t + 1) * m];
-            let br = &b[t * n..(t + 1) * n];
-            for i in 0..m {
-                let av = ar[i];
-                if av == 0.0 {
-                    continue;
-                }
-                let or = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in or.iter_mut().zip(br) {
-                    *o += av * bv;
-                }
-            }
-        }
+        gemm::gemm_tn(self.data(), rhs.data(), &mut out, k, m, n);
         Tensor::from_vec(out, &[m, n])
     }
 }
@@ -112,23 +84,6 @@ fn mat_dims(t: &Tensor) -> Result<(usize, usize)> {
         return Err(TensorError::RankMismatch { expected: 2, actual: t.ndim() });
     }
     Ok((t.shape()[0], t.shape()[1]))
-}
-
-/// `out += a[m,k] * b[k,n]` with `out` zero-initialised by the caller.
-pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let ar = &a[i * k..(i + 1) * k];
-        let or = &mut out[i * n..(i + 1) * n];
-        for (t, &av) in ar.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let br = &b[t * n..(t + 1) * n];
-            for (o, &bv) in or.iter_mut().zip(br) {
-                *o += av * bv;
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -194,6 +149,30 @@ mod tests {
         assert!(matches!(a.matmul(&b), Err(TensorError::MatmulDims { .. })));
         let v = Tensor::zeros(&[3]);
         assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn degenerate_shapes_for_all_variants() {
+        // [0, K] x [K, N], [M, K] x [K, 0] and 1x1 through every transpose
+        // variant — the kernels must produce correctly shaped (possibly
+        // empty) outputs without touching memory.
+        let cases: &[(&[usize], &[usize])] = &[(&[0, 3], &[3, 4]), (&[2, 3], &[3, 0]), (&[1, 1], &[1, 1])];
+        for &(sa, sb) in cases {
+            let a = Tensor::zeros(sa);
+            let b = Tensor::zeros(sb);
+            let c = a.matmul(&b).unwrap();
+            assert_eq!(c.shape(), &[sa[0], sb[1]]);
+        }
+        // nt: [M, K] x [N, K]^T with M = 0, N = 0 and 1x1.
+        for &(sa, sb) in &[([0usize, 3], [4usize, 3]), ([2, 3], [0, 3]), ([1, 1], [1, 1])] {
+            let c = Tensor::zeros(&sa).matmul_nt(&Tensor::zeros(&sb)).unwrap();
+            assert_eq!(c.shape(), &[sa[0], sb[0]]);
+        }
+        // tn: [K, M]^T x [K, N] with M = 0, N = 0, K = 0 and 1x1.
+        for &(sa, sb) in &[([3usize, 0], [3usize, 4]), ([3, 2], [3, 0]), ([0, 2], [0, 3]), ([1, 1], [1, 1])] {
+            let c = Tensor::zeros(&sa).matmul_tn(&Tensor::zeros(&sb)).unwrap();
+            assert_eq!(c.shape(), &[sa[1], sb[1]]);
+        }
     }
 
     #[test]

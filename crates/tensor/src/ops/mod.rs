@@ -2,7 +2,8 @@
 //! lowering. Elementwise arithmetic and reductions live directly on
 //! [`Tensor`](crate::Tensor).
 
+pub mod gemm;
 mod image;
 mod matmul;
 
-pub use image::{col2im, im2col, Conv2dGeometry};
+pub use image::{col2im, im2col, im2col_batch, Conv2dGeometry};

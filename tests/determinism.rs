@@ -2,13 +2,36 @@
 //! that a federated run is a pure function of its seed. Guarded here at the
 //! outermost API — two `FedZkt::run` invocations with the same seed must
 //! produce bit-identical `RunLog` metrics, and different seeds must not.
+//!
+//! Since the execution model went multi-threaded, the contract has a second
+//! axis: the thread count is a throughput knob, never a semantics knob.
+//! `threads = 1` and `threads = 4` must produce bit-identical logs, and the
+//! parallel tensor kernels (GEMM, conv2d) must produce bit-identical
+//! buffers.
 
+use fedzkt::autograd::Var;
 use fedzkt::core::{FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Partition, SynthConfig};
 use fedzkt::fl::RunLog;
 use fedzkt::models::{GeneratorSpec, ModelSpec};
+use fedzkt::tensor::{par, seeded_rng, Tensor};
+use std::sync::Mutex;
+
+/// Serialises the tests in this binary: `par::set_threads` is process-global
+/// state, so a kernel-level thread sweep must not interleave with another
+/// test's run (libtest runs tests concurrently on multi-core hosts). Every
+/// test takes this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial_guard() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 fn run_once(seed: u64) -> RunLog {
+    run_with_threads(seed, 0)
+}
+
+fn run_with_threads(seed: u64, threads: usize) -> RunLog {
     let (train, test) = SynthConfig {
         family: DataFamily::MnistLike,
         img: 8,
@@ -38,20 +61,16 @@ fn run_once(seed: u64) -> RunLog {
         generator: GeneratorSpec { z_dim: 16, ngf: 4 },
         global_model: ModelSpec::SmallCnn { base_channels: 4 },
         seed,
+        threads,
         ..Default::default()
     };
     let mut fed = FedZkt::new(&zoo, &train, &shards, test, cfg);
     fed.run().clone()
 }
 
-#[test]
-fn same_seed_produces_bit_identical_runlog() {
-    let a = run_once(11);
-    let b = run_once(11);
-    // Structural equality first (clear failure messages)...
-    assert_eq!(a, b, "same-seed runs diverged");
-    // ...then bit-level equality of every floating-point metric, so that a
-    // -0.0 vs 0.0 or NaN regression cannot hide behind `PartialEq`.
+/// Bit-level equality of every floating-point metric, so that a -0.0 vs 0.0
+/// or NaN regression cannot hide behind `PartialEq`.
+fn assert_bit_identical(a: &RunLog, b: &RunLog) {
     assert_eq!(a.rounds.len(), b.rounds.len());
     for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
         assert_eq!(ra.round, rb.round);
@@ -77,7 +96,78 @@ fn same_seed_produces_bit_identical_runlog() {
 }
 
 #[test]
+fn same_seed_produces_bit_identical_runlog() {
+    let _guard = serial_guard();
+    let a = run_once(11);
+    let b = run_once(11);
+    // Structural equality first (clear failure messages)...
+    assert_eq!(a, b, "same-seed runs diverged");
+    assert_bit_identical(&a, &b);
+}
+
+#[test]
+fn runlog_is_bit_identical_across_thread_counts() {
+    let _guard = serial_guard();
+    // The determinism guarantee of the execution model: worker-thread count
+    // partitions work but never reorders a single floating-point operation
+    // within an output element, and fleet results merge in device order.
+    let one = run_with_threads(11, 1);
+    let four = run_with_threads(11, 4);
+    assert_eq!(one, four, "threads=1 vs threads=4 diverged");
+    assert_bit_identical(&one, &four);
+}
+
+#[test]
+fn tensor_kernels_bit_identical_across_thread_counts() {
+    let _guard = serial_guard();
+    // Above the GEMM parallel threshold (128^3 = 2 MMACs) so the row
+    // partition genuinely engages at threads > 1.
+    let mut rng = seeded_rng(41);
+    let a = Tensor::randn(&[128, 128], &mut rng);
+    let b = Tensor::randn(&[128, 128], &mut rng);
+    // A conv workload big enough for the batched-lowering parallel paths.
+    let x = Tensor::randn(&[8, 4, 12, 12], &mut rng);
+    let w = Tensor::randn(&[8, 2, 3, 3], &mut rng);
+    let run = |threads: usize| {
+        par::set_threads(threads);
+        let nn = a.matmul(&b).unwrap();
+        let nt = a.matmul_nt(&b).unwrap();
+        let tn = a.matmul_tn(&b).unwrap();
+        let xv = Var::parameter(x.clone());
+        let wv = Var::parameter(w.clone());
+        let y = xv.conv2d(&wv, 1, 1, 2);
+        y.sum_all().backward();
+        let out = (
+            nn,
+            nt,
+            tn,
+            y.value_clone(),
+            xv.grad().unwrap(),
+            wv.grad().unwrap(),
+        );
+        par::set_threads(0);
+        out
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    for (s, p) in [
+        (&serial.0, &parallel.0),
+        (&serial.1, &parallel.1),
+        (&serial.2, &parallel.2),
+        (&serial.3, &parallel.3),
+        (&serial.4, &parallel.4),
+        (&serial.5, &parallel.5),
+    ] {
+        assert_eq!(s.shape(), p.shape());
+        for (x, y) in s.data().iter().zip(p.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "kernel output diverged across thread counts");
+        }
+    }
+}
+
+#[test]
 fn different_seeds_produce_different_runs() {
+    let _guard = serial_guard();
     // Guards `split_seed` actually reaching the run: if the seed were
     // dropped somewhere, every run would be identical and the test above
     // would pass vacuously.
