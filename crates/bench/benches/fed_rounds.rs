@@ -5,9 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedzkt_bench::{build_workload, Tier};
-use fedzkt_core::{FedZkt, FedZktConfig};
+use fedzkt_core::FedZkt;
 use fedzkt_data::{DataFamily, Partition};
-use fedzkt_fl::{FedAvg, FedAvgConfig};
+use fedzkt_fl::{FedAvg, FedAvgConfig, SimConfig, Simulation};
 use fedzkt_models::ModelSpec;
 use std::hint::black_box;
 
@@ -17,20 +17,23 @@ fn bench_fedzkt_round(c: &mut Criterion) {
     let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
     group.bench_function("fedzkt_tiny", |bench| {
         bench.iter(|| {
-            let mut fed = FedZkt::new(&w.zoo, &w.train, &w.shards, w.test.clone(), w.fedzkt);
-            black_box(fed.round(0))
+            let fed = FedZkt::new(&w.zoo, &w.train, &w.shards, w.fedzkt, &w.sim);
+            let mut sim = Simulation::builder(fed, w.test.clone(), w.sim).build();
+            black_box(sim.round(0))
         });
     });
     group.bench_function("fedavg_tiny", |bench| {
         bench.iter(|| {
-            let mut fed = FedAvg::new(
+            let sim_cfg = SimConfig { rounds: 1, ..w.sim };
+            let fed = FedAvg::new(
                 ModelSpec::Mlp { hidden: 16 },
                 &w.train,
                 &w.shards,
-                w.test.clone(),
-                FedAvgConfig { rounds: 1, local_epochs: 1, batch_size: 16, ..Default::default() },
+                FedAvgConfig { local_epochs: 1, batch_size: 16, ..Default::default() },
+                &sim_cfg,
             );
-            black_box(fed.round(0))
+            let mut sim = Simulation::builder(fed, w.test.clone(), sim_cfg).build();
+            black_box(sim.round(0))
         });
     });
     group.finish();
@@ -46,9 +49,10 @@ fn bench_round_threads(c: &mut Criterion) {
     for &threads in &[1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
             bench.iter(|| {
-                let cfg = FedZktConfig { threads: t, ..w.fedzkt };
-                let mut fed = FedZkt::new(&w.zoo, &w.train, &w.shards, w.test.clone(), cfg);
-                black_box(fed.round(0))
+                let sim_cfg = SimConfig { threads: t, ..w.sim };
+                let fed = FedZkt::new(&w.zoo, &w.train, &w.shards, w.fedzkt, &sim_cfg);
+                let mut sim = Simulation::builder(fed, w.test.clone(), sim_cfg).build();
+                black_box(sim.round(0))
             });
         });
     }

@@ -14,7 +14,7 @@ fn main() {
 
     println!("-- transfer learning rate (Eq. 8 step size) --");
     for lr in [0.002f32, 0.01, 0.05] {
-        let acc = run_fedzkt(&workload, FedZktConfig { transfer_lr: lr, ..workload.fedzkt })
+        let acc = run_fedzkt(&workload, workload.sim, FedZktConfig { transfer_lr: lr, ..workload.fedzkt })
             .final_accuracy();
         println!("  transfer_lr = {lr:<6}: {}", pct(acc));
         csv.push_str(&format!("transfer_lr,{lr},{acc:.4}\n"));
@@ -23,7 +23,7 @@ fn main() {
     println!("-- generator for the global->device transfer --");
     for (label, fresh) in [("trained (paper)", false), ("fresh random", true)] {
         let cfg = FedZktConfig { fresh_generator_for_transfer: fresh, ..workload.fedzkt };
-        let acc = run_fedzkt(&workload, cfg).final_accuracy();
+        let acc = run_fedzkt(&workload, workload.sim, cfg).final_accuracy();
         println!("  {label:<16}: {}", pct(acc));
         csv.push_str(&format!("transfer_generator,{label},{acc:.4}\n"));
     }
@@ -32,7 +32,7 @@ fn main() {
     for scale in [0usize, 1, 2] {
         let n_d = workload.fedzkt.distill_iters * scale;
         let cfg = FedZktConfig { distill_iters: n_d, transfer_iters: n_d, ..workload.fedzkt };
-        let acc = run_fedzkt(&workload, cfg).final_accuracy();
+        let acc = run_fedzkt(&workload, workload.sim, cfg).final_accuracy();
         println!("  nD = {n_d:<4}: {}", pct(acc));
         csv.push_str(&format!("distill_iters,{n_d},{acc:.4}\n"));
     }

@@ -8,6 +8,7 @@
 
 use fedzkt_core::{FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition, SynthConfig};
+use fedzkt_fl::{SimConfig, Simulation};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 use fedzkt_tensor::ops::{gemm, im2col, im2col_batch, Conv2dGeometry};
 use fedzkt_tensor::{par, seeded_rng, Tensor};
@@ -62,8 +63,8 @@ fn round_seconds(devices: usize, threads: usize, runs: usize) -> f64 {
         ],
         devices,
     );
+    let sim_cfg = SimConfig { rounds: 1, seed: 1, threads, ..Default::default() };
     let cfg = FedZktConfig {
-        rounds: 1,
         local_epochs: 2,
         distill_iters: 4,
         transfer_iters: 4,
@@ -71,17 +72,16 @@ fn round_seconds(devices: usize, threads: usize, runs: usize) -> f64 {
         distill_batch: 8,
         generator: GeneratorSpec { z_dim: 16, ngf: 4 },
         global_model: ModelSpec::SmallCnn { base_channels: 4 },
-        seed: 1,
-        threads,
         ..Default::default()
     };
     // Construction (dataset clone, model/generator builds) is identical for
     // every thread count and single-threaded; keep it out of the timed
     // region so the ratio reflects the round itself.
     let run_one = || {
-        let mut fed = FedZkt::new(&zoo, &train, &shards, test.clone(), cfg);
+        let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
+        let mut sim = Simulation::builder(fed, test.clone(), sim_cfg).build();
         let t0 = Instant::now();
-        black_box(fed.round(0));
+        black_box(sim.round(0));
         t0.elapsed().as_secs_f64()
     };
     run_one();
@@ -137,7 +137,7 @@ fn main() {
     let devices = 8usize;
     let r1 = round_seconds(devices, 1, 3);
     let r4 = round_seconds(devices, 4, 3);
-    eprintln!("FedZkt::round ({devices} devices): 1 thread {r1:.2} s, 4 threads {r4:.2} s");
+    eprintln!("FedZkt round ({devices} devices): 1 thread {r1:.2} s, 4 threads {r4:.2} s");
 
     let json = format!(
         r#"{{

@@ -5,20 +5,22 @@
 use fedzkt_bench::{banner, build_workload, ExpOptions};
 use fedzkt_core::{FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
+use fedzkt_fl::Simulation;
 
 fn main() {
     let opts = ExpOptions::from_args();
     banner("Figure 2: ||grad_x L|| per round (MNIST, IID)", &opts);
     let workload = build_workload(DataFamily::MnistLike, Partition::Iid, opts.tier, opts.seed);
     let cfg = FedZktConfig { probe_grad_norms: true, ..workload.fedzkt };
-    let mut fed = FedZkt::new(&workload.zoo, &workload.train, &workload.shards, workload.test.clone(), cfg);
-    fed.run();
+    let fed = FedZkt::new(&workload.zoo, &workload.train, &workload.shards, cfg, &workload.sim);
+    let mut sim = Simulation::builder(fed, workload.test.clone(), workload.sim).build();
+    sim.run();
     println!("{:>6} {:>14} {:>14} {:>14}", "round", "KL", "l1-norm", "SL");
-    for r in fed.probe().records() {
+    for r in sim.algorithm().probe().records() {
         println!("{:>6} {:>14.6} {:>14.6} {:>14.6}", r.round, r.kl, r.logit_l1, r.sl);
     }
     // Shape summary (the property Fig. 2 illustrates).
-    let records = fed.probe().records();
+    let records = sim.algorithm().probe().records();
     let last = &records[records.len().saturating_sub(3)..];
     let mean = |f: fn(&fedzkt_core::GradNormRecord) -> f32| -> f32 {
         last.iter().map(f).sum::<f32>() / last.len().max(1) as f32
@@ -29,5 +31,5 @@ fn main() {
         mean(|r| r.logit_l1),
         mean(|r| r.sl)
     );
-    opts.write_csv("fig2.csv", &fed.probe().to_csv());
+    opts.write_csv("fig2.csv", &sim.algorithm().probe().to_csv());
 }

@@ -9,9 +9,9 @@ fn main() {
     let opts = ExpOptions::from_args();
     banner("Figure 3: learning curves (CIFAR-10, IID)", &opts);
     let workload = build_workload(DataFamily::Cifar10Like, Partition::Iid, opts.tier, opts.seed);
-    let zkt = run_fedzkt(&workload, workload.fedzkt);
+    let zkt = run_fedzkt(&workload, workload.sim, workload.fedzkt);
     let public = build_public(&workload, DataFamily::Cifar100Like, opts.seed);
-    let md = run_fedmd(&workload, public, workload.fedmd);
+    let md = run_fedmd(&workload, public, workload.sim, workload.fedmd);
 
     println!("{:>6} {:>12} {:>12}", "round", "FedMD", "FedZKT");
     let mut csv = String::from("round,fedmd,fedzkt\n");

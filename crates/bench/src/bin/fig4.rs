@@ -70,8 +70,8 @@ fn run_pair(family: DataFamily, partition: Partition, opts: &ExpOptions) -> (f32
     let workload = build_workload(family, partition, opts.tier, opts.seed);
     // Non-IID runs enable the paper's ℓ2 regularizer (Eq. 9).
     let cfg = FedZktConfig { prox_mu: 1.0, ..workload.fedzkt };
-    let zkt = run_fedzkt(&workload, cfg);
+    let zkt = run_fedzkt(&workload, workload.sim, cfg);
     let public = build_public(&workload, fedmd_public_family(family), opts.seed);
-    let md = run_fedmd(&workload, public, workload.fedmd);
+    let md = run_fedmd(&workload, public, workload.sim, workload.fedmd);
     (md.final_accuracy(), zkt.final_accuracy())
 }

@@ -6,6 +6,7 @@
 use fedzkt_bench::{banner, build_workload_scaled, pct, ExpOptions, Scale};
 use fedzkt_core::FedZkt;
 use fedzkt_data::{DataFamily, Partition};
+use fedzkt_fl::Simulation;
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -19,14 +20,15 @@ fn main() {
         opts.seed,
         scale,
     );
-    let mut fed = FedZkt::new(
+    let fed = FedZkt::new(
         &workload.zoo,
         &workload.train,
         &workload.shards,
-        workload.test.clone(),
         workload.fedzkt,
+        &workload.sim,
     );
-    let log = fed.run().clone();
+    let mut sim = Simulation::builder(fed, workload.test.clone(), workload.sim).build();
+    let log = sim.run().clone();
 
     // Header: device/model names.
     print!("{:>6}", "round");

@@ -4,8 +4,8 @@
 //! at p = 0.2.
 
 use fedzkt_bench::{banner, pct, run_fedzkt, ExpOptions};
-use fedzkt_core::FedZktConfig;
 use fedzkt_data::{DataFamily, Partition};
+use fedzkt_fl::SimConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -30,8 +30,10 @@ fn main() {
         let logs: Vec<_> = portions
             .iter()
             .map(|&p| {
-                let cfg = FedZktConfig { participation: p, ..workload.fedzkt };
-                run_fedzkt(&workload, cfg)
+                // Participation is a protocol knob: it lives in the
+                // driver's SimConfig, not the algorithm config.
+                let sim = SimConfig { participation: p, ..workload.sim };
+                run_fedzkt(&workload, sim, workload.fedzkt)
             })
             .collect();
         let rounds = logs[0].rounds.len();

@@ -29,7 +29,7 @@ fn main() {
                 }
                 let workload =
                     build_workload_scaled(family, Partition::Iid, opts.tier, opts.seed, scale);
-                run_fedzkt(&workload, workload.fedzkt)
+                run_fedzkt(&workload, workload.sim, workload.fedzkt)
             })
             .collect();
         let rounds = logs[0].rounds.len();

@@ -26,7 +26,7 @@ fn main() {
 
     for (private, publics) in cases {
         let workload = build_workload(private, Partition::Iid, opts.tier, opts.seed);
-        let zkt_log = run_fedzkt(&workload, workload.fedzkt);
+        let zkt_log = run_fedzkt(&workload, workload.sim, workload.fedzkt);
         let zkt_acc = zkt_log.final_accuracy();
         csv.push_str(&format!(
             "{},-,FedZKT,{:.4},{:.4}\n",
@@ -36,7 +36,7 @@ fn main() {
         ));
         for (i, public_family) in publics.iter().enumerate() {
             let public = build_public(&workload, *public_family, opts.seed);
-            let md_log = run_fedmd(&workload, public, workload.fedmd);
+            let md_log = run_fedmd(&workload, public, workload.sim, workload.fedmd);
             let md_acc = md_log.final_accuracy();
             csv.push_str(&format!(
                 "{},{},FedMD,{:.4},{:.4}\n",

@@ -23,7 +23,7 @@ fn main() {
         let mut row = Vec::new();
         for loss in [DistillLoss::Kl, DistillLoss::LogitL1, DistillLoss::Sl] {
             let cfg = FedZktConfig { loss, prox_mu: 1.0, ..workload.fedzkt };
-            let acc = run_fedzkt(&workload, cfg).final_accuracy();
+            let acc = run_fedzkt(&workload, workload.sim, cfg).final_accuracy();
             csv.push_str(&format!("{label},{loss},{acc:.4}\n"));
             row.push(acc);
         }

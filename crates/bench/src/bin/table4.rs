@@ -17,9 +17,9 @@ fn main() {
     ];
     for (label, partition) in scenarios {
         let workload = build_workload(DataFamily::Cifar10Like, partition, opts.tier, opts.seed);
-        let without = run_fedzkt(&workload, FedZktConfig { prox_mu: 0.0, ..workload.fedzkt })
+        let without = run_fedzkt(&workload, workload.sim, FedZktConfig { prox_mu: 0.0, ..workload.fedzkt })
             .final_accuracy();
-        let with = run_fedzkt(&workload, FedZktConfig { prox_mu: 1.0, ..workload.fedzkt })
+        let with = run_fedzkt(&workload, workload.sim, FedZktConfig { prox_mu: 1.0, ..workload.fedzkt })
             .final_accuracy();
         println!("{:<12} {:>18} {:>18}", label, pct(without), pct(with));
         csv.push_str(&format!("{label},0.0,{without:.4}\n{label},1.0,{with:.4}\n"));

@@ -27,7 +27,7 @@
 
 use fedzkt_core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Dataset, Partition, SynthConfig};
-use fedzkt_fl::RunLog;
+use fedzkt_fl::{RunLog, SimConfig, Simulation};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -148,6 +148,9 @@ pub struct Workload {
     pub shards: Vec<Vec<usize>>,
     /// Per-device architectures.
     pub zoo: Vec<ModelSpec>,
+    /// Protocol configuration (rounds, participation, seed, …) shared by
+    /// every algorithm through the [`Simulation`] driver.
+    pub sim: SimConfig,
     /// FedZKT configuration.
     pub fedzkt: FedZktConfig,
     /// FedMD configuration.
@@ -265,8 +268,8 @@ pub fn build_workload_scaled(
     // Learning rates: the paper's values (0.01 / 1e-3) are tuned for
     // nD = 200–500 server iterations; the reduced tiers compensate with
     // proportionally larger steps.
+    let sim = SimConfig { rounds: s.rounds, seed, ..Default::default() };
     let fedzkt = FedZktConfig {
-        rounds: s.rounds,
         local_epochs: s.local_epochs,
         distill_iters: s.distill_iters,
         transfer_iters: s.distill_iters,
@@ -278,11 +281,9 @@ pub fn build_workload_scaled(
         generator_lr: 1e-3,
         generator,
         global_model,
-        seed,
         ..Default::default()
     };
     let fedmd = FedMdConfig {
-        rounds: s.rounds,
         public_warmup_epochs: s.local_epochs,
         private_warmup_epochs: s.local_epochs,
         alignment_size: (s.train_n / 4).clamp(32, 5000),
@@ -290,10 +291,8 @@ pub fn build_workload_scaled(
         revisit_epochs: s.local_epochs,
         batch_size: s.batch,
         lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
-        seed,
-        ..Default::default()
     };
-    Workload { train, test, shards, zoo, fedzkt, fedmd }
+    Workload { train, test, shards, zoo, sim, fedzkt, fedmd }
 }
 
 /// The public dataset FedMD pairs with a private family in Table I
@@ -322,24 +321,23 @@ pub fn build_public(workload: &Workload, family: DataFamily, seed: u64) -> Datas
     public
 }
 
-/// Run FedZKT on a workload, returning its log.
-pub fn run_fedzkt(workload: &Workload, cfg: FedZktConfig) -> RunLog {
-    let mut fed =
-        FedZkt::new(&workload.zoo, &workload.train, &workload.shards, workload.test.clone(), cfg);
-    fed.run().clone()
+/// Run FedZKT on a workload under the [`Simulation`] driver, returning its
+/// log.
+pub fn run_fedzkt(workload: &Workload, sim: SimConfig, cfg: FedZktConfig) -> RunLog {
+    let fed = FedZkt::new(&workload.zoo, &workload.train, &workload.shards, cfg, &sim);
+    Simulation::builder(fed, workload.test.clone(), sim).build().run().clone()
 }
 
-/// Run FedMD on a workload with the given public dataset.
-pub fn run_fedmd(workload: &Workload, public: Dataset, cfg: FedMdConfig) -> RunLog {
-    let mut fed = FedMd::new(
-        &workload.zoo,
-        &workload.train,
-        &workload.shards,
-        public,
-        workload.test.clone(),
-        cfg,
-    );
-    fed.run().clone()
+/// Run FedMD on a workload with the given public dataset under the
+/// [`Simulation`] driver.
+pub fn run_fedmd(
+    workload: &Workload,
+    public: Dataset,
+    sim: SimConfig,
+    cfg: FedMdConfig,
+) -> RunLog {
+    let fed = FedMd::new(&workload.zoo, &workload.train, &workload.shards, public, cfg, &sim);
+    Simulation::builder(fed, workload.test.clone(), sim).build().run().clone()
 }
 
 /// Format an accuracy as the paper prints them.
@@ -383,10 +381,10 @@ mod tests {
     #[test]
     fn tiny_fedzkt_and_fedmd_run_end_to_end() {
         let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 2);
-        let log = run_fedzkt(&w, w.fedzkt);
+        let log = run_fedzkt(&w, w.sim, w.fedzkt);
         assert_eq!(log.rounds.len(), 2);
         let public = build_public(&w, DataFamily::FashionLike, 2);
-        let log = run_fedmd(&w, public, FedMdConfig { rounds: 1, ..w.fedmd });
+        let log = run_fedmd(&w, public, SimConfig { rounds: 1, ..w.sim }, w.fedmd);
         assert_eq!(log.rounds.len(), 1);
     }
 

@@ -1,16 +1,20 @@
 //! FedZKT hyperparameters.
 
 use fedzkt_autograd::DistillLoss;
+use fedzkt_fl::SimConfig;
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 use serde::{Deserialize, Serialize};
 
-/// All knobs of a FedZKT run (defaults follow §IV-A3, scaled to the
-/// synthetic quick workloads; the bench harness's `--paper` mode restores
-/// paper values such as `nD = 200/500` and batch 256).
+/// The knobs of FedZKT's update rules (defaults follow §IV-A3, scaled to
+/// the synthetic quick workloads; the bench harness's `--paper` mode
+/// restores paper values such as `nD = 200/500` and batch 256).
+///
+/// Protocol-level knobs — rounds, participation, seed, worker threads,
+/// evaluation — live in [`SimConfig`]: they are owned by the
+/// [`Simulation`](fedzkt_fl::Simulation) driver and shared by every
+/// algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FedZktConfig {
-    /// Communication rounds `T` (paper: 50 small / 100 CIFAR).
-    pub rounds: usize,
     /// Local epochs per round `T_l` (paper: 5 small / 10 CIFAR).
     pub local_epochs: usize,
     /// Server distillation iterations `nD = nG = nS` per round
@@ -38,22 +42,17 @@ pub struct FedZktConfig {
     pub generator_lr: f32,
     /// Disagreement loss `L` for the zero-shot game (paper proposal: SL).
     pub loss: DistillLoss,
+    /// Simulated server throughput (samples/second) used to charge the
+    /// zero-shot game's compute to the simulated clock when a
+    /// [`Simulation`](fedzkt_fl::Simulation) has device resources
+    /// attached: the server processes `2·nD + transfer_iters` generated
+    /// batches per round. Datacenter-class by default (~100× the
+    /// simulator's smartphone profile); `f32::INFINITY` models a free
+    /// server.
+    pub server_samples_per_sec: f32,
     /// ℓ2 proximal coefficient μ of Eq. 9 (0 disables; the paper uses the
     /// plain `‖·‖²` term, i.e. μ = 1, for non-IID runs).
     pub prox_mu: f32,
-    /// Fraction of devices active per round (stragglers, §IV-C3).
-    pub participation: f32,
-    /// Evaluation batch size.
-    pub eval_batch: usize,
-    /// Master seed.
-    pub seed: u64,
-    /// Worker threads for device-parallel local training; 0 (the default)
-    /// resolves through [`fedzkt_tensor::par::max_threads`]: the
-    /// `FEDZKT_THREADS` environment variable, then available parallelism.
-    /// Same-seed runs are bit-identical for **every** value — thread count
-    /// is a throughput knob, never a semantics knob (enforced by
-    /// `tests/determinism.rs`).
-    pub threads: usize,
     /// Generator architecture.
     pub generator: GeneratorSpec,
     /// Global (server) model architecture `F`.
@@ -70,7 +69,6 @@ pub struct FedZktConfig {
 impl Default for FedZktConfig {
     fn default() -> Self {
         FedZktConfig {
-            rounds: 10,
             local_epochs: 2,
             distill_iters: 30,
             transfer_iters: 30,
@@ -82,11 +80,8 @@ impl Default for FedZktConfig {
             transfer_lr: 0.01,
             generator_lr: 1e-3,
             loss: DistillLoss::Sl,
+            server_samples_per_sec: 50_000.0,
             prox_mu: 0.0,
-            participation: 1.0,
-            eval_batch: 64,
-            seed: 0,
-            threads: 0,
             generator: GeneratorSpec::default(),
             global_model: ModelSpec::SmallCnn { base_channels: 8 },
             probe_grad_norms: false,
@@ -96,39 +91,38 @@ impl Default for FedZktConfig {
 }
 
 impl FedZktConfig {
-    /// The worker-thread count local training actually uses: `threads`, or
-    /// — when 0 — the workspace default from
-    /// [`fedzkt_tensor::par::max_threads`].
-    pub fn resolved_threads(&self) -> usize {
-        fedzkt_tensor::par::resolve_threads(self.threads)
-    }
-
     /// Paper-scale parameters for the small datasets (MNIST/KMNIST/FASHION):
-    /// `T = 50`, `T_l = 5`, `nD = 200`, batch 256.
-    pub fn paper_small() -> Self {
-        FedZktConfig {
-            rounds: 50,
-            local_epochs: 5,
-            distill_iters: 200,
-            transfer_iters: 200,
-            device_batch: 256,
-            distill_batch: 256,
-            ..Default::default()
-        }
+    /// `T = 50`, `T_l = 5`, `nD = 200`, batch 256. Returned as the
+    /// protocol/algorithm config pair the [`Simulation`](fedzkt_fl::Simulation)
+    /// builder consumes.
+    pub fn paper_small() -> (SimConfig, Self) {
+        (
+            SimConfig { rounds: 50, ..Default::default() },
+            FedZktConfig {
+                local_epochs: 5,
+                distill_iters: 200,
+                transfer_iters: 200,
+                device_batch: 256,
+                distill_batch: 256,
+                ..Default::default()
+            },
+        )
     }
 
     /// Paper-scale parameters for CIFAR-10: `T = 100`, `T_l = 10`,
     /// `nD = 500`, batch 256.
-    pub fn paper_cifar() -> Self {
-        FedZktConfig {
-            rounds: 100,
-            local_epochs: 10,
-            distill_iters: 500,
-            transfer_iters: 500,
-            device_batch: 256,
-            distill_batch: 256,
-            ..Default::default()
-        }
+    pub fn paper_cifar() -> (SimConfig, Self) {
+        (
+            SimConfig { rounds: 100, ..Default::default() },
+            FedZktConfig {
+                local_epochs: 10,
+                distill_iters: 500,
+                transfer_iters: 500,
+                device_batch: 256,
+                distill_batch: 256,
+                ..Default::default()
+            },
+        )
     }
 }
 
@@ -137,29 +131,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_use_sl_loss_and_full_participation() {
+    fn defaults_use_sl_loss() {
         let cfg = FedZktConfig::default();
         assert_eq!(cfg.loss, DistillLoss::Sl);
-        assert_eq!(cfg.participation, 1.0);
         assert_eq!(cfg.prox_mu, 0.0);
-    }
-
-    #[test]
-    fn threads_default_resolves_to_workspace_parallelism() {
-        let cfg = FedZktConfig::default();
-        assert_eq!(cfg.threads, 0);
-        assert_eq!(cfg.resolved_threads(), fedzkt_tensor::par::max_threads());
-        assert!(cfg.resolved_threads() >= 1);
-        let pinned = FedZktConfig { threads: 3, ..Default::default() };
-        assert_eq!(pinned.resolved_threads(), 3);
+        // Full participation is the protocol-level default.
+        assert_eq!(SimConfig::default().participation, 1.0);
     }
 
     #[test]
     fn paper_presets_match_section_iv_a3() {
-        let small = FedZktConfig::paper_small();
-        assert_eq!((small.rounds, small.local_epochs, small.distill_iters), (50, 5, 200));
-        let cifar = FedZktConfig::paper_cifar();
-        assert_eq!((cifar.rounds, cifar.local_epochs, cifar.distill_iters), (100, 10, 500));
+        let (sim, small) = FedZktConfig::paper_small();
+        assert_eq!((sim.rounds, small.local_epochs, small.distill_iters), (50, 5, 200));
+        let (sim, cifar) = FedZktConfig::paper_cifar();
+        assert_eq!((sim.rounds, cifar.local_epochs, cifar.distill_iters), (100, 10, 500));
         assert_eq!(cifar.device_batch, 256);
         assert!((cifar.generator_lr - 1e-3).abs() < 1e-9);
         assert!((cifar.server_lr - 0.01).abs() < 1e-9);

@@ -3,27 +3,36 @@
 //! in Table I and Figures 3–4.
 //!
 //! FedMD also lets every device choose its own architecture, but transfers
-//! knowledge through a **public dataset**: each round the devices share
-//! their class scores (logits) on a public subset, the server averages them
-//! into a consensus, and each device *digests* the consensus before
-//! *revisiting* its private data. The quality of the public dataset is
-//! FedMD's Achilles' heel — reproduced here by running it with a
+//! knowledge through a **public dataset**: each round the active devices
+//! share their class scores (logits) on a public subset, the server
+//! averages them into a consensus, and each device *digests* the consensus
+//! before *revisiting* its private data. The quality of the public dataset
+//! is FedMD's Achilles' heel — reproduced here by running it with a
 //! similar-distribution public set (`Cifar100Like`) and a
 //! different-distribution one (`SvhnLike`).
+//!
+//! Runs under the [`Simulation`](fedzkt_fl::Simulation) driver like the
+//! other algorithms: the transfer-learning warm-up happens lazily, per
+//! device, the first round a device participates (a straggler that never
+//! participates never trains), and the digest/revisit phases execute
+//! device-parallel on the [`train_local_fleet`] worker pool.
 
 use fedzkt_autograd::Var;
-use fedzkt_data::{BatchIter, Dataset};
-use fedzkt_fl::{evaluate, train_local, CommTracker, LocalTrainConfig, RoundMetrics, RunLog};
+use fedzkt_data::Dataset;
+use fedzkt_fl::{
+    train_local_fleet, DigestConfig, FederatedAlgorithm, FleetJob, LocalTrainConfig, RoundContext,
+    SimConfig,
+};
 use fedzkt_models::ModelSpec;
-use fedzkt_nn::{Module, Optimizer, Sgd, SgdConfig};
+use fedzkt_nn::{load_state_dict, state_dict, Module};
 use fedzkt_tensor::{seeded_rng, split_seed, Tensor};
 use rand::seq::SliceRandom;
 
-/// Configuration for [`FedMd`].
+/// Hyperparameters of [`FedMd`]'s update rules. Protocol-level knobs
+/// (rounds, participation, seed, threads, evaluation) live in
+/// [`SimConfig`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FedMdConfig {
-    /// Communication rounds.
-    pub rounds: usize,
     /// Warm-up epochs on the public dataset (transfer-learning phase).
     pub public_warmup_epochs: usize,
     /// Warm-up epochs on the private shard after the public phase.
@@ -38,16 +47,11 @@ pub struct FedMdConfig {
     pub batch_size: usize,
     /// Learning rate.
     pub lr: f32,
-    /// Evaluation batch size.
-    pub eval_batch: usize,
-    /// Master seed.
-    pub seed: u64,
 }
 
 impl Default for FedMdConfig {
     fn default() -> Self {
         FedMdConfig {
-            rounds: 10,
             public_warmup_epochs: 2,
             private_warmup_epochs: 2,
             alignment_size: 128,
@@ -55,33 +59,45 @@ impl Default for FedMdConfig {
             revisit_epochs: 2,
             batch_size: 32,
             lr: 0.01,
-            eval_batch: 64,
-            seed: 0,
         }
     }
 }
 
 struct MdDevice {
+    spec: ModelSpec,
     model: Box<dyn Module>,
     data: Dataset,
+    /// Lazily set the first round this device participates.
+    warmed_up: bool,
+    /// Did the warm-up run in the round currently being accounted? The
+    /// simulated clock reads `local_samples` after the phases, so the
+    /// one-off warm-up compute must be charged to that round.
+    warmed_this_round: bool,
 }
 
-/// A FedMD simulation over heterogeneous on-device models and a public
+/// Alignment state produced by `local_update`, consumed by
+/// `server_update`.
+struct Alignment {
+    inputs: Tensor,
+    consensus: Tensor,
+}
+
+/// A FedMD federation over heterogeneous on-device models and a public
 /// dataset.
 pub struct FedMd {
     cfg: FedMdConfig,
+    seed: u64,
+    io: (usize, usize, usize),
     devices: Vec<MdDevice>,
     public: Dataset,
-    test: Dataset,
-    log: RunLog,
-    warmed_up: bool,
+    pending: Option<Alignment>,
 }
 
 impl FedMd {
-    /// Build a simulation. `public` provides the alignment inputs; its
+    /// Build the federation. `public` provides the alignment inputs; its
     /// labels are taken modulo the private class count for the
     /// transfer-learning warm-up (the public task may have more classes,
-    /// e.g. CIFAR-100 vs CIFAR-10).
+    /// e.g. CIFAR-100 vs CIFAR-10). `sim` supplies the run seed.
     ///
     /// # Panics
     /// Panics when `zoo`/`shards` lengths differ or are empty, or when the
@@ -91,8 +107,8 @@ impl FedMd {
         train: &Dataset,
         shards: &[Vec<usize>],
         public: Dataset,
-        test: Dataset,
         cfg: FedMdConfig,
+        sim: &SimConfig,
     ) -> Self {
         assert!(!zoo.is_empty(), "need at least one device");
         assert_eq!(zoo.len(), shards.len(), "zoo/shards length mismatch");
@@ -113,178 +129,219 @@ impl FedMd {
             .zip(shards)
             .enumerate()
             .map(|(i, (spec, idx))| MdDevice {
-                model: spec.build(channels, classes, img, split_seed(cfg.seed, 200 + i as u64)),
+                spec: *spec,
+                model: spec.build(channels, classes, img, split_seed(sim.seed, 200 + i as u64)),
                 data: train.subset(idx),
+                warmed_up: false,
+                warmed_this_round: false,
             })
             .collect();
-        FedMd { cfg, devices, public, test, log: RunLog::new(), warmed_up: false }
+        FedMd {
+            cfg,
+            seed: sim.seed,
+            io: (channels, classes, img),
+            devices,
+            public,
+            pending: None,
+        }
     }
 
-    /// Number of devices.
-    pub fn devices(&self) -> usize {
+    /// The re-labelled public dataset.
+    pub fn public(&self) -> &Dataset {
+        &self.public
+    }
+
+    /// Has device `k` gone through its transfer-learning warm-up yet?
+    pub fn warmed_up(&self, k: usize) -> bool {
+        self.devices[k].warmed_up
+    }
+
+    /// Transfer-learning warm-up for the not-yet-warmed devices of
+    /// `active`: public data, then private data, both phases in **one**
+    /// device-parallel fleet dispatch (the public pass rides as the job's
+    /// `pretrain`, so each cold device pays the snapshot→rebuild→load
+    /// round-trip once). Lazy so stragglers that never participate stay
+    /// untouched.
+    fn warmup(&mut self, active: &[usize], threads: usize) {
+        let cold: Vec<usize> =
+            active.iter().copied().filter(|&k| !self.devices[k].warmed_up).collect();
+        if cold.is_empty() {
+            return;
+        }
+        let jobs: Vec<FleetJob> = cold
+            .iter()
+            .map(|&k| {
+                let dev = &self.devices[k];
+                let phase_cfg = |epochs: usize, seed_base: u64| LocalTrainConfig {
+                    epochs,
+                    batch_size: self.cfg.batch_size,
+                    lr: self.cfg.lr,
+                    momentum: 0.9,
+                    seed: split_seed(self.seed, seed_base + k as u64),
+                    ..Default::default()
+                };
+                FleetJob {
+                    spec: dev.spec,
+                    snapshot: state_dict(dev.model.as_ref()),
+                    data: &dev.data,
+                    cfg: phase_cfg(self.cfg.private_warmup_epochs, 400),
+                    pretrain: Some((&self.public, phase_cfg(self.cfg.public_warmup_epochs, 300))),
+                    digest: None,
+                    rebuild_seed: split_seed(self.seed, 0xFD_0000 + k as u64),
+                }
+            })
+            .collect();
+        let results = train_local_fleet(&jobs, self.io, threads);
+        drop(jobs);
+        for (&k, (_, sd)) in cold.iter().zip(results) {
+            load_state_dict(self.devices[k].model.as_ref(), &sd)
+                .expect("warmup result matches device architecture");
+        }
+        for &k in &cold {
+            self.devices[k].warmed_up = true;
+            self.devices[k].warmed_this_round = true;
+        }
+    }
+
+    /// Size of the round's alignment subset.
+    fn alignment_len(&self) -> usize {
+        self.cfg.alignment_size.min(self.public.len())
+    }
+
+    /// Bytes of one device's logit payload for the round's alignment
+    /// subset.
+    fn logit_bytes(&self) -> usize {
+        self.alignment_len() * self.public.num_classes() * std::mem::size_of::<f32>()
+    }
+}
+
+impl FederatedAlgorithm for FedMd {
+    fn devices(&self) -> usize {
         self.devices.len()
     }
 
-    /// The run log so far.
-    pub fn log(&self) -> &RunLog {
-        &self.log
-    }
-
-    /// Transfer-learning warm-up: public data, then private data (run once
-    /// before the first round; [`FedMd::run`] calls it automatically).
-    pub fn warmup(&mut self) {
-        if self.warmed_up {
-            return;
+    /// FedMD steps 1–3: warm up first-time participants, sample the
+    /// round's alignment subset, have every active device score it, and
+    /// average the scores into the consensus.
+    fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
+        for dev in &mut self.devices {
+            dev.warmed_this_round = false;
         }
-        for (i, dev) in self.devices.iter().enumerate() {
-            train_local(
-                dev.model.as_ref(),
-                &self.public,
-                &LocalTrainConfig {
-                    epochs: self.cfg.public_warmup_epochs,
-                    batch_size: self.cfg.batch_size,
-                    lr: self.cfg.lr,
-                    momentum: 0.9,
-                    seed: split_seed(self.cfg.seed, 300 + i as u64),
-                    ..Default::default()
-                },
-            );
-            train_local(
-                dev.model.as_ref(),
-                &dev.data,
-                &LocalTrainConfig {
-                    epochs: self.cfg.private_warmup_epochs,
-                    batch_size: self.cfg.batch_size,
-                    lr: self.cfg.lr,
-                    momentum: 0.9,
-                    seed: split_seed(self.cfg.seed, 400 + i as u64),
-                    ..Default::default()
-                },
-            );
-        }
-        self.warmed_up = true;
-    }
-
-    /// Execute one communication round.
-    pub fn round(&mut self, round: usize) -> RoundMetrics {
-        self.warmup();
-        let mut comm = CommTracker::new(self.devices.len());
+        self.warmup(active, ctx.threads());
 
         // 1. Server samples the alignment subset of the public data.
-        let mut rng = seeded_rng(split_seed(self.cfg.seed, 500 + round as u64));
+        let mut rng = seeded_rng(split_seed(self.seed, 500 + round as u64));
         let mut indices: Vec<usize> = (0..self.public.len()).collect();
         indices.shuffle(&mut rng);
-        indices.truncate(self.cfg.alignment_size.min(self.public.len()));
+        indices.truncate(self.alignment_len());
         let (align_x, _) = self.public.batch(&indices);
         let align_var = Var::constant(align_x.clone());
 
-        // 2. Communicate: each device scores the subset.
-        let classes = self.public.num_classes();
-        let logit_bytes = indices.len() * classes * std::mem::size_of::<f32>();
-        let mut logits: Vec<Tensor> = Vec::with_capacity(self.devices.len());
-        for (k, dev) in self.devices.iter().enumerate() {
+        // 2. Communicate: each active device scores the subset.
+        let logit_bytes = self.logit_bytes();
+        let mut logits: Vec<Tensor> = Vec::with_capacity(active.len());
+        for &k in active {
+            let dev = &self.devices[k];
             dev.model.set_training(false);
             let scores = fedzkt_autograd::no_grad(|| dev.model.forward(&align_var).value_clone());
             dev.model.set_training(true);
-            comm.record_upload(k, logit_bytes);
+            ctx.comm.record_upload(k, logit_bytes);
             logits.push(scores);
         }
 
-        // 3. Aggregate: consensus = average of device scores.
+        // 3. Aggregate: consensus = average of active devices' scores.
         let mut consensus = logits[0].clone();
         for l in &logits[1..] {
             consensus.add_scaled_inplace(l, 1.0).expect("logit shapes");
         }
         let consensus = consensus.mul_scalar(1.0 / logits.len() as f32);
+        self.pending = Some(Alignment { inputs: align_x, consensus });
 
-        // 4-5. Digest the consensus, then revisit private data.
-        let mut loss_sum = 0.0f32;
-        for (k, dev) in self.devices.iter().enumerate() {
-            comm.record_download(k, logit_bytes);
-            // The digest step matches raw logits with an ℓ1 loss, whose
-            // gradients are much larger than cross-entropy's; a fraction of
-            // the base learning rate keeps it from erasing local features.
-            digest(
-                dev.model.as_ref(),
-                &align_x,
-                &consensus,
-                self.cfg.digest_epochs,
-                self.cfg.batch_size,
-                self.cfg.lr * 0.2,
-                split_seed(self.cfg.seed, 600 + (round * 31 + k) as u64),
-            );
-            let loss = train_local(
-                dev.model.as_ref(),
-                &dev.data,
-                &LocalTrainConfig {
-                    epochs: self.cfg.revisit_epochs,
-                    batch_size: self.cfg.batch_size,
-                    lr: self.cfg.lr,
-                    momentum: 0.9,
-                    seed: split_seed(self.cfg.seed, 700 + (round * 31 + k) as u64),
-                    ..Default::default()
-                },
-            );
-            loss_sum += loss;
-        }
+        // The loss-bearing device phase (revisit) runs after aggregation;
+        // `server_update` reports it through the context.
+        0.0
+    }
 
-        // Evaluation.
-        let device_accuracy: Vec<f32> = self
-            .devices
+    /// FedMD steps 4–5: broadcast the consensus, then each active device
+    /// digests it and revisits its private data — both phases run
+    /// device-parallel on the fleet.
+    fn server_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) {
+        let Alignment { inputs, consensus } =
+            self.pending.take().expect("local_update ran this round");
+        let logit_bytes = self.logit_bytes();
+        let jobs: Vec<FleetJob> = active
             .iter()
-            .map(|d| evaluate(d.model.as_ref(), &self.test, self.cfg.eval_batch))
+            .map(|&k| {
+                let dev = &self.devices[k];
+                FleetJob {
+                    spec: dev.spec,
+                    snapshot: state_dict(dev.model.as_ref()),
+                    data: &dev.data,
+                    cfg: LocalTrainConfig {
+                        epochs: self.cfg.revisit_epochs,
+                        batch_size: self.cfg.batch_size,
+                        lr: self.cfg.lr,
+                        momentum: 0.9,
+                        seed: split_seed(self.seed, 700 + (round * 31 + k) as u64),
+                        ..Default::default()
+                    },
+                    pretrain: None,
+                    digest: Some(DigestConfig {
+                        inputs: &inputs,
+                        targets: &consensus,
+                        epochs: self.cfg.digest_epochs,
+                        batch_size: self.cfg.batch_size,
+                        // The digest step matches raw logits with an ℓ1
+                        // loss, whose gradients are much larger than
+                        // cross-entropy's; a fraction of the base learning
+                        // rate keeps it from erasing local features.
+                        lr: self.cfg.lr * 0.2,
+                        seed: split_seed(self.seed, 600 + (round * 31 + k) as u64),
+                    }),
+                    rebuild_seed: split_seed(self.seed, 0xB11D_0000 + (round * 31 + k) as u64),
+                }
+            })
             .collect();
-        let avg = device_accuracy.iter().sum::<f32>() / device_accuracy.len() as f32;
-        let mut metrics = RoundMetrics::new(round + 1);
-        metrics.avg_device_accuracy = avg;
-        metrics.device_accuracy = device_accuracy;
-        metrics.train_loss = loss_sum / self.devices.len() as f32;
-        metrics.upload_bytes = comm.total_upload();
-        metrics.download_bytes = comm.total_download();
-        metrics.active_devices = (0..self.devices.len()).collect();
-        metrics
+        let results = train_local_fleet(&jobs, self.io, ctx.threads());
+        drop(jobs);
+        let mut loss_sum = 0.0f32;
+        for (&k, (loss, sd)) in active.iter().zip(results) {
+            ctx.comm.record_download(k, logit_bytes);
+            loss_sum += loss;
+            load_state_dict(self.devices[k].model.as_ref(), &sd)
+                .expect("fleet result matches device architecture");
+        }
+        ctx.set_train_loss(loss_sum / active.len().max(1) as f32);
     }
 
-    /// Run all configured rounds, returning the log.
-    pub fn run(&mut self) -> &RunLog {
-        for round in 0..self.cfg.rounds {
-            let metrics = self.round(round);
-            self.log.push(metrics);
-        }
-        &self.log
+    fn device_model(&self, k: usize) -> &dyn Module {
+        self.devices[k].model.as_ref()
     }
-}
 
-/// FedMD "digest": regress the device's logits toward the consensus with an
-/// ℓ1 loss (the MAE the FedMD paper prescribes).
-fn digest(
-    model: &dyn Module,
-    inputs: &Tensor,
-    consensus: &Tensor,
-    epochs: usize,
-    batch_size: usize,
-    lr: f32,
-    seed: u64,
-) {
-    let n = inputs.shape()[0];
-    if n == 0 {
-        return;
+    /// FedMD's payload is logit-sized, not model-sized: the alignment
+    /// subset's class scores.
+    fn payload_bytes(&self, _k: usize) -> usize {
+        self.logit_bytes()
     }
-    let opt = Sgd::new(model.params(), SgdConfig { lr, momentum: 0.9, weight_decay: 0.0 });
-    for epoch in 0..epochs {
-        for batch in BatchIter::new(n, batch_size, seed.wrapping_add(epoch as u64)) {
-            let x = inputs.gather_first(&batch).expect("batch");
-            let target = consensus.gather_first(&batch).expect("batch");
-            opt.zero_grad();
-            let pred = model.forward(&Var::constant(x));
-            let loss = pred
-                .sub(&Var::constant(target))
-                .abs()
-                .sum_all()
-                .scale(1.0 / batch.len() as f32);
-            loss.backward();
-            opt.step();
-        }
+
+    /// Digest over the alignment set plus the private revisit — and, in a
+    /// device's first participating round, the one-off transfer-learning
+    /// warm-up it just ran (public + private epochs).
+    fn local_samples(&self, k: usize) -> usize {
+        let dev = &self.devices[k];
+        let warmup = if dev.warmed_this_round {
+            self.cfg.public_warmup_epochs * self.public.len()
+                + self.cfg.private_warmup_epochs * dev.data.len()
+        } else {
+            0
+        };
+        warmup
+            + self.cfg.revisit_epochs * dev.data.len()
+            + self.cfg.digest_epochs * self.alignment_len()
+    }
+
+    fn construction_seed(&self) -> Option<u64> {
+        Some(self.seed)
     }
 }
 
@@ -292,8 +349,13 @@ fn digest(
 mod tests {
     use super::*;
     use fedzkt_data::{DataFamily, Partition, SynthConfig};
+    use fedzkt_fl::Simulation;
 
-    fn setup(public_family: DataFamily) -> FedMd {
+    fn setup(public_family: DataFamily) -> Simulation<FedMd> {
+        setup_with(public_family, SimConfig { rounds: 2, seed: 1, ..Default::default() })
+    }
+
+    fn setup_with(public_family: DataFamily, sim: SimConfig) -> Simulation<FedMd> {
         let (train, test) = SynthConfig {
             family: DataFamily::Cifar10Like,
             img: 8,
@@ -320,14 +382,12 @@ mod tests {
             ModelSpec::SmallCnn { base_channels: 2 },
             ModelSpec::LeNet { scale: 0.5, deep: false },
         ];
-        FedMd::new(
+        let fed = FedMd::new(
             &zoo,
             &train,
             &shards,
             public,
-            test,
             FedMdConfig {
-                rounds: 2,
                 public_warmup_epochs: 1,
                 private_warmup_epochs: 1,
                 alignment_size: 32,
@@ -335,48 +395,84 @@ mod tests {
                 revisit_epochs: 1,
                 batch_size: 16,
                 lr: 0.05,
-                seed: 1,
-                ..Default::default()
             },
-        )
+            &sim,
+        );
+        Simulation::builder(fed, test, sim).build()
     }
 
     #[test]
     fn fedmd_learns_above_chance() {
-        let mut fed = setup(DataFamily::Cifar100Like);
-        let log = fed.run();
+        let mut sim = setup(DataFamily::Cifar100Like);
+        let log = sim.run();
         assert_eq!(log.rounds.len(), 2);
         assert!(log.final_accuracy() > 0.3, "accuracy {}", log.final_accuracy());
     }
 
     #[test]
     fn public_labels_are_remapped() {
-        let fed = setup(DataFamily::Cifar100Like);
-        assert!(fed.public.labels().iter().all(|&l| l < 4));
+        let sim = setup(DataFamily::Cifar100Like);
+        assert!(sim.algorithm().public().labels().iter().all(|&l| l < 4));
     }
 
     #[test]
     fn communication_is_logit_sized_not_model_sized() {
-        let mut fed = setup(DataFamily::Cifar100Like);
-        let metrics = fed.round(0);
+        let mut sim = setup(DataFamily::Cifar100Like);
+        let metrics = sim.round(0);
         // 3 devices × 32 alignment samples × 4 classes × 4 bytes.
         assert_eq!(metrics.upload_bytes, 3 * 32 * 4 * 4);
         assert_eq!(metrics.download_bytes, 3 * 32 * 4 * 4);
     }
 
     #[test]
-    fn warmup_runs_once() {
-        let mut fed = setup(DataFamily::Cifar100Like);
-        fed.warmup();
-        assert!(fed.warmed_up);
-        fed.warmup(); // no panic, no double work (state flag)
-        let _ = fed.round(0);
+    fn warmup_is_lazy_and_runs_once() {
+        let mut sim = setup(DataFamily::Cifar100Like);
+        assert!((0..3).all(|k| !sim.algorithm().warmed_up(k)));
+        sim.round(0);
+        assert!((0..3).all(|k| sim.algorithm().warmed_up(k)));
+        // A second round with everyone already warm: models keep training
+        // (no panic, no re-warmup divergence across identical runs).
+        sim.round(1);
+    }
+
+    #[test]
+    fn straggler_is_never_warmed_up() {
+        // participation 0.34 of 3 devices → exactly 1 active per round.
+        let mut sim = setup_with(
+            DataFamily::Cifar100Like,
+            SimConfig { rounds: 1, participation: 0.34, seed: 1, ..Default::default() },
+        );
+        let metrics = sim.round(0);
+        assert_eq!(metrics.active_devices.len(), 1);
+        for k in 0..3 {
+            assert_eq!(
+                sim.algorithm().warmed_up(k),
+                metrics.active_devices.contains(&k),
+                "device {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_compute_is_charged_to_the_first_round() {
+        use fedzkt_fl::FederatedAlgorithm as _;
+        let mut sim = setup(DataFamily::Cifar100Like);
+        sim.round(0);
+        // Warm-up just ran: round-0 accounting includes it.
+        let first = sim.algorithm().local_samples(0);
+        sim.round(1);
+        let steady = sim.algorithm().local_samples(0);
+        // Steady state is shard×1 revisit epoch + 32×1 digest epoch; the
+        // first round adds public(64)×1 + shard×1 of warm-up. Eliminating
+        // the shard size: first = 2·steady + 64 − 32.
+        assert!(first > steady, "warm-up compute must be charged: {first} vs {steady}");
+        assert_eq!(first, 2 * steady + 32);
     }
 
     #[test]
     fn svhn_public_also_runs() {
-        let mut fed = setup(DataFamily::SvhnLike);
-        let log = fed.run();
+        let mut sim = setup(DataFamily::SvhnLike);
+        let log = sim.run();
         assert!(log.final_accuracy().is_finite());
     }
 }

@@ -1,16 +1,18 @@
-//! The FedZKT orchestrator (Algorithms 1–3 of the paper).
+//! The FedZKT orchestrator (Algorithms 1–3 of the paper), as a
+//! [`FederatedAlgorithm`] run by the [`Simulation`](fedzkt_fl::Simulation)
+//! driver.
 
 use crate::{FedZktConfig, GradNormProbe};
 use fedzkt_autograd::loss::kl_div_probs;
 use fedzkt_autograd::{no_grad, Var};
 use fedzkt_data::Dataset;
 use fedzkt_fl::{
-    evaluate, train_local_fleet, CommTracker, FleetJob, LocalTrainConfig, ParticipationSampler,
-    RoundMetrics, RunLog,
+    train_local_fleet, FederatedAlgorithm, FleetJob, LocalTrainConfig, RoundContext, SimConfig,
 };
 use fedzkt_models::{Generator, ModelSpec};
 use fedzkt_nn::{
-    load_state_dict, state_dict, Adam, AdamConfig, Module, MultiStepLr, Optimizer, Sgd, SgdConfig,
+    load_state_dict, state_bytes, state_dict, Adam, AdamConfig, Module, MultiStepLr, Optimizer,
+    Sgd, SgdConfig,
 };
 use fedzkt_tensor::{seeded_rng, split_seed, Prng, Tensor};
 
@@ -22,12 +24,27 @@ struct DeviceState {
     data: Dataset,
 }
 
-/// A FedZKT federated-learning simulation.
+/// The FedZKT federated-learning algorithm.
 ///
 /// See the crate docs for the protocol; construct with [`FedZkt::new`] and
-/// drive with [`FedZkt::run`] (or [`FedZkt::round`] for custom loops).
+/// run it under a [`Simulation`](fedzkt_fl::Simulation):
+///
+/// ```no_run
+/// # use fedzkt_core::{FedZkt, FedZktConfig};
+/// # use fedzkt_data::{DataFamily, Partition, SynthConfig};
+/// # use fedzkt_fl::{SimConfig, Simulation};
+/// # use fedzkt_models::ModelSpec;
+/// # let (train, test) = SynthConfig { family: DataFamily::MnistLike, ..Default::default() }.generate();
+/// # let shards = Partition::Iid.split(train.labels(), train.num_classes(), 5, 1).unwrap();
+/// # let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), 5);
+/// let sim_cfg = SimConfig::default();
+/// let fed = FedZkt::new(&zoo, &train, &shards, FedZktConfig::default(), &sim_cfg);
+/// let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+/// let log = sim.run();
+/// ```
 pub struct FedZkt {
     cfg: FedZktConfig,
+    seed: u64,
     /// Data geometry `(channels, classes, img_size)`; worker threads rebuild
     /// device models against it during the parallel device update.
     io: (usize, usize, usize),
@@ -35,19 +52,16 @@ pub struct FedZkt {
     global: Box<dyn Module>,
     generator: Generator,
     generator_opt: Adam,
-    test: Dataset,
-    sampler: ParticipationSampler,
-    log: RunLog,
     probe: GradNormProbe,
     rng: Prng,
 }
 
 impl FedZkt {
-    /// Build a simulation.
+    /// Build the federation.
     ///
     /// * `zoo[i]` — architecture of device `i` (heterogeneous by design);
     /// * `shards[i]` — index set of device `i`'s private data in `train`;
-    /// * `test` — held-out evaluation set.
+    /// * `sim` — the protocol config (supplies the run seed).
     ///
     /// # Panics
     /// Panics when `zoo`/`shards` lengths differ or are empty.
@@ -55,11 +69,12 @@ impl FedZkt {
         zoo: &[ModelSpec],
         train: &Dataset,
         shards: &[Vec<usize>],
-        test: Dataset,
         cfg: FedZktConfig,
+        sim: &SimConfig,
     ) -> Self {
         assert!(!zoo.is_empty(), "need at least one device");
         assert_eq!(zoo.len(), shards.len(), "zoo/shards length mismatch");
+        let seed = sim.seed;
         let (channels, classes, img) = (train.channels(), train.num_classes(), train.img_size());
         // Footnote 1 of Algorithm 1: all models Glorot-initialised; the
         // same initialisation is not required across devices, so each
@@ -70,36 +85,27 @@ impl FedZkt {
             .enumerate()
             .map(|(i, (spec, idx))| DeviceState {
                 spec: *spec,
-                model: spec.build(channels, classes, img, split_seed(cfg.seed, 100 + i as u64)),
+                model: spec.build(channels, classes, img, split_seed(seed, 100 + i as u64)),
                 data: train.subset(idx),
             })
             .collect();
-        let global = cfg.global_model.build(channels, classes, img, split_seed(cfg.seed, 7));
-        let generator = cfg.generator.build(channels, img, split_seed(cfg.seed, 8));
+        let global = cfg.global_model.build(channels, classes, img, split_seed(seed, 7));
+        let generator = cfg.generator.build(channels, img, split_seed(seed, 8));
         let generator_opt = Adam::new(
             generator.params(),
             AdamConfig { lr: cfg.generator_lr, ..Default::default() },
         );
-        let sampler =
-            ParticipationSampler::new(devices.len(), cfg.participation, split_seed(cfg.seed, 9));
         FedZkt {
             cfg,
+            seed,
             io: (channels, classes, img),
             devices,
             global,
             generator,
             generator_opt,
-            test,
-            sampler,
-            log: RunLog::new(),
             probe: GradNormProbe::new(),
-            rng: seeded_rng(split_seed(cfg.seed, 10)),
+            rng: seeded_rng(split_seed(seed, 10)),
         }
-    }
-
-    /// Number of devices.
-    pub fn devices(&self) -> usize {
-        self.devices.len()
     }
 
     /// The architecture of device `k`.
@@ -110,27 +116,9 @@ impl FedZkt {
         self.devices[k].spec
     }
 
-    /// The global (server) model `F`.
-    pub fn global_model(&self) -> &dyn Module {
-        self.global.as_ref()
-    }
-
-    /// Device `k`'s current on-device model.
-    ///
-    /// # Panics
-    /// Panics when `k` is out of range.
-    pub fn device_model(&self, k: usize) -> &dyn Module {
-        self.devices[k].model.as_ref()
-    }
-
     /// The server-side generator `G`.
     pub fn generator(&self) -> &Generator {
         &self.generator
-    }
-
-    /// The run log so far.
-    pub fn log(&self) -> &RunLog {
-        &self.log
     }
 
     /// The Figure-2 gradient-norm probe (populated when
@@ -139,94 +127,10 @@ impl FedZkt {
         &self.probe
     }
 
-    /// Execute one communication round (0-based `round`), returning its
-    /// metrics.
-    pub fn round(&mut self, round: usize) -> RoundMetrics {
-        let active = self.sampler.active(round);
-        let mut comm = CommTracker::new(self.devices.len());
-        let mut loss_sum = 0.0f32;
-
-        // ---- On-device update (Algorithm 2) ----
-        // Devices are independent (the paper's premise), so the active set
-        // trains as a fleet on worker threads: each worker rebuilds its
-        // device's model from a snapshot (the tape is thread-local), trains
-        // on the device's own `split_seed` stream, and results are merged
-        // back in device order — bit-identical for any thread count.
-        let jobs: Vec<FleetJob> = active
-            .iter()
-            .map(|&k| {
-                let dev = &self.devices[k];
-                FleetJob {
-                    spec: dev.spec,
-                    snapshot: state_dict(dev.model.as_ref()),
-                    data: &dev.data,
-                    cfg: LocalTrainConfig {
-                        epochs: self.cfg.local_epochs,
-                        batch_size: self.cfg.device_batch,
-                        lr: self.cfg.device_lr,
-                        momentum: self.cfg.device_momentum,
-                        weight_decay: 0.0,
-                        prox_mu: self.cfg.prox_mu,
-                        seed: split_seed(self.cfg.seed, (round * 1009 + k) as u64),
-                    },
-                    rebuild_seed: split_seed(self.cfg.seed, 0xB11D_0000 + (round * 1009 + k) as u64),
-                }
-            })
-            .collect();
-        let results = train_local_fleet(&jobs, self.io, self.cfg.resolved_threads());
-        drop(jobs);
-        for (&k, (loss, sd)) in active.iter().zip(results) {
-            loss_sum += loss;
-            // Upload ŵ_k: the device's own (small) parameters only.
-            comm.record_upload(k, sd.byte_size());
-            load_state_dict(self.devices[k].model.as_ref(), &sd)
-                .expect("fleet result matches device architecture");
-        }
-
-        // ---- Server update (Algorithm 3) ----
-        self.server_update(&active);
-
-        // Figure-2 probe: measured after the adversarial game so it sees
-        // the current F / f_ens disagreement landscape.
-        if self.cfg.probe_grad_norms {
-            // Dedicated RNG stream: probing must not shift the training
-            // run's random sequence.
-            let mut probe_rng = seeded_rng(split_seed(self.cfg.seed, 0xF160 + round as u64));
-            let z = self.generator.sample_z(self.cfg.distill_batch.min(16), &mut probe_rng);
-            let x = no_grad(|| self.generator.forward(&Var::constant(z))).value_clone();
-            let teachers: Vec<&dyn Module> =
-                self.devices.iter().map(|d| d.model.as_ref()).collect();
-            self.probe.measure(round + 1, self.global.as_ref(), &teachers, &x);
-        }
-
-        // ---- Transfer w_k back (Algorithm 1, line 12) ----
-        for &k in &active {
-            comm.record_download(k, state_dict(self.devices[k].model.as_ref()).byte_size());
-        }
-
-        // ---- Evaluation ----
-        let device_accuracy: Vec<f32> = self
-            .devices
-            .iter()
-            .map(|d| evaluate(d.model.as_ref(), &self.test, self.cfg.eval_batch))
-            .collect();
-        let avg = device_accuracy.iter().sum::<f32>() / device_accuracy.len() as f32;
-        let mut metrics = RoundMetrics::new(round + 1);
-        metrics.avg_device_accuracy = avg;
-        metrics.device_accuracy = device_accuracy;
-        metrics.global_accuracy =
-            Some(evaluate(self.global.as_ref(), &self.test, self.cfg.eval_batch));
-        metrics.train_loss = loss_sum / active.len().max(1) as f32;
-        metrics.upload_bytes = comm.total_upload();
-        metrics.download_bytes = comm.total_download();
-        metrics.active_devices = active;
-        metrics
-    }
-
     /// Algorithm 3: the zero-shot distillation game followed by the
     /// bidirectional transfer. Teachers run in eval mode (their running
     /// statistics must not absorb synthetic data).
-    fn server_update(&mut self, active: &[usize]) {
+    fn distillation_game(&mut self, active: &[usize]) {
         let n_d = self.cfg.distill_iters;
         if n_d == 0 {
             return;
@@ -317,7 +221,7 @@ impl FedZkt {
             self.cfg.generator.build(
                 self.devices[0].data.channels(),
                 self.devices[0].data.img_size(),
-                split_seed(self.cfg.seed, 0xF4E5),
+                split_seed(self.seed, 0xF4E5),
             )
         });
         let transfer_generator: &Generator = fresh_generator.as_ref().unwrap_or(&self.generator);
@@ -354,14 +258,105 @@ impl FedZkt {
             }
         }
     }
+}
 
-    /// Run all configured rounds, returning the log.
-    pub fn run(&mut self) -> &RunLog {
-        for round in 0..self.cfg.rounds {
-            let metrics = self.round(round);
-            self.log.push(metrics);
+impl FederatedAlgorithm for FedZkt {
+    fn devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// On-device update (Algorithm 2). Devices are independent (the
+    /// paper's premise), so the active set trains as a fleet on worker
+    /// threads: each worker rebuilds its device's model from a snapshot
+    /// (the tape is thread-local), trains on the device's own `split_seed`
+    /// stream, and results are merged back in device order — bit-identical
+    /// for any thread count.
+    fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
+        let jobs: Vec<FleetJob> = active
+            .iter()
+            .map(|&k| {
+                let dev = &self.devices[k];
+                FleetJob {
+                    spec: dev.spec,
+                    snapshot: state_dict(dev.model.as_ref()),
+                    data: &dev.data,
+                    cfg: LocalTrainConfig {
+                        epochs: self.cfg.local_epochs,
+                        batch_size: self.cfg.device_batch,
+                        lr: self.cfg.device_lr,
+                        momentum: self.cfg.device_momentum,
+                        weight_decay: 0.0,
+                        prox_mu: self.cfg.prox_mu,
+                        seed: split_seed(self.seed, (round * 1009 + k) as u64),
+                    },
+                    pretrain: None,
+                    digest: None,
+                    rebuild_seed: split_seed(self.seed, 0xB11D_0000 + (round * 1009 + k) as u64),
+                }
+            })
+            .collect();
+        let results = train_local_fleet(&jobs, self.io, ctx.threads());
+        drop(jobs);
+        let mut loss_sum = 0.0f32;
+        for (&k, (loss, sd)) in active.iter().zip(results) {
+            loss_sum += loss;
+            // Upload ŵ_k: the device's own (small) parameters only.
+            ctx.comm.record_upload(k, sd.byte_size());
+            load_state_dict(self.devices[k].model.as_ref(), &sd)
+                .expect("fleet result matches device architecture");
         }
-        &self.log
+        loss_sum / active.len().max(1) as f32
+    }
+
+    /// Server update (Algorithm 3) and the transfer of `w_k` back to the
+    /// active devices (Algorithm 1, line 12).
+    fn server_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) {
+        self.distillation_game(active);
+
+        // Charge the game's compute to the simulated clock: the generator
+        // and student each see one generated batch per distillation
+        // iteration, plus one per transfer iteration (Eq. 8).
+        let server_batches = 2 * self.cfg.distill_iters + self.cfg.transfer_iters;
+        let server_samples = (server_batches * self.cfg.distill_batch) as f64;
+        ctx.add_server_seconds(server_samples / self.cfg.server_samples_per_sec as f64);
+
+        // Figure-2 probe: measured after the adversarial game so it sees
+        // the current F / f_ens disagreement landscape.
+        if self.cfg.probe_grad_norms {
+            // Dedicated RNG stream: probing must not shift the training
+            // run's random sequence.
+            let mut probe_rng = seeded_rng(split_seed(self.seed, 0xF160 + round as u64));
+            let z = self.generator.sample_z(self.cfg.distill_batch.min(16), &mut probe_rng);
+            let x = no_grad(|| self.generator.forward(&Var::constant(z))).value_clone();
+            let teachers: Vec<&dyn Module> =
+                self.devices.iter().map(|d| d.model.as_ref()).collect();
+            self.probe.measure(round + 1, self.global.as_ref(), &teachers, &x);
+        }
+
+        for &k in active {
+            ctx.comm.record_download(k, self.payload_bytes(k));
+        }
+    }
+
+    fn device_model(&self, k: usize) -> &dyn Module {
+        self.devices[k].model.as_ref()
+    }
+
+    fn global_model(&self) -> Option<&dyn Module> {
+        Some(self.global.as_ref())
+    }
+
+    /// The O(|w_k|) claim: device `k` only ever exchanges its own model.
+    fn payload_bytes(&self, k: usize) -> usize {
+        state_bytes(self.devices[k].model.as_ref())
+    }
+
+    fn local_samples(&self, k: usize) -> usize {
+        self.cfg.local_epochs * self.devices[k].data.len()
+    }
+
+    fn construction_seed(&self) -> Option<u64> {
+        Some(self.seed)
     }
 }
 
@@ -370,9 +365,10 @@ mod tests {
     use super::*;
     use fedzkt_autograd::DistillLoss;
     use fedzkt_data::{DataFamily, Partition, SynthConfig};
+    use fedzkt_fl::Simulation;
     use fedzkt_models::GeneratorSpec;
 
-    fn tiny_setup(cfg: FedZktConfig) -> FedZkt {
+    fn tiny_setup(cfg: FedZktConfig, sim: SimConfig) -> Simulation<FedZkt> {
         let (train, test) = SynthConfig {
             family: DataFamily::MnistLike,
             img: 8,
@@ -389,12 +385,12 @@ mod tests {
             ModelSpec::SmallCnn { base_channels: 2 },
             ModelSpec::LeNet { scale: 0.5, deep: false },
         ];
-        FedZkt::new(&zoo, &train, &shards, test, cfg)
+        let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim);
+        Simulation::builder(fed, test, sim).build()
     }
 
     fn tiny_cfg() -> FedZktConfig {
         FedZktConfig {
-            rounds: 2,
             local_epochs: 2,
             distill_iters: 4,
             transfer_iters: 4,
@@ -403,15 +399,18 @@ mod tests {
             device_lr: 0.05,
             generator: GeneratorSpec { z_dim: 16, ngf: 4 },
             global_model: ModelSpec::SmallCnn { base_channels: 4 },
-            seed: 1,
             ..Default::default()
         }
     }
 
+    fn tiny_sim() -> SimConfig {
+        SimConfig { rounds: 2, seed: 1, ..Default::default() }
+    }
+
     #[test]
     fn runs_heterogeneous_round_and_improves() {
-        let mut fed = tiny_setup(FedZktConfig { rounds: 3, ..tiny_cfg() });
-        let log = fed.run();
+        let mut sim = tiny_setup(tiny_cfg(), SimConfig { rounds: 3, ..tiny_sim() });
+        let log = sim.run();
         assert_eq!(log.rounds.len(), 3);
         // Above-chance (0.25 for 4 classes) after a few rounds.
         assert!(log.final_accuracy() > 0.3, "accuracy {}", log.final_accuracy());
@@ -419,75 +418,42 @@ mod tests {
     }
 
     #[test]
-    fn devices_exchange_only_their_own_parameters() {
-        let mut fed = tiny_setup(tiny_cfg());
-        let metrics = fed.round(0);
-        let expected: u64 = (0..fed.devices())
-            .map(|k| state_dict(fed.device_model(k)).byte_size() as u64)
-            .sum();
-        assert_eq!(metrics.upload_bytes, expected);
-        assert_eq!(metrics.download_bytes, expected);
-        // In particular, traffic excludes the global model and generator.
-        let server_side = state_dict(fed.global_model()).byte_size()
-            + state_dict(fed.generator()).byte_size();
-        assert!(metrics.upload_bytes < server_side as u64 + expected);
-    }
-
-    #[test]
-    fn stragglers_keep_their_stale_models() {
-        let mut fed = tiny_setup(FedZktConfig { participation: 0.34, ..tiny_cfg() });
-        // Snapshot all device params, run a round, verify inactive devices
-        // are bit-identical.
-        let before: Vec<_> = (0..fed.devices())
-            .map(|k| state_dict(fed.device_model(k)))
-            .collect();
-        let metrics = fed.round(0);
-        assert_eq!(metrics.active_devices.len(), 1);
-        for (k, snapshot) in before.iter().enumerate() {
-            let unchanged = state_dict(fed.device_model(k)) == *snapshot;
-            assert_eq!(
-                unchanged,
-                !metrics.active_devices.contains(&k),
-                "device {k} active={} unchanged={unchanged}",
-                metrics.active_devices.contains(&k)
-            );
-        }
-    }
-
-    #[test]
     fn probe_collects_when_enabled() {
-        let mut fed = tiny_setup(FedZktConfig { probe_grad_norms: true, rounds: 2, ..tiny_cfg() });
-        fed.run();
-        assert_eq!(fed.probe().records().len(), 2);
-        assert!(fed.probe().records().iter().all(|r| r.kl >= 0.0 && r.sl >= 0.0));
+        let mut sim = tiny_setup(
+            FedZktConfig { probe_grad_norms: true, ..tiny_cfg() },
+            tiny_sim(),
+        );
+        sim.run();
+        let probe = sim.algorithm().probe();
+        assert_eq!(probe.records().len(), 2);
+        assert!(probe.records().iter().all(|r| r.kl >= 0.0 && r.sl >= 0.0));
     }
 
     #[test]
     fn all_three_losses_run() {
         for loss in [DistillLoss::Kl, DistillLoss::LogitL1, DistillLoss::Sl] {
-            let mut fed = tiny_setup(FedZktConfig { loss, rounds: 1, ..tiny_cfg() });
-            let log = fed.run();
+            let mut sim =
+                tiny_setup(FedZktConfig { loss, ..tiny_cfg() }, SimConfig { rounds: 1, ..tiny_sim() });
+            let log = sim.run();
             assert!(log.final_accuracy().is_finite(), "{loss} produced NaN");
         }
     }
 
     #[test]
     fn zero_distill_iters_degenerates_to_local_training() {
-        let mut fed = tiny_setup(FedZktConfig {
-            distill_iters: 0,
-            transfer_iters: 0,
-            rounds: 1,
-            ..tiny_cfg()
-        });
-        let log = fed.run();
+        let mut sim = tiny_setup(
+            FedZktConfig { distill_iters: 0, transfer_iters: 0, ..tiny_cfg() },
+            SimConfig { rounds: 1, ..tiny_sim() },
+        );
+        let log = sim.run();
         assert_eq!(log.rounds.len(), 1);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut fed = tiny_setup(FedZktConfig { rounds: 1, ..tiny_cfg() });
-            fed.run().final_accuracy()
+            let mut sim = tiny_setup(tiny_cfg(), SimConfig { rounds: 1, ..tiny_sim() });
+            sim.run().final_accuracy()
         };
         assert_eq!(run(), run());
     }

@@ -25,18 +25,28 @@
 //! consensus), the local-only / centralized bound trainers of Table III,
 //! and the gradient-norm probe behind Figure 2.
 //!
+//! Both [`FedZkt`] and [`FedMd`] are
+//! [`FederatedAlgorithm`](fedzkt_fl::FederatedAlgorithm) implementations:
+//! the round loop, participation sampling, communication accounting,
+//! simulated time and evaluation are owned by the
+//! [`Simulation`](fedzkt_fl::Simulation) driver in `fedzkt-fl`, shared
+//! with the FedAvg/FedProx baselines.
+//!
 //! ## Example
 //!
 //! ```no_run
 //! use fedzkt_core::{FedZkt, FedZktConfig};
 //! use fedzkt_data::{DataFamily, Partition, SynthConfig};
+//! use fedzkt_fl::{SimConfig, Simulation};
 //! use fedzkt_models::ModelSpec;
 //!
 //! let (train, test) = SynthConfig { family: DataFamily::MnistLike, ..Default::default() }.generate();
 //! let shards = Partition::Iid.split(train.labels(), train.num_classes(), 5, 1).unwrap();
 //! let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), 5);
-//! let mut fed = FedZkt::new(&zoo, &train, &shards, test, FedZktConfig::default());
-//! let log = fed.run();
+//! let sim_cfg = SimConfig::default();
+//! let fed = FedZkt::new(&zoo, &train, &shards, FedZktConfig::default(), &sim_cfg);
+//! let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+//! let log = sim.run();
 //! println!("final average on-device accuracy: {:.1}%", 100.0 * log.final_accuracy());
 //! ```
 

@@ -1,0 +1,608 @@
+//! The algorithm-agnostic simulation driver.
+//!
+//! Every federated algorithm in the workspace — FedZKT, FedAvg/FedProx,
+//! FedMD — runs under **one** round loop, [`Simulation`]. The driver owns
+//! the protocol machinery the paper holds constant when comparing
+//! algorithms: participation sampling (straggler model), communication
+//! accounting, the simulated wall clock over heterogeneous
+//! [`DeviceResources`], evaluation cadence, and the [`RunLog`]. An
+//! algorithm only supplies its two protocol phases through
+//! [`FederatedAlgorithm`]:
+//!
+//! * [`local_update`](FederatedAlgorithm::local_update) — device-side work
+//!   for the round's active set (local SGD, logit scoring, …);
+//! * [`server_update`](FederatedAlgorithm::server_update) — server-side
+//!   aggregation / distillation and the transfer back to devices;
+//!
+//! plus accessors for its evaluable models and per-device payload sizes.
+//! A new scenario — a straggler model, an evaluation cadence, a
+//! communication budget, a new algorithm — is written once here and
+//! applies to every algorithm.
+
+use crate::{
+    evaluate, CommTracker, DeviceResources, ParticipationSampler, RoundMetrics, RunLog, SimClock,
+};
+use fedzkt_data::Dataset;
+use fedzkt_nn::Module;
+use fedzkt_tensor::{par, split_seed};
+
+/// Protocol-level knobs shared by every federated algorithm. Algorithm
+/// configs (`FedZktConfig`, `FedAvgConfig`, `FedMdConfig`) keep only the
+/// hyperparameters specific to their update rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Fraction of devices active per round (the straggler model; 1.0 =
+    /// everyone, every round).
+    pub participation: f32,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Evaluate every `eval_every`-th round (the final round is always
+    /// evaluated; `0` means *only* the final round). Skipped rounds carry
+    /// the most recent accuracies forward in the [`RunLog`] — at paper
+    /// scale, evaluating every round is pure overhead.
+    pub eval_every: usize,
+    /// Master seed: the run is a pure function of it.
+    pub seed: u64,
+    /// Worker threads for device-parallel phases; 0 resolves via
+    /// [`fedzkt_tensor::par::max_threads`] (`FEDZKT_THREADS`, then
+    /// available parallelism). Results are bit-identical for every value.
+    pub threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            rounds: 10,
+            participation: 1.0,
+            eval_batch: 64,
+            eval_every: 1,
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The worker-thread count device-parallel phases actually use:
+    /// `threads`, or — when 0 — the workspace default from
+    /// [`fedzkt_tensor::par::max_threads`].
+    pub fn resolved_threads(&self) -> usize {
+        par::resolve_threads(self.threads)
+    }
+}
+
+/// Per-round state the driver hands to an algorithm's phases.
+///
+/// Algorithms record their traffic into [`RoundContext::comm`] (the driver
+/// totals it into the metrics and feeds the per-device byte counts to the
+/// simulated clock) and read the resolved worker-thread count from
+/// [`RoundContext::threads`].
+pub struct RoundContext {
+    /// Uplink/downlink accounting for this round; record every payload a
+    /// device sends or receives.
+    pub comm: CommTracker,
+    threads: usize,
+    server_seconds: f64,
+    train_loss: Option<f32>,
+}
+
+impl RoundContext {
+    fn new(devices: usize, threads: usize) -> Self {
+        RoundContext {
+            comm: CommTracker::new(devices),
+            threads,
+            server_seconds: 0.0,
+            train_loss: None,
+        }
+    }
+
+    /// Resolved worker threads for device-parallel work
+    /// ([`crate::train_local_fleet`] and friends).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Add simulated *server-side* compute time for this round (seconds);
+    /// it is added to the slowest active device's time when a clock is
+    /// attached.
+    pub fn add_server_seconds(&mut self, seconds: f64) {
+        self.server_seconds += seconds;
+    }
+
+    /// Override the round's reported training loss. By default the driver
+    /// records [`FederatedAlgorithm::local_update`]'s return value; an
+    /// algorithm whose loss-bearing device phase runs *after* aggregation
+    /// (FedMD's revisit) reports it here from `server_update` instead.
+    pub fn set_train_loss(&mut self, loss: f32) {
+        self.train_loss = Some(loss);
+    }
+}
+
+/// One federated algorithm, as seen by the [`Simulation`] driver.
+///
+/// Implementations own their devices, models and data shards; the driver
+/// owns the round loop, sampling, accounting, the clock and evaluation.
+/// The contract every implementation must honour (enforced by the
+/// workspace's protocol-invariant suite):
+///
+/// * only devices in `active` may change state during a round — stragglers
+///   stay bit-identical;
+/// * every byte a device sends or receives is recorded in `ctx.comm`, and
+///   a device's per-round traffic is `O(payload_bytes(k))` — its own model
+///   or logits, never server-side state;
+/// * same seed ⇒ same run, for every worker-thread count.
+pub trait FederatedAlgorithm {
+    /// Number of devices in the federation.
+    fn devices(&self) -> usize;
+
+    /// Device-side phase: train the `active` devices locally, record their
+    /// uplink traffic, and return the mean training loss over them.
+    fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32;
+
+    /// Server-side phase: aggregate / distill, transfer state back to the
+    /// `active` devices, and record their downlink traffic.
+    fn server_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext);
+
+    /// Device `k`'s current evaluable model.
+    ///
+    /// Homogeneous algorithms may return one shared model for every `k`;
+    /// the driver evaluates each distinct model once per evaluation.
+    fn device_model(&self, k: usize) -> &dyn Module;
+
+    /// The server/global model, when the algorithm maintains one.
+    fn global_model(&self) -> Option<&dyn Module> {
+        None
+    }
+
+    /// Size (bytes) of device `k`'s per-round payload — the quantity the
+    /// paper's communication claims are stated in (FedZKT: `O(|w_k|)`).
+    fn payload_bytes(&self, k: usize) -> usize;
+
+    /// Training samples device `k` processes locally in one round (drives
+    /// the simulated clock's compute time).
+    fn local_samples(&self, k: usize) -> usize;
+
+    /// The [`SimConfig::seed`] this algorithm was constructed with, when it
+    /// derives its RNG streams from one. [`SimulationBuilder::build`]
+    /// asserts it matches the driver's config, so a call site cannot
+    /// silently hand the constructor and the builder two different
+    /// protocol configs.
+    fn construction_seed(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Accuracies from the most recent evaluation, carried forward over
+/// rounds the cadence skips.
+struct EvalSnapshot {
+    device_accuracy: Vec<f32>,
+    avg: f32,
+    global: Option<f32>,
+}
+
+/// The generic simulation driver: one round loop for any
+/// [`FederatedAlgorithm`].
+///
+/// Construct with [`Simulation::builder`]; drive with [`Simulation::run`]
+/// (or [`Simulation::run_with`] for a per-round observer, or
+/// [`Simulation::round`] for manual stepping). The driver appends every
+/// round's [`RoundMetrics`] to its [`RunLog`]; when device resources are
+/// attached, `sim_seconds` is populated from the simulated clock.
+pub struct Simulation<A: FederatedAlgorithm> {
+    algo: A,
+    cfg: SimConfig,
+    test: Dataset,
+    sampler: ParticipationSampler,
+    clock: Option<SimClock>,
+    server_seconds: f64,
+    log: RunLog,
+    last_eval: Option<EvalSnapshot>,
+}
+
+/// Configures a [`Simulation`] before it starts; created by
+/// [`Simulation::builder`].
+pub struct SimulationBuilder<A: FederatedAlgorithm> {
+    algo: A,
+    test: Dataset,
+    cfg: SimConfig,
+    resources: Option<Vec<DeviceResources>>,
+    server_seconds: f64,
+}
+
+impl<A: FederatedAlgorithm> SimulationBuilder<A> {
+    /// Attach per-device compute/link resources: a [`SimClock`] is created
+    /// over them and every round's `sim_seconds` is populated.
+    ///
+    /// # Panics
+    /// Panics when the population size differs from the algorithm's device
+    /// count.
+    pub fn resources(mut self, resources: Vec<DeviceResources>) -> Self {
+        assert_eq!(
+            resources.len(),
+            self.algo.devices(),
+            "resource population must match the device count"
+        );
+        self.resources = Some(resources);
+        self
+    }
+
+    /// Constant simulated server-side seconds added to every round (e.g.
+    /// the server's distillation time on datacenter hardware). Only
+    /// meaningful together with [`SimulationBuilder::resources`].
+    pub fn server_seconds(mut self, seconds: f64) -> Self {
+        self.server_seconds = seconds;
+        self
+    }
+
+    /// Finish configuration.
+    ///
+    /// # Panics
+    /// Panics when the algorithm reports zero devices, or when it was
+    /// constructed from a [`SimConfig`] with a different seed than the one
+    /// handed to [`Simulation::builder`] (an inconsistent config pair
+    /// would make the run silently non-reproducible).
+    pub fn build(self) -> Simulation<A> {
+        let devices = self.algo.devices();
+        assert!(devices > 0, "need at least one device");
+        if let Some(seed) = self.algo.construction_seed() {
+            assert_eq!(
+                seed, self.cfg.seed,
+                "algorithm was constructed with a different SimConfig seed than the driver's"
+            );
+        }
+        let sampler = ParticipationSampler::new(
+            devices,
+            self.cfg.participation,
+            split_seed(self.cfg.seed, 0x5A3),
+        );
+        Simulation {
+            algo: self.algo,
+            cfg: self.cfg,
+            test: self.test,
+            sampler,
+            clock: self.resources.map(SimClock::new),
+            server_seconds: self.server_seconds,
+            log: RunLog::new(),
+            last_eval: None,
+        }
+    }
+}
+
+impl<A: FederatedAlgorithm> Simulation<A> {
+    /// Start configuring a simulation of `algo`, evaluated on `test`.
+    pub fn builder(algo: A, test: Dataset, cfg: SimConfig) -> SimulationBuilder<A> {
+        SimulationBuilder { algo, test, cfg, resources: None, server_seconds: 0.0 }
+    }
+
+    /// The wrapped algorithm (for its accessors: models, probes, specs).
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// Mutable access to the wrapped algorithm.
+    pub fn algorithm_mut(&mut self) -> &mut A {
+        &mut self.algo
+    }
+
+    /// Number of devices in the federation.
+    pub fn devices(&self) -> usize {
+        self.algo.devices()
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The simulated clock, when resources are attached.
+    pub fn clock(&self) -> Option<&SimClock> {
+        self.clock.as_ref()
+    }
+
+    /// The run log so far.
+    pub fn log(&self) -> &RunLog {
+        &self.log
+    }
+
+    /// Is `round` (0-based) one the evaluation cadence covers?
+    fn eval_due(&self, round: usize) -> bool {
+        let r = round + 1;
+        r == self.cfg.rounds || (self.cfg.eval_every > 0 && r.is_multiple_of(self.cfg.eval_every))
+    }
+
+    /// Evaluate every distinct device model (deduplicated by identity, so
+    /// homogeneous algorithms sharing one model pay one evaluation) and
+    /// the global model.
+    fn evaluate_all(&self) -> EvalSnapshot {
+        let n = self.algo.devices();
+        let mut cache: Vec<(*const u8, f32)> = Vec::new();
+        let mut eval_cached = |model: &dyn Module| -> f32 {
+            let ptr = model as *const dyn Module as *const u8;
+            match cache.iter().find(|(p, _)| std::ptr::eq(*p, ptr)) {
+                Some((_, acc)) => *acc,
+                None => {
+                    let acc = evaluate(model, &self.test, self.cfg.eval_batch);
+                    cache.push((ptr, acc));
+                    acc
+                }
+            }
+        };
+        let device_accuracy: Vec<f32> =
+            (0..n).map(|k| eval_cached(self.algo.device_model(k))).collect();
+        let avg = device_accuracy.iter().sum::<f32>() / n.max(1) as f32;
+        let global = self.algo.global_model().map(&mut eval_cached);
+        EvalSnapshot { device_accuracy, avg, global }
+    }
+
+    /// Execute one communication round (0-based `round`): sample the
+    /// active set, run the algorithm's two phases, evaluate (per cadence),
+    /// advance the clock, and append the metrics to the log.
+    ///
+    /// # Panics
+    /// Rounds must be driven in order: `round` is required to be the next
+    /// undriven index (`log().rounds.len()`). Skipping or replaying an
+    /// index would silently desync the participation sampler, the
+    /// per-round seed streams, and the log.
+    pub fn round(&mut self, round: usize) -> RoundMetrics {
+        assert_eq!(
+            round,
+            self.log.rounds.len(),
+            "rounds must be driven in order; the next round index is {}",
+            self.log.rounds.len()
+        );
+        let active = self.sampler.active(round);
+        let mut ctx = RoundContext::new(self.algo.devices(), self.cfg.resolved_threads());
+
+        let local_loss = self.algo.local_update(round, &active, &mut ctx);
+        self.algo.server_update(round, &active, &mut ctx);
+
+        let mut metrics = RoundMetrics::new(round + 1);
+        metrics.train_loss = ctx.train_loss.unwrap_or(local_loss);
+        metrics.upload_bytes = ctx.comm.total_upload();
+        metrics.download_bytes = ctx.comm.total_download();
+
+        if self.eval_due(round) {
+            self.last_eval = Some(self.evaluate_all());
+        }
+        if let Some(snapshot) = &self.last_eval {
+            metrics.device_accuracy = snapshot.device_accuracy.clone();
+            metrics.avg_device_accuracy = snapshot.avg;
+            metrics.global_accuracy = snapshot.global;
+        }
+
+        if let Some(clock) = &mut self.clock {
+            let algo = &self.algo;
+            metrics.sim_seconds = clock.advance_round(
+                &active,
+                &|d| algo.local_samples(d),
+                &|d| ctx.comm.download_bytes(d) as usize,
+                &|d| ctx.comm.upload_bytes(d) as usize,
+                self.server_seconds + ctx.server_seconds,
+            );
+        }
+
+        metrics.active_devices = active;
+        self.log.push(metrics.clone());
+        metrics
+    }
+
+    /// Run the remaining configured rounds, returning the full log.
+    pub fn run(&mut self) -> &RunLog {
+        self.run_with(|_| {})
+    }
+
+    /// Run the remaining configured rounds, invoking `observer` with each
+    /// round's metrics as it completes — the hook experiments use for
+    /// live progress, early stopping criteria collection, or custom
+    /// artifact streaming.
+    pub fn run_with(&mut self, mut observer: impl FnMut(&RoundMetrics)) -> &RunLog {
+        for round in self.log.rounds.len()..self.cfg.rounds {
+            let metrics = self.round(round);
+            observer(&metrics);
+        }
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_models::ModelSpec;
+    use fedzkt_nn::state_dict;
+
+    /// A minimal deterministic algorithm for driver-level tests: each
+    /// "device" owns a scalar model (an MLP) that never trains; payloads
+    /// and sample counts are synthetic.
+    struct Stub {
+        models: Vec<Box<dyn Module>>,
+        local_calls: Vec<Vec<usize>>,
+        server_calls: Vec<Vec<usize>>,
+    }
+
+    impl Stub {
+        fn new(devices: usize) -> Self {
+            Stub {
+                models: (0..devices)
+                    .map(|k| ModelSpec::Mlp { hidden: 4 }.build(1, 2, 8, k as u64))
+                    .collect(),
+                local_calls: Vec::new(),
+                server_calls: Vec::new(),
+            }
+        }
+    }
+
+    impl FederatedAlgorithm for Stub {
+        fn devices(&self) -> usize {
+            self.models.len()
+        }
+        fn local_update(&mut self, _r: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
+            self.local_calls.push(active.to_vec());
+            for &k in active {
+                ctx.comm.record_upload(k, self.payload_bytes(k));
+            }
+            0.5
+        }
+        fn server_update(&mut self, _r: usize, active: &[usize], ctx: &mut RoundContext) {
+            self.server_calls.push(active.to_vec());
+            for &k in active {
+                ctx.comm.record_download(k, self.payload_bytes(k));
+            }
+        }
+        fn device_model(&self, k: usize) -> &dyn Module {
+            self.models[k].as_ref()
+        }
+        fn payload_bytes(&self, k: usize) -> usize {
+            100 * (k + 1)
+        }
+        fn local_samples(&self, _k: usize) -> usize {
+            40
+        }
+    }
+
+    fn test_set() -> Dataset {
+        Dataset::new(fedzkt_tensor::Tensor::zeros(&[6, 1, 8, 8]), vec![0, 1, 0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn driver_runs_all_rounds_and_totals_traffic() {
+        let cfg = SimConfig { rounds: 3, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(2), test_set(), cfg).build();
+        let log = sim.run().clone();
+        assert_eq!(log.rounds.len(), 3);
+        for r in &log.rounds {
+            assert_eq!(r.upload_bytes, 100 + 200);
+            assert_eq!(r.download_bytes, 100 + 200);
+            assert_eq!(r.active_devices, vec![0, 1]);
+            assert_eq!(r.train_loss, 0.5);
+            assert_eq!(r.sim_seconds, 0.0, "no clock attached");
+        }
+        assert_eq!(sim.algorithm().local_calls.len(), 3);
+        assert_eq!(sim.algorithm().server_calls.len(), 3);
+    }
+
+    #[test]
+    fn participation_restricts_phases_to_the_active_set() {
+        let cfg = SimConfig { rounds: 4, participation: 0.5, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(4), test_set(), cfg).build();
+        sim.run();
+        for (local, server) in
+            sim.algorithm().local_calls.iter().zip(&sim.algorithm().server_calls)
+        {
+            assert_eq!(local.len(), 2);
+            assert_eq!(local, server, "both phases see the same active set");
+        }
+        // Different rounds sample different sets (with overwhelming
+        // probability over 4 rounds of 4C2).
+        assert!(
+            sim.algorithm().local_calls.windows(2).any(|w| w[0] != w[1]),
+            "sampler never varied: {:?}",
+            sim.algorithm().local_calls
+        );
+    }
+
+    #[test]
+    fn eval_cadence_carries_accuracies_forward() {
+        let cfg = SimConfig { rounds: 5, eval_every: 2, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(2), test_set(), cfg).build();
+        let log = sim.run().clone();
+        // Rounds 2 and 4 evaluate per cadence; 5 is the final round.
+        // Round 1 has no snapshot yet; round 3 carries round 2's forward.
+        assert!(log.rounds[0].device_accuracy.is_empty());
+        assert_eq!(log.rounds[1].device_accuracy.len(), 2);
+        assert_eq!(log.rounds[2].device_accuracy, log.rounds[1].device_accuracy);
+        assert_eq!(log.rounds[4].device_accuracy.len(), 2);
+        // Stub models never train, so every evaluation agrees.
+        assert_eq!(log.rounds[3].avg_device_accuracy, log.rounds[1].avg_device_accuracy);
+    }
+
+    #[test]
+    fn eval_every_zero_evaluates_only_the_final_round() {
+        let cfg = SimConfig { rounds: 3, eval_every: 0, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(2), test_set(), cfg).build();
+        let log = sim.run().clone();
+        assert!(log.rounds[0].device_accuracy.is_empty());
+        assert!(log.rounds[1].device_accuracy.is_empty());
+        assert_eq!(log.rounds[2].device_accuracy.len(), 2);
+    }
+
+    #[test]
+    fn attached_resources_populate_sim_seconds() {
+        let cfg = SimConfig { rounds: 2, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(2), test_set(), cfg)
+            .resources(vec![DeviceResources::smartphone(), DeviceResources::microcontroller()])
+            .server_seconds(1.0)
+            .build();
+        let log = sim.run().clone();
+        for r in &log.rounds {
+            // MCU: 40 samples at 5/s = 8 s compute alone, plus server time.
+            assert!(r.sim_seconds > 8.0, "sim_seconds {}", r.sim_seconds);
+        }
+        let total: f64 = log.rounds.iter().map(|r| r.sim_seconds).sum();
+        assert!((sim.clock().expect("clock").now() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_sees_every_round_in_order() {
+        let cfg = SimConfig { rounds: 3, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(2), test_set(), cfg).build();
+        let mut seen = Vec::new();
+        sim.run_with(|m| seen.push(m.round));
+        assert_eq!(seen, vec![1, 2, 3]);
+        // A second run() is a no-op: all configured rounds are done.
+        sim.run_with(|m| seen.push(m.round));
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn manual_stepping_then_run_continues_where_left_off() {
+        let cfg = SimConfig { rounds: 3, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(2), test_set(), cfg).build();
+        sim.round(0);
+        assert_eq!(sim.log().rounds.len(), 1);
+        sim.run();
+        assert_eq!(sim.log().rounds.len(), 3);
+        assert_eq!(sim.algorithm().local_calls.len(), 3);
+    }
+
+    #[test]
+    fn shared_device_model_is_evaluated_once() {
+        // A homogeneous stub: one model served for every device index.
+        struct Homogeneous {
+            model: Box<dyn Module>,
+        }
+        impl FederatedAlgorithm for Homogeneous {
+            fn devices(&self) -> usize {
+                3
+            }
+            fn local_update(&mut self, _: usize, _: &[usize], _: &mut RoundContext) -> f32 {
+                0.0
+            }
+            fn server_update(&mut self, _: usize, _: &[usize], _: &mut RoundContext) {}
+            fn device_model(&self, _k: usize) -> &dyn Module {
+                self.model.as_ref()
+            }
+            fn global_model(&self) -> Option<&dyn Module> {
+                Some(self.model.as_ref())
+            }
+            fn payload_bytes(&self, _k: usize) -> usize {
+                0
+            }
+            fn local_samples(&self, _k: usize) -> usize {
+                0
+            }
+        }
+        let algo = Homogeneous { model: ModelSpec::Mlp { hidden: 4 }.build(1, 2, 8, 3) };
+        let before = state_dict(algo.model.as_ref());
+        let cfg = SimConfig { rounds: 1, ..Default::default() };
+        let mut sim = Simulation::builder(algo, test_set(), cfg).build();
+        let log = sim.run().clone();
+        let r = &log.rounds[0];
+        assert!(r.device_accuracy.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(r.global_accuracy, Some(r.device_accuracy[0]));
+        assert!((r.avg_device_accuracy - r.device_accuracy[0]).abs() < 1e-5);
+        // Evaluation is side-effect-free on the model.
+        assert_eq!(state_dict(sim.algorithm().model.as_ref()), before);
+    }
+}

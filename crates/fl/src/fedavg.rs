@@ -5,21 +5,23 @@
 //! §II-A: all devices share one architecture, and the server element-wise
 //! averages parameters. They double as substrate validation (the FedZKT
 //! claim is precisely that this paradigm breaks when architectures differ).
+//!
+//! Run under the [`Simulation`](crate::Simulation) driver — see
+//! [`FederatedAlgorithm`] for the phase contract.
 
 use crate::{
-    evaluate, train_local_fleet, CommTracker, FleetJob, LocalTrainConfig, ParticipationSampler,
-    RoundMetrics, RunLog,
+    train_local_fleet, FederatedAlgorithm, FleetJob, LocalTrainConfig, RoundContext, SimConfig,
 };
 use fedzkt_data::Dataset;
 use fedzkt_models::ModelSpec;
-use fedzkt_nn::{load_state_dict, state_dict, Module, StateDict};
-use fedzkt_tensor::{par, split_seed};
+use fedzkt_nn::{load_state_dict, state_bytes, state_dict, Module, StateDict};
+use fedzkt_tensor::split_seed;
 
-/// Configuration for [`FedAvg`].
+/// Hyperparameters of [`FedAvg`]'s update rules. Protocol-level knobs
+/// (rounds, participation, seed, threads, evaluation) live in
+/// [`SimConfig`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FedAvgConfig {
-    /// Communication rounds `T`.
-    pub rounds: usize,
     /// Local epochs per round `T_l`.
     pub local_epochs: usize,
     /// Local mini-batch size.
@@ -28,98 +30,69 @@ pub struct FedAvgConfig {
     pub lr: f32,
     /// Local SGD momentum.
     pub momentum: f32,
-    /// Participation fraction `p` (1.0 = all devices each round).
-    pub participation: f32,
     /// FedProx proximal coefficient μ (0 = plain FedAvg).
     pub prox_mu: f32,
-    /// Evaluation batch size.
-    pub eval_batch: usize,
-    /// Run seed.
-    pub seed: u64,
-    /// Worker threads for device-parallel local training; 0 resolves via
-    /// [`fedzkt_tensor::par::max_threads`] (`FEDZKT_THREADS`, then available
-    /// parallelism). Results are bit-identical for every value.
-    pub threads: usize,
-}
-
-impl FedAvgConfig {
-    /// The worker-thread count local training actually uses: `threads`, or
-    /// — when 0 — the workspace default from
-    /// [`fedzkt_tensor::par::max_threads`].
-    pub fn resolved_threads(&self) -> usize {
-        par::resolve_threads(self.threads)
-    }
 }
 
 impl Default for FedAvgConfig {
     fn default() -> Self {
-        FedAvgConfig {
-            rounds: 10,
-            local_epochs: 1,
-            batch_size: 32,
-            lr: 0.05,
-            momentum: 0.9,
-            participation: 1.0,
-            prox_mu: 0.0,
-            eval_batch: 64,
-            seed: 0,
-            threads: 0,
-        }
+        FedAvgConfig { local_epochs: 1, batch_size: 32, lr: 0.05, momentum: 0.9, prox_mu: 0.0 }
     }
 }
 
-/// A FedAvg (or, with `prox_mu > 0`, FedProx) simulation over homogeneous
+/// A FedAvg (or, with `prox_mu > 0`, FedProx) federation over homogeneous
 /// on-device models.
 pub struct FedAvg {
     cfg: FedAvgConfig,
+    seed: u64,
     spec: ModelSpec,
     io: (usize, usize, usize),
     global: Box<dyn Module>,
     shards: Vec<Dataset>,
-    test: Dataset,
-    sampler: ParticipationSampler,
-    log: RunLog,
+    /// Updates uploaded in `local_update`, consumed by `server_update`.
+    pending: Vec<(usize, StateDict)>,
 }
 
 impl FedAvg {
-    /// Build a simulation: every device runs `spec`; `shards[i]` is the
-    /// index set of device `i` in `train`.
+    /// Build the federation: every device runs `spec`; `shards[i]` is the
+    /// index set of device `i` in `train`. `sim` supplies the run seed.
     ///
     /// # Panics
     /// Panics when `shards` is empty.
-    pub fn new(spec: ModelSpec, train: &Dataset, shards: &[Vec<usize>], test: Dataset, cfg: FedAvgConfig) -> Self {
+    pub fn new(
+        spec: ModelSpec,
+        train: &Dataset,
+        shards: &[Vec<usize>],
+        cfg: FedAvgConfig,
+        sim: &SimConfig,
+    ) -> Self {
         assert!(!shards.is_empty(), "need at least one device");
         let io = (train.channels(), train.num_classes(), train.img_size());
-        let global = spec.build(io.0, io.1, io.2, cfg.seed);
+        let global = spec.build(io.0, io.1, io.2, sim.seed);
         let datasets = shards.iter().map(|idx| train.subset(idx)).collect();
-        let sampler = ParticipationSampler::new(shards.len(), cfg.participation, split_seed(cfg.seed, 0xAC7));
-        FedAvg { cfg, spec, io, global, shards: datasets, test, sampler, log: RunLog::new() }
+        FedAvg {
+            cfg,
+            seed: sim.seed,
+            spec,
+            io,
+            global,
+            shards: datasets,
+            pending: Vec::new(),
+        }
     }
+}
 
-    /// Number of devices.
-    pub fn devices(&self) -> usize {
+impl FederatedAlgorithm for FedAvg {
+    fn devices(&self) -> usize {
         self.shards.len()
     }
 
-    /// The run log so far.
-    pub fn log(&self) -> &RunLog {
-        &self.log
-    }
-
-    /// The global model.
-    pub fn global_model(&self) -> &dyn Module {
-        self.global.as_ref()
-    }
-
-    /// Execute one communication round.
-    pub fn round(&mut self, round: usize) -> RoundMetrics {
-        let active = self.sampler.active(round);
+    /// Every active device starts from the broadcast global snapshot and
+    /// trains independently; the fleet driver runs them on worker threads
+    /// and returns updates in `active` order, so the aggregation in
+    /// `server_update` is bit-deterministic for any thread count.
+    fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
         let global_sd = state_dict(self.global.as_ref());
-        let mut comm = CommTracker::new(self.shards.len());
-        // Every active device starts from the broadcast global snapshot and
-        // trains independently; the fleet driver runs them on worker threads
-        // and returns updates in `active` order, so aggregation below is
-        // bit-deterministic for any thread count.
         let jobs: Vec<FleetJob> = active
             .iter()
             .map(|&dev| FleetJob {
@@ -133,51 +106,64 @@ impl FedAvg {
                     momentum: self.cfg.momentum,
                     weight_decay: 0.0,
                     prox_mu: self.cfg.prox_mu,
-                    seed: split_seed(self.cfg.seed, (round * 1000 + dev) as u64),
+                    seed: split_seed(self.seed, (round * 1000 + dev) as u64),
                 },
-                rebuild_seed: split_seed(self.cfg.seed, 0xB11D_0000 + (round * 1000 + dev) as u64),
+                pretrain: None,
+                digest: None,
+                rebuild_seed: split_seed(self.seed, 0xB11D_0000 + (round * 1000 + dev) as u64),
             })
             .collect();
-        let results = train_local_fleet(&jobs, self.io, self.cfg.resolved_threads());
+        let results = train_local_fleet(&jobs, self.io, ctx.threads());
         drop(jobs);
-        let mut updates: Vec<(usize, StateDict)> = Vec::with_capacity(active.len());
         let mut loss_sum = 0.0f32;
+        self.pending.clear();
         for (&dev, (loss, sd)) in active.iter().zip(results) {
-            comm.record_download(dev, global_sd.byte_size());
+            ctx.comm.record_download(dev, global_sd.byte_size());
             loss_sum += loss;
-            comm.record_upload(dev, sd.byte_size());
-            updates.push((dev, sd));
+            ctx.comm.record_upload(dev, sd.byte_size());
+            self.pending.push((dev, sd));
         }
-        // Weighted element-wise average (weights = shard sizes).
+        loss_sum / active.len().max(1) as f32
+    }
+
+    /// Weighted element-wise average (weights = shard sizes) of the
+    /// uploaded updates into the global model.
+    fn server_update(&mut self, _round: usize, _active: &[usize], _ctx: &mut RoundContext) {
+        if self.pending.is_empty() {
+            return;
+        }
         let averaged = average_state_dicts(
-            &updates
+            &self
+                .pending
                 .iter()
                 .map(|(dev, sd)| (self.shards[*dev].len() as f32, sd))
                 .collect::<Vec<_>>(),
         );
         load_state_dict(self.global.as_ref(), &averaged).expect("averaged state dict");
-
-        let global_acc = evaluate(self.global.as_ref(), &self.test, self.cfg.eval_batch);
-        let mut metrics = RoundMetrics::new(round + 1);
-        metrics.global_accuracy = Some(global_acc);
-        // Homogeneous setting: every device ends the round holding the
-        // global model, so device accuracy == global accuracy.
-        metrics.avg_device_accuracy = global_acc;
-        metrics.device_accuracy = vec![global_acc; self.shards.len()];
-        metrics.train_loss = loss_sum / active.len().max(1) as f32;
-        metrics.upload_bytes = comm.total_upload();
-        metrics.download_bytes = comm.total_download();
-        metrics.active_devices = active;
-        metrics
+        self.pending.clear();
     }
 
-    /// Run all configured rounds, returning the log.
-    pub fn run(&mut self) -> &RunLog {
-        for round in 0..self.cfg.rounds {
-            let metrics = self.round(round);
-            self.log.push(metrics);
-        }
-        &self.log
+    /// Homogeneous setting: every device ends the round holding the global
+    /// model, so the driver's identity-deduplicated evaluation charges one
+    /// evaluation for the whole fleet.
+    fn device_model(&self, _k: usize) -> &dyn Module {
+        self.global.as_ref()
+    }
+
+    fn global_model(&self) -> Option<&dyn Module> {
+        Some(self.global.as_ref())
+    }
+
+    fn payload_bytes(&self, _k: usize) -> usize {
+        state_bytes(self.global.as_ref())
+    }
+
+    fn local_samples(&self, k: usize) -> usize {
+        self.cfg.local_epochs * self.shards[k].len()
+    }
+
+    fn construction_seed(&self) -> Option<u64> {
+        Some(self.seed)
     }
 }
 
@@ -208,9 +194,10 @@ pub(crate) fn average_state_dicts(weighted: &[(f32, &StateDict)]) -> StateDict {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Simulation;
     use fedzkt_data::{DataFamily, Partition, SynthConfig};
 
-    fn setup(prox_mu: f32, participation: f32) -> FedAvg {
+    fn setup(prox_mu: f32, participation: f32) -> Simulation<FedAvg> {
         let (train, test) = SynthConfig {
             family: DataFamily::MnistLike,
             img: 8,
@@ -222,53 +209,59 @@ mod tests {
         }
         .generate();
         let shards = Partition::Iid.split(train.labels(), 4, 3, 7).unwrap();
-        FedAvg::new(
+        let sim = SimConfig { rounds: 4, participation, seed: 1, ..Default::default() };
+        let fed = FedAvg::new(
             ModelSpec::Mlp { hidden: 24 },
             &train,
             &shards,
-            test,
-            FedAvgConfig {
-                rounds: 4,
-                local_epochs: 2,
-                batch_size: 16,
-                lr: 0.05,
-                participation,
-                prox_mu,
-                seed: 1,
-                ..Default::default()
-            },
-        )
+            FedAvgConfig { local_epochs: 2, batch_size: 16, lr: 0.05, prox_mu, ..Default::default() },
+            &sim,
+        );
+        Simulation::builder(fed, test, sim).build()
     }
 
     #[test]
     fn fedavg_learns_above_chance() {
-        let mut fed = setup(0.0, 1.0);
-        let log = fed.run();
+        let mut sim = setup(0.0, 1.0);
+        let log = sim.run();
         assert_eq!(log.rounds.len(), 4);
         assert!(log.final_accuracy() > 0.4, "accuracy {}", log.final_accuracy());
     }
 
     #[test]
     fn fedprox_also_learns() {
-        let mut fed = setup(0.5, 1.0);
-        assert!(fed.run().final_accuracy() > 0.35);
+        let mut sim = setup(0.5, 1.0);
+        assert!(sim.run().final_accuracy() > 0.35);
     }
 
     #[test]
     fn partial_participation_still_progresses() {
-        let mut fed = setup(0.0, 0.5);
-        let log = fed.run();
+        let mut sim = setup(0.0, 0.67);
+        let log = sim.run();
         assert!(log.rounds.iter().all(|r| r.active_devices.len() == 2));
         assert!(log.final_accuracy() > 0.3);
     }
 
     #[test]
     fn comm_bytes_match_model_size() {
-        let mut fed = setup(0.0, 1.0);
-        let metrics = fed.round(0);
-        let sd_bytes = state_dict(fed.global_model()).byte_size() as u64;
+        let mut sim = setup(0.0, 1.0);
+        let metrics = sim.round(0);
+        let sd_bytes =
+            state_dict(sim.algorithm().global_model().unwrap()).byte_size() as u64;
         assert_eq!(metrics.upload_bytes, 3 * sd_bytes);
         assert_eq!(metrics.download_bytes, 3 * sd_bytes);
+    }
+
+    #[test]
+    fn device_accuracy_equals_global_accuracy() {
+        let mut sim = setup(0.0, 1.0);
+        let metrics = sim.round(0);
+        // One shared model: every device reports the same accuracy, which
+        // is also the global accuracy (the average may differ by an ulp
+        // from the summation).
+        assert!(metrics.device_accuracy.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(metrics.global_accuracy, Some(metrics.device_accuracy[0]));
+        assert!((metrics.avg_device_accuracy - metrics.device_accuracy[0]).abs() < 1e-5);
     }
 
     #[test]

@@ -1,19 +1,38 @@
 //! # fedzkt-fl
 //!
-//! Federated-learning simulation substrate: device/round bookkeeping,
-//! participation sampling (straggler modelling), local training, accuracy
-//! evaluation, communication accounting, a simulated wall clock with
-//! heterogeneous device resources, per-round metrics/CSV export, and two
-//! reference algorithms with homogeneous models — **FedAvg** (McMahan et
-//! al.) and **FedProx** (ℓ2-proximal local objective) — used both as
-//! substrate validation and as conceptual baselines for the FedZKT
-//! comparison in `fedzkt-core`.
+//! Federated-learning simulation substrate, built around one generic
+//! driver:
+//!
+//! * [`Simulation`] — the round loop shared by **every** algorithm in the
+//!   workspace: participation sampling (straggler modelling), local
+//!   training, accuracy evaluation with a configurable cadence,
+//!   communication accounting, a simulated wall clock over heterogeneous
+//!   [`DeviceResources`], and per-round metrics with CSV/JSON export;
+//! * [`FederatedAlgorithm`] — the trait an algorithm implements to run
+//!   under the driver: a device-side phase, a server-side phase, and
+//!   accessors for its evaluable models and per-device payload sizes;
+//! * [`FedAvg`] — FedAvg (McMahan et al.) and FedProx (ℓ2-proximal local
+//!   objective) over homogeneous models, used both as substrate validation
+//!   and as conceptual baselines for the FedZKT comparison in
+//!   `fedzkt-core` (which contributes `FedZkt` and `FedMd` as further
+//!   [`FederatedAlgorithm`] implementations).
+//!
+//! ## Writing a new algorithm
+//!
+//! Implement [`FederatedAlgorithm`]: put device-side work (local SGD,
+//! logit scoring, …) in `local_update`, server-side aggregation in
+//! `server_update`, record every transmitted byte into the
+//! [`RoundContext`]'s tracker, and keep inactive devices untouched. The
+//! driver then gives you stragglers, comm accounting, simulated time,
+//! evaluation cadence and run logging for free — and the workspace's
+//! protocol-invariant and determinism suites apply to your algorithm
+//! unchanged.
 //!
 //! ## Example
 //!
 //! ```
 //! use fedzkt_data::{DataFamily, Partition, SynthConfig};
-//! use fedzkt_fl::{FedAvg, FedAvgConfig};
+//! use fedzkt_fl::{FedAvg, FedAvgConfig, SimConfig, Simulation};
 //! use fedzkt_models::ModelSpec;
 //!
 //! let (train, test) = SynthConfig {
@@ -21,18 +40,22 @@
 //!     ..Default::default()
 //! }.generate();
 //! let shards = Partition::Iid.split(train.labels(), 10, 2, 3).unwrap();
-//! let mut fed = FedAvg::new(
+//! let sim_cfg = SimConfig { rounds: 1, ..Default::default() };
+//! let fed = FedAvg::new(
 //!     ModelSpec::Mlp { hidden: 16 },
-//!     &train, &shards, test,
-//!     FedAvgConfig { rounds: 1, local_epochs: 1, ..Default::default() },
+//!     &train, &shards,
+//!     FedAvgConfig { local_epochs: 1, ..Default::default() },
+//!     &sim_cfg,
 //! );
-//! let log = fed.run();
+//! let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+//! let log = sim.run();
 //! assert_eq!(log.rounds.len(), 1);
 //! ```
 
 #![warn(missing_docs)]
 
 mod comm;
+mod driver;
 mod eval;
 mod fedavg;
 mod metrics;
@@ -41,9 +64,12 @@ mod simclock;
 mod training;
 
 pub use comm::CommTracker;
+pub use driver::{FederatedAlgorithm, RoundContext, SimConfig, Simulation, SimulationBuilder};
 pub use eval::{accuracy, evaluate};
 pub use fedavg::{FedAvg, FedAvgConfig};
 pub use metrics::{RoundMetrics, RunLog};
 pub use participation::ParticipationSampler;
 pub use simclock::{DeviceResources, SimClock};
-pub use training::{train_local, train_local_fleet, FleetJob, LocalTrainConfig};
+pub use training::{
+    digest_logits, train_local, train_local_fleet, DigestConfig, FleetJob, LocalTrainConfig,
+};

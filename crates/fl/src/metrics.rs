@@ -81,6 +81,151 @@ impl RunLog {
         self.rounds.iter().map(|r| r.avg_device_accuracy).collect()
     }
 
+    /// Render as JSON (`{"rounds": [...]}`), one object per round with every
+    /// [`RoundMetrics`] field. Finite floats are printed with Rust's
+    /// shortest round-trip formatting, so [`RunLog::from_json`] recovers
+    /// the log bit-for-bit. Non-finite values (a diverged run's NaN loss)
+    /// have no JSON literal; they are emitted as `null` — still valid
+    /// JSON — and parse back as NaN.
+    pub fn to_json(&self) -> String {
+        fn f32j(v: f32) -> String {
+            if v.is_finite() { format!("{v}") } else { "null".into() }
+        }
+        fn f64j(v: f64) -> String {
+            if v.is_finite() { format!("{v}") } else { "null".into() }
+        }
+        let mut out = String::from("{\"rounds\":[");
+        for (i, r) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let device_accuracy: Vec<String> =
+                r.device_accuracy.iter().copied().map(f32j).collect();
+            let active: Vec<String> = r.active_devices.iter().map(|d| d.to_string()).collect();
+            out.push_str(&format!(
+                "{{\"round\":{},\"avg_device_accuracy\":{},\"device_accuracy\":[{}],\
+                 \"global_accuracy\":{},\"train_loss\":{},\"upload_bytes\":{},\
+                 \"download_bytes\":{},\"sim_seconds\":{},\"active_devices\":[{}]}}",
+                r.round,
+                f32j(r.avg_device_accuracy),
+                device_accuracy.join(","),
+                r.global_accuracy.map(f32j).unwrap_or_else(|| "null".into()),
+                f32j(r.train_loss),
+                r.upload_bytes,
+                r.download_bytes,
+                f64j(r.sim_seconds),
+                active.join(","),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a log emitted by [`RunLog::to_json`].
+    ///
+    /// # Errors
+    /// Returns a message when the input is not the expected JSON shape.
+    pub fn from_json(input: &str) -> Result<RunLog, String> {
+        let value = json::parse(input)?;
+        let rounds = value
+            .get("rounds")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| "missing \"rounds\" array".to_string())?;
+        fn field<'v, T>(
+            obj: &'v json::Value,
+            key: &str,
+            parse: impl Fn(&'v str) -> Option<T>,
+        ) -> Result<T, String> {
+            obj.get(key)
+                .and_then(json::Value::as_number)
+                .and_then(parse)
+                .ok_or_else(|| format!("missing or malformed numeric field \"{key}\""))
+        }
+        // Floats additionally accept `null`, `to_json`'s spelling of a
+        // non-finite value, and read it back as NaN.
+        fn float<'v, T: Copy>(
+            value: Option<&'v json::Value>,
+            key: &str,
+            parse: impl Fn(&'v str) -> Option<T>,
+            nan: T,
+        ) -> Result<T, String> {
+            match value {
+                Some(json::Value::Null) => Ok(nan),
+                other => other
+                    .and_then(json::Value::as_number)
+                    .and_then(parse)
+                    .ok_or_else(|| format!("missing or malformed float field \"{key}\"")),
+            }
+        }
+        fn list<'v, T>(
+            obj: &'v json::Value,
+            key: &str,
+            parse: impl Fn(&'v json::Value) -> Result<T, String>,
+        ) -> Result<Vec<T>, String> {
+            obj.get(key)
+                .and_then(json::Value::as_array)
+                .ok_or_else(|| format!("missing array field \"{key}\""))?
+                .iter()
+                .map(parse)
+                .collect()
+        }
+        let f32p = |s: &str| s.parse::<f32>().ok();
+        let f32_field = |obj: &json::Value, key: &str| -> Result<f32, String> {
+            float(obj.get(key), key, f32p, f32::NAN)
+        };
+        let mut log = RunLog::new();
+        for obj in rounds {
+            let global_accuracy = match obj.get("global_accuracy") {
+                None | Some(json::Value::Null) => None,
+                Some(v) => Some(
+                    v.as_number()
+                        .and_then(f32p)
+                        .ok_or_else(|| "malformed \"global_accuracy\"".to_string())?,
+                ),
+            };
+            log.push(RoundMetrics {
+                round: field(obj, "round", |s| s.parse().ok())?,
+                avg_device_accuracy: f32_field(obj, "avg_device_accuracy")?,
+                device_accuracy: list(obj, "device_accuracy", |v| {
+                    float(Some(v), "device_accuracy", f32p, f32::NAN)
+                })?,
+                global_accuracy,
+                train_loss: f32_field(obj, "train_loss")?,
+                upload_bytes: field(obj, "upload_bytes", |s| s.parse().ok())?,
+                download_bytes: field(obj, "download_bytes", |s| s.parse().ok())?,
+                sim_seconds: float(
+                    obj.get("sim_seconds"),
+                    "sim_seconds",
+                    |s| s.parse::<f64>().ok(),
+                    f64::NAN,
+                )?,
+                active_devices: list(obj, "active_devices", |v| {
+                    v.as_number()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| "malformed entry in \"active_devices\"".to_string())
+                })?,
+            });
+        }
+        Ok(log)
+    }
+
+    /// Write the log as `<dir>/<name>.csv` and `<dir>/<name>.json`,
+    /// creating `dir` if needed — the artifact pair every example and
+    /// experiment binary emits.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_artifacts(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+        name: &str,
+    ) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{name}.csv")), self.to_csv())?;
+        std::fs::write(dir.join(format!("{name}.json")), self.to_json())
+    }
+
     /// Render as CSV (header + one row per round).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
@@ -100,6 +245,182 @@ impl RunLog {
             ));
         }
         out
+    }
+}
+
+/// A deliberately small JSON reader for [`RunLog::from_json`]: objects,
+/// arrays, numbers (kept as raw text so integer width and float precision
+/// are decided by the caller), `null`, and the string escapes `to_json`
+/// never emits are rejected rather than guessed at. The offline vendored
+/// `serde` is a derive shim without serialization, so the wire format is
+/// owned here.
+mod json {
+    /// A parsed JSON value; numbers stay as raw slices of the input.
+    #[derive(Debug)]
+    pub enum Value<'a> {
+        /// `null`
+        Null,
+        /// A number, unparsed.
+        Number(&'a str),
+        /// An array.
+        Array(Vec<Value<'a>>),
+        /// An object (insertion-ordered).
+        Object(Vec<(&'a str, Value<'a>)>),
+    }
+
+    impl<'a> Value<'a> {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value<'a>> {
+            match self {
+                Value::Object(fields) => {
+                    fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        /// The elements when this is an array.
+        pub fn as_array(&self) -> Option<&[Value<'a>]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The raw text when this is a number.
+        pub fn as_number(&self) -> Option<&'a str> {
+            match self {
+                Value::Number(raw) => Some(raw),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Value<'_>, String> {
+        let mut p = Parser { bytes: input.as_bytes(), input, pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        input: &'a str,
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value<'a>, String> {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'n') => {
+                    if self.input[self.pos..].starts_with("null") {
+                        self.pos += 4;
+                        Ok(Value::Null)
+                    } else {
+                        Err(format!("bad literal at byte {}", self.pos))
+                    }
+                }
+                Some(b) if *b == b'-' || b.is_ascii_digit() => Ok(self.number()),
+                other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+            }
+        }
+
+        fn number(&mut self) -> Value<'a> {
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            Value::Number(&self.input[start..self.pos])
+        }
+
+        /// Keys only — `to_json` emits no string *values* and no escapes.
+        fn key(&mut self) -> Result<&'a str, String> {
+            self.expect(b'"')?;
+            let start = self.pos;
+            while let Some(b) = self.bytes.get(self.pos) {
+                match b {
+                    b'"' => {
+                        let key = &self.input[start..self.pos];
+                        self.pos += 1;
+                        return Ok(key);
+                    }
+                    b'\\' => return Err("escapes are not supported in keys".into()),
+                    _ => self.pos += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        fn object(&mut self) -> Result<Value<'a>, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                let key = self.key()?;
+                self.expect(b':')?;
+                fields.push((key, self.value()?));
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value<'a>, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
     }
 }
 
@@ -137,5 +458,77 @@ mod tests {
         let log = RunLog::new();
         assert_eq!(log.final_accuracy(), 0.0);
         assert_eq!(log.final_global_accuracy(), None);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let mut log = RunLog::new();
+        log.push(RoundMetrics {
+            round: 1,
+            avg_device_accuracy: 0.123_456_79,
+            device_accuracy: vec![0.1, 0.2, 0.070_123_45],
+            global_accuracy: Some(0.998),
+            train_loss: 1.5e-3,
+            upload_bytes: u64::MAX,
+            download_bytes: 0,
+            sim_seconds: 1_234.567_890_123,
+            active_devices: vec![0, 2],
+        });
+        log.push(RoundMetrics {
+            global_accuracy: None,
+            sim_seconds: 0.0,
+            ..RoundMetrics::new(2)
+        });
+        let json = log.to_json();
+        let back = RunLog::from_json(&json).expect("parse back");
+        assert_eq!(log, back);
+        // Bit-exactness beyond PartialEq (−0.0 vs 0.0, float precision).
+        for (a, b) in log.rounds.iter().zip(&back.rounds) {
+            assert_eq!(a.sim_seconds.to_bits(), b.sim_seconds.to_bits());
+            assert_eq!(a.avg_device_accuracy.to_bits(), b.avg_device_accuracy.to_bits());
+            for (x, y) in a.device_accuracy.iter().zip(&b.device_accuracy) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn json_has_expected_shape() {
+        let mut log = RunLog::new();
+        log.push(record(1, 0.25));
+        let json = log.to_json();
+        assert!(json.starts_with("{\"rounds\":[{"));
+        assert!(json.contains("\"avg_device_accuracy\":0.25"));
+        assert!(json.contains("\"global_accuracy\":null"));
+        assert!(RunLog::from_json(&json).is_ok());
+    }
+
+    #[test]
+    fn non_finite_metrics_stay_valid_json() {
+        // A diverged run: NaN loss must not break the artifact format.
+        let mut log = RunLog::new();
+        log.push(RoundMetrics {
+            train_loss: f32::NAN,
+            avg_device_accuracy: f32::INFINITY,
+            device_accuracy: vec![0.5, f32::NAN],
+            ..RoundMetrics::new(1)
+        });
+        let json = log.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        let back = RunLog::from_json(&json).expect("null-encoded non-finites parse");
+        assert!(back.rounds[0].train_loss.is_nan());
+        assert!(back.rounds[0].avg_device_accuracy.is_nan(), "inf flattens to NaN");
+        assert_eq!(back.rounds[0].device_accuracy[0], 0.5);
+        assert!(back.rounds[0].device_accuracy[1].is_nan());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(RunLog::from_json("").is_err());
+        assert!(RunLog::from_json("{}").is_err());
+        assert!(RunLog::from_json("{\"rounds\":[{\"round\":1}]}").is_err());
+        assert!(RunLog::from_json("{\"rounds\":[]} trailing").is_err());
+        let empty = RunLog::from_json("{\"rounds\":[]}").expect("empty log");
+        assert_eq!(empty, RunLog::new());
     }
 }

@@ -104,10 +104,14 @@ impl SimClock {
     /// Duration of one synchronous round: the slowest active device's
     /// `download + compute + upload`, plus the server-side time. Advances
     /// the clock and returns the duration.
+    ///
+    /// All three per-device quantities are closures of the device index so
+    /// heterogeneous payloads (each device ships its *own* model) and
+    /// heterogeneous workloads (shard sizes differ) are both expressible.
     pub fn advance_round(
         &mut self,
         active: &[usize],
-        samples: usize,
+        samples_per_device: &dyn Fn(usize) -> usize,
         down_bytes_per_device: &dyn Fn(usize) -> usize,
         up_bytes_per_device: &dyn Fn(usize) -> usize,
         server_seconds: f64,
@@ -117,7 +121,7 @@ impl SimClock {
             .map(|&d| {
                 let r = &self.devices[d];
                 r.download_time(down_bytes_per_device(d))
-                    + r.compute_time(samples)
+                    + r.compute_time(samples_per_device(d))
                     + r.upload_time(up_bytes_per_device(d))
             })
             .fold(0.0f64, f64::max);
@@ -150,13 +154,13 @@ mod tests {
     }
 
     #[test]
-    fn round_time_is_bounded_by_slowest_active() {
+    fn slowest_active_device_bounds_the_round_time() {
         let pop = vec![DeviceResources::smartphone(), DeviceResources::microcontroller()];
         let mut clock = SimClock::new(pop);
         // Only the fast device active.
-        let fast = clock.advance_round(&[0], 100, &|_| 1000, &|_| 1000, 0.5);
+        let fast = clock.advance_round(&[0], &|_| 100, &|_| 1000, &|_| 1000, 0.5);
         // Both active: the MCU dominates.
-        let both = clock.advance_round(&[0, 1], 100, &|_| 1000, &|_| 1000, 0.5);
+        let both = clock.advance_round(&[0, 1], &|_| 100, &|_| 1000, &|_| 1000, 0.5);
         assert!(both > 10.0 * fast, "fast {fast}, both {both}");
         assert!((clock.now() - (fast + both)).abs() < 1e-9);
     }

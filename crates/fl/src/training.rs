@@ -1,6 +1,7 @@
 //! Local (on-device) training — Algorithm 2 of the paper, with the
-//! optional ℓ2 proximal term of Eq. 9 — and the device-parallel fleet
-//! driver used by the federated orchestrators.
+//! optional ℓ2 proximal term of Eq. 9 — the FedMD-style logit-digest
+//! phase, and the device-parallel fleet driver used by the federated
+//! orchestrators.
 
 use fedzkt_autograd::loss::{cross_entropy, l2_penalty};
 use fedzkt_autograd::Var;
@@ -109,8 +110,62 @@ pub struct FleetJob<'a> {
     pub data: &'a Dataset,
     /// Local-training hyperparameters (including the device's RNG stream).
     pub cfg: LocalTrainConfig,
+    /// Optional extra training pass over another dataset run *first*
+    /// (FedMD's public→private transfer-learning warm-up); one fleet
+    /// dispatch then covers both phases instead of paying the
+    /// snapshot→rebuild→load round-trip twice.
+    pub pretrain: Option<(&'a Dataset, LocalTrainConfig)>,
+    /// Optional consensus-digest phase run *before* local training (FedMD's
+    /// digest→revisit round structure); `None` for plain local SGD.
+    pub digest: Option<DigestConfig<'a>>,
     /// Seed for the rebuild's (immediately overwritten) initialisation.
     pub rebuild_seed: u64,
+}
+
+/// Configuration of one FedMD-style digest phase: regress a device model's
+/// logits on the alignment inputs toward the server's consensus with an ℓ1
+/// loss (the MAE the FedMD paper prescribes). The alignment inputs and the
+/// consensus are shared across the fleet, so jobs borrow them.
+#[derive(Debug, Clone, Copy)]
+pub struct DigestConfig<'a> {
+    /// Alignment inputs scored by every device (NCHW).
+    pub inputs: &'a Tensor,
+    /// Consensus logits to regress toward, row-aligned with `inputs`.
+    pub targets: &'a Tensor,
+    /// Digestion epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate (FedMD digests with a fraction of the base rate:
+    /// raw-logit ℓ1 gradients dwarf cross-entropy's).
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+/// Run one digest phase on `model` (see [`DigestConfig`]).
+pub fn digest_logits(model: &dyn Module, cfg: &DigestConfig<'_>) {
+    let n = cfg.inputs.shape()[0];
+    if n == 0 || cfg.epochs == 0 {
+        return;
+    }
+    model.set_training(true);
+    let opt = Sgd::new(model.params(), SgdConfig { lr: cfg.lr, momentum: 0.9, weight_decay: 0.0 });
+    for epoch in 0..cfg.epochs {
+        for batch in BatchIter::new(n, cfg.batch_size, cfg.seed.wrapping_add(epoch as u64)) {
+            let x = cfg.inputs.gather_first(&batch).expect("alignment batch");
+            let target = cfg.targets.gather_first(&batch).expect("consensus batch");
+            opt.zero_grad();
+            let pred = model.forward(&Var::constant(x));
+            let loss = pred
+                .sub(&Var::constant(target))
+                .abs()
+                .sum_all()
+                .scale(1.0 / batch.len() as f32);
+            loss.backward();
+            opt.step();
+        }
+    }
 }
 
 /// Train a fleet of devices concurrently on up to `threads` scoped worker
@@ -120,7 +175,7 @@ pub struct FleetJob<'a> {
 /// `io` is the data geometry `(channels, classes, img_size)` every model is
 /// built for. Each job is an independent computation seeded by its own
 /// `cfg.seed` stream, and every thread count — including 1 — runs the same
-/// rebuild-load-train-snapshot sequence, so results are bit-identical
+/// rebuild-load-pretrain-digest-train-snapshot sequence, so results are bit-identical
 /// regardless of `threads` (the workspace determinism suite asserts this
 /// across whole federated runs).
 ///
@@ -136,6 +191,12 @@ pub fn train_local_fleet(
         let job = &jobs[i];
         let model = job.spec.build(channels, classes, img, job.rebuild_seed);
         load_state_dict(model.as_ref(), &job.snapshot).expect("fleet snapshot matches spec");
+        if let Some((data, cfg)) = &job.pretrain {
+            train_local(model.as_ref(), data, cfg);
+        }
+        if let Some(digest) = &job.digest {
+            digest_logits(model.as_ref(), digest);
+        }
         let loss = train_local(model.as_ref(), job.data, &job.cfg);
         (loss, state_dict(model.as_ref()))
     })
@@ -219,6 +280,8 @@ mod tests {
                     snapshot: state_dict(spec.build(io.0, io.1, io.2, 50 + k).as_ref()),
                     data: &train,
                     cfg: LocalTrainConfig { epochs: 1, seed: 90 + k, ..Default::default() },
+                    pretrain: None,
+                    digest: None,
                     rebuild_seed: 1000 + k,
                 })
                 .collect();
@@ -249,7 +312,52 @@ mod tests {
         let ref_loss = train_local(reference.as_ref(), &train, &cfg);
         // Fleet: same snapshot, rebuilt on a worker.
         let jobs =
-            [FleetJob { spec, snapshot, data: &train, cfg, rebuild_seed: 9 }];
+            [FleetJob {
+                spec,
+                snapshot,
+                data: &train,
+                cfg,
+                pretrain: None,
+                digest: None,
+                rebuild_seed: 9,
+            }];
+        let out = train_local_fleet(&jobs, io, 2);
+        assert_eq!(out[0].0.to_bits(), ref_loss.to_bits());
+        assert_eq!(out[0].1, state_dict(reference.as_ref()));
+    }
+
+    #[test]
+    fn fleet_digest_matches_direct_digest() {
+        let (train, _) = toy_data(6);
+        let spec = ModelSpec::Mlp { hidden: 8 };
+        let io = (1usize, 4usize, 8usize);
+        let mut rng = fedzkt_tensor::seeded_rng(11);
+        let inputs = Tensor::randn(&[12, 1, 8, 8], &mut rng);
+        let targets = Tensor::randn(&[12, 4], &mut rng);
+        let digest_cfg = DigestConfig {
+            inputs: &inputs,
+            targets: &targets,
+            epochs: 2,
+            batch_size: 4,
+            lr: 0.01,
+            seed: 5,
+        };
+        let cfg = LocalTrainConfig { epochs: 1, seed: 8, ..Default::default() };
+        // Reference: digest then train, in place.
+        let reference = spec.build(io.0, io.1, io.2, 77);
+        let snapshot = state_dict(reference.as_ref());
+        digest_logits(reference.as_ref(), &digest_cfg);
+        let ref_loss = train_local(reference.as_ref(), &train, &cfg);
+        // Fleet: identical job, rebuilt on a worker.
+        let jobs = [FleetJob {
+            spec,
+            snapshot,
+            data: &train,
+            cfg,
+            pretrain: None,
+            digest: Some(digest_cfg),
+            rebuild_seed: 3,
+        }];
         let out = train_local_fleet(&jobs, io, 2);
         assert_eq!(out[0].0.to_bits(), ref_loss.to_bits());
         assert_eq!(out[0].1, state_dict(reference.as_ref()));

@@ -49,8 +49,8 @@ proptest! {
         let pop = DeviceResources::heterogeneous_population(4, seed);
         let mut clock_small = SimClock::new(pop.clone());
         let mut clock_big = SimClock::new(pop);
-        let small = clock_small.advance_round(&[0, 1], samples, &|_| 1000, &|_| 1000, 0.1);
-        let big = clock_big.advance_round(&[0, 1, 2, 3], samples, &|_| 1000, &|_| 1000, 0.1);
+        let small = clock_small.advance_round(&[0, 1], &|_| samples, &|_| 1000, &|_| 1000, 0.1);
+        let big = clock_big.advance_round(&[0, 1, 2, 3], &|_| samples, &|_| 1000, &|_| 1000, 0.1);
         prop_assert!(big >= small - 1e-9);
     }
 

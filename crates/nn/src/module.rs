@@ -26,6 +26,16 @@ impl Buffer {
         self.inner.borrow().clone()
     }
 
+    /// Number of f32 values held, without cloning.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether the buffer holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Replace the value.
     ///
     /// # Panics
@@ -167,6 +177,16 @@ pub fn param_bytes(module: &dyn Module) -> usize {
     param_count(module) * std::mem::size_of::<f32>()
 }
 
+/// Bytes of the full transferable state (parameters **and** buffers) —
+/// exactly [`StateDict::byte_size`] of [`state_dict`]`(module)`, but
+/// computed without materialising the snapshot. This is the per-round
+/// communication cost accounting reads every round.
+pub fn state_bytes(module: &dyn Module) -> usize {
+    let values = module.params().iter().map(|p| p.value().len()).sum::<usize>()
+        + module.buffers().iter().map(Buffer::len).sum::<usize>();
+    values * std::mem::size_of::<f32>()
+}
+
 /// A module that chains child modules in order.
 pub struct Sequential {
     layers: Vec<Box<dyn Module>>,
@@ -290,6 +310,8 @@ mod tests {
     fn state_dict_byte_size() {
         let m = tiny_model(6);
         assert_eq!(state_dict(&m).byte_size(), 104);
+        // The snapshot-free count agrees with the snapshot's.
+        assert_eq!(state_bytes(&m), state_dict(&m).byte_size());
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! shards — FedAvg with the *smallest* architecture every device could
 //! afford (the MCU's LeNet, since classical FL is constrained by the
 //! weakest participant), FedZKT with the full heterogeneous zoo — and
-//! compares accuracy and per-device communication.
+//! compares accuracy and per-device communication. Both algorithms run
+//! under the **same** `Simulation` driver with the same `SimConfig`.
 //!
 //! ```sh
 //! cargo run --release --example fedavg_vs_fedzkt
@@ -13,7 +14,7 @@
 
 use fedzkt::core::{FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::{FedAvg, FedAvgConfig};
+use fedzkt::fl::{FedAvg, FedAvgConfig, SimConfig, Simulation};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 
 fn main() {
@@ -31,45 +32,39 @@ fn main() {
     let shards = Partition::Iid
         .split(train.labels(), train.num_classes(), devices, 13)
         .expect("partition");
+    let sim_cfg = SimConfig { rounds, seed: 13, ..Default::default() };
 
     // Classical FL: everyone must run the lowest-common-denominator model.
     let lcd = ModelSpec::LeNet { scale: 0.5, deep: false };
-    let mut fedavg = FedAvg::new(
+    let fedavg = FedAvg::new(
         lcd,
         &train,
         &shards,
-        test.clone(),
-        FedAvgConfig {
-            rounds,
-            local_epochs: 2,
-            batch_size: 32,
-            lr: 0.05,
-            seed: 13,
-            ..Default::default()
-        },
+        FedAvgConfig { local_epochs: 2, batch_size: 32, lr: 0.05, ..Default::default() },
+        &sim_cfg,
     );
-    let avg_log = fedavg.run().clone();
+    let mut avg_sim = Simulation::builder(fedavg, test.clone(), sim_cfg).build();
+    let avg_log = avg_sim.run().clone();
 
     // FedZKT: each device runs the architecture its hardware affords.
     let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), devices);
-    let mut fedzkt = FedZkt::new(
+    let fedzkt = FedZkt::new(
         &zoo,
         &train,
         &shards,
-        test,
         FedZktConfig {
-            rounds,
             local_epochs: 2,
             distill_iters: 16,
             transfer_iters: 16,
             device_lr: 0.05,
             generator: GeneratorSpec { z_dim: 32, ngf: 8 },
             global_model: ModelSpec::SmallCnn { base_channels: 8 },
-            seed: 13,
             ..Default::default()
         },
+        &sim_cfg,
     );
-    let zkt_log = fedzkt.run().clone();
+    let mut zkt_sim = Simulation::builder(fedzkt, test, sim_cfg).build();
+    let zkt_log = zkt_sim.run().clone();
 
     println!("round  FedAvg(LCD {})   FedZKT(heterogeneous zoo)", lcd.name());
     for r in 0..rounds {
@@ -88,4 +83,7 @@ fn main() {
         100.0 * avg_log.final_accuracy(),
         100.0 * zkt_log.final_accuracy()
     );
+    avg_log.write_artifacts("target/examples", "fedavg_vs_fedzkt_fedavg").expect("write artifacts");
+    zkt_log.write_artifacts("target/examples", "fedavg_vs_fedzkt_fedzkt").expect("write artifacts");
+    println!("artifacts: target/examples/fedavg_vs_fedzkt_*.{{csv,json}}");
 }

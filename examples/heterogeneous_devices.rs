@@ -4,15 +4,19 @@
 //! resources showing why element-wise averaging (FedAvg) cannot even be
 //! attempted and where the wall-clock time goes.
 //!
+//! The simulated clock is owned by the `Simulation` driver: attaching
+//! `DeviceResources` populates `sim_seconds` in every round's metrics, so
+//! the timing below is read straight from the `RunLog`.
+//!
 //! ```sh
 //! cargo run --release --example heterogeneous_devices
 //! ```
 
 use fedzkt::core::{FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::{DeviceResources, SimClock};
+use fedzkt::fl::{DeviceResources, SimConfig, Simulation};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
-use fedzkt::nn::{param_bytes, state_dict};
+use fedzkt::nn::param_bytes;
 
 fn main() {
     let devices = 10;
@@ -30,7 +34,6 @@ fn main() {
 
     // Heterogeneous hardware: a mix of phone- and MCU-class devices.
     let resources = DeviceResources::heterogeneous_population(devices, 11);
-    let mut clock = SimClock::new(resources.clone());
 
     println!("device  architecture          params(B)  samples/s");
     for (i, spec) in zoo.iter().enumerate() {
@@ -45,31 +48,25 @@ fn main() {
     }
     println!("\nNote: five distinct architectures — element-wise FedAvg is impossible here.\n");
 
+    let sim_cfg = SimConfig { rounds: 6, seed: 11, ..Default::default() };
     let cfg = FedZktConfig {
-        rounds: 6,
         local_epochs: 2,
         distill_iters: 16,
         transfer_iters: 16,
         device_lr: 0.05,
         generator: GeneratorSpec { z_dim: 32, ngf: 8 },
         global_model: ModelSpec::MobileNetV2 { width: 1.0 },
-        seed: 11,
         ..Default::default()
     };
-    let mut fed = FedZkt::new(&zoo, &train, &shards, test, cfg);
+    let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
+    let mut sim = Simulation::builder(fed, test, sim_cfg)
+        .resources(resources)
+        // Per-round orchestration latency; the distillation game's compute
+        // is charged separately via FedZktConfig::server_samples_per_sec.
+        .server_seconds(1.0)
+        .build();
     println!("round  avg-acc  per-device accuracies                                   sim-time");
-    for round in 0..cfg.rounds {
-        let m = fed.round(round);
-        // Each device's round cost: download + local epochs + upload of its
-        // own model (never the global model or generator).
-        let samples = 2 * train.len() / devices;
-        let dt = clock.advance_round(
-            &m.active_devices,
-            samples,
-            &|d| state_dict(fed.device_model(d)).byte_size(),
-            &|d| state_dict(fed.device_model(d)).byte_size(),
-            1.0, // server-side distillation happens on server hardware
-        );
+    sim.run_with(|m| {
         let accs: Vec<String> =
             m.device_accuracy.iter().map(|a| format!("{:>4.0}%", 100.0 * a)).collect();
         println!(
@@ -77,8 +74,12 @@ fn main() {
             m.round,
             100.0 * m.avg_device_accuracy,
             accs.join(" "),
-            dt
+            m.sim_seconds
         );
-    }
-    println!("\ntotal simulated wall time: {:.0} s", clock.now());
+    });
+    let total: f64 = sim.log().rounds.iter().map(|r| r.sim_seconds).sum();
+    println!("\ntotal simulated wall time: {:.0} s", total);
+    assert!(total > 0.0, "resources are attached, so simulated time must accrue");
+    sim.log().write_artifacts("target/examples", "heterogeneous_devices").expect("write artifacts");
+    println!("\nartifacts: target/examples/heterogeneous_devices.{{csv,json}}");
 }

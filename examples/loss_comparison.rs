@@ -8,6 +8,7 @@
 
 use fedzkt::core::{FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Partition, SynthConfig};
+use fedzkt::fl::{SimConfig, Simulation};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 
 fn main() {
@@ -25,8 +26,8 @@ fn main() {
         .split(train.labels(), train.num_classes(), devices, 9)
         .expect("partition");
     let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), devices);
+    let sim_cfg = SimConfig { rounds: 8, seed: 9, ..Default::default() };
     let cfg = FedZktConfig {
-        rounds: 8,
         local_epochs: 2,
         distill_iters: 16,
         transfer_iters: 16,
@@ -34,17 +35,17 @@ fn main() {
         probe_grad_norms: true,
         generator: GeneratorSpec { z_dim: 32, ngf: 8 },
         global_model: ModelSpec::SmallCnn { base_channels: 8 },
-        seed: 9,
         ..Default::default()
     };
-    let mut fed = FedZkt::new(&zoo, &train, &shards, test, cfg);
-    fed.run();
+    let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
+    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+    sim.run();
 
     println!("round  ||grad_x KL||  ||grad_x l1||  ||grad_x SL||");
-    for r in fed.probe().records() {
+    for r in sim.algorithm().probe().records() {
         println!("{:>5}  {:>13.5}  {:>13.5}  {:>13.5}", r.round, r.kl, r.logit_l1, r.sl);
     }
-    let last = fed.probe().records().last().expect("records");
+    let last = sim.algorithm().probe().records().last().expect("records");
     println!(
         "\nlate-round ordering (Hypotheses 1-2):  KL {:.5} <= SL {:.5} <= l1 {:.5} : {}",
         last.kl,
@@ -52,4 +53,6 @@ fn main() {
         last.logit_l1,
         if last.kl <= last.sl * 1.5 && last.sl <= last.logit_l1 * 1.5 { "holds" } else { "inspect" }
     );
+    sim.log().write_artifacts("target/examples", "loss_comparison").expect("write artifacts");
+    println!("\nartifacts: target/examples/loss_comparison.{{csv,json}}");
 }

@@ -8,6 +8,7 @@
 
 use fedzkt::core::{FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Partition, SynthConfig};
+use fedzkt::fl::{SimConfig, Simulation};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 
 fn main() {
@@ -33,27 +34,30 @@ fn main() {
     }
 
     let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), devices);
+    let sim_cfg = SimConfig { rounds: 6, seed: 3, ..Default::default() };
     let base = FedZktConfig {
-        rounds: 6,
         local_epochs: 2,
         distill_iters: 16,
         transfer_iters: 16,
         device_lr: 0.05,
         generator: GeneratorSpec { z_dim: 32, ngf: 8 },
         global_model: ModelSpec::SmallCnn { base_channels: 8 },
-        seed: 3,
         ..Default::default()
     };
 
-    for (label, mu) in [("no regularization", 0.0f32), ("l2 regularization (Eq. 9)", 1.0)] {
-        let mut fed = FedZkt::new(
+    for (tag, label, mu) in [
+        ("mu0", "no regularization", 0.0f32),
+        ("mu1", "l2 regularization (Eq. 9)", 1.0),
+    ] {
+        let fed = FedZkt::new(
             &zoo,
             &train,
             &shards,
-            test.clone(),
             FedZktConfig { prox_mu: mu, ..base },
+            &sim_cfg,
         );
-        let log = fed.run();
+        let mut sim = Simulation::builder(fed, test.clone(), sim_cfg).build();
+        let log = sim.run();
         println!(
             "\n{label}: final avg accuracy {:.1}%  (per round: {})",
             100.0 * log.final_accuracy(),
@@ -63,5 +67,8 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         );
+        log.write_artifacts("target/examples", &format!("noniid_dirichlet_{tag}"))
+            .expect("write artifacts");
     }
+    println!("\nartifacts: target/examples/noniid_dirichlet_*.{{csv,json}}");
 }

@@ -2,7 +2,9 @@
 //!
 //! Five devices with five *different* architectures learn a shared task
 //! from an MNIST-like synthetic dataset, with zero-shot knowledge transfer
-//! at the server — no public data, no pre-trained generator.
+//! at the server — no public data, no pre-trained generator. The round
+//! loop is owned by the generic `Simulation` driver; FedZKT only supplies
+//! its device/server phases.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -10,6 +12,7 @@
 
 use fedzkt::core::{FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Partition, SynthConfig};
+use fedzkt::fl::{SimConfig, Simulation};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 use fedzkt::nn::param_count;
 
@@ -38,22 +41,21 @@ fn main() {
         println!("device {i}: {:<18} ({params} parameters)", spec.name());
     }
 
-    // 4. Run FedZKT.
+    // 4. Run FedZKT under the generic driver.
+    let sim_cfg = SimConfig { rounds: 8, seed: 7, ..Default::default() };
     let cfg = FedZktConfig {
-        rounds: 8,
         local_epochs: 2,
         distill_iters: 16,
         transfer_iters: 16,
         device_lr: 0.05,
         generator: GeneratorSpec { z_dim: 32, ngf: 8 },
         global_model: ModelSpec::SmallCnn { base_channels: 8 },
-        seed: 7,
         ..Default::default()
     };
-    let mut fed = FedZkt::new(&zoo, &train, &shards, test, cfg);
+    let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
+    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
     println!("\nround  avg-device-acc  global-acc  upload-KiB");
-    for round in 0..cfg.rounds {
-        let m = fed.round(round);
+    sim.run_with(|m| {
         println!(
             "{:>5}  {:>14.1}%  {:>9.1}%  {:>10.1}",
             m.round,
@@ -61,5 +63,7 @@ fn main() {
             100.0 * m.global_accuracy.unwrap_or(0.0),
             m.upload_bytes as f64 / 1024.0
         );
-    }
+    });
+    sim.log().write_artifacts("target/examples", "quickstart").expect("write artifacts");
+    println!("\nartifacts: target/examples/quickstart.{{csv,json}}");
 }

@@ -13,7 +13,8 @@
 //! * [`nn`] — layers, optimizers, schedules, state dicts;
 //! * [`models`] — the heterogeneous on-device model zoo + generator;
 //! * [`data`] — synthetic dataset families and non-IID partitioners;
-//! * [`fl`] — federated simulation substrate, FedAvg/FedProx;
+//! * [`fl`] — the generic `Simulation` driver + `FederatedAlgorithm`
+//!   trait, simulation substrate, FedAvg/FedProx;
 //! * [`core`] — FedZKT itself (Algorithms 1–3), FedMD, bounds, probes.
 //!
 //! See `examples/` for runnable entry points and `crates/bench/src/bin/`
@@ -22,13 +23,16 @@
 //! ```no_run
 //! use fedzkt::core::{FedZkt, FedZktConfig};
 //! use fedzkt::data::{DataFamily, Partition, SynthConfig};
+//! use fedzkt::fl::{SimConfig, Simulation};
 //! use fedzkt::models::ModelSpec;
 //!
 //! let (train, test) = SynthConfig { family: DataFamily::MnistLike, ..Default::default() }.generate();
 //! let shards = Partition::Iid.split(train.labels(), train.num_classes(), 5, 1).unwrap();
 //! let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), 5);
-//! let mut fed = FedZkt::new(&zoo, &train, &shards, test, FedZktConfig::default());
-//! println!("final accuracy: {:.3}", fed.run().final_accuracy());
+//! let sim_cfg = SimConfig::default();
+//! let fed = FedZkt::new(&zoo, &train, &shards, FedZktConfig::default(), &sim_cfg);
+//! let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+//! println!("final accuracy: {:.3}", sim.run().final_accuracy());
 //! ```
 
 #![warn(missing_docs)]

@@ -4,12 +4,13 @@
 
 use fedzkt::core::{FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Partition, SynthConfig};
+use fedzkt::fl::{FederatedAlgorithm, SimConfig, Simulation};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 use fedzkt::nn::{
     decode_state_dict, encode_state_dict, load_state_dict, state_dict,
 };
 
-fn tiny_run() -> FedZkt {
+fn tiny_run() -> Simulation<FedZkt> {
     let (train, test) = SynthConfig {
         family: DataFamily::MnistLike,
         img: 8,
@@ -26,13 +27,12 @@ fn tiny_run() -> FedZkt {
         ModelSpec::SmallCnn { base_channels: 2 },
         ModelSpec::LeNet { scale: 0.5, deep: false },
     ];
-    FedZkt::new(
+    let sim_cfg = SimConfig { rounds: 1, seed: 31, ..Default::default() };
+    let fed = FedZkt::new(
         &zoo,
         &train,
         &shards,
-        test,
         FedZktConfig {
-            rounds: 1,
             local_epochs: 1,
             distill_iters: 3,
             transfer_iters: 3,
@@ -41,16 +41,18 @@ fn tiny_run() -> FedZkt {
             device_lr: 0.05,
             generator: GeneratorSpec { z_dim: 16, ngf: 4 },
             global_model: ModelSpec::SmallCnn { base_channels: 4 },
-            seed: 31,
             ..Default::default()
         },
-    )
+        &sim_cfg,
+    );
+    Simulation::builder(fed, test, sim_cfg).build()
 }
 
 #[test]
 fn mid_run_device_models_survive_the_wire_format() {
-    let mut fed = tiny_run();
-    fed.round(0);
+    let mut sim = tiny_run();
+    sim.round(0);
+    let fed = sim.algorithm();
     // "Transmit" every trained device model through the binary format and
     // load it into a freshly built twin of the same architecture.
     for k in 0..fed.devices() {
@@ -75,8 +77,9 @@ fn checkpoint_files_resume_training() {
     std::fs::create_dir_all(&dir).unwrap();
 
     // Run one round, checkpoint device 0 to disk.
-    let mut fed = tiny_run();
-    fed.round(0);
+    let mut sim = tiny_run();
+    sim.round(0);
+    let fed = sim.algorithm();
     let path = dir.join("device0.fzkt");
     fedzkt::nn::save_state_dict(&state_dict(fed.device_model(0)), &path).unwrap();
 
@@ -96,8 +99,9 @@ fn checkpoint_files_resume_training() {
 
 #[test]
 fn corrupted_checkpoint_is_rejected_not_loaded() {
-    let mut fed = tiny_run();
-    fed.round(0);
+    let mut sim = tiny_run();
+    sim.round(0);
+    let fed = sim.algorithm();
     let sd = state_dict(fed.device_model(1));
     let mut bytes = encode_state_dict(&sd).to_vec();
     // Flip a header byte (tensor count) — must fail cleanly.

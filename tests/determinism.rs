@@ -1,18 +1,20 @@
 //! Whole-run determinism: the `seeded_rng`/`split_seed` contract promises
 //! that a federated run is a pure function of its seed. Guarded here at the
-//! outermost API — two `FedZkt::run` invocations with the same seed must
-//! produce bit-identical `RunLog` metrics, and different seeds must not.
+//! outermost API — two `Simulation::run` invocations with the same seed
+//! must produce bit-identical `RunLog` metrics, and different seeds must
+//! not.
 //!
 //! Since the execution model went multi-threaded, the contract has a second
 //! axis: the thread count is a throughput knob, never a semantics knob.
-//! `threads = 1` and `threads = 4` must produce bit-identical logs, and the
-//! parallel tensor kernels (GEMM, conv2d) must produce bit-identical
-//! buffers.
+//! `threads = 1` and `threads = 4` must produce bit-identical logs — for
+//! **every** algorithm running under the driver (FedZKT and FedMD both
+//! dispatch their device phases onto the fleet) — and the parallel tensor
+//! kernels (GEMM, conv2d) must produce bit-identical buffers.
 
 use fedzkt::autograd::Var;
-use fedzkt::core::{FedZkt, FedZktConfig};
+use fedzkt::core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::RunLog;
+use fedzkt::fl::{RunLog, SimConfig, Simulation};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 use fedzkt::tensor::{par, seeded_rng, Tensor};
 use std::sync::Mutex;
@@ -50,8 +52,8 @@ fn run_with_threads(seed: u64, threads: usize) -> RunLog {
         ModelSpec::SmallCnn { base_channels: 2 },
         ModelSpec::LeNet { scale: 0.5, deep: false },
     ];
+    let sim_cfg = SimConfig { rounds: 2, seed, threads, ..Default::default() };
     let cfg = FedZktConfig {
-        rounds: 2,
         local_epochs: 1,
         distill_iters: 3,
         transfer_iters: 3,
@@ -60,12 +62,54 @@ fn run_with_threads(seed: u64, threads: usize) -> RunLog {
         device_lr: 0.05,
         generator: GeneratorSpec { z_dim: 16, ngf: 4 },
         global_model: ModelSpec::SmallCnn { base_channels: 4 },
-        seed,
-        threads,
         ..Default::default()
     };
-    let mut fed = FedZkt::new(&zoo, &train, &shards, test, cfg);
-    fed.run().clone()
+    let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
+    Simulation::builder(fed, test, sim_cfg).build().run().clone()
+}
+
+/// A FedMD run with partial participation, so lazy warmup, logit scoring,
+/// and the fleet-dispatched digest/revisit phases are all exercised.
+fn run_fedmd_with_threads(seed: u64, threads: usize) -> RunLog {
+    let (train, test) = SynthConfig {
+        family: DataFamily::Cifar10Like,
+        img: 8,
+        train_n: 96,
+        test_n: 48,
+        classes: 4,
+        seed: 3,
+        ..Default::default()
+    }
+    .generate();
+    let (public, _) = SynthConfig {
+        family: DataFamily::Cifar100Like,
+        img: 8,
+        train_n: 64,
+        test_n: 8,
+        classes: 8,
+        seed: 9,
+        ..Default::default()
+    }
+    .generate();
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 5).unwrap();
+    let zoo = vec![
+        ModelSpec::Mlp { hidden: 16 },
+        ModelSpec::SmallCnn { base_channels: 2 },
+        ModelSpec::LeNet { scale: 0.5, deep: false },
+    ];
+    let sim_cfg =
+        SimConfig { rounds: 2, participation: 0.67, seed, threads, ..Default::default() };
+    let cfg = FedMdConfig {
+        public_warmup_epochs: 1,
+        private_warmup_epochs: 1,
+        alignment_size: 32,
+        digest_epochs: 1,
+        revisit_epochs: 1,
+        batch_size: 16,
+        lr: 0.05,
+    };
+    let fed = FedMd::new(&zoo, &train, &shards, public, cfg, &sim_cfg);
+    Simulation::builder(fed, test, sim_cfg).build().run().clone()
 }
 
 /// Bit-level equality of every floating-point metric, so that a -0.0 vs 0.0
@@ -115,6 +159,19 @@ fn runlog_is_bit_identical_across_thread_counts() {
     let four = run_with_threads(11, 4);
     assert_eq!(one, four, "threads=1 vs threads=4 diverged");
     assert_bit_identical(&one, &four);
+}
+
+#[test]
+fn fedmd_runlog_is_bit_identical_across_thread_counts() {
+    let _guard = serial_guard();
+    // FedMD's digest/revisit (and lazy warmup) run on the same fleet
+    // machinery as the other algorithms, so the same guarantee applies.
+    let one = run_fedmd_with_threads(13, 1);
+    let four = run_fedmd_with_threads(13, 4);
+    assert_eq!(one, four, "FedMD threads=1 vs threads=4 diverged");
+    assert_bit_identical(&one, &four);
+    // Sanity: partial participation really is in effect.
+    assert!(one.rounds.iter().all(|r| r.active_devices.len() == 2));
 }
 
 #[test]

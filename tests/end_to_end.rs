@@ -1,9 +1,11 @@
 //! Cross-crate integration tests: tiny but complete federated runs of
-//! every algorithm in the workspace.
+//! every algorithm in the workspace, all through the `Simulation` driver.
 
 use fedzkt::core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Dataset, Partition, SynthConfig};
-use fedzkt::fl::{FedAvg, FedAvgConfig};
+use fedzkt::fl::{
+    DeviceResources, FedAvg, FedAvgConfig, RunLog, SimConfig, Simulation,
+};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 
 fn mnist_like(seed: u64) -> (Dataset, Dataset) {
@@ -19,9 +21,8 @@ fn mnist_like(seed: u64) -> (Dataset, Dataset) {
     .generate()
 }
 
-fn tiny_zkt_cfg(seed: u64) -> FedZktConfig {
+fn tiny_zkt_cfg() -> FedZktConfig {
     FedZktConfig {
-        rounds: 2,
         local_epochs: 1,
         distill_iters: 4,
         transfer_iters: 4,
@@ -30,25 +31,95 @@ fn tiny_zkt_cfg(seed: u64) -> FedZktConfig {
         device_lr: 0.05,
         generator: GeneratorSpec { z_dim: 16, ngf: 4 },
         global_model: ModelSpec::SmallCnn { base_channels: 4 },
-        seed,
         ..Default::default()
     }
 }
 
-#[test]
-fn fedzkt_full_pipeline_heterogeneous() {
-    let (train, test) = mnist_like(1);
-    let shards = Partition::Iid.split(train.labels(), 4, 3, 2).unwrap();
-    let zoo = vec![
+fn tiny_zoo() -> Vec<ModelSpec> {
+    vec![
         ModelSpec::Mlp { hidden: 16 },
         ModelSpec::SmallCnn { base_channels: 2 },
         ModelSpec::LeNet { scale: 0.5, deep: false },
-    ];
-    let mut fed = FedZkt::new(&zoo, &train, &shards, test, tiny_zkt_cfg(1));
-    let log = fed.run();
+    ]
+}
+
+fn tiny_fedzkt(seed: u64, rounds: usize) -> Simulation<FedZkt> {
+    let (train, test) = mnist_like(seed);
+    let shards = Partition::Iid.split(train.labels(), 4, 3, seed.wrapping_add(1)).unwrap();
+    let sim_cfg = SimConfig { rounds, seed, ..Default::default() };
+    let fed = FedZkt::new(&tiny_zoo(), &train, &shards, tiny_zkt_cfg(), &sim_cfg);
+    Simulation::builder(fed, test, sim_cfg).build()
+}
+
+#[test]
+fn fedzkt_full_pipeline_heterogeneous() {
+    let mut sim = tiny_fedzkt(1, 2);
+    let log = sim.run();
     assert_eq!(log.rounds.len(), 2);
     assert!(log.rounds.iter().all(|r| r.avg_device_accuracy.is_finite()));
     assert!(log.rounds.iter().all(|r| r.upload_bytes > 0 && r.download_bytes > 0));
+}
+
+/// Acceptance for the SimClock integration: attach device resources and
+/// the driver populates `sim_seconds` — nonzero, accumulating, and read
+/// straight from the `RunLog` (no hand-driven clock anywhere).
+#[test]
+fn fedzkt_sim_seconds_positive_with_resources() {
+    let (train, test) = mnist_like(4);
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 4).unwrap();
+    let sim_cfg = SimConfig { rounds: 2, seed: 4, ..Default::default() };
+    let fed = FedZkt::new(&tiny_zoo(), &train, &shards, tiny_zkt_cfg(), &sim_cfg);
+    let mut sim = Simulation::builder(fed, test, sim_cfg)
+        .resources(DeviceResources::heterogeneous_population(3, 4))
+        .server_seconds(0.25)
+        .build();
+    let log = sim.run().clone();
+    for r in &log.rounds {
+        assert!(r.sim_seconds > 0.0, "round {} has sim_seconds {}", r.round, r.sim_seconds);
+        // The constant server time alone bounds every round from below.
+        assert!(r.sim_seconds >= 0.25);
+    }
+    let total: f64 = log.rounds.iter().map(|r| r.sim_seconds).sum();
+    assert!((sim.clock().expect("clock attached").now() - total).abs() < 1e-9);
+    // Without resources, the field stays zero.
+    let mut plain = tiny_fedzkt(4, 1);
+    assert_eq!(plain.round(0).sim_seconds, 0.0);
+}
+
+/// The server's distillation compute is charged to the clock: more
+/// distillation iterations ⇒ longer simulated rounds, all else equal.
+#[test]
+fn sim_seconds_scale_with_server_distillation_budget() {
+    let run = |distill_iters: usize| {
+        let (train, test) = mnist_like(4);
+        let shards = Partition::Iid.split(train.labels(), 4, 3, 4).unwrap();
+        let sim_cfg = SimConfig { rounds: 1, seed: 4, ..Default::default() };
+        let cfg = FedZktConfig {
+            distill_iters,
+            transfer_iters: distill_iters,
+            ..tiny_zkt_cfg()
+        };
+        let fed = FedZkt::new(&tiny_zoo(), &train, &shards, cfg, &sim_cfg);
+        let mut sim = Simulation::builder(fed, test, sim_cfg)
+            .resources(DeviceResources::heterogeneous_population(3, 4))
+            .build();
+        sim.round(0).sim_seconds
+    };
+    let small = run(2);
+    let big = run(8);
+    assert!(big > small, "nD=8 must cost more simulated time than nD=2: {big} vs {small}");
+}
+
+/// The run log round-trips through its JSON artifact format at full
+/// fidelity, straight off a real heterogeneous run.
+#[test]
+fn runlog_json_roundtrips_from_real_run() {
+    let mut sim = tiny_fedzkt(6, 2);
+    let log = sim.run().clone();
+    let back = RunLog::from_json(&log.to_json()).expect("parse emitted JSON");
+    assert_eq!(log, back);
+    // CSV and JSON agree on the round count.
+    assert_eq!(log.to_csv().lines().count(), 1 + back.rounds.len());
 }
 
 #[test]
@@ -83,9 +154,11 @@ fn fedzkt_beats_local_only_on_skewed_data() {
         local_acc += acc / shards.len() as f32;
     }
 
-    let cfg = FedZktConfig { rounds: 4, prox_mu: 1.0, ..tiny_zkt_cfg(3) };
-    let mut fed = FedZkt::new(&zoo, &train, &shards, test, cfg);
-    let fed_acc = fed.run().final_accuracy();
+    let sim_cfg = SimConfig { rounds: 4, seed: 3, ..Default::default() };
+    let cfg = FedZktConfig { local_epochs: 1, prox_mu: 1.0, ..tiny_zkt_cfg() };
+    let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
+    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+    let fed_acc = sim.run().final_accuracy();
     // Local-only models top out near 50% (they see half the classes).
     assert!(local_acc < 0.62, "local-only unexpectedly strong: {local_acc}");
     assert!(
@@ -108,19 +181,13 @@ fn fedmd_full_pipeline_with_public_data() {
     }
     .generate();
     let shards = Partition::Iid.split(train.labels(), 4, 3, 5).unwrap();
-    let zoo = vec![
-        ModelSpec::Mlp { hidden: 16 },
-        ModelSpec::SmallCnn { base_channels: 2 },
-        ModelSpec::LeNet { scale: 0.5, deep: false },
-    ];
-    let mut fed = FedMd::new(
-        &zoo,
+    let sim_cfg = SimConfig { rounds: 2, seed: 5, ..Default::default() };
+    let fed = FedMd::new(
+        &tiny_zoo(),
         &train,
         &shards,
         public,
-        test,
         FedMdConfig {
-            rounds: 2,
             public_warmup_epochs: 1,
             private_warmup_epochs: 1,
             alignment_size: 32,
@@ -128,11 +195,11 @@ fn fedmd_full_pipeline_with_public_data() {
             revisit_epochs: 1,
             batch_size: 16,
             lr: 0.05,
-            seed: 5,
-            ..Default::default()
         },
+        &sim_cfg,
     );
-    let log = fed.run();
+    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+    let log = sim.run();
     assert_eq!(log.rounds.len(), 2);
     assert!(log.final_accuracy() > 0.25, "acc {}", log.final_accuracy());
 }
@@ -141,14 +208,16 @@ fn fedmd_full_pipeline_with_public_data() {
 fn fedavg_homogeneous_baseline() {
     let (train, test) = mnist_like(8);
     let shards = Partition::Iid.split(train.labels(), 4, 3, 8).unwrap();
-    let mut fed = FedAvg::new(
+    let sim_cfg = SimConfig { rounds: 3, seed: 8, ..Default::default() };
+    let fed = FedAvg::new(
         ModelSpec::Mlp { hidden: 16 },
         &train,
         &shards,
-        test,
-        FedAvgConfig { rounds: 3, local_epochs: 2, batch_size: 16, lr: 0.05, seed: 8, ..Default::default() },
+        FedAvgConfig { local_epochs: 2, batch_size: 16, lr: 0.05, ..Default::default() },
+        &sim_cfg,
     );
-    let log = fed.run();
+    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+    let log = sim.run();
     assert!(log.final_accuracy() > 0.3, "acc {}", log.final_accuracy());
 }
 
@@ -157,13 +226,9 @@ fn same_seed_reproduces_entire_run() {
     let run = || {
         let (train, test) = mnist_like(9);
         let shards = Partition::Dirichlet { beta: 0.5 }.split(train.labels(), 4, 3, 9).unwrap();
-        let zoo = vec![
-            ModelSpec::Mlp { hidden: 16 },
-            ModelSpec::SmallCnn { base_channels: 2 },
-            ModelSpec::LeNet { scale: 0.5, deep: false },
-        ];
-        let mut fed = FedZkt::new(&zoo, &train, &shards, test, tiny_zkt_cfg(9));
-        fed.run().clone()
+        let sim_cfg = SimConfig { rounds: 2, seed: 9, ..Default::default() };
+        let fed = FedZkt::new(&tiny_zoo(), &train, &shards, tiny_zkt_cfg(), &sim_cfg);
+        Simulation::builder(fed, test, sim_cfg).build().run().clone()
     };
     let a = run();
     let b = run();
@@ -175,7 +240,29 @@ fn single_device_federation_degenerates_gracefully() {
     let (train, test) = mnist_like(10);
     let shards = Partition::Iid.split(train.labels(), 4, 1, 10).unwrap();
     let zoo = vec![ModelSpec::Mlp { hidden: 16 }];
-    let mut fed = FedZkt::new(&zoo, &train, &shards, test, tiny_zkt_cfg(10));
-    let log = fed.run();
+    let sim_cfg = SimConfig { rounds: 2, seed: 10, ..Default::default() };
+    let fed = FedZkt::new(&zoo, &train, &shards, tiny_zkt_cfg(), &sim_cfg);
+    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+    let log = sim.run();
     assert!(log.final_accuracy().is_finite());
+}
+
+/// The evaluation cadence skips accuracy computation on off-cadence rounds
+/// but never skips protocol work: traffic accrues every round and the
+/// final round always reports fresh accuracies.
+#[test]
+fn eval_cadence_spans_a_real_run() {
+    let (train, test) = mnist_like(12);
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 12).unwrap();
+    let sim_cfg = SimConfig { rounds: 4, eval_every: 0, seed: 12, ..Default::default() };
+    let fed = FedZkt::new(&tiny_zoo(), &train, &shards, tiny_zkt_cfg(), &sim_cfg);
+    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+    let log = sim.run().clone();
+    for r in &log.rounds[..3] {
+        assert!(r.device_accuracy.is_empty(), "round {} evaluated off cadence", r.round);
+        assert!(r.upload_bytes > 0, "protocol work must not be skipped");
+    }
+    let last = log.rounds.last().unwrap();
+    assert_eq!(last.device_accuracy.len(), 3);
+    assert!(last.avg_device_accuracy > 0.0);
 }

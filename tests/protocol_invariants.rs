@@ -1,35 +1,43 @@
-//! Invariants of the FedZKT protocol that hold by design and must hold in
-//! the implementation — the properties DESIGN.md §6 calls out.
+//! Invariants of the federated protocol that hold by design and must hold
+//! in the implementation — the properties DESIGN.md §6 calls out.
+//!
+//! Since the `Simulation` redesign these are stated once, **at the trait
+//! level**, and checked for all three algorithms (FedZKT, FedAvg/FedProx,
+//! FedMD): stragglers stay bit-unchanged, and per-round traffic equals the
+//! sum of the active devices' own payloads — FedZKT's `O(|w_k|)` claim.
+//! FedZKT-specific invariants (server-side size independence, architectural
+//! incompatibility of the zoo, distillation effectiveness, probe
+//! side-effect freedom) follow below.
 
-use fedzkt::core::{FedZkt, FedZktConfig};
-use fedzkt::data::{DataFamily, Partition, SynthConfig};
+use fedzkt::core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
+use fedzkt::data::{DataFamily, Dataset, Partition, SynthConfig};
+use fedzkt::fl::{FedAvg, FedAvgConfig, FederatedAlgorithm, SimConfig, Simulation};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 use fedzkt::nn::{param_bytes, state_dict};
 
-fn setup(cfg: FedZktConfig) -> (FedZkt, usize) {
-    let (train, test) = SynthConfig {
+fn data(seed: u64) -> (Dataset, Dataset) {
+    SynthConfig {
         family: DataFamily::MnistLike,
         img: 8,
         train_n: 120,
         test_n: 60,
         classes: 4,
-        seed: 21,
+        seed,
         ..Default::default()
     }
-    .generate();
-    let k = 3;
-    let shards = Partition::Iid.split(train.labels(), 4, k, 21).unwrap();
-    let zoo = vec![
+    .generate()
+}
+
+fn zoo() -> Vec<ModelSpec> {
+    vec![
         ModelSpec::Mlp { hidden: 16 },
         ModelSpec::SmallCnn { base_channels: 2 },
         ModelSpec::LeNet { scale: 0.5, deep: false },
-    ];
-    (FedZkt::new(&zoo, &train, &shards, test, cfg), k)
+    ]
 }
 
 fn tiny_cfg() -> FedZktConfig {
     FedZktConfig {
-        rounds: 1,
         local_epochs: 1,
         distill_iters: 3,
         transfer_iters: 3,
@@ -38,8 +46,167 @@ fn tiny_cfg() -> FedZktConfig {
         device_lr: 0.05,
         generator: GeneratorSpec { z_dim: 16, ngf: 4 },
         global_model: ModelSpec::SmallCnn { base_channels: 4 },
-        seed: 2,
         ..Default::default()
+    }
+}
+
+fn fedzkt_sim(cfg: FedZktConfig, sim: SimConfig) -> Simulation<FedZkt> {
+    let (train, test) = data(21);
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 21).unwrap();
+    let fed = FedZkt::new(&zoo(), &train, &shards, cfg, &sim);
+    Simulation::builder(fed, test, sim).build()
+}
+
+fn fedavg_sim(sim: SimConfig) -> Simulation<FedAvg> {
+    let (train, test) = data(22);
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 22).unwrap();
+    let fed = FedAvg::new(
+        ModelSpec::Mlp { hidden: 16 },
+        &train,
+        &shards,
+        FedAvgConfig { local_epochs: 1, batch_size: 16, ..Default::default() },
+        &sim,
+    );
+    Simulation::builder(fed, test, sim).build()
+}
+
+fn fedmd_sim(sim: SimConfig) -> Simulation<FedMd> {
+    let (train, test) = data(23);
+    let (public, _) = SynthConfig {
+        family: DataFamily::FashionLike,
+        img: 8,
+        train_n: 64,
+        test_n: 8,
+        classes: 4,
+        seed: 24,
+        ..Default::default()
+    }
+    .generate();
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 23).unwrap();
+    let fed = FedMd::new(
+        &zoo(),
+        &train,
+        &shards,
+        public,
+        FedMdConfig {
+            public_warmup_epochs: 1,
+            private_warmup_epochs: 1,
+            alignment_size: 32,
+            digest_epochs: 1,
+            revisit_epochs: 1,
+            batch_size: 16,
+            lr: 0.05,
+        },
+        &sim,
+    );
+    Simulation::builder(fed, test, sim).build()
+}
+
+/// Trait-level invariant 1: devices outside the active set are
+/// bit-unchanged by a round — stragglers neither train nor receive
+/// updates, in every algorithm.
+fn assert_stragglers_untouched<A: FederatedAlgorithm>(sim: &mut Simulation<A>) {
+    let n = sim.devices();
+    let before: Vec<_> = (0..n).map(|k| state_dict(sim.algorithm().device_model(k))).collect();
+    let metrics = sim.round(0);
+    assert!(
+        metrics.active_devices.len() < n,
+        "test needs genuine stragglers (got {} active of {n})",
+        metrics.active_devices.len()
+    );
+    for (k, snapshot) in before.iter().enumerate() {
+        let unchanged = state_dict(sim.algorithm().device_model(k)) == *snapshot;
+        assert_eq!(
+            unchanged,
+            !metrics.active_devices.contains(&k),
+            "device {k} active={} unchanged={unchanged}",
+            metrics.active_devices.contains(&k)
+        );
+    }
+}
+
+/// Trait-level invariant 2: per-round traffic equals the sum of the active
+/// devices' own payload sizes, in both directions — `O(|w_k|)` per device
+/// for the model-exchanging algorithms, logit-sized for FedMD, and never a
+/// function of server-side state.
+fn assert_traffic_is_payload_sized<A: FederatedAlgorithm>(sim: &mut Simulation<A>) {
+    let metrics = sim.round(0);
+    let expected: u64 = metrics
+        .active_devices
+        .iter()
+        .map(|&k| sim.algorithm().payload_bytes(k) as u64)
+        .sum();
+    assert!(expected > 0, "payloads must be non-trivial");
+    assert_eq!(metrics.upload_bytes, expected, "uplink");
+    assert_eq!(metrics.download_bytes, expected, "downlink");
+}
+
+// participation 0.34 of 3 devices → exactly 1 active, 2 stragglers.
+fn partial() -> SimConfig {
+    SimConfig { rounds: 1, participation: 0.34, seed: 2, ..Default::default() }
+}
+
+fn full() -> SimConfig {
+    SimConfig { rounds: 1, seed: 2, ..Default::default() }
+}
+
+#[test]
+fn stragglers_keep_their_stale_models_fedzkt() {
+    assert_stragglers_untouched(&mut fedzkt_sim(tiny_cfg(), partial()));
+}
+
+#[test]
+fn stragglers_keep_their_stale_models_fedavg() {
+    // FedAvg shares one global model across devices, so "device k's model"
+    // is the global model for every k; the invariant degenerates to the
+    // global model changing only through active devices. A round with one
+    // active device must still change it (that device trains).
+    let mut sim = fedavg_sim(partial());
+    let before = state_dict(sim.algorithm().device_model(0));
+    let metrics = sim.round(0);
+    assert_eq!(metrics.active_devices.len(), 1);
+    assert_ne!(state_dict(sim.algorithm().device_model(0)), before);
+}
+
+#[test]
+fn stragglers_keep_their_stale_models_fedmd() {
+    assert_stragglers_untouched(&mut fedmd_sim(partial()));
+}
+
+#[test]
+fn traffic_is_payload_sized_fedzkt() {
+    assert_traffic_is_payload_sized(&mut fedzkt_sim(tiny_cfg(), full()));
+    assert_traffic_is_payload_sized(&mut fedzkt_sim(tiny_cfg(), partial()));
+}
+
+#[test]
+fn traffic_is_payload_sized_fedavg() {
+    assert_traffic_is_payload_sized(&mut fedavg_sim(full()));
+    assert_traffic_is_payload_sized(&mut fedavg_sim(partial()));
+}
+
+#[test]
+fn traffic_is_payload_sized_fedmd() {
+    assert_traffic_is_payload_sized(&mut fedmd_sim(full()));
+    assert_traffic_is_payload_sized(&mut fedmd_sim(partial()));
+}
+
+/// FedZKT's payloads really are state-dict sizes (the `O(|w_k|)` claim in
+/// its concrete form), and FedMD's really are logit-sized — so invariant 2
+/// above is not vacuously true.
+#[test]
+fn payload_semantics_per_algorithm() {
+    let sim = fedzkt_sim(tiny_cfg(), full());
+    for k in 0..sim.devices() {
+        assert_eq!(
+            sim.algorithm().payload_bytes(k),
+            state_dict(sim.algorithm().device_model(k)).byte_size()
+        );
+    }
+    let sim = fedmd_sim(full());
+    // 32 alignment samples × 4 classes × 4 bytes, identical for every k.
+    for k in 0..sim.devices() {
+        assert_eq!(sim.algorithm().payload_bytes(k), 32 * 4 * 4);
     }
 }
 
@@ -47,13 +214,9 @@ fn tiny_cfg() -> FedZktConfig {
 /// that device's own model — independent of the global model and generator
 /// sizes, which live only at the server.
 #[test]
-fn device_traffic_is_own_model_sized() {
-    let (mut fed, k) = setup(tiny_cfg());
-    let metrics = fed.round(0);
-    let per_device: u64 =
-        (0..k).map(|d| state_dict(fed.device_model(d)).byte_size() as u64).sum();
-    assert_eq!(metrics.upload_bytes, per_device);
-    assert_eq!(metrics.download_bytes, per_device);
+fn device_traffic_independent_of_server_model_sizes() {
+    let mut sim = fedzkt_sim(tiny_cfg(), full());
+    let metrics = sim.round(0);
 
     // Inflating the server-side models must not change device traffic.
     let big_cfg = FedZktConfig {
@@ -61,12 +224,13 @@ fn device_traffic_is_own_model_sized() {
         global_model: ModelSpec::SmallCnn { base_channels: 16 },
         ..tiny_cfg()
     };
-    let (mut big_fed, _) = setup(big_cfg);
-    let big_metrics = big_fed.round(0);
+    let mut big_sim = fedzkt_sim(big_cfg, full());
+    let big_metrics = big_sim.round(0);
     assert_eq!(big_metrics.upload_bytes, metrics.upload_bytes);
     assert_eq!(big_metrics.download_bytes, metrics.download_bytes);
     assert!(
-        param_bytes(big_fed.global_model()) > param_bytes(fed.global_model()),
+        param_bytes(big_sim.algorithm().global_model().unwrap())
+            > param_bytes(sim.algorithm().global_model().unwrap()),
         "sanity: the big config really is bigger"
     );
 }
@@ -75,11 +239,12 @@ fn device_traffic_is_own_model_sized() {
 /// parameter layouts, so FedAvg-style element-wise averaging is impossible.
 #[test]
 fn zoo_is_architecturally_incompatible() {
-    let (fed, k) = setup(tiny_cfg());
+    let sim = fedzkt_sim(tiny_cfg(), full());
+    let k = sim.devices();
     for a in 0..k {
         for b in (a + 1)..k {
-            let sa = state_dict(fed.device_model(a));
-            let sb = state_dict(fed.device_model(b));
+            let sa = state_dict(sim.algorithm().device_model(a));
+            let sb = state_dict(sim.algorithm().device_model(b));
             let layout = |sd: &fedzkt::nn::StateDict| -> Vec<Vec<usize>> {
                 sd.params.iter().map(|t| t.shape().to_vec()).collect()
             };
@@ -94,15 +259,15 @@ fn zoo_is_architecturally_incompatible() {
 #[test]
 fn server_distillation_changes_device_models() {
     let with_server = {
-        let (mut fed, _) = setup(tiny_cfg());
-        fed.round(0);
-        state_dict(fed.device_model(0))
+        let mut sim = fedzkt_sim(tiny_cfg(), full());
+        sim.round(0);
+        state_dict(sim.algorithm().device_model(0))
     };
     let without_server = {
         let cfg = FedZktConfig { distill_iters: 0, transfer_iters: 0, ..tiny_cfg() };
-        let (mut fed, _) = setup(cfg);
-        fed.round(0);
-        state_dict(fed.device_model(0))
+        let mut sim = fedzkt_sim(cfg, full());
+        sim.round(0);
+        state_dict(sim.algorithm().device_model(0))
     };
     assert_ne!(with_server, without_server, "server update had no effect on device 0");
 }
@@ -115,17 +280,17 @@ fn training_stays_finite_under_aggressive_settings() {
         loss: fedzkt::core::DistillLoss::LogitL1,
         server_lr: 0.1,
         generator_lr: 0.01,
-        rounds: 2,
         ..tiny_cfg()
     };
-    let (mut fed, k) = setup(cfg);
-    fed.run();
+    let mut sim = fedzkt_sim(cfg, SimConfig { rounds: 2, ..full() });
+    sim.run();
+    let k = sim.devices();
     for d in 0..k {
-        for p in fed.device_model(d).params() {
+        for p in sim.algorithm().device_model(d).params() {
             assert!(p.value().all_finite(), "device {d} has non-finite parameters");
         }
     }
-    for p in fed.global_model().params() {
+    for p in sim.algorithm().global_model().unwrap().params() {
         assert!(p.value().all_finite(), "global model has non-finite parameters");
     }
 }
@@ -134,13 +299,13 @@ fn training_stays_finite_under_aggressive_settings() {
 /// an unprobed run produce identical models.
 #[test]
 fn probe_is_side_effect_free() {
-    let (mut probed, _) = setup(FedZktConfig { probe_grad_norms: true, ..tiny_cfg() });
-    let (mut plain, _) = setup(FedZktConfig { probe_grad_norms: false, ..tiny_cfg() });
+    let mut probed = fedzkt_sim(FedZktConfig { probe_grad_norms: true, ..tiny_cfg() }, full());
+    let mut plain = fedzkt_sim(FedZktConfig { probe_grad_norms: false, ..tiny_cfg() }, full());
     probed.round(0);
     plain.round(0);
     assert_eq!(
-        state_dict(probed.device_model(0)),
-        state_dict(plain.device_model(0)),
+        state_dict(probed.algorithm().device_model(0)),
+        state_dict(plain.algorithm().device_model(0)),
         "probe changed training trajectory"
     );
 }
