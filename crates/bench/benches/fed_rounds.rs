@@ -4,35 +4,43 @@
 //! lives at the server" design claim.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedzkt_bench::{build_workload, Tier};
-use fedzkt_core::FedZkt;
+use fedzkt_core::{FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
 use fedzkt_fl::{FedAvg, FedAvgConfig, SimConfig, Simulation};
 use fedzkt_models::ModelSpec;
+use fedzkt_scenario::{Materialized, Scenario, Tier};
 use std::hint::black_box;
+
+/// The tiny-tier standard scenario, materialized once per benchmark group.
+fn tiny() -> (Scenario, Materialized, FedZktConfig) {
+    let sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
+    let m = sc.materialize().expect("tiny scenario materializes");
+    let cfg = *sc.fedzkt_cfg().expect("standard scenarios run fedzkt");
+    (sc, m, cfg)
+}
 
 fn bench_fedzkt_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("round");
     group.sample_size(10);
-    let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
+    let (sc, m, cfg) = tiny();
     group.bench_function("fedzkt_tiny", |bench| {
         bench.iter(|| {
-            let fed = FedZkt::new(&w.zoo, &w.train, &w.shards, w.fedzkt, &w.sim);
-            let mut sim = Simulation::builder(fed, w.test.clone(), w.sim).build();
+            let fed = FedZkt::new(&m.zoo, &m.train, &m.shards, cfg, &sc.sim);
+            let mut sim = Simulation::builder(fed, m.test.clone(), sc.sim).build();
             black_box(sim.round(0))
         });
     });
     group.bench_function("fedavg_tiny", |bench| {
         bench.iter(|| {
-            let sim_cfg = SimConfig { rounds: 1, ..w.sim };
+            let sim_cfg = SimConfig { rounds: 1, ..sc.sim };
             let fed = FedAvg::new(
                 ModelSpec::Mlp { hidden: 16 },
-                &w.train,
-                &w.shards,
+                &m.train,
+                &m.shards,
                 FedAvgConfig { local_epochs: 1, batch_size: 16, ..Default::default() },
                 &sim_cfg,
             );
-            let mut sim = Simulation::builder(fed, w.test.clone(), sim_cfg).build();
+            let mut sim = Simulation::builder(fed, m.test.clone(), sim_cfg).build();
             black_box(sim.round(0))
         });
     });
@@ -45,13 +53,13 @@ fn bench_fedzkt_round(c: &mut Criterion) {
 fn bench_round_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("round_threads");
     group.sample_size(10);
-    let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
+    let (sc, m, cfg) = tiny();
     for &threads in &[1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &t| {
             bench.iter(|| {
-                let sim_cfg = SimConfig { threads: t, ..w.sim };
-                let fed = FedZkt::new(&w.zoo, &w.train, &w.shards, w.fedzkt, &sim_cfg);
-                let mut sim = Simulation::builder(fed, w.test.clone(), sim_cfg).build();
+                let sim_cfg = SimConfig { threads: t, ..sc.sim };
+                let fed = FedZkt::new(&m.zoo, &m.train, &m.shards, cfg, &sim_cfg);
+                let mut sim = Simulation::builder(fed, m.test.clone(), sim_cfg).build();
                 black_box(sim.round(0))
             });
         });

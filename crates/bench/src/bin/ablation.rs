@@ -2,37 +2,43 @@
 //! (DESIGN.md §6): the transfer learning rate, reuse of the adversarially
 //! trained generator for Eq. 8, and the server distillation budget `nD`.
 
-use fedzkt_bench::{banner, build_workload, pct, run_fedzkt, ExpOptions};
+use fedzkt_bench::{banner, pct, ExpOptions};
 use fedzkt_core::FedZktConfig;
 use fedzkt_data::{DataFamily, Partition};
 
 fn main() {
     let opts = ExpOptions::from_args();
     banner("Ablations: transfer LR, generator reuse, distillation budget", &opts);
-    let workload = build_workload(DataFamily::MnistLike, Partition::Iid, opts.tier, opts.seed);
+    let base = opts.scenario(DataFamily::MnistLike, Partition::Iid);
+    let base_cfg = *base.fedzkt_cfg().expect("standard scenarios run fedzkt");
+    let run_variant = |edit: &dyn Fn(&mut FedZktConfig)| -> f32 {
+        let mut cell = base.clone();
+        edit(cell.fedzkt_cfg_mut().expect("standard scenarios run fedzkt"));
+        cell.run().expect("buildable cell").final_accuracy()
+    };
     let mut csv = String::from("ablation,setting,final_accuracy\n");
 
     println!("-- transfer learning rate (Eq. 8 step size) --");
     for lr in [0.002f32, 0.01, 0.05] {
-        let acc = run_fedzkt(&workload, workload.sim, FedZktConfig { transfer_lr: lr, ..workload.fedzkt })
-            .final_accuracy();
+        let acc = run_variant(&|cfg| cfg.transfer_lr = lr);
         println!("  transfer_lr = {lr:<6}: {}", pct(acc));
         csv.push_str(&format!("transfer_lr,{lr},{acc:.4}\n"));
     }
 
     println!("-- generator for the global->device transfer --");
     for (label, fresh) in [("trained (paper)", false), ("fresh random", true)] {
-        let cfg = FedZktConfig { fresh_generator_for_transfer: fresh, ..workload.fedzkt };
-        let acc = run_fedzkt(&workload, workload.sim, cfg).final_accuracy();
+        let acc = run_variant(&|cfg| cfg.fresh_generator_for_transfer = fresh);
         println!("  {label:<16}: {}", pct(acc));
         csv.push_str(&format!("transfer_generator,{label},{acc:.4}\n"));
     }
 
     println!("-- server distillation budget nD --");
     for scale in [0usize, 1, 2] {
-        let n_d = workload.fedzkt.distill_iters * scale;
-        let cfg = FedZktConfig { distill_iters: n_d, transfer_iters: n_d, ..workload.fedzkt };
-        let acc = run_fedzkt(&workload, workload.sim, cfg).final_accuracy();
+        let n_d = base_cfg.distill_iters * scale;
+        let acc = run_variant(&|cfg| {
+            cfg.distill_iters = n_d;
+            cfg.transfer_iters = n_d;
+        });
         println!("  nD = {n_d:<4}: {}", pct(acc));
         csv.push_str(&format!("distill_iters,{n_d},{acc:.4}\n"));
     }

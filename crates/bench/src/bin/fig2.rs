@@ -2,25 +2,29 @@
 //! disagreement losses (MNIST, IID). Expected shape: KL vanishes, logit-ℓ1
 //! is large/unstable, SL sits between and stays stable.
 
-use fedzkt_bench::{banner, build_workload, ExpOptions};
-use fedzkt_core::{FedZkt, FedZktConfig};
+use fedzkt_bench::{banner, ExpOptions};
+use fedzkt_core::FedZkt;
 use fedzkt_data::{DataFamily, Partition};
 use fedzkt_fl::Simulation;
 
 fn main() {
     let opts = ExpOptions::from_args();
     banner("Figure 2: ||grad_x L|| per round (MNIST, IID)", &opts);
-    let workload = build_workload(DataFamily::MnistLike, Partition::Iid, opts.tier, opts.seed);
-    let cfg = FedZktConfig { probe_grad_norms: true, ..workload.fedzkt };
-    let fed = FedZkt::new(&workload.zoo, &workload.train, &workload.shards, cfg, &workload.sim);
-    let mut sim = Simulation::builder(fed, workload.test.clone(), workload.sim).build();
+    let mut scenario = opts.scenario(DataFamily::MnistLike, Partition::Iid);
+    scenario.fedzkt_cfg_mut().expect("standard scenarios run fedzkt").probe_grad_norms = true;
+    let mut sim = scenario.build().expect("buildable scenario");
     sim.run();
+    // The probe is FedZKT-specific: reach through the erased runner.
+    let typed = sim
+        .as_any()
+        .downcast_ref::<Simulation<FedZkt>>()
+        .expect("fedzkt scenario");
     println!("{:>6} {:>14} {:>14} {:>14}", "round", "KL", "l1-norm", "SL");
-    for r in sim.algorithm().probe().records() {
+    for r in typed.algorithm().probe().records() {
         println!("{:>6} {:>14.6} {:>14.6} {:>14.6}", r.round, r.kl, r.logit_l1, r.sl);
     }
     // Shape summary (the property Fig. 2 illustrates).
-    let records = sim.algorithm().probe().records();
+    let records = typed.algorithm().probe().records();
     let last = &records[records.len().saturating_sub(3)..];
     let mean = |f: fn(&fedzkt_core::GradNormRecord) -> f32| -> f32 {
         last.iter().map(f).sum::<f32>() / last.len().max(1) as f32
@@ -31,5 +35,5 @@ fn main() {
         mean(|r| r.logit_l1),
         mean(|r| r.sl)
     );
-    opts.write_csv("fig2.csv", &sim.algorithm().probe().to_csv());
+    opts.write_csv("fig2.csv", &typed.algorithm().probe().to_csv());
 }

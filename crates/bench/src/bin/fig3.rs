@@ -2,16 +2,18 @@
 //! CIFAR-100-like). Expected shape: FedMD leads early (public-data
 //! bootstrap), FedZKT crosses over and finishes higher.
 
-use fedzkt_bench::{banner, build_public, build_workload, pct, run_fedmd, run_fedzkt, ExpOptions};
+use fedzkt_bench::{banner, pct, ExpOptions};
 use fedzkt_data::{DataFamily, Partition};
 
 fn main() {
     let opts = ExpOptions::from_args();
     banner("Figure 3: learning curves (CIFAR-10, IID)", &opts);
-    let workload = build_workload(DataFamily::Cifar10Like, Partition::Iid, opts.tier, opts.seed);
-    let zkt = run_fedzkt(&workload, workload.sim, workload.fedzkt);
-    let public = build_public(&workload, DataFamily::Cifar100Like, opts.seed);
-    let md = run_fedmd(&workload, public, workload.sim, workload.fedmd);
+    let scenario = opts.scenario(DataFamily::Cifar10Like, Partition::Iid);
+    let zkt = scenario.run().expect("fedzkt leg");
+    let md = scenario
+        .fedmd_counterpart(opts.tier, DataFamily::Cifar100Like)
+        .run()
+        .expect("fedmd leg");
 
     println!("{:>6} {:>12} {:>12}", "round", "FedMD", "FedZKT");
     let mut csv = String::from("round,fedmd,fedzkt\n");

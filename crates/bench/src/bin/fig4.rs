@@ -6,11 +6,7 @@
 //!
 //! Extra flag: `--skew quantity|dirichlet|both` (default both).
 
-use fedzkt_bench::{
-    banner, build_public, build_workload, fedmd_public_family, pct, run_fedmd, run_fedzkt,
-    ExpOptions,
-};
-use fedzkt_core::FedZktConfig;
+use fedzkt_bench::{banner, fedmd_public_family, pct, ExpOptions};
 use fedzkt_data::{DataFamily, Partition};
 
 fn main() {
@@ -67,11 +63,11 @@ fn main() {
 }
 
 fn run_pair(family: DataFamily, partition: Partition, opts: &ExpOptions) -> (f32, f32) {
-    let workload = build_workload(family, partition, opts.tier, opts.seed);
+    let mut scenario = opts.scenario(family, partition);
+    let md_scenario = scenario.fedmd_counterpart(opts.tier, fedmd_public_family(family));
     // Non-IID runs enable the paper's ℓ2 regularizer (Eq. 9).
-    let cfg = FedZktConfig { prox_mu: 1.0, ..workload.fedzkt };
-    let zkt = run_fedzkt(&workload, workload.sim, cfg);
-    let public = build_public(&workload, fedmd_public_family(family), opts.seed);
-    let md = run_fedmd(&workload, public, workload.sim, workload.fedmd);
+    scenario.fedzkt_cfg_mut().expect("standard scenarios run fedzkt").prox_mu = 1.0;
+    let zkt = scenario.run().expect("fedzkt leg");
+    let md = md_scenario.run().expect("fedmd leg");
     (md.final_accuracy(), zkt.final_accuracy())
 }

@@ -1,43 +1,28 @@
 //! Figure 5 — per-device learning curves under heterogeneous architectures
-//! (CIFAR-10, IID): ten devices cycling through Models A–E of Table V.
-//! Expected shape: the two LeNet devices (Model E) plateau below the
-//! ShuffleNetV2/MobileNetV2 devices.
+//! (CIFAR-10, IID): ten devices, two per Model A–E of Table V (grouped by
+//! architecture in device order). Expected shape: the two LeNet devices
+//! (Model E) plateau below the ShuffleNetV2/MobileNetV2 devices.
 
-use fedzkt_bench::{banner, build_workload_scaled, pct, ExpOptions, Scale};
-use fedzkt_core::FedZkt;
+use fedzkt_bench::{banner, pct, ExpOptions, Scale};
 use fedzkt_data::{DataFamily, Partition};
-use fedzkt_fl::Simulation;
 
 fn main() {
     let opts = ExpOptions::from_args();
     banner("Figure 5: per-device learning curves (CIFAR-10, IID, Models A-E)", &opts);
     let mut scale = Scale::for_family(DataFamily::Cifar10Like, opts.tier);
     scale.devices = 10; // the paper's setup for this figure
-    let workload = build_workload_scaled(
-        DataFamily::Cifar10Like,
-        Partition::Iid,
-        opts.tier,
-        opts.seed,
-        scale,
-    );
-    let fed = FedZkt::new(
-        &workload.zoo,
-        &workload.train,
-        &workload.shards,
-        workload.fedzkt,
-        &workload.sim,
-    );
-    let mut sim = Simulation::builder(fed, workload.test.clone(), workload.sim).build();
-    let log = sim.run().clone();
+    let scenario = opts.scenario_scaled(DataFamily::Cifar10Like, Partition::Iid, scale);
+    let zoo = scenario.device_specs();
+    let log = scenario.run().expect("buildable scenario");
 
     // Header: device/model names.
     print!("{:>6}", "round");
-    for (i, spec) in workload.zoo.iter().enumerate() {
+    for (i, spec) in zoo.iter().enumerate() {
         print!(" dev{:<2}:{:<18}", i + 1, spec.name());
     }
     println!();
     let mut csv = String::from("round");
-    for i in 0..workload.zoo.len() {
+    for i in 0..zoo.len() {
         csv.push_str(&format!(",device{}", i + 1));
     }
     csv.push('\n');
@@ -53,7 +38,7 @@ fn main() {
     }
     println!("\nfinal per-device accuracies:");
     if let Some(last) = log.rounds.last() {
-        for (i, (spec, acc)) in workload.zoo.iter().zip(&last.device_accuracy).enumerate() {
+        for (i, (spec, acc)) in zoo.iter().zip(&last.device_accuracy).enumerate() {
             println!("  Device {:>2} ({}): {}", i + 1, spec.name(), pct(*acc));
         }
     }

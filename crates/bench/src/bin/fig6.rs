@@ -3,9 +3,8 @@
 //! CIFAR-10, IID). Expected shape: stable for p ≥ 0.4; slower and noisier
 //! at p = 0.2.
 
-use fedzkt_bench::{banner, pct, run_fedzkt, ExpOptions};
+use fedzkt_bench::{banner, pct, ExpOptions, Tier};
 use fedzkt_data::{DataFamily, Partition};
-use fedzkt_fl::SimConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -14,14 +13,12 @@ fn main() {
     let mut csv = String::from("family,p,round,accuracy\n");
     for family in [DataFamily::MnistLike, DataFamily::Cifar10Like] {
         println!("[{}]", family.name());
-        let mut scale = fedzkt_bench::Scale::for_family(family, opts.tier);
-        if opts.tier == fedzkt_bench::Tier::Quick {
+        let mut base = opts.scenario(family, Partition::Iid);
+        if opts.tier == Tier::Quick {
             // Five participation levels per family: cap rounds so the sweep
             // stays within the quick-tier time budget.
-            scale.rounds = scale.rounds.min(6);
+            base.sim.rounds = base.sim.rounds.min(6);
         }
-        let workload =
-            fedzkt_bench::build_workload_scaled(family, Partition::Iid, opts.tier, opts.seed, scale);
         print!("{:>6}", "round");
         for p in portions {
             print!(" {:>10}", format!("p={p}"));
@@ -30,10 +27,11 @@ fn main() {
         let logs: Vec<_> = portions
             .iter()
             .map(|&p| {
-                // Participation is a protocol knob: it lives in the
-                // driver's SimConfig, not the algorithm config.
-                let sim = SimConfig { participation: p, ..workload.sim };
-                run_fedzkt(&workload, sim, workload.fedzkt)
+                // Participation is a protocol knob: the cells of this sweep
+                // differ in one SimConfig field of the shared scenario.
+                let mut cell = base.clone();
+                cell.sim.participation = p;
+                cell.run().expect("buildable scenario")
             })
             .collect();
         let rounds = logs[0].rounds.len();

@@ -2,7 +2,7 @@
 //! CIFAR-10, IID). Expected shape: subtle effect (a few points of
 //! accuracy), smaller K slightly ahead.
 
-use fedzkt_bench::{banner, build_workload_scaled, pct, run_fedzkt, ExpOptions, Scale};
+use fedzkt_bench::{banner, pct, ExpOptions, Tier};
 use fedzkt_data::{DataFamily, Partition};
 
 fn main() {
@@ -17,19 +17,18 @@ fn main() {
             print!(" {:>12}", format!("{k} devices"));
         }
         println!();
+        let mut base = opts.scenario(family, Partition::Iid);
+        if opts.tier == Tier::Quick {
+            // Up to 20 devices per run: cap rounds to bound the sweep's
+            // quick-tier cost.
+            base.sim.rounds = base.sim.rounds.min(6);
+        }
         let logs: Vec<_> = ks
             .iter()
             .map(|&k| {
-                let mut scale = Scale::for_family(family, opts.tier);
-                scale.devices = k;
-                if opts.tier == fedzkt_bench::Tier::Quick {
-                    // Up to 20 devices per run: cap rounds to bound the
-                    // sweep's quick-tier cost.
-                    scale.rounds = scale.rounds.min(6);
-                }
-                let workload =
-                    build_workload_scaled(family, Partition::Iid, opts.tier, opts.seed, scale);
-                run_fedzkt(&workload, workload.sim, workload.fedzkt)
+                let mut cell = base.clone();
+                cell.set_device_count(k);
+                cell.run().expect("buildable scenario")
             })
             .collect();
         let rounds = logs[0].rounds.len();

@@ -1,28 +1,69 @@
-//! Run every table/figure experiment in sequence by invoking the sibling
-//! binaries (so each prints its own artifact), forwarding the common flags.
+//! Run every scenario in the `fedzkt_scenario` preset registry in
+//! sequence, writing the standard CSV+JSON artifact pair per preset — the
+//! one-command smoke matrix over every algorithm, partition and resource
+//! model the workspace ships.
+//!
+//! Paper-scale presets (hours of CPU) are skipped unless `--paper` /
+//! `--scale paper` is given. The per-figure/table binaries (`fig2`…`table4`)
+//! remain the way to regenerate individual paper artifacts.
 
-use std::process::Command;
+use fedzkt_bench::{pct, ExpOptions, Tier};
+use fedzkt_scenario::presets;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = exe.parent().expect("bin dir");
-    let order = [
-        "table1", "fig2", "fig3", "fig4", "table2", "fig5", "table3", "fig6", "table4", "fig7",
-        "ablation",
-    ];
-    let started = std::time::Instant::now();
-    for bin in order {
-        let path = dir.join(bin);
-        println!("\n>>> running {bin} {}", args.join(" "));
-        let status = Command::new(&path)
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        assert!(status.success(), "{bin} failed with {status}");
+    let opts = ExpOptions::from_args();
+    println!("================================================================");
+    println!("run_all: every preset in the scenario registry   (tier: {:?})", opts.tier);
+    match opts.seed_explicit {
+        true => println!("seed: {} (overriding every preset's own seed)", opts.seed),
+        false => println!("seeds: each preset's own (pass --seed N to override)"),
     }
+    println!("================================================================");
+    let started = std::time::Instant::now();
+    let mut summary = String::from("preset,algorithm,rounds,final_accuracy,best_accuracy\n");
+    let mut executed = 0usize;
+    for preset in presets() {
+        if preset.paper_scale && opts.tier != Tier::Paper {
+            println!(">>> skipping {} (paper scale; pass --paper to include)", preset.name);
+            continue;
+        }
+        let mut scenario = preset.scenario();
+        // Presets carry their own seeds so their artifacts are stable;
+        // an explicit --seed overrides them all (for seed sweeps).
+        scenario.sim.threads = opts.threads;
+        if opts.seed_explicit {
+            scenario.sim.seed = opts.seed;
+        }
+        println!(
+            "\n>>> {} — {} ({} devices, {} rounds)",
+            preset.name,
+            preset.about,
+            scenario.devices(),
+            scenario.sim.rounds
+        );
+        let log = scenario
+            .run()
+            .unwrap_or_else(|e| panic!("preset {}: {e}", preset.name));
+        println!(
+            "    final {}  best {}",
+            pct(log.final_accuracy()),
+            pct(log.best_accuracy())
+        );
+        summary.push_str(&format!(
+            "{},{},{},{:.4},{:.4}\n",
+            preset.name,
+            scenario.algorithm.name(),
+            log.rounds.len(),
+            log.final_accuracy(),
+            log.best_accuracy()
+        ));
+        log.write_artifacts(&opts.out_dir, preset.name).expect("write artifacts");
+        executed += 1;
+    }
+    opts.write_csv("run_all_summary.csv", &summary);
     println!(
-        "\nall experiments complete in {:.1} min; CSVs in target/experiments/",
-        started.elapsed().as_secs_f64() / 60.0
+        "\n{executed} presets complete in {:.1} min; artifacts in {}/",
+        started.elapsed().as_secs_f64() / 60.0,
+        opts.out_dir.display()
     );
 }

@@ -2,10 +2,7 @@
 //! FedZKT vs FedMD on four private families, including FedMD's sensitivity
 //! to the public dataset (CIFAR-100-like vs SVHN-like publics).
 
-use fedzkt_bench::{
-    banner, build_public, build_workload, fedmd_public_family, pct, run_fedmd, run_fedzkt,
-    ExpOptions,
-};
+use fedzkt_bench::{banner, fedmd_public_family, pct, ExpOptions};
 use fedzkt_data::{DataFamily, Partition};
 
 fn main() {
@@ -25,8 +22,8 @@ fn main() {
     ];
 
     for (private, publics) in cases {
-        let workload = build_workload(private, Partition::Iid, opts.tier, opts.seed);
-        let zkt_log = run_fedzkt(&workload, workload.sim, workload.fedzkt);
+        let scenario = opts.scenario(private, Partition::Iid);
+        let zkt_log = scenario.run().expect("fedzkt leg");
         let zkt_acc = zkt_log.final_accuracy();
         csv.push_str(&format!(
             "{},-,FedZKT,{:.4},{:.4}\n",
@@ -35,8 +32,10 @@ fn main() {
             zkt_log.best_accuracy()
         ));
         for (i, public_family) in publics.iter().enumerate() {
-            let public = build_public(&workload, *public_family, opts.seed);
-            let md_log = run_fedmd(&workload, public, workload.sim, workload.fedmd);
+            let md_log = scenario
+                .fedmd_counterpart(opts.tier, *public_family)
+                .run()
+                .expect("fedmd leg");
             let md_acc = md_log.final_accuracy();
             csv.push_str(&format!(
                 "{},{},FedMD,{:.4},{:.4}\n",

@@ -2,8 +2,8 @@
 //! federated distillation (CIFAR-10, non-IID: quantity c=5 and Dirichlet
 //! β=0.5). Expected shape: SL > KL ≫ logit-ℓ1.
 
-use fedzkt_bench::{banner, build_workload, pct, run_fedzkt, ExpOptions};
-use fedzkt_core::{DistillLoss, FedZktConfig};
+use fedzkt_bench::{banner, pct, ExpOptions};
+use fedzkt_core::DistillLoss;
 use fedzkt_data::{DataFamily, Partition};
 
 fn main() {
@@ -19,11 +19,14 @@ fn main() {
         ("beta = 0.5", Partition::Dirichlet { beta: 0.5 }),
     ];
     for (label, partition) in scenarios {
-        let workload = build_workload(DataFamily::Cifar10Like, partition, opts.tier, opts.seed);
+        let base = opts.scenario(DataFamily::Cifar10Like, partition);
         let mut row = Vec::new();
         for loss in [DistillLoss::Kl, DistillLoss::LogitL1, DistillLoss::Sl] {
-            let cfg = FedZktConfig { loss, prox_mu: 1.0, ..workload.fedzkt };
-            let acc = run_fedzkt(&workload, workload.sim, cfg).final_accuracy();
+            let mut cell = base.clone();
+            let cfg = cell.fedzkt_cfg_mut().expect("standard scenarios run fedzkt");
+            cfg.loss = loss;
+            cfg.prox_mu = 1.0;
+            let acc = cell.run().expect("buildable cell").final_accuracy();
             csv.push_str(&format!("{label},{loss},{acc:.4}\n"));
             row.push(acc);
         }

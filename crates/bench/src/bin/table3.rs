@@ -4,7 +4,7 @@
 //! all shards (upper). FedZKT's per-device accuracy should approach the
 //! upper bound.
 
-use fedzkt_bench::{banner, build_workload_scaled, pct, ExpOptions, Scale, Tier};
+use fedzkt_bench::{banner, pct, ExpOptions, Scale, Tier};
 use fedzkt_core::{centralized_bound, local_only_bound, BoundConfig};
 use fedzkt_data::{DataFamily, Dataset, Partition};
 
@@ -13,15 +13,12 @@ fn main() {
     banner("Table III: per-device lower/upper bounds (CIFAR-10, IID)", &opts);
     let mut scale = Scale::for_family(DataFamily::Cifar10Like, opts.tier);
     scale.devices = 10;
-    let workload = build_workload_scaled(
-        DataFamily::Cifar10Like,
-        Partition::Iid,
-        opts.tier,
-        opts.seed,
-        scale,
-    );
-    let shards: Vec<Dataset> =
-        workload.shards.iter().map(|idx| workload.train.subset(idx)).collect();
+    let scenario = opts.scenario_scaled(DataFamily::Cifar10Like, Partition::Iid, scale);
+    // The bound trainers consume the raw materials — datasets, shards and
+    // zoo — rather than a federated run.
+    let m = scenario.materialize().expect("materializable scenario");
+    let fedzkt = *scenario.fedzkt_cfg().expect("standard scenarios run fedzkt");
+    let shards: Vec<Dataset> = m.shards.iter().map(|idx| m.train.subset(idx)).collect();
     let refs: Vec<&Dataset> = shards.iter().collect();
     let cfg = BoundConfig {
         epochs: match opts.tier {
@@ -29,17 +26,17 @@ fn main() {
             Tier::Quick => 10,
             Tier::Tiny => 2,
         },
-        batch_size: workload.fedzkt.device_batch,
-        lr: workload.fedzkt.device_lr,
+        batch_size: fedzkt.device_batch,
+        lr: fedzkt.device_lr,
         seed: opts.seed,
         ..Default::default()
     };
 
     println!("{:<30} {:>12} {:>12}", "Model Architecture", "Upper Bound", "Lower Bound");
     let mut csv = String::from("device,architecture,upper,lower\n");
-    for (i, spec) in workload.zoo.iter().enumerate() {
-        let lower = local_only_bound(*spec, &shards[i], &workload.test, &cfg);
-        let upper = centralized_bound(*spec, &refs, &workload.test, &cfg);
+    for (i, spec) in m.zoo.iter().enumerate() {
+        let lower = local_only_bound(*spec, &shards[i], &m.test, &cfg);
+        let upper = centralized_bound(*spec, &refs, &m.test, &cfg);
         println!(
             "{:<30} {:>12} {:>12}",
             format!("Device {}: {}", i + 1, spec.name()),

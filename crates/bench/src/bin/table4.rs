@@ -2,8 +2,7 @@
 //! training under non-IID data (CIFAR-10). Expected shape: the regularized
 //! runs win in both skew scenarios.
 
-use fedzkt_bench::{banner, build_workload, pct, run_fedzkt, ExpOptions};
-use fedzkt_core::FedZktConfig;
+use fedzkt_bench::{banner, pct, ExpOptions};
 use fedzkt_data::{DataFamily, Partition};
 
 fn main() {
@@ -16,11 +15,14 @@ fn main() {
         ("beta = 0.5", Partition::Dirichlet { beta: 0.5 }),
     ];
     for (label, partition) in scenarios {
-        let workload = build_workload(DataFamily::Cifar10Like, partition, opts.tier, opts.seed);
-        let without = run_fedzkt(&workload, workload.sim, FedZktConfig { prox_mu: 0.0, ..workload.fedzkt })
-            .final_accuracy();
-        let with = run_fedzkt(&workload, workload.sim, FedZktConfig { prox_mu: 1.0, ..workload.fedzkt })
-            .final_accuracy();
+        let base = opts.scenario(DataFamily::Cifar10Like, partition);
+        let run_with_mu = |mu: f32| -> f32 {
+            let mut cell = base.clone();
+            cell.fedzkt_cfg_mut().expect("standard scenarios run fedzkt").prox_mu = mu;
+            cell.run().expect("buildable cell").final_accuracy()
+        };
+        let without = run_with_mu(0.0);
+        let with = run_with_mu(1.0);
         println!("{:<12} {:>18} {:>18}", label, pct(without), pct(with));
         csv.push_str(&format!("{label},0.0,{without:.4}\n{label},1.0,{with:.4}\n"));
     }

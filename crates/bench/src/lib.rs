@@ -16,33 +16,24 @@
 //! | `fig6`   | Figure 6 — straggler portions p |
 //! | `table4` | Table IV — ℓ2-regularization ablation |
 //! | `fig7`   | Figure 7 — device counts K |
-//! | `run_all`| everything above, emitting an EXPERIMENTS.md fragment |
+//! | `run_all`| every preset of the `fedzkt_scenario` registry |
 //! | `bench_gemm` | execution-model baseline: GEMM / conv-lowering / round throughput across thread counts → `BENCH_gemm.json` |
 //!
-//! All binaries accept `--paper` (paper-scale parameters), `--seed N` and
-//! `--scale quick|tiny`; results print as aligned tables and are written as
-//! CSV under `target/experiments/`.
+//! Every binary constructs its workloads declaratively through
+//! [`Scenario`] (see [`ExpOptions::scenario`]) — the experiment grid is
+//! data, not hand-wired setup code — and shares one flag parser:
+//! `--paper` / `--scale quick|tiny|paper`, `--seed N`, `--out DIR`,
+//! `--threads N`. Results print as aligned tables and are written as CSV
+//! under `target/experiments/`.
 
 #![warn(missing_docs)]
 
-use fedzkt_core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
-use fedzkt_data::{DataFamily, Dataset, Partition, SynthConfig};
-use fedzkt_fl::{RunLog, SimConfig, Simulation};
-use fedzkt_models::{GeneratorSpec, ModelSpec};
+use fedzkt_data::{DataFamily, Partition};
+use fedzkt_scenario::Scenario;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-/// Workload tier: how much compute an experiment spends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Tier {
-    /// Minutes-scale CPU runs (default), preserving the paper's qualitative
-    /// shapes.
-    Quick,
-    /// Seconds-scale smoke runs (CI-friendly).
-    Tiny,
-    /// The paper's §IV-A3 parameters (hours on CPU).
-    Paper,
-}
+pub use fedzkt_scenario::{fedmd_public_family, Scale, Tier};
 
 /// Parsed command-line options shared by every experiment binary.
 #[derive(Debug, Clone)]
@@ -51,8 +42,16 @@ pub struct ExpOptions {
     pub tier: Tier,
     /// Master seed.
     pub seed: u64,
+    /// Was `--seed` given explicitly? Binaries whose workloads carry their
+    /// own curated seeds (`run_all` over the preset registry) only
+    /// override them when the user actually asked.
+    pub seed_explicit: bool,
     /// Output directory for CSVs.
     pub out_dir: PathBuf,
+    /// Worker threads for device-parallel phases (0 = `FEDZKT_THREADS`,
+    /// then available parallelism). Applied to every scenario the binary
+    /// builds through [`ExpOptions::scenario`] / [`ExpOptions::tune`].
+    pub threads: usize,
     /// Binary-specific flags the common parser did not recognise
     /// (e.g. fig4's `--skew quantity`).
     pub extras: Vec<String>,
@@ -63,16 +62,18 @@ impl Default for ExpOptions {
         ExpOptions {
             tier: Tier::Quick,
             seed: 42,
+            seed_explicit: false,
             out_dir: PathBuf::from("target/experiments"),
+            threads: 0,
             extras: Vec::new(),
         }
     }
 }
 
 impl ExpOptions {
-    /// Parse `--paper`, `--scale quick|tiny|paper`, `--seed N`, `--out DIR`
-    /// from `std::env::args`; unrecognised arguments are collected into
-    /// [`ExpOptions::extras`] for binary-specific flags.
+    /// Parse `--paper`, `--scale quick|tiny|paper`, `--seed N`, `--out DIR`,
+    /// `--threads N` from `std::env::args`; unrecognised arguments are
+    /// collected into [`ExpOptions::extras`] for binary-specific flags.
     pub fn from_args() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -102,13 +103,20 @@ impl ExpOptions {
                         eprintln!("--seed needs an integer");
                         std::process::exit(2);
                     });
+                    opts.seed_explicit = true;
+                }
+                "--threads" => {
+                    opts.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads needs an integer");
+                        std::process::exit(2);
+                    });
                 }
                 "--out" => {
                     opts.out_dir = PathBuf::from(args.next().unwrap_or_default());
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: [--paper | --scale quick|tiny|paper] [--seed N] [--out DIR]"
+                        "usage: [--paper | --scale quick|tiny|paper] [--seed N] [--out DIR] [--threads N]"
                     );
                     std::process::exit(0);
                 }
@@ -127,6 +135,35 @@ impl ExpOptions {
             .map(String::as_str)
     }
 
+    /// The standard FedZKT scenario for a family and partition at this
+    /// invocation's tier, seed and thread count — the declarative
+    /// starting point of every experiment binary.
+    pub fn scenario(&self, family: DataFamily, partition: Partition) -> Scenario {
+        let mut sc = Scenario::standard(family, partition, self.tier, self.seed);
+        self.tune(&mut sc);
+        sc
+    }
+
+    /// [`ExpOptions::scenario`] with explicit scale overrides (device-count
+    /// and round sweeps).
+    pub fn scenario_scaled(
+        &self,
+        family: DataFamily,
+        partition: Partition,
+        scale: Scale,
+    ) -> Scenario {
+        let mut sc = Scenario::standard_scaled(family, partition, self.tier, self.seed, scale);
+        self.tune(&mut sc);
+        sc
+    }
+
+    /// Apply this invocation's seed and worker-thread count to a scenario
+    /// built elsewhere (e.g. a registry preset).
+    pub fn tune(&self, scenario: &mut Scenario) {
+        scenario.sim.seed = self.seed;
+        scenario.sim.threads = self.threads;
+    }
+
     /// Write a CSV artifact, creating the output directory if needed.
     pub fn write_csv(&self, name: &str, contents: &str) {
         std::fs::create_dir_all(&self.out_dir).expect("create output dir");
@@ -135,209 +172,6 @@ impl ExpOptions {
         f.write_all(contents.as_bytes()).expect("write CSV");
         println!("  [csv] {}", path.display());
     }
-}
-
-/// A fully specified federated workload: dataset, shards, zoo and configs
-/// sized to a [`Tier`].
-pub struct Workload {
-    /// Private training data.
-    pub train: Dataset,
-    /// Held-out test data.
-    pub test: Dataset,
-    /// Device shards (index sets into `train`).
-    pub shards: Vec<Vec<usize>>,
-    /// Per-device architectures.
-    pub zoo: Vec<ModelSpec>,
-    /// Protocol configuration (rounds, participation, seed, …) shared by
-    /// every algorithm through the [`Simulation`] driver.
-    pub sim: SimConfig,
-    /// FedZKT configuration.
-    pub fedzkt: FedZktConfig,
-    /// FedMD configuration.
-    pub fedmd: FedMdConfig,
-}
-
-/// Tier-dependent scale parameters for one dataset family.
-#[derive(Debug, Clone, Copy)]
-pub struct Scale {
-    /// Device count `K`.
-    pub devices: usize,
-    /// Communication rounds `T`.
-    pub rounds: usize,
-    /// Local epochs `T_l`.
-    pub local_epochs: usize,
-    /// Server distillation iterations `nD`.
-    pub distill_iters: usize,
-    /// Image side length.
-    pub img: usize,
-    /// Training samples.
-    pub train_n: usize,
-    /// Test samples.
-    pub test_n: usize,
-    /// Batch size.
-    pub batch: usize,
-}
-
-impl Scale {
-    /// Scale for a family and tier.
-    pub fn for_family(family: DataFamily, tier: Tier) -> Scale {
-        let cifar = matches!(family, DataFamily::Cifar10Like);
-        match tier {
-            Tier::Paper => Scale {
-                devices: 10,
-                rounds: if cifar { 100 } else { 50 },
-                local_epochs: if cifar { 10 } else { 5 },
-                distill_iters: if cifar { 500 } else { 200 },
-                img: if cifar { 32 } else { 28 },
-                train_n: 50_000,
-                test_n: 10_000,
-                batch: 256,
-            },
-            Tier::Quick => Scale {
-                devices: 5,
-                rounds: if cifar { 8 } else { 7 },
-                local_epochs: 2,
-                distill_iters: if cifar { 20 } else { 14 },
-                img: 12,
-                train_n: 600,
-                test_n: 300,
-                batch: 32,
-            },
-            Tier::Tiny => Scale {
-                devices: 3,
-                rounds: 2,
-                local_epochs: 1,
-                distill_iters: 4,
-                img: 8,
-                train_n: 120,
-                test_n: 60,
-                batch: 16,
-            },
-        }
-    }
-}
-
-/// Build the standard workload for a private family, partition and tier.
-pub fn build_workload(
-    family: DataFamily,
-    partition: Partition,
-    tier: Tier,
-    seed: u64,
-) -> Workload {
-    let s = Scale::for_family(family, tier);
-    build_workload_scaled(family, partition, tier, seed, s)
-}
-
-/// Build a workload with explicit scale overrides (used by fig5/6/7 which
-/// vary K and rounds).
-pub fn build_workload_scaled(
-    family: DataFamily,
-    partition: Partition,
-    tier: Tier,
-    seed: u64,
-    s: Scale,
-) -> Workload {
-    let (train, test) = SynthConfig {
-        family,
-        img: s.img,
-        train_n: s.train_n,
-        test_n: s.test_n,
-        seed,
-        ..Default::default()
-    }
-    .generate();
-    let shards = partition
-        .split(train.labels(), train.num_classes(), s.devices, seed.wrapping_add(17))
-        .expect("partition");
-    let base_zoo = if family == DataFamily::Cifar10Like {
-        ModelSpec::paper_zoo_cifar()
-    } else {
-        ModelSpec::paper_zoo_small()
-    };
-    let zoo = ModelSpec::assign_round_robin(&base_zoo, s.devices);
-    let global_model = if family == DataFamily::Cifar10Like {
-        ModelSpec::MobileNetV2 { width: 1.0 }
-    } else {
-        ModelSpec::SmallCnn { base_channels: 8 }
-    };
-    let generator = match tier {
-        Tier::Paper => GeneratorSpec { z_dim: 100, ngf: 32 },
-        Tier::Quick => GeneratorSpec { z_dim: 32, ngf: 8 },
-        Tier::Tiny => GeneratorSpec { z_dim: 16, ngf: 4 },
-    };
-    // Learning rates: the paper's values (0.01 / 1e-3) are tuned for
-    // nD = 200–500 server iterations; the reduced tiers compensate with
-    // proportionally larger steps.
-    let sim = SimConfig { rounds: s.rounds, seed, ..Default::default() };
-    let fedzkt = FedZktConfig {
-        local_epochs: s.local_epochs,
-        distill_iters: s.distill_iters,
-        transfer_iters: s.distill_iters,
-        device_batch: s.batch,
-        distill_batch: s.batch,
-        device_lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
-        server_lr: 0.01,
-        transfer_lr: 0.01,
-        generator_lr: 1e-3,
-        generator,
-        global_model,
-        ..Default::default()
-    };
-    let fedmd = FedMdConfig {
-        public_warmup_epochs: s.local_epochs,
-        private_warmup_epochs: s.local_epochs,
-        alignment_size: (s.train_n / 4).clamp(32, 5000),
-        digest_epochs: 1,
-        revisit_epochs: s.local_epochs,
-        batch_size: s.batch,
-        lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
-    };
-    Workload { train, test, shards, zoo, sim, fedzkt, fedmd }
-}
-
-/// The public dataset FedMD pairs with a private family in Table I
-/// (MNIST↔FASHION, FASHION↔MNIST, KMNIST↔FASHION; CIFAR-10 is handled
-/// separately with both CIFAR-100 and SVHN).
-pub fn fedmd_public_family(private: DataFamily) -> DataFamily {
-    match private {
-        DataFamily::MnistLike => DataFamily::FashionLike,
-        DataFamily::FashionLike => DataFamily::MnistLike,
-        DataFamily::KmnistLike => DataFamily::FashionLike,
-        _ => DataFamily::Cifar100Like,
-    }
-}
-
-/// Generate a public dataset geometrically compatible with `workload`.
-pub fn build_public(workload: &Workload, family: DataFamily, seed: u64) -> Dataset {
-    let (public, _) = SynthConfig {
-        family,
-        img: workload.train.img_size(),
-        train_n: workload.train.len(),
-        test_n: 8,
-        seed: seed.wrapping_add(0x9999),
-        ..Default::default()
-    }
-    .generate();
-    public
-}
-
-/// Run FedZKT on a workload under the [`Simulation`] driver, returning its
-/// log.
-pub fn run_fedzkt(workload: &Workload, sim: SimConfig, cfg: FedZktConfig) -> RunLog {
-    let fed = FedZkt::new(&workload.zoo, &workload.train, &workload.shards, cfg, &sim);
-    Simulation::builder(fed, workload.test.clone(), sim).build().run().clone()
-}
-
-/// Run FedMD on a workload with the given public dataset under the
-/// [`Simulation`] driver.
-pub fn run_fedmd(
-    workload: &Workload,
-    public: Dataset,
-    sim: SimConfig,
-    cfg: FedMdConfig,
-) -> RunLog {
-    let fed = FedMd::new(&workload.zoo, &workload.train, &workload.shards, public, cfg, &sim);
-    Simulation::builder(fed, workload.test.clone(), sim).build().run().clone()
 }
 
 /// Format an accuracy as the paper prints them.
@@ -355,36 +189,46 @@ pub fn banner(name: &str, opts: &ExpOptions) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedzkt_scenario::Algo;
 
     #[test]
-    fn tiny_workload_builds() {
-        let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
-        assert_eq!(w.shards.len(), 3);
-        assert_eq!(w.zoo.len(), 3);
-        assert_eq!(w.train.len(), 120);
+    fn options_parse_the_shared_flags() {
+        let opts = ExpOptions::parse(
+            ["--scale", "tiny", "--seed", "9", "--threads", "3", "--out", "/tmp/x", "--skew", "quantity"]
+                .map(String::from),
+        );
+        assert_eq!(opts.tier, Tier::Tiny);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(opts.extra_value("--skew"), Some("quantity"));
     }
 
     #[test]
-    fn cifar_workload_uses_cifar_zoo() {
-        let w = build_workload(DataFamily::Cifar10Like, Partition::Iid, Tier::Tiny, 1);
-        assert!(matches!(w.zoo[0], ModelSpec::ShuffleNetV2 { .. }));
-        assert_eq!(w.train.channels(), 3);
-    }
-
-    #[test]
-    fn public_family_pairing_matches_table1() {
-        assert_eq!(fedmd_public_family(DataFamily::MnistLike), DataFamily::FashionLike);
-        assert_eq!(fedmd_public_family(DataFamily::FashionLike), DataFamily::MnistLike);
-        assert_eq!(fedmd_public_family(DataFamily::KmnistLike), DataFamily::FashionLike);
+    fn scenario_carries_the_invocation_knobs() {
+        let opts = ExpOptions {
+            tier: Tier::Tiny,
+            seed: 5,
+            threads: 2,
+            ..Default::default()
+        };
+        let sc = opts.scenario(DataFamily::MnistLike, Partition::Iid);
+        assert_eq!(sc.sim.seed, 5);
+        assert_eq!(sc.sim.threads, 2);
+        assert_eq!(sc.devices(), 3);
+        assert!(matches!(sc.algorithm, Algo::FedZkt(_)));
+        sc.validate().expect("standard scenario validates");
     }
 
     #[test]
     fn tiny_fedzkt_and_fedmd_run_end_to_end() {
-        let w = build_workload(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 2);
-        let log = run_fedzkt(&w, w.sim, w.fedzkt);
+        let opts = ExpOptions { tier: Tier::Tiny, seed: 2, ..Default::default() };
+        let sc = opts.scenario(DataFamily::MnistLike, Partition::Iid);
+        let log = sc.run().expect("fedzkt leg");
         assert_eq!(log.rounds.len(), 2);
-        let public = build_public(&w, DataFamily::FashionLike, 2);
-        let log = run_fedmd(&w, public, SimConfig { rounds: 1, ..w.sim }, w.fedmd);
+        let mut md = sc.fedmd_counterpart(opts.tier, fedmd_public_family(DataFamily::MnistLike));
+        md.sim.rounds = 1;
+        let log = md.run().expect("fedmd leg");
         assert_eq!(log.rounds.len(), 1);
     }
 

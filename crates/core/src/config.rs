@@ -1,18 +1,18 @@
 //! FedZKT hyperparameters.
 
 use fedzkt_autograd::DistillLoss;
-use fedzkt_fl::SimConfig;
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 use serde::{Deserialize, Serialize};
 
 /// The knobs of FedZKT's update rules (defaults follow §IV-A3, scaled to
-/// the synthetic quick workloads; the bench harness's `--paper` mode
-/// restores paper values such as `nD = 200/500` and batch 256).
+/// the synthetic quick workloads; the `paper-small` / `paper-cifar`
+/// presets of the scenario registry restore paper values such as
+/// `nD = 200/500` and batch 256).
 ///
 /// Protocol-level knobs — rounds, participation, seed, worker threads,
-/// evaluation — live in [`SimConfig`]: they are owned by the
-/// [`Simulation`](fedzkt_fl::Simulation) driver and shared by every
-/// algorithm.
+/// evaluation — live in [`SimConfig`](fedzkt_fl::SimConfig): they are
+/// owned by the [`Simulation`](fedzkt_fl::Simulation) driver and shared by
+/// every algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FedZktConfig {
     /// Local epochs per round `T_l` (paper: 5 small / 10 CIFAR).
@@ -90,45 +90,10 @@ impl Default for FedZktConfig {
     }
 }
 
-impl FedZktConfig {
-    /// Paper-scale parameters for the small datasets (MNIST/KMNIST/FASHION):
-    /// `T = 50`, `T_l = 5`, `nD = 200`, batch 256. Returned as the
-    /// protocol/algorithm config pair the [`Simulation`](fedzkt_fl::Simulation)
-    /// builder consumes.
-    pub fn paper_small() -> (SimConfig, Self) {
-        (
-            SimConfig { rounds: 50, ..Default::default() },
-            FedZktConfig {
-                local_epochs: 5,
-                distill_iters: 200,
-                transfer_iters: 200,
-                device_batch: 256,
-                distill_batch: 256,
-                ..Default::default()
-            },
-        )
-    }
-
-    /// Paper-scale parameters for CIFAR-10: `T = 100`, `T_l = 10`,
-    /// `nD = 500`, batch 256.
-    pub fn paper_cifar() -> (SimConfig, Self) {
-        (
-            SimConfig { rounds: 100, ..Default::default() },
-            FedZktConfig {
-                local_epochs: 10,
-                distill_iters: 500,
-                transfer_iters: 500,
-                device_batch: 256,
-                distill_batch: 256,
-                ..Default::default()
-            },
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedzkt_fl::SimConfig;
 
     #[test]
     fn defaults_use_sl_loss() {
@@ -137,16 +102,5 @@ mod tests {
         assert_eq!(cfg.prox_mu, 0.0);
         // Full participation is the protocol-level default.
         assert_eq!(SimConfig::default().participation, 1.0);
-    }
-
-    #[test]
-    fn paper_presets_match_section_iv_a3() {
-        let (sim, small) = FedZktConfig::paper_small();
-        assert_eq!((sim.rounds, small.local_epochs, small.distill_iters), (50, 5, 200));
-        let (sim, cifar) = FedZktConfig::paper_cifar();
-        assert_eq!((sim.rounds, cifar.local_epochs, cifar.distill_iters), (100, 10, 500));
-        assert_eq!(cifar.device_batch, 256);
-        assert!((cifar.generator_lr - 1e-3).abs() < 1e-9);
-        assert!((cifar.server_lr - 0.01).abs() < 1e-9);
     }
 }

@@ -43,7 +43,7 @@ mod loader;
 mod partition;
 mod synth;
 
-pub use dataset::Dataset;
+pub use dataset::{DataError, Dataset};
 pub use loader::BatchIter;
 pub use partition::{Partition, PartitionError};
 pub use synth::{DataFamily, SynthConfig};

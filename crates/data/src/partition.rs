@@ -110,7 +110,14 @@ impl Partition {
                 dirichlet_split(labels, num_classes, k, *beta, &mut rng)
             }
         };
-        rebalance_empty(&mut shards, &mut rng);
+        if !rebalance_empty(&mut shards) {
+            // The skewed schemes can drop samples of unowned classes; when
+            // too few remain to cover every device, say so instead of
+            // handing the simulation an empty shard (which would only fail
+            // later, deep inside local training).
+            let assigned: usize = shards.iter().map(Vec::len).sum();
+            return Err(PartitionError::NotEnoughSamples { samples: assigned, devices: k });
+        }
         Ok(shards)
     }
 }
@@ -237,10 +244,13 @@ fn dirichlet_split(
 }
 
 /// Guarantee non-empty shards by donating from the largest shard — the
-/// simulation requires every device to hold at least one sample.
-fn rebalance_empty(shards: &mut [Vec<usize>], _rng: &mut Prng) {
+/// simulation requires every device to hold at least one sample. Returns
+/// `false` when the assigned samples cannot cover every shard (the caller
+/// reports that as a [`PartitionError`] rather than returning an empty
+/// device).
+fn rebalance_empty(shards: &mut [Vec<usize>]) -> bool {
     loop {
-        let Some(empty) = shards.iter().position(Vec::is_empty) else { return };
+        let Some(empty) = shards.iter().position(Vec::is_empty) else { return true };
         let donor = shards
             .iter()
             .enumerate()
@@ -248,7 +258,7 @@ fn rebalance_empty(shards: &mut [Vec<usize>], _rng: &mut Prng) {
             .map(|(i, _)| i)
             .expect("non-empty shard set");
         if shards[donor].len() <= 1 {
-            return; // nothing to donate
+            return false; // nothing left to donate: a shard stays empty
         }
         let moved = shards[donor].pop().expect("donor has samples");
         shards[empty].push(moved);
@@ -367,6 +377,32 @@ mod tests {
             Partition::Iid.split(&labels(3, 3), 3, 5, 1),
             Err(PartitionError::NotEnoughSamples { .. })
         ));
+    }
+
+    #[test]
+    fn quantity_skew_never_returns_an_empty_shard() {
+        // Degenerate corpus: every sample belongs to one class, but devices
+        // draw their class sets from all ten. Depending on the seed, the
+        // populated class is owned by some device (fine — rebalancing
+        // spreads it) or by nobody (every sample is dropped). The latter
+        // used to return shards full of empty devices; it must be a typed
+        // error instead.
+        let l = vec![0usize; 12];
+        let mut saw_error = false;
+        for seed in 0..64u64 {
+            let p = Partition::QuantitySkew { classes_per_device: 1 };
+            match p.split(&l, 10, 3, seed) {
+                Ok(shards) => {
+                    assert!(shards.iter().all(|s| !s.is_empty()), "seed {seed} left a device empty");
+                }
+                Err(PartitionError::NotEnoughSamples { samples, devices }) => {
+                    saw_error = true;
+                    assert!(samples < devices, "seed {seed}: {samples} >= {devices}");
+                }
+                Err(other) => panic!("seed {seed}: unexpected error {other}"),
+            }
+        }
+        assert!(saw_error, "no seed exercised the dropped-corpus path");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::{
 use fedzkt_data::Dataset;
 use fedzkt_nn::Module;
 use fedzkt_tensor::{par, split_seed};
+use std::any::Any;
 
 /// Protocol-level knobs shared by every federated algorithm. Algorithm
 /// configs (`FedZktConfig`, `FedAvgConfig`, `FedMdConfig`) keep only the
@@ -171,6 +172,82 @@ pub trait FederatedAlgorithm {
     /// protocol configs.
     fn construction_seed(&self) -> Option<u64> {
         None
+    }
+}
+
+/// An object-safe view of a [`Simulation`], independent of the algorithm
+/// type parameter.
+///
+/// `Simulation<FedZkt>` and `Simulation<FedAvg>` are distinct types, so a
+/// harness that compares algorithms — or executes a declaratively described
+/// experiment whose algorithm is chosen at runtime — cannot hold them in
+/// one collection or return them from one constructor. Every
+/// `Simulation<A>` implements this trait, so such call sites work with
+/// `Box<dyn ErasedSimulation>` instead and keep the full driver surface:
+/// stepping, the run loop, the per-round observer hook, and the log.
+///
+/// The algorithm itself is reachable through [`ErasedSimulation::as_any`]:
+/// downcast to the concrete `Simulation<A>` when an experiment needs an
+/// algorithm-specific accessor (e.g. FedZKT's gradient-norm probe).
+pub trait ErasedSimulation {
+    /// Number of devices in the federation.
+    fn devices(&self) -> usize;
+
+    /// The protocol configuration.
+    fn config(&self) -> &SimConfig;
+
+    /// The run log so far.
+    fn log(&self) -> &RunLog;
+
+    /// Execute one communication round; see [`Simulation::round`].
+    ///
+    /// # Panics
+    /// Panics when rounds are driven out of order, like the typed form.
+    fn round(&mut self, round: usize) -> RoundMetrics;
+
+    /// Run the remaining configured rounds, invoking `observer` with each
+    /// round's metrics as it completes; see [`Simulation::run_with`].
+    fn run_with(&mut self, observer: &mut dyn FnMut(&RoundMetrics)) -> &RunLog;
+
+    /// Run the remaining configured rounds, returning the full log.
+    fn run(&mut self) -> &RunLog {
+        self.run_with(&mut |_| {})
+    }
+
+    /// The concrete `Simulation<A>` behind the erasure, for downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable access to the concrete `Simulation<A>`, for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<A: FederatedAlgorithm + 'static> ErasedSimulation for Simulation<A> {
+    fn devices(&self) -> usize {
+        Simulation::devices(self)
+    }
+
+    fn config(&self) -> &SimConfig {
+        Simulation::config(self)
+    }
+
+    fn log(&self) -> &RunLog {
+        Simulation::log(self)
+    }
+
+    fn round(&mut self, round: usize) -> RoundMetrics {
+        Simulation::round(self, round)
+    }
+
+    fn run_with(&mut self, observer: &mut dyn FnMut(&RoundMetrics)) -> &RunLog {
+        Simulation::run_with(self, |m| observer(m))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -564,6 +641,44 @@ mod tests {
         sim.run();
         assert_eq!(sim.log().rounds.len(), 3);
         assert_eq!(sim.algorithm().local_calls.len(), 3);
+    }
+
+    #[test]
+    fn erased_simulation_runs_and_downcasts() {
+        let cfg = SimConfig { rounds: 2, ..Default::default() };
+        // Two erased simulations of *different* concrete types in one Vec —
+        // the collection PR 3's typed driver could not express.
+        let mut sims: Vec<Box<dyn ErasedSimulation>> = vec![
+            Box::new(Simulation::builder(Stub::new(2), test_set(), cfg).build()),
+            Box::new(Simulation::builder(Stub::new(3), test_set(), cfg).build()),
+        ];
+        let mut seen = Vec::new();
+        for sim in &mut sims {
+            sim.run_with(&mut |m| seen.push(m.round));
+            assert_eq!(sim.log().rounds.len(), 2);
+        }
+        assert_eq!(seen, vec![1, 2, 1, 2]);
+        assert_eq!(sims[0].devices(), 2);
+        assert_eq!(sims[1].devices(), 3);
+        // The typed algorithm stays reachable through the erasure.
+        let typed = sims[0]
+            .as_any()
+            .downcast_ref::<Simulation<Stub>>()
+            .expect("downcast to the concrete simulation");
+        assert_eq!(typed.algorithm().local_calls.len(), 2);
+        assert!(sims[0].as_any().downcast_ref::<Simulation<Stub>>().is_some());
+    }
+
+    #[test]
+    fn erased_stepping_matches_typed_stepping() {
+        let cfg = SimConfig { rounds: 2, ..Default::default() };
+        let mut typed = Simulation::builder(Stub::new(2), test_set(), cfg).build();
+        let mut erased: Box<dyn ErasedSimulation> =
+            Box::new(Simulation::builder(Stub::new(2), test_set(), cfg).build());
+        let a = typed.round(0);
+        let b = erased.round(0);
+        assert_eq!(a, b);
+        assert_eq!(typed.run(), erased.run());
     }
 
     #[test]

@@ -58,13 +58,16 @@ mod comm;
 mod driver;
 mod eval;
 mod fedavg;
+pub mod json;
 mod metrics;
 mod participation;
 mod simclock;
 mod training;
 
 pub use comm::CommTracker;
-pub use driver::{FederatedAlgorithm, RoundContext, SimConfig, Simulation, SimulationBuilder};
+pub use driver::{
+    ErasedSimulation, FederatedAlgorithm, RoundContext, SimConfig, Simulation, SimulationBuilder,
+};
 pub use eval::{accuracy, evaluate};
 pub use fedavg::{FedAvg, FedAvgConfig};
 pub use metrics::{RoundMetrics, RunLog};

@@ -1,5 +1,6 @@
 //! Per-round metrics and run logs.
 
+use crate::json;
 use serde::{Deserialize, Serialize};
 
 /// Metrics recorded after one communication round.
@@ -245,182 +246,6 @@ impl RunLog {
             ));
         }
         out
-    }
-}
-
-/// A deliberately small JSON reader for [`RunLog::from_json`]: objects,
-/// arrays, numbers (kept as raw text so integer width and float precision
-/// are decided by the caller), `null`, and the string escapes `to_json`
-/// never emits are rejected rather than guessed at. The offline vendored
-/// `serde` is a derive shim without serialization, so the wire format is
-/// owned here.
-mod json {
-    /// A parsed JSON value; numbers stay as raw slices of the input.
-    #[derive(Debug)]
-    pub enum Value<'a> {
-        /// `null`
-        Null,
-        /// A number, unparsed.
-        Number(&'a str),
-        /// An array.
-        Array(Vec<Value<'a>>),
-        /// An object (insertion-ordered).
-        Object(Vec<(&'a str, Value<'a>)>),
-    }
-
-    impl<'a> Value<'a> {
-        /// Object field lookup.
-        pub fn get(&self, key: &str) -> Option<&Value<'a>> {
-            match self {
-                Value::Object(fields) => {
-                    fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
-                }
-                _ => None,
-            }
-        }
-
-        /// The elements when this is an array.
-        pub fn as_array(&self) -> Option<&[Value<'a>]> {
-            match self {
-                Value::Array(items) => Some(items),
-                _ => None,
-            }
-        }
-
-        /// The raw text when this is a number.
-        pub fn as_number(&self) -> Option<&'a str> {
-            match self {
-                Value::Number(raw) => Some(raw),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parse one JSON document (trailing whitespace allowed).
-    pub fn parse(input: &str) -> Result<Value<'_>, String> {
-        let mut p = Parser { bytes: input.as_bytes(), input, pos: 0 };
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing content at byte {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        input: &'a str,
-        pos: usize,
-    }
-
-    impl<'a> Parser<'a> {
-        fn skip_ws(&mut self) {
-            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
-                self.pos += 1;
-            }
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), String> {
-            self.skip_ws();
-            if self.bytes.get(self.pos) == Some(&b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!("expected '{}' at byte {}", b as char, self.pos))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value<'a>, String> {
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'n') => {
-                    if self.input[self.pos..].starts_with("null") {
-                        self.pos += 4;
-                        Ok(Value::Null)
-                    } else {
-                        Err(format!("bad literal at byte {}", self.pos))
-                    }
-                }
-                Some(b) if *b == b'-' || b.is_ascii_digit() => Ok(self.number()),
-                other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
-            }
-        }
-
-        fn number(&mut self) -> Value<'a> {
-            let start = self.pos;
-            while self.bytes.get(self.pos).is_some_and(|b| {
-                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
-            }) {
-                self.pos += 1;
-            }
-            Value::Number(&self.input[start..self.pos])
-        }
-
-        /// Keys only — `to_json` emits no string *values* and no escapes.
-        fn key(&mut self) -> Result<&'a str, String> {
-            self.expect(b'"')?;
-            let start = self.pos;
-            while let Some(b) = self.bytes.get(self.pos) {
-                match b {
-                    b'"' => {
-                        let key = &self.input[start..self.pos];
-                        self.pos += 1;
-                        return Ok(key);
-                    }
-                    b'\\' => return Err("escapes are not supported in keys".into()),
-                    _ => self.pos += 1,
-                }
-            }
-            Err("unterminated string".into())
-        }
-
-        fn object(&mut self) -> Result<Value<'a>, String> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.bytes.get(self.pos) == Some(&b'}') {
-                self.pos += 1;
-                return Ok(Value::Object(fields));
-            }
-            loop {
-                let key = self.key()?;
-                self.expect(b':')?;
-                fields.push((key, self.value()?));
-                self.skip_ws();
-                match self.bytes.get(self.pos) {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Object(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value<'a>, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.bytes.get(self.pos) == Some(&b']') {
-                self.pos += 1;
-                return Ok(Value::Array(items));
-            }
-            loop {
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.bytes.get(self.pos) {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Array(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-                }
-            }
-        }
     }
 }
 

@@ -1,0 +1,371 @@
+//! The `scenarios` CLI: list, describe, run and sweep declarative
+//! experiment scenarios.
+//!
+//! ```sh
+//! scenarios list
+//! scenarios describe quickstart [--json]
+//! scenarios run tiny --out target/scenarios
+//! scenarios sweep tiny --seeds 1,2 --participations 0.5,1 --out target/sweep
+//! ```
+//!
+//! `run` and `sweep` write one `<name>.csv` + `<name>.json` artifact pair
+//! per executed scenario. `sweep` expands the requested grid axes (seed,
+//! Dirichlet β, quantity-skew c, participation p, device count K, zoo)
+//! into child scenarios and executes them fleet-parallel on the workspace
+//! worker pool (`fedzkt_tensor::par`); results are bit-identical for every
+//! thread count.
+
+use fedzkt_data::Partition;
+use fedzkt_scenario::{presets, resolve, standard_zoo, Scenario, ScenarioError};
+use fedzkt_tensor::par;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: scenarios <subcommand> [options]
+
+subcommands:
+  list                           the preset registry
+  describe <name|file> [--json]  summary (or canonical JSON) of a scenario
+  run <name|file> [options]      execute one scenario
+  sweep <name|file> [axes]       expand grid axes and execute fleet-parallel
+
+run/sweep options:
+  --out DIR          artifact directory (default target/scenarios)
+  --threads N        worker threads (0 = FEDZKT_THREADS / all cores)
+  --seed N           override the scenario's master seed (run only)
+
+sweep axes (comma-separated values; absent axes keep the base value):
+  --seeds 1,2,3      master seeds
+  --betas 0.1,0.5    Dirichlet concentration (conflicts with --cs)
+  --cs 2,3,5         quantity-skew classes per device (conflicts with --betas)
+  --participations 0.2,1.0
+  --devices 5,10     device counts (re-cycles the zoo)
+  --zoos small,cifar paper zoo families
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("describe") => cmd_describe(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand \"{other}\"\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("scenarios: {message}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<18} {:<7} description", "name", "scale");
+    for preset in presets() {
+        println!(
+            "{:<18} {:<7} {}",
+            preset.name,
+            if preset.paper_scale { "paper" } else { "quick" },
+            preset.about
+        );
+    }
+    println!("\nrun one with: scenarios run <name>   (files work too: scenarios run scenarios/tiny.json)");
+    Ok(())
+}
+
+fn load(reference: &str) -> Result<Scenario, String> {
+    resolve(reference).map_err(|e| e.to_string())
+}
+
+fn cmd_describe(args: &[String]) -> Result<(), String> {
+    let reference = args.first().ok_or("describe needs a scenario name or file")?;
+    let scenario = load(reference)?;
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", scenario.to_json());
+        return Ok(());
+    }
+    scenario.validate().map_err(|e| e.to_string())?;
+    println!("scenario:   {}", scenario.name);
+    println!("algorithm:  {}", scenario.algorithm.name());
+    println!(
+        "data:       {} {}x{}px, {} train / {} test",
+        scenario.data.family.name(),
+        scenario.data.img,
+        scenario.data.img,
+        scenario.data.train_n,
+        scenario.data.test_n
+    );
+    println!("partition:  {}", scenario.partition);
+    println!("devices:    {}", scenario.devices());
+    for (spec, count) in &scenario.zoo {
+        println!("  {:<22} x{count}", spec.name());
+    }
+    match &scenario.resources {
+        Some(r) => println!("resources:  attached (+{}s server time per round)", r.server_seconds),
+        None => println!("resources:  none (no simulated clock)"),
+    }
+    println!(
+        "protocol:   {} rounds, participation {}, seed {}, threads {}",
+        scenario.sim.rounds, scenario.sim.participation, scenario.sim.seed, scenario.sim.threads
+    );
+    Ok(())
+}
+
+/// Shared `--out` / `--threads` / `--seed` parsing for run and sweep.
+/// `threads`/`seed` stay `None` when not given, so the scenario file's own
+/// values are only overridden when the user asks.
+struct RunOptions {
+    out_dir: PathBuf,
+    threads: Option<usize>,
+    seed: Option<u64>,
+    rest: Vec<(String, String)>,
+}
+
+fn parse_options(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions {
+        out_dir: PathBuf::from("target/scenarios"),
+        threads: None,
+        seed: None,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?
+            .clone();
+        match flag.as_str() {
+            "--out" => opts.out_dir = PathBuf::from(value),
+            "--threads" => {
+                opts.threads = Some(
+                    value.parse().map_err(|_| format!("--threads: bad count \"{value}\""))?,
+                );
+            }
+            "--seed" => {
+                opts.seed =
+                    Some(value.parse().map_err(|_| format!("--seed: bad seed \"{value}\""))?);
+            }
+            other => opts.rest.push((other.to_string(), value)),
+        }
+    }
+    Ok(opts)
+}
+
+fn write_artifacts(log: &fedzkt_fl::RunLog, dir: &PathBuf, name: &str) -> Result<(), String> {
+    log.write_artifacts(dir, name)
+        .map_err(|e| format!("writing artifacts for {name}: {e}"))?;
+    println!("  [artifacts] {}/{name}.{{csv,json}}", dir.display());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let reference = args.first().ok_or("run needs a scenario name or file")?;
+    let mut scenario = load(reference)?;
+    let opts = parse_options(&args[1..])?;
+    if let Some((flag, _)) = opts.rest.first() {
+        return Err(format!("unknown flag {flag} for run"));
+    }
+    if let Some(threads) = opts.threads {
+        scenario.sim.threads = threads;
+    }
+    if let Some(seed) = opts.seed {
+        scenario.sim.seed = seed;
+    }
+    println!(
+        "running {} ({}, {} rounds, seed {})",
+        scenario.name,
+        scenario.algorithm.name(),
+        scenario.sim.rounds,
+        scenario.sim.seed
+    );
+    println!("{:>6} {:>9} {:>11} {:>12} {:>10}", "round", "avg-acc", "train-loss", "uplink-KiB", "sim-time");
+    let log = scenario
+        .run_with(&mut |m| {
+            println!(
+                "{:>6} {:>8.1}% {:>11.4} {:>12.1} {:>9.0}s",
+                m.round,
+                100.0 * m.avg_device_accuracy,
+                m.train_loss,
+                m.upload_bytes as f64 / 1024.0,
+                m.sim_seconds
+            );
+        })
+        .map_err(|e| e.to_string())?;
+    println!("final average device accuracy: {:.2}%", 100.0 * log.final_accuracy());
+    write_artifacts(&log, &opts.out_dir, &scenario.name)
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<Vec<T>, String> {
+    raw.split(',')
+        .map(|item| item.trim().parse().map_err(|_| format!("{flag}: bad value \"{item}\"")))
+        .collect()
+}
+
+/// Expand one axis: every scenario in `cells` crossed with every value.
+fn expand<T: Clone>(
+    cells: Vec<Scenario>,
+    values: &[T],
+    suffix: impl Fn(&T) -> String,
+    apply: impl Fn(&mut Scenario, &T),
+) -> Vec<Scenario> {
+    if values.is_empty() {
+        return cells;
+    }
+    let mut out = Vec::with_capacity(cells.len() * values.len());
+    for cell in cells {
+        for value in values {
+            let mut child = cell.clone();
+            apply(&mut child, value);
+            child.name = format!("{}_{}", child.name, suffix(value));
+            out.push(child);
+        }
+    }
+    out
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let reference = args.first().ok_or("sweep needs a scenario name or file")?;
+    let base = load(reference)?;
+    let opts = parse_options(&args[1..])?;
+    if opts.seed.is_some() {
+        return Err("--seed is a run option; sweep over seeds with --seeds a,b,c".into());
+    }
+
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut betas: Vec<f32> = Vec::new();
+    let mut cs: Vec<usize> = Vec::new();
+    let mut participations: Vec<f32> = Vec::new();
+    let mut devices: Vec<usize> = Vec::new();
+    let mut zoos: Vec<String> = Vec::new();
+    for (flag, value) in &opts.rest {
+        match flag.as_str() {
+            "--seeds" => seeds = parse_list(flag, value)?,
+            "--betas" => betas = parse_list(flag, value)?,
+            "--cs" => cs = parse_list(flag, value)?,
+            "--participations" => participations = parse_list(flag, value)?,
+            "--devices" => devices = parse_list(flag, value)?,
+            "--zoos" => zoos = parse_list(flag, value)?,
+            other => return Err(format!("unknown sweep axis {other}\n{USAGE}")),
+        }
+    }
+    if !betas.is_empty() && !cs.is_empty() {
+        return Err("--betas and --cs both redefine the partition; sweep one at a time".into());
+    }
+
+    let mut cells = vec![base];
+    cells = expand(cells, &seeds, |s| format!("s{s}"), |sc, &s| sc.sim.seed = s);
+    cells = expand(
+        cells,
+        &betas,
+        |b| format!("b{b}"),
+        |sc, &beta| sc.partition = Partition::Dirichlet { beta },
+    );
+    cells = expand(
+        cells,
+        &cs,
+        |c| format!("c{c}"),
+        |sc, &c| sc.partition = Partition::QuantitySkew { classes_per_device: c },
+    );
+    cells = expand(
+        cells,
+        &participations,
+        |p| format!("p{p}"),
+        |sc, &p| sc.sim.participation = p,
+    );
+    cells = expand(cells, &devices, |k| format!("k{k}"), |sc, &k| sc.set_device_count(k));
+    cells = expand(
+        cells,
+        &zoos,
+        |z| format!("z{z}"),
+        |sc, zoo| {
+            let family = match zoo.as_str() {
+                "cifar" => fedzkt_data::DataFamily::Cifar10Like,
+                _ => fedzkt_data::DataFamily::MnistLike,
+            };
+            sc.zoo = standard_zoo(family, sc.devices());
+        },
+    );
+    for zoo in &zoos {
+        if zoo != "small" && zoo != "cifar" {
+            return Err(format!("--zoos: unknown zoo \"{zoo}\" (small|cifar)"));
+        }
+    }
+
+    // Validate the whole grid up front: a typo in one axis value should
+    // fail fast, not after the other cells have burned compute.
+    for cell in &mut cells {
+        cell.sim.threads = 1; // fleet-level parallelism owns the workers
+        cell.validate().map_err(|e| format!("cell {}: {e}", cell.name))?;
+    }
+
+    let workers = par::resolve_threads(opts.threads.unwrap_or(0));
+    println!(
+        "sweep: {} cells from \"{}\", {} worker thread(s)",
+        cells.len(),
+        reference,
+        workers
+    );
+    let results: Vec<Result<fedzkt_fl::RunLog, ScenarioError>> =
+        par::map_indexed(cells.len(), workers, |i| cells[i].run());
+
+    // A failed cell (e.g. a partition that only turns out impossible for
+    // the realized labels) must not discard the rest of the grid: write
+    // every successful cell's artifacts and the summary first, then report
+    // the failures.
+    let mut summary = String::from("cell,algorithm,rounds,final_accuracy,best_accuracy,error\n");
+    let mut failures = Vec::new();
+    println!("{:<44} {:>10} {:>10}", "cell", "final", "best");
+    for (cell, result) in cells.iter().zip(results) {
+        match result {
+            Ok(log) => {
+                println!(
+                    "{:<44} {:>9.2}% {:>9.2}%",
+                    cell.name,
+                    100.0 * log.final_accuracy(),
+                    100.0 * log.best_accuracy()
+                );
+                summary.push_str(&format!(
+                    "{},{},{},{:.4},{:.4},\n",
+                    cell.name,
+                    cell.algorithm.name(),
+                    log.rounds.len(),
+                    log.final_accuracy(),
+                    log.best_accuracy()
+                ));
+                // An artifact I/O error for one cell (disk full, permission
+                // flip) is a failure of that cell, not of the whole sweep.
+                if let Err(e) = write_artifacts(&log, &opts.out_dir, &cell.name) {
+                    failures.push(format!("{}: {e}", cell.name));
+                }
+            }
+            Err(e) => {
+                println!("{:<44} {:>10} {:>10}", cell.name, "FAILED", "");
+                summary.push_str(&format!(
+                    "{},{},0,,,\"{e}\"\n",
+                    cell.name,
+                    cell.algorithm.name(),
+                ));
+                failures.push(format!("{}: {e}", cell.name));
+            }
+        }
+    }
+    // The summary must land even when every cell failed (write_artifacts,
+    // which normally creates the directory, never ran in that case).
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("creating {}: {e}", opts.out_dir.display()))?;
+    let summary_path = opts.out_dir.join("sweep_summary.csv");
+    std::fs::write(&summary_path, summary).map_err(|e| format!("writing sweep summary: {e}"))?;
+    println!("  [summary] {}", summary_path.display());
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} of {} cells failed:\n  {}", failures.len(), cells.len(), failures.join("\n  ")))
+    }
+}

@@ -1,0 +1,75 @@
+//! Typed errors for scenario validation, parsing and execution.
+
+use fedzkt_data::{DataError, PartitionError};
+use std::fmt;
+
+/// Everything that can go wrong between a scenario description and a
+/// finished run.
+///
+/// Degenerate experiment requests — an empty model zoo, more devices than
+/// samples, a quantity skew asking for more classes than exist — surface
+/// here as typed values from [`Scenario::validate`](crate::Scenario::validate)
+/// *before* any dataset is generated or model built, instead of as panics
+/// from deep inside the data or training layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The JSON input is not a scenario in the supported schema.
+    Parse(String),
+    /// A scenario file could not be read or an artifact could not be
+    /// written.
+    Io(String),
+    /// The dataset description is degenerate (zero samples, an image side
+    /// the model zoo cannot downsample, too few classes).
+    InvalidData(String),
+    /// The device zoo is degenerate (empty, zero-count entries, or
+    /// heterogeneous where the algorithm requires one architecture).
+    InvalidZoo(String),
+    /// The algorithm configuration is inconsistent with its variant.
+    InvalidAlgorithm(String),
+    /// The protocol configuration is degenerate (zero rounds,
+    /// out-of-range participation).
+    InvalidSim(String),
+    /// The resource assignment cannot cover the device population.
+    InvalidResources(String),
+    /// The partition request is impossible for the described dataset.
+    Partition(PartitionError),
+    /// A dataset could not be assembled from the described pieces.
+    Data(DataError),
+    /// No preset with the requested name exists.
+    UnknownPreset(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(msg) => write!(f, "scenario parse error: {msg}"),
+            ScenarioError::Io(msg) => write!(f, "scenario I/O error: {msg}"),
+            ScenarioError::InvalidData(msg) => write!(f, "invalid data description: {msg}"),
+            ScenarioError::InvalidZoo(msg) => write!(f, "invalid device zoo: {msg}"),
+            ScenarioError::InvalidAlgorithm(msg) => {
+                write!(f, "invalid algorithm configuration: {msg}")
+            }
+            ScenarioError::InvalidSim(msg) => write!(f, "invalid protocol configuration: {msg}"),
+            ScenarioError::InvalidResources(msg) => {
+                write!(f, "invalid resource assignment: {msg}")
+            }
+            ScenarioError::Partition(e) => write!(f, "impossible partition: {e}"),
+            ScenarioError::Data(e) => write!(f, "invalid dataset: {e}"),
+            ScenarioError::UnknownPreset(name) => write!(f, "unknown preset \"{name}\""),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<PartitionError> for ScenarioError {
+    fn from(e: PartitionError) -> Self {
+        ScenarioError::Partition(e)
+    }
+}
+
+impl From<DataError> for ScenarioError {
+    fn from(e: DataError) -> Self {
+        ScenarioError::Data(e)
+    }
+}

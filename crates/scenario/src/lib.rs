@@ -1,0 +1,324 @@
+//! # fedzkt-scenario
+//!
+//! The declarative experiment layer of the FedZKT reproduction: one
+//! serializable [`Scenario`] value describes everything the paper's
+//! evaluation grid (§IV) varies — dataset family, partition skew
+//! (IID / c-quantity / Dirichlet β), heterogeneous device zoo, simulated
+//! hardware, straggler portion, device count, algorithm — and one erased
+//! runner executes it:
+//!
+//! ```
+//! use fedzkt_scenario::{preset, Scenario};
+//!
+//! // By name from the registry, or from JSON on disk:
+//! let scenario = preset("tiny").unwrap();
+//! let json = scenario.to_json();
+//! assert_eq!(Scenario::from_json(&json).unwrap(), scenario);
+//!
+//! // One call from description to RunLog, regardless of the algorithm:
+//! let log = scenario.run().unwrap();
+//! assert_eq!(log.rounds.len(), scenario.sim.rounds);
+//! ```
+//!
+//! ## Anatomy of a scenario
+//!
+//! * [`Scenario::data`] — a [`DataSpec`] naming the synthetic family and
+//!   its geometry; datasets are derived from the run seed at run time, so
+//!   a seed sweep re-derives everything.
+//! * [`Scenario::partition`] — the §IV-A4 skew
+//!   ([`Partition`](fedzkt_data::Partition)).
+//! * [`Scenario::zoo`] — `(architecture, count)` pairs; the paper's core
+//!   premise is that these need not agree across devices.
+//! * [`Scenario::resources`] — optional simulated hardware
+//!   ([`ResourceSpec`]); attaching it populates `sim_seconds` in the log.
+//! * [`Scenario::algorithm`] — [`Algo`]: FedZKT, FedAvg, FedProx or FedMD
+//!   with their hyperparameters.
+//! * [`Scenario::sim`] — the protocol knobs every algorithm shares
+//!   ([`SimConfig`](fedzkt_fl::SimConfig)).
+//!
+//! Degenerate descriptions (empty zoo, more devices than samples, a
+//! quantity skew asking for more classes than exist…) are rejected by
+//! [`Scenario::validate`] with a typed [`ScenarioError`] before any data
+//! is generated.
+//!
+//! ## Adding a new preset
+//!
+//! 1. Write a `fn my_preset() -> Scenario` in `registry.rs` — start from
+//!    [`Scenario::standard`] (the paper's standard setup for a family /
+//!    partition / [`Tier`]) and override fields.
+//! 2. Append a [`Preset`] entry to [`presets`] with a unique name and a
+//!    one-line description.
+//! 3. Regenerate its golden file:
+//!    `cargo run -p fedzkt_scenario --bin scenarios -- describe my-preset --json > scenarios/my-preset.json`.
+//!    The golden-file test (`tests/golden.rs`) and CI keep the file in
+//!    sync with the registry from then on.
+//!
+//! ## The `scenarios` CLI
+//!
+//! `cargo run -p fedzkt_scenario --bin scenarios -- <subcommand>`:
+//!
+//! * `list` — the preset registry;
+//! * `describe <name|file> [--json]` — summary or canonical JSON;
+//! * `run <name|file>` — execute, writing `<name>.csv` + `<name>.json`
+//!   artifacts;
+//! * `sweep <name|file> --seeds 1,2 --betas 0.1,0.5 …` — expand grid axes
+//!   into child scenarios and execute them fleet-parallel.
+
+#![warn(missing_docs)]
+
+mod error;
+mod registry;
+mod serial;
+mod spec;
+
+pub use error::ScenarioError;
+pub use registry::{
+    fedmd_public_family, preset, presets, resolve, standard_zoo, Preset, Scale, Tier,
+};
+pub use spec::{Algo, DataSpec, Materialized, ResourceAssignment, ResourceSpec, Scenario};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_data::{Partition, PartitionError};
+    use fedzkt_fl::FedAvgConfig;
+    use fedzkt_models::ModelSpec;
+
+    fn base() -> Scenario {
+        preset("tiny").expect("tiny preset exists")
+    }
+
+    #[test]
+    fn tiny_preset_runs_end_to_end() {
+        let sc = base();
+        let log = sc.run().unwrap();
+        assert_eq!(log.rounds.len(), sc.sim.rounds);
+        assert!(log.final_accuracy() >= 0.0);
+    }
+
+    #[test]
+    fn empty_zoo_is_a_typed_error() {
+        let mut sc = base();
+        sc.zoo.clear();
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidZoo(_))));
+    }
+
+    #[test]
+    fn zero_count_zoo_entry_is_a_typed_error() {
+        let mut sc = base();
+        sc.zoo[0].1 = 0;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidZoo(_))));
+    }
+
+    #[test]
+    fn more_devices_than_samples_is_a_typed_error() {
+        let mut sc = base();
+        sc.data.train_n = 2;
+        assert!(matches!(
+            sc.validate(),
+            Err(ScenarioError::Partition(PartitionError::NotEnoughSamples { samples: 2, .. }))
+        ));
+    }
+
+    #[test]
+    fn zero_samples_is_a_typed_error() {
+        let mut sc = base();
+        sc.data.train_n = 0;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidData(_))));
+        let mut sc = base();
+        sc.data.test_n = 0;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidData(_))));
+    }
+
+    #[test]
+    fn indivisible_image_side_is_a_typed_error() {
+        let mut sc = base();
+        sc.data.img = 10;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidData(_))));
+    }
+
+    #[test]
+    fn too_many_classes_per_device_is_a_typed_error() {
+        let mut sc = base();
+        sc.partition = Partition::QuantitySkew { classes_per_device: 11 };
+        assert!(matches!(
+            sc.validate(),
+            Err(ScenarioError::Partition(PartitionError::InvalidParameter(_)))
+        ));
+        sc.partition = Partition::QuantitySkew { classes_per_device: 0 };
+        assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn non_positive_beta_is_a_typed_error() {
+        for beta in [0.0f32, -1.0, f32::NAN] {
+            let mut sc = base();
+            sc.partition = Partition::Dirichlet { beta };
+            assert!(
+                matches!(
+                    sc.validate(),
+                    Err(ScenarioError::Partition(PartitionError::InvalidParameter(_)))
+                ),
+                "beta {beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_sim_config_is_a_typed_error() {
+        let mut sc = base();
+        sc.sim.rounds = 0;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidSim(_))));
+        let mut sc = base();
+        sc.sim.participation = 0.0;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidSim(_))));
+        let mut sc = base();
+        sc.sim.participation = 1.5;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidSim(_))));
+    }
+
+    #[test]
+    fn explicit_resource_mismatch_is_a_typed_error() {
+        let mut sc = base();
+        sc.resources = Some(ResourceSpec {
+            assignment: ResourceAssignment::Explicit(vec![
+                fedzkt_fl::DeviceResources::smartphone(),
+            ]),
+            server_seconds: 0.0,
+        });
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidResources(_))));
+    }
+
+    #[test]
+    fn heterogeneous_zoo_under_fedavg_is_a_typed_error() {
+        let mut sc = base();
+        sc.algorithm = Algo::FedAvg(FedAvgConfig::default());
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidZoo(_))));
+        // Homogeneous zoo: accepted.
+        sc.zoo = vec![(ModelSpec::Mlp { hidden: 8 }, 3)];
+        sc.validate().unwrap();
+        // …but a proximal term under the plain FedAvg variant is not.
+        sc.algorithm = Algo::FedAvg(FedAvgConfig { prox_mu: 0.1, ..Default::default() });
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidAlgorithm(_))));
+        sc.algorithm = Algo::FedProx(FedAvgConfig { prox_mu: 0.0, ..Default::default() });
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidAlgorithm(_))));
+    }
+
+    #[test]
+    fn non_finite_hyperparameters_are_a_typed_error() {
+        let mut sc = base();
+        sc.fedzkt_cfg_mut().unwrap().device_lr = f32::NAN;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidAlgorithm(_))));
+        // The canonical serialization has no non-finite literal; the null
+        // it emits reads back as NaN, which validation then rejects — so a
+        // degenerate description cannot slip through a save/load cycle.
+        let back = Scenario::from_json(&sc.to_json()).expect("null parses back");
+        assert!(back.fedzkt_cfg().unwrap().device_lr.is_nan());
+        assert!(matches!(back.validate(), Err(ScenarioError::InvalidAlgorithm(_))));
+        // +inf server throughput is the documented exception and is legal.
+        let mut sc = base();
+        sc.fedzkt_cfg_mut().unwrap().server_samples_per_sec = f32::INFINITY;
+        sc.validate().unwrap();
+        // …but only +inf: a NaN throughput must not come back from a
+        // save/load cycle wearing the free-server spelling.
+        sc.fedzkt_cfg_mut().unwrap().server_samples_per_sec = f32::NAN;
+        assert!(sc.validate().is_err());
+        let back = Scenario::from_json(&sc.to_json()).unwrap();
+        assert!(back.validate().is_err(), "NaN throughput resurfaced as valid");
+    }
+
+    #[test]
+    fn path_escaping_names_are_a_typed_error() {
+        for name in ["../evil", "a/b", "..", ".hidden", "-flag", "", "a b"] {
+            let mut sc = base();
+            sc.name = name.to_string();
+            assert!(
+                matches!(sc.validate(), Err(ScenarioError::InvalidData(_))),
+                "name {name:?} should be rejected"
+            );
+        }
+        let mut sc = base();
+        sc.name = "tiny_s1_p0.5".to_string();
+        sc.validate().unwrap();
+    }
+
+    #[test]
+    fn one_sample_shards_are_legal_not_an_error() {
+        // train_n == devices is extreme but well-formed: every device gets
+        // exactly one sample and the run proceeds.
+        let mut sc = base();
+        sc.data.train_n = sc.devices();
+        sc.validate().unwrap();
+        let m = sc.materialize().unwrap();
+        assert!(m.shards.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn erased_runner_covers_all_four_algorithms() {
+        // One Vec, four algorithms — the collection the erased runner
+        // exists for. Kept tiny so the whole matrix stays test-suite fast.
+        let mut scenarios = Vec::new();
+        let mut zkt = base();
+        zkt.sim.rounds = 1;
+        scenarios.push(zkt);
+        for name in ["fedavg-lcd", "fedprox-noniid", "fedmd-public"] {
+            let mut sc = preset(name).unwrap();
+            sc.data = base().data;
+            sc.set_device_count(3);
+            sc.sim.rounds = 1;
+            if let Some(cfg) = sc.fedmd_cfg_mut() {
+                cfg.alignment_size = 16;
+                cfg.public_warmup_epochs = 1;
+                cfg.private_warmup_epochs = 1;
+                cfg.revisit_epochs = 1;
+            }
+            scenarios.push(sc);
+        }
+        let sims: Vec<_> = scenarios.iter().map(|sc| sc.build().unwrap()).collect();
+        for (sc, mut sim) in scenarios.iter().zip(sims) {
+            let log = sim.run();
+            assert_eq!(log.rounds.len(), 1, "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn degenerate_model_specs_are_a_typed_error() {
+        let mut sc = base();
+        sc.zoo[0].0 = ModelSpec::LeNet { scale: f32::NAN, deep: false };
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidZoo(_))));
+        let mut sc = base();
+        sc.zoo[0].0 = ModelSpec::MobileNetV2 { width: -0.5 };
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidZoo(_))));
+        let mut sc = base();
+        sc.fedzkt_cfg_mut().unwrap().global_model = ModelSpec::ShuffleNetV2 { size: 0.0 };
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidAlgorithm(_))));
+        let mut sc = base();
+        sc.fedzkt_cfg_mut().unwrap().generator.z_dim = 0;
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidAlgorithm(_))));
+    }
+
+    #[test]
+    fn fedmd_channel_mismatch_is_a_typed_error() {
+        // MNIST private data (1 channel) cannot be paired with a CIFAR-100
+        // public corpus (3 channels): devices score the public set with
+        // models built for the private geometry.
+        let mut sc = preset("fedmd-public").unwrap();
+        match &mut sc.algorithm {
+            Algo::FedMd { public, .. } => *public = fedzkt_data::DataFamily::Cifar100Like,
+            other => panic!("fedmd-public runs {}", other.name()),
+        }
+        assert!(matches!(sc.validate(), Err(ScenarioError::InvalidAlgorithm(_))));
+    }
+
+    #[test]
+    fn unknown_preset_is_a_typed_error() {
+        assert!(matches!(
+            resolve("no-such-preset"),
+            Err(ScenarioError::UnknownPreset(_))
+        ));
+        assert!(matches!(
+            resolve("definitely/not/a/file.json"),
+            Err(ScenarioError::Io(_))
+        ));
+    }
+}

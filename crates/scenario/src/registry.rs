@@ -1,0 +1,501 @@
+//! Workload tiers, standard scenario construction, and the named preset
+//! registry.
+//!
+//! [`Scenario::standard`] is the single place the paper's standard
+//! evaluation setup (§IV-A) is encoded — the per-family model zoos, the
+//! tier-scaled dataset/round/iteration sizes, and the learning rates tuned
+//! for each tier. Everything downstream (examples, figure/table binaries,
+//! sweeps) derives its scenarios from here or from the [`presets`] built on
+//! top, instead of hand-wiring datasets and configs.
+
+use crate::{Algo, DataSpec, ResourceAssignment, ResourceSpec, Scenario, ScenarioError};
+use fedzkt_core::{FedMdConfig, FedZktConfig};
+use fedzkt_data::{DataFamily, Partition};
+use fedzkt_fl::{FedAvgConfig, SimConfig};
+use fedzkt_models::{GeneratorSpec, ModelSpec};
+
+/// Workload tier: how much compute an experiment spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Minutes-scale CPU runs (default), preserving the paper's qualitative
+    /// shapes.
+    Quick,
+    /// Seconds-scale smoke runs (CI-friendly).
+    Tiny,
+    /// The paper's §IV-A3 parameters (hours on CPU).
+    Paper,
+}
+
+/// Tier-dependent scale parameters for one dataset family.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Device count `K`.
+    pub devices: usize,
+    /// Communication rounds `T`.
+    pub rounds: usize,
+    /// Local epochs `T_l`.
+    pub local_epochs: usize,
+    /// Server distillation iterations `nD`.
+    pub distill_iters: usize,
+    /// Image side length.
+    pub img: usize,
+    /// Training samples.
+    pub train_n: usize,
+    /// Test samples.
+    pub test_n: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+impl Scale {
+    /// Scale for a family and tier.
+    pub fn for_family(family: DataFamily, tier: Tier) -> Scale {
+        let cifar = matches!(family, DataFamily::Cifar10Like);
+        match tier {
+            Tier::Paper => Scale {
+                devices: 10,
+                rounds: if cifar { 100 } else { 50 },
+                local_epochs: if cifar { 10 } else { 5 },
+                distill_iters: if cifar { 500 } else { 200 },
+                img: if cifar { 32 } else { 28 },
+                train_n: 50_000,
+                test_n: 10_000,
+                batch: 256,
+            },
+            Tier::Quick => Scale {
+                devices: 5,
+                rounds: if cifar { 8 } else { 7 },
+                local_epochs: 2,
+                distill_iters: if cifar { 20 } else { 14 },
+                img: 12,
+                train_n: 600,
+                test_n: 300,
+                batch: 32,
+            },
+            Tier::Tiny => Scale {
+                devices: 3,
+                rounds: 2,
+                local_epochs: 1,
+                distill_iters: 4,
+                img: 8,
+                train_n: 120,
+                test_n: 60,
+                batch: 16,
+            },
+        }
+    }
+
+    /// The standard FedZKT configuration at this scale.
+    ///
+    /// Learning rates: the paper's values (0.01 / 1e-3) are tuned for
+    /// `nD` = 200–500 server iterations; the reduced tiers compensate with
+    /// proportionally larger steps.
+    pub fn fedzkt_config(&self, family: DataFamily, tier: Tier) -> FedZktConfig {
+        let global_model = if family == DataFamily::Cifar10Like {
+            ModelSpec::MobileNetV2 { width: 1.0 }
+        } else {
+            ModelSpec::SmallCnn { base_channels: 8 }
+        };
+        let generator = match tier {
+            Tier::Paper => GeneratorSpec { z_dim: 100, ngf: 32 },
+            Tier::Quick => GeneratorSpec { z_dim: 32, ngf: 8 },
+            Tier::Tiny => GeneratorSpec { z_dim: 16, ngf: 4 },
+        };
+        FedZktConfig {
+            local_epochs: self.local_epochs,
+            distill_iters: self.distill_iters,
+            transfer_iters: self.distill_iters,
+            device_batch: self.batch,
+            distill_batch: self.batch,
+            device_lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
+            server_lr: 0.01,
+            transfer_lr: 0.01,
+            generator_lr: 1e-3,
+            generator,
+            global_model,
+            ..Default::default()
+        }
+    }
+
+    /// The standard FedMD configuration at this scale.
+    pub fn fedmd_config(&self, tier: Tier) -> FedMdConfig {
+        FedMdConfig {
+            public_warmup_epochs: self.local_epochs,
+            private_warmup_epochs: self.local_epochs,
+            alignment_size: (self.train_n / 4).clamp(32, 5000),
+            digest_epochs: 1,
+            revisit_epochs: self.local_epochs,
+            batch_size: self.batch,
+            lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
+        }
+    }
+
+    /// The standard homogeneous-baseline (FedAvg/FedProx) configuration at
+    /// this scale.
+    pub fn fedavg_config(&self, tier: Tier) -> FedAvgConfig {
+        FedAvgConfig {
+            local_epochs: self.local_epochs,
+            batch_size: self.batch,
+            lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
+            ..Default::default()
+        }
+    }
+}
+
+/// The paper's per-family zoo, cycled over `devices` as `(spec, count)`
+/// pairs. The per-architecture *counts* match §IV-C2's round-robin
+/// assignment of ten devices through Models A–E; note that the expanded
+/// device order groups by architecture (`[A, A, B, B, …]`, the natural
+/// reading of `(spec, count)`), so which device *index* — and therefore
+/// which shard and which `DeviceResources` entry — carries which
+/// architecture differs from an interleaved `[A, B, C, …]` assignment.
+pub fn standard_zoo(family: DataFamily, devices: usize) -> Vec<(ModelSpec, usize)> {
+    let base = if family == DataFamily::Cifar10Like {
+        ModelSpec::paper_zoo_cifar()
+    } else {
+        ModelSpec::paper_zoo_small()
+    };
+    crate::spec::cycle_counts(&base, devices)
+}
+
+/// The public dataset FedMD pairs with a private family in Table I
+/// (MNIST↔FASHION, FASHION↔MNIST, KMNIST↔FASHION; CIFAR-10 defaults to
+/// CIFAR-100, with SVHN as the deliberately mismatched alternative).
+pub fn fedmd_public_family(private: DataFamily) -> DataFamily {
+    match private {
+        DataFamily::MnistLike => DataFamily::FashionLike,
+        DataFamily::FashionLike => DataFamily::MnistLike,
+        DataFamily::KmnistLike => DataFamily::FashionLike,
+        _ => DataFamily::Cifar100Like,
+    }
+}
+
+impl Scenario {
+    /// The standard FedZKT scenario for a family, partition and tier —
+    /// the declarative successor of the old `fedzkt_bench::build_workload`.
+    pub fn standard(family: DataFamily, partition: Partition, tier: Tier, seed: u64) -> Scenario {
+        Scenario::standard_scaled(family, partition, tier, seed, Scale::for_family(family, tier))
+    }
+
+    /// [`Scenario::standard`] with explicit scale overrides (device-count
+    /// and round sweeps).
+    pub fn standard_scaled(
+        family: DataFamily,
+        partition: Partition,
+        tier: Tier,
+        seed: u64,
+        scale: Scale,
+    ) -> Scenario {
+        let tier_slug = match tier {
+            Tier::Quick => "quick",
+            Tier::Tiny => "tiny",
+            Tier::Paper => "paper",
+        };
+        let partition_slug = match partition {
+            Partition::Iid => "iid".to_string(),
+            Partition::QuantitySkew { classes_per_device } => format!("c{classes_per_device}"),
+            Partition::Dirichlet { beta } => format!("dir{beta}"),
+        };
+        let family_slug = family.name().to_lowercase().replace('-', "");
+        Scenario {
+            name: format!("{family_slug}-{partition_slug}-{tier_slug}"),
+            data: DataSpec {
+                family,
+                img: scale.img,
+                train_n: scale.train_n,
+                test_n: scale.test_n,
+                classes: 0,
+                noise_std: -1.0,
+            },
+            partition,
+            zoo: standard_zoo(family, scale.devices),
+            resources: None,
+            algorithm: Algo::FedZkt(scale.fedzkt_config(family, tier)),
+            sim: SimConfig { rounds: scale.rounds, seed, ..Default::default() },
+        }
+    }
+
+    /// The FedMD leg of a comparison: same data, partition, zoo and
+    /// protocol as `self`, with `public` as the alignment corpus. The
+    /// FedMD hyperparameters are derived from the *base scenario's own*
+    /// numbers — its train_n, and its FedZKT epochs/batch when the base
+    /// runs FedZKT — so the two legs stay a controlled comparison even for
+    /// non-standard bases; `tier` only picks the learning rate.
+    pub fn fedmd_counterpart(&self, tier: Tier, public: DataFamily) -> Scenario {
+        let epochs = self.fedzkt_cfg().map_or(2, |c| c.local_epochs);
+        let batch = self.fedzkt_cfg().map_or(32, |c| c.device_batch);
+        let cfg = FedMdConfig {
+            public_warmup_epochs: epochs,
+            private_warmup_epochs: epochs,
+            alignment_size: (self.data.train_n / 4).clamp(32, 5000),
+            digest_epochs: 1,
+            revisit_epochs: epochs,
+            batch_size: batch,
+            lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
+        };
+        let mut counterpart = self.clone().with_algorithm(Algo::FedMd { public, cfg });
+        counterpart.name = format!("{}-fedmd", self.name);
+        counterpart
+    }
+}
+
+/// One entry of the named-preset registry.
+pub struct Preset {
+    /// Registry key (also the checked-in `scenarios/<name>.json` file).
+    pub name: &'static str,
+    /// One-line description for `scenarios list`.
+    pub about: &'static str,
+    /// True for the paper-scale presets (hours of CPU; sweep/run harnesses
+    /// skip them unless asked).
+    pub paper_scale: bool,
+    build: fn() -> Scenario,
+}
+
+impl Preset {
+    /// Construct the preset's scenario.
+    pub fn scenario(&self) -> Scenario {
+        let mut scenario = (self.build)();
+        scenario.name = self.name.to_string();
+        scenario
+    }
+}
+
+fn tiny() -> Scenario {
+    Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1)
+}
+
+fn quickstart() -> Scenario {
+    Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Quick, 7)
+}
+
+fn noniid_dirichlet() -> Scenario {
+    let mut sc = Scenario::standard(
+        DataFamily::FashionLike,
+        Partition::Dirichlet { beta: 0.3 },
+        Tier::Quick,
+        3,
+    );
+    // Non-IID runs enable the paper's ℓ2 regularizer (Eq. 9).
+    sc.fedzkt_cfg_mut().expect("standard scenarios run fedzkt").prox_mu = 1.0;
+    sc
+}
+
+fn hetero_cifar() -> Scenario {
+    let mut sc = Scenario::standard(DataFamily::Cifar10Like, Partition::Iid, Tier::Quick, 11);
+    sc.set_device_count(10);
+    sc.sim.rounds = 6;
+    sc.resources = Some(ResourceSpec {
+        assignment: ResourceAssignment::Heterogeneous { seed: 11 },
+        server_seconds: 1.0,
+    });
+    sc
+}
+
+fn straggler() -> Scenario {
+    let mut sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Quick, 5);
+    sc.sim.rounds = 6;
+    sc.sim.participation = 0.6;
+    sc.resources = Some(ResourceSpec {
+        assignment: ResourceAssignment::Heterogeneous { seed: 5 },
+        server_seconds: 1.0,
+    });
+    sc
+}
+
+fn fedavg_lcd() -> Scenario {
+    let mut sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Quick, 13);
+    // Classical FL is constrained by the weakest participant: everyone
+    // runs the lowest-common-denominator architecture.
+    let scale = Scale::for_family(DataFamily::MnistLike, Tier::Quick);
+    sc.zoo = vec![(ModelSpec::LeNet { scale: 0.5, deep: false }, scale.devices)];
+    sc.sim.rounds = 6;
+    sc.algorithm = Algo::FedAvg(scale.fedavg_config(Tier::Quick));
+    sc
+}
+
+fn fedprox_noniid() -> Scenario {
+    let mut sc = Scenario::standard(
+        DataFamily::MnistLike,
+        Partition::Dirichlet { beta: 0.5 },
+        Tier::Quick,
+        13,
+    );
+    let scale = Scale::for_family(DataFamily::MnistLike, Tier::Quick);
+    sc.zoo = vec![(ModelSpec::LeNet { scale: 0.5, deep: false }, scale.devices)];
+    sc.sim.rounds = 6;
+    sc.algorithm = Algo::FedProx(FedAvgConfig {
+        prox_mu: 0.5,
+        ..scale.fedavg_config(Tier::Quick)
+    });
+    sc
+}
+
+fn fedmd_public() -> Scenario {
+    let sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Quick, 2);
+    sc.fedmd_counterpart(Tier::Quick, fedmd_public_family(DataFamily::MnistLike))
+}
+
+fn paper_small() -> Scenario {
+    Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Paper, 42)
+}
+
+fn paper_cifar() -> Scenario {
+    Scenario::standard(DataFamily::Cifar10Like, Partition::Iid, Tier::Paper, 42)
+}
+
+/// The named-preset registry — the successor of the scattered
+/// `FedZktConfig::paper_*` constructors and per-example setup blocks.
+pub fn presets() -> Vec<Preset> {
+    vec![
+        Preset {
+            name: "tiny",
+            about: "seconds-scale MNIST/IID FedZKT smoke run (CI, determinism tests)",
+            paper_scale: false,
+            build: tiny,
+        },
+        Preset {
+            name: "quickstart",
+            about: "the smallest instructive FedZKT run: 5 devices, 5 architectures, MNIST-like IID",
+            paper_scale: false,
+            build: quickstart,
+        },
+        Preset {
+            name: "noniid-dirichlet",
+            about: "FASHION-like with Dirichlet(0.3) label skew and the Eq. 9 l2 regularizer",
+            paper_scale: false,
+            build: noniid_dirichlet,
+        },
+        Preset {
+            name: "hetero-cifar",
+            about: "ten devices, Models A-E, heterogeneous simulated hardware (SS IV-C2)",
+            paper_scale: false,
+            build: hetero_cifar,
+        },
+        Preset {
+            name: "straggler",
+            about: "participation 0.6 over a heterogeneous population (Figure 6 in miniature)",
+            paper_scale: false,
+            build: straggler,
+        },
+        Preset {
+            name: "fedavg-lcd",
+            about: "FedAvg baseline: every device on the lowest-common-denominator LeNet",
+            paper_scale: false,
+            build: fedavg_lcd,
+        },
+        Preset {
+            name: "fedprox-noniid",
+            about: "FedProx (mu=0.5) on Dirichlet(0.5) skew, homogeneous LeNet zoo",
+            paper_scale: false,
+            build: fedprox_noniid,
+        },
+        Preset {
+            name: "fedmd-public",
+            about: "FedMD baseline: MNIST-like private data, FASHION-like public corpus",
+            paper_scale: false,
+            build: fedmd_public,
+        },
+        Preset {
+            name: "paper-small",
+            about: "paper-scale small-dataset parameters (T=50, T_l=5, nD=200, batch 256)",
+            paper_scale: true,
+            build: paper_small,
+        },
+        Preset {
+            name: "paper-cifar",
+            about: "paper-scale CIFAR-10 parameters (T=100, T_l=10, nD=500, batch 256)",
+            paper_scale: true,
+            build: paper_cifar,
+        },
+    ]
+}
+
+/// Look up a preset scenario by name.
+pub fn preset(name: &str) -> Option<Scenario> {
+    presets().into_iter().find(|p| p.name == name).map(|p| p.scenario())
+}
+
+/// Resolve a CLI-style scenario reference: a preset name, or a path to a
+/// scenario JSON file (anything containing a path separator or ending in
+/// `.json` is treated as a path).
+///
+/// # Errors
+/// [`ScenarioError::UnknownPreset`] for an unknown name; I/O and parse
+/// errors for a file reference.
+pub fn resolve(reference: &str) -> Result<Scenario, ScenarioError> {
+    if reference.ends_with(".json") || reference.contains(std::path::MAIN_SEPARATOR) {
+        Scenario::load(reference)
+    } else {
+        preset(reference).ok_or_else(|| ScenarioError::UnknownPreset(reference.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_validates() {
+        for p in presets() {
+            let sc = p.scenario();
+            assert_eq!(sc.name, p.name);
+            sc.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn preset_names_are_unique() {
+        let mut names: Vec<&str> = presets().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), presets().len());
+    }
+
+    #[test]
+    fn paper_presets_match_section_iv_a3() {
+        let small = preset("paper-small").unwrap();
+        let cfg = match &small.algorithm {
+            Algo::FedZkt(cfg) => *cfg,
+            other => panic!("paper-small runs {}", other.name()),
+        };
+        assert_eq!((small.sim.rounds, cfg.local_epochs, cfg.distill_iters), (50, 5, 200));
+        assert_eq!(cfg.device_batch, 256);
+        let cifar = preset("paper-cifar").unwrap();
+        let cfg = match &cifar.algorithm {
+            Algo::FedZkt(cfg) => *cfg,
+            other => panic!("paper-cifar runs {}", other.name()),
+        };
+        assert_eq!((cifar.sim.rounds, cfg.local_epochs, cfg.distill_iters), (100, 10, 500));
+        assert!((cfg.generator_lr - 1e-3).abs() < 1e-9);
+        assert!((cfg.server_lr - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_cifar_uses_the_cifar_zoo() {
+        let sc = Scenario::standard(DataFamily::Cifar10Like, Partition::Iid, Tier::Tiny, 1);
+        assert!(matches!(sc.zoo[0].0, ModelSpec::ShuffleNetV2 { .. }));
+        assert_eq!(sc.devices(), 3);
+        let m = sc.materialize().unwrap();
+        assert_eq!(m.train.channels(), 3);
+        assert_eq!(m.shards.len(), 3);
+    }
+
+    #[test]
+    fn public_family_pairing_matches_table1() {
+        assert_eq!(fedmd_public_family(DataFamily::MnistLike), DataFamily::FashionLike);
+        assert_eq!(fedmd_public_family(DataFamily::FashionLike), DataFamily::MnistLike);
+        assert_eq!(fedmd_public_family(DataFamily::KmnistLike), DataFamily::FashionLike);
+        assert_eq!(fedmd_public_family(DataFamily::Cifar10Like), DataFamily::Cifar100Like);
+    }
+
+    #[test]
+    fn set_device_count_recycles_the_zoo() {
+        let mut sc = Scenario::standard(DataFamily::Cifar10Like, Partition::Iid, Tier::Quick, 1);
+        sc.set_device_count(12);
+        assert_eq!(sc.devices(), 12);
+        assert_eq!(sc.zoo.len(), 5, "all five architectures stay represented");
+        sc.set_device_count(2);
+        assert_eq!(sc.devices(), 2);
+        assert_eq!(sc.zoo.len(), 2);
+    }
+}

@@ -1,0 +1,610 @@
+//! Canonical JSON serialization for [`Scenario`].
+//!
+//! The offline vendored `serde` is a derive-only shim, so the wire format
+//! is owned here: a hand-rolled writer emitting one canonical pretty
+//! form (2-space indent, struct field order, Rust's shortest round-trip
+//! float formatting) and a reader over the workspace JSON parser
+//! ([`fedzkt_fl::json`]). Canonical output is what makes the checked-in
+//! preset files *golden*: `parse → to_json` reproduces them byte for byte.
+
+use crate::{
+    Algo, DataSpec, ResourceAssignment, ResourceSpec, Scenario, ScenarioError,
+};
+use fedzkt_core::{DistillLoss, FedMdConfig, FedZktConfig};
+use fedzkt_data::{DataFamily, Partition};
+use fedzkt_fl::json::{self, Value};
+use fedzkt_fl::{DeviceResources, FedAvgConfig, SimConfig};
+use fedzkt_models::{GeneratorSpec, ModelSpec};
+
+/// An owned JSON tree, built by the writer and pretty-printed canonically.
+enum J {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<J>),
+    Obj(Vec<(&'static str, J)>),
+}
+
+fn us(v: usize) -> J {
+    J::Num(v.to_string())
+}
+
+fn u64j(v: u64) -> J {
+    J::Num(v.to_string())
+}
+
+fn f32j(v: f32) -> J {
+    if v.is_finite() {
+        J::Num(format!("{v}"))
+    } else {
+        J::Null // no JSON literal; readers of fields that allow it map it back
+    }
+}
+
+fn f64j(v: f64) -> J {
+    if v.is_finite() {
+        J::Num(format!("{v}"))
+    } else {
+        J::Null
+    }
+}
+
+fn sj(v: &str) -> J {
+    J::Str(v.to_string())
+}
+
+fn pretty(j: &J, indent: usize, out: &mut String) {
+    match j {
+        J::Null => out.push_str("null"),
+        J::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        J::Num(raw) => out.push_str(raw),
+        J::Str(s) => {
+            out.push('"');
+            out.push_str(&json::escape(s));
+            out.push('"');
+        }
+        J::Arr(items) if items.is_empty() => out.push_str("[]"),
+        J::Arr(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                for _ in 0..indent + 1 {
+                    out.push_str("  ");
+                }
+                pretty(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            out.push(']');
+        }
+        J::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+        J::Obj(fields) => {
+            out.push_str("{\n");
+            for (i, (key, value)) in fields.iter().enumerate() {
+                for _ in 0..indent + 1 {
+                    out.push_str("  ");
+                }
+                out.push('"');
+                out.push_str(key);
+                out.push_str("\": ");
+                pretty(value, indent + 1, out);
+                out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+            }
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn family_slug(f: DataFamily) -> &'static str {
+    match f {
+        DataFamily::MnistLike => "mnist",
+        DataFamily::KmnistLike => "kmnist",
+        DataFamily::FashionLike => "fashion",
+        DataFamily::Cifar10Like => "cifar10",
+        DataFamily::Cifar100Like => "cifar100",
+        DataFamily::SvhnLike => "svhn",
+    }
+}
+
+fn family_from_slug(s: &str) -> Result<DataFamily, String> {
+    Ok(match s {
+        "mnist" => DataFamily::MnistLike,
+        "kmnist" => DataFamily::KmnistLike,
+        "fashion" => DataFamily::FashionLike,
+        "cifar10" => DataFamily::Cifar10Like,
+        "cifar100" => DataFamily::Cifar100Like,
+        "svhn" => DataFamily::SvhnLike,
+        other => return Err(format!("unknown data family \"{other}\"")),
+    })
+}
+
+fn loss_slug(l: DistillLoss) -> &'static str {
+    match l {
+        DistillLoss::Kl => "kl",
+        DistillLoss::LogitL1 => "logit_l1",
+        DistillLoss::Sl => "sl",
+    }
+}
+
+fn loss_from_slug(s: &str) -> Result<DistillLoss, String> {
+    Ok(match s {
+        "kl" => DistillLoss::Kl,
+        "logit_l1" => DistillLoss::LogitL1,
+        "sl" => DistillLoss::Sl,
+        other => return Err(format!("unknown distill loss \"{other}\"")),
+    })
+}
+
+fn model_j(m: &ModelSpec) -> J {
+    J::Obj(match *m {
+        ModelSpec::SmallCnn { base_channels } => {
+            vec![("kind", sj("small_cnn")), ("base_channels", us(base_channels))]
+        }
+        ModelSpec::Mlp { hidden } => vec![("kind", sj("mlp")), ("hidden", us(hidden))],
+        ModelSpec::LeNet { scale, deep } => {
+            vec![("kind", sj("lenet")), ("scale", f32j(scale)), ("deep", J::Bool(deep))]
+        }
+        ModelSpec::MobileNetV2 { width } => {
+            vec![("kind", sj("mobilenet_v2")), ("width", f32j(width))]
+        }
+        ModelSpec::ShuffleNetV2 { size } => {
+            vec![("kind", sj("shufflenet_v2")), ("size", f32j(size))]
+        }
+    })
+}
+
+fn partition_j(p: &Partition) -> J {
+    J::Obj(match *p {
+        Partition::Iid => vec![("kind", sj("iid"))],
+        Partition::QuantitySkew { classes_per_device } => {
+            vec![("kind", sj("quantity_skew")), ("classes_per_device", us(classes_per_device))]
+        }
+        Partition::Dirichlet { beta } => {
+            vec![("kind", sj("dirichlet")), ("beta", f32j(beta))]
+        }
+    })
+}
+
+fn generator_j(g: &GeneratorSpec) -> J {
+    J::Obj(vec![("z_dim", us(g.z_dim)), ("ngf", us(g.ngf))])
+}
+
+fn fedzkt_cfg_j(c: &FedZktConfig) -> J {
+    J::Obj(vec![
+        ("local_epochs", us(c.local_epochs)),
+        ("distill_iters", us(c.distill_iters)),
+        ("transfer_iters", us(c.transfer_iters)),
+        ("device_batch", us(c.device_batch)),
+        ("distill_batch", us(c.distill_batch)),
+        ("device_lr", f32j(c.device_lr)),
+        ("device_momentum", f32j(c.device_momentum)),
+        ("server_lr", f32j(c.server_lr)),
+        ("transfer_lr", f32j(c.transfer_lr)),
+        ("generator_lr", f32j(c.generator_lr)),
+        ("loss", sj(loss_slug(c.loss))),
+        // `null` spells an infinitely fast (free) server — +∞ only. The
+        // other non-finite values are invalid (validate() rejects them);
+        // they serialize as -1 so they read back as a *rejected* config
+        // rather than borrowing the free-server spelling.
+        (
+            "server_samples_per_sec",
+            if c.server_samples_per_sec == f32::INFINITY {
+                J::Null
+            } else if c.server_samples_per_sec.is_finite() {
+                f32j(c.server_samples_per_sec)
+            } else {
+                J::Num("-1".into())
+            },
+        ),
+        ("prox_mu", f32j(c.prox_mu)),
+        ("generator", generator_j(&c.generator)),
+        ("global_model", model_j(&c.global_model)),
+        ("probe_grad_norms", J::Bool(c.probe_grad_norms)),
+        ("fresh_generator_for_transfer", J::Bool(c.fresh_generator_for_transfer)),
+    ])
+}
+
+fn fedavg_cfg_j(c: &FedAvgConfig) -> J {
+    J::Obj(vec![
+        ("local_epochs", us(c.local_epochs)),
+        ("batch_size", us(c.batch_size)),
+        ("lr", f32j(c.lr)),
+        ("momentum", f32j(c.momentum)),
+        ("prox_mu", f32j(c.prox_mu)),
+    ])
+}
+
+fn fedmd_cfg_j(c: &FedMdConfig) -> J {
+    J::Obj(vec![
+        ("public_warmup_epochs", us(c.public_warmup_epochs)),
+        ("private_warmup_epochs", us(c.private_warmup_epochs)),
+        ("alignment_size", us(c.alignment_size)),
+        ("digest_epochs", us(c.digest_epochs)),
+        ("revisit_epochs", us(c.revisit_epochs)),
+        ("batch_size", us(c.batch_size)),
+        ("lr", f32j(c.lr)),
+    ])
+}
+
+fn device_resources_j(r: &DeviceResources) -> J {
+    J::Obj(vec![
+        ("compute_samples_per_sec", f32j(r.compute_samples_per_sec)),
+        ("uplink_bytes_per_sec", f32j(r.uplink_bytes_per_sec)),
+        ("downlink_bytes_per_sec", f32j(r.downlink_bytes_per_sec)),
+    ])
+}
+
+fn resources_j(r: &ResourceSpec) -> J {
+    let assignment = J::Obj(match &r.assignment {
+        ResourceAssignment::Smartphone => vec![("kind", sj("smartphone"))],
+        ResourceAssignment::Microcontroller => vec![("kind", sj("microcontroller"))],
+        ResourceAssignment::Heterogeneous { seed } => {
+            vec![("kind", sj("heterogeneous")), ("seed", u64j(*seed))]
+        }
+        ResourceAssignment::Explicit(list) => vec![
+            ("kind", sj("explicit")),
+            ("devices", J::Arr(list.iter().map(device_resources_j).collect())),
+        ],
+    });
+    J::Obj(vec![("assignment", assignment), ("server_seconds", f64j(r.server_seconds))])
+}
+
+fn algo_j(a: &Algo) -> J {
+    J::Obj(match a {
+        Algo::FedZkt(cfg) => vec![("kind", sj("fedzkt")), ("config", fedzkt_cfg_j(cfg))],
+        Algo::FedAvg(cfg) => vec![("kind", sj("fedavg")), ("config", fedavg_cfg_j(cfg))],
+        Algo::FedProx(cfg) => vec![("kind", sj("fedprox")), ("config", fedavg_cfg_j(cfg))],
+        Algo::FedMd { public, cfg } => vec![
+            ("kind", sj("fedmd")),
+            ("public", sj(family_slug(*public))),
+            ("config", fedmd_cfg_j(cfg)),
+        ],
+    })
+}
+
+fn sim_j(s: &SimConfig) -> J {
+    J::Obj(vec![
+        ("rounds", us(s.rounds)),
+        ("participation", f32j(s.participation)),
+        ("eval_batch", us(s.eval_batch)),
+        ("eval_every", us(s.eval_every)),
+        ("seed", u64j(s.seed)),
+        ("threads", us(s.threads)),
+    ])
+}
+
+// ---- reader helpers ------------------------------------------------------
+
+fn req<'a, 'b>(v: &'a Value<'b>, key: &str) -> Result<&'a Value<'b>, String> {
+    v.get(key).ok_or_else(|| format!("missing field \"{key}\""))
+}
+
+fn usize_f(v: &Value, key: &str) -> Result<usize, String> {
+    req(v, key)?
+        .as_number()
+        .and_then(|raw| raw.parse().ok())
+        .ok_or_else(|| format!("field \"{key}\" is not a non-negative integer"))
+}
+
+fn u64_f(v: &Value, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_number()
+        .and_then(|raw| raw.parse().ok())
+        .ok_or_else(|| format!("field \"{key}\" is not a 64-bit unsigned integer"))
+}
+
+/// `null` (the writer's spelling of a non-finite value — like
+/// `RunLog::to_json`) reads back as NaN; [`Scenario::validate`] rejects it
+/// everywhere NaN is not meaningful.
+fn f32_f(v: &Value, key: &str) -> Result<f32, String> {
+    match req(v, key)? {
+        Value::Null => Ok(f32::NAN),
+        other => other
+            .as_number()
+            .and_then(|raw| raw.parse().ok())
+            .ok_or_else(|| format!("field \"{key}\" is not a number")),
+    }
+}
+
+/// Same `null` → NaN convention as [`f32_f`], for the schema's f64 fields.
+fn f64_f(v: &Value, key: &str) -> Result<f64, String> {
+    match req(v, key)? {
+        Value::Null => Ok(f64::NAN),
+        other => other
+            .as_number()
+            .and_then(|raw| raw.parse().ok())
+            .ok_or_else(|| format!("field \"{key}\" is not a number")),
+    }
+}
+
+fn bool_f(v: &Value, key: &str) -> Result<bool, String> {
+    req(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field \"{key}\" is not a boolean"))
+}
+
+fn str_f<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    req(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field \"{key}\" is not a string"))
+}
+
+fn model_from(v: &Value) -> Result<ModelSpec, String> {
+    Ok(match str_f(v, "kind")? {
+        "small_cnn" => ModelSpec::SmallCnn { base_channels: usize_f(v, "base_channels")? },
+        "mlp" => ModelSpec::Mlp { hidden: usize_f(v, "hidden")? },
+        "lenet" => ModelSpec::LeNet { scale: f32_f(v, "scale")?, deep: bool_f(v, "deep")? },
+        "mobilenet_v2" => ModelSpec::MobileNetV2 { width: f32_f(v, "width")? },
+        "shufflenet_v2" => ModelSpec::ShuffleNetV2 { size: f32_f(v, "size")? },
+        other => return Err(format!("unknown model kind \"{other}\"")),
+    })
+}
+
+fn partition_from(v: &Value) -> Result<Partition, String> {
+    Ok(match str_f(v, "kind")? {
+        "iid" => Partition::Iid,
+        "quantity_skew" => Partition::QuantitySkew {
+            classes_per_device: usize_f(v, "classes_per_device")?,
+        },
+        "dirichlet" => Partition::Dirichlet { beta: f32_f(v, "beta")? },
+        other => return Err(format!("unknown partition kind \"{other}\"")),
+    })
+}
+
+fn fedzkt_cfg_from(v: &Value) -> Result<FedZktConfig, String> {
+    let generator = req(v, "generator")?;
+    let server_sps = match req(v, "server_samples_per_sec")? {
+        Value::Null => f32::INFINITY, // the "free server" spelling
+        _ => f32_f(v, "server_samples_per_sec")?,
+    };
+    Ok(FedZktConfig {
+        local_epochs: usize_f(v, "local_epochs")?,
+        distill_iters: usize_f(v, "distill_iters")?,
+        transfer_iters: usize_f(v, "transfer_iters")?,
+        device_batch: usize_f(v, "device_batch")?,
+        distill_batch: usize_f(v, "distill_batch")?,
+        device_lr: f32_f(v, "device_lr")?,
+        device_momentum: f32_f(v, "device_momentum")?,
+        server_lr: f32_f(v, "server_lr")?,
+        transfer_lr: f32_f(v, "transfer_lr")?,
+        generator_lr: f32_f(v, "generator_lr")?,
+        loss: loss_from_slug(str_f(v, "loss")?)?,
+        server_samples_per_sec: server_sps,
+        prox_mu: f32_f(v, "prox_mu")?,
+        generator: GeneratorSpec {
+            z_dim: usize_f(generator, "z_dim")?,
+            ngf: usize_f(generator, "ngf")?,
+        },
+        global_model: model_from(req(v, "global_model")?)?,
+        probe_grad_norms: bool_f(v, "probe_grad_norms")?,
+        fresh_generator_for_transfer: bool_f(v, "fresh_generator_for_transfer")?,
+    })
+}
+
+fn fedavg_cfg_from(v: &Value) -> Result<FedAvgConfig, String> {
+    Ok(FedAvgConfig {
+        local_epochs: usize_f(v, "local_epochs")?,
+        batch_size: usize_f(v, "batch_size")?,
+        lr: f32_f(v, "lr")?,
+        momentum: f32_f(v, "momentum")?,
+        prox_mu: f32_f(v, "prox_mu")?,
+    })
+}
+
+fn fedmd_cfg_from(v: &Value) -> Result<FedMdConfig, String> {
+    Ok(FedMdConfig {
+        public_warmup_epochs: usize_f(v, "public_warmup_epochs")?,
+        private_warmup_epochs: usize_f(v, "private_warmup_epochs")?,
+        alignment_size: usize_f(v, "alignment_size")?,
+        digest_epochs: usize_f(v, "digest_epochs")?,
+        revisit_epochs: usize_f(v, "revisit_epochs")?,
+        batch_size: usize_f(v, "batch_size")?,
+        lr: f32_f(v, "lr")?,
+    })
+}
+
+fn device_resources_from(v: &Value) -> Result<DeviceResources, String> {
+    Ok(DeviceResources {
+        compute_samples_per_sec: f32_f(v, "compute_samples_per_sec")?,
+        uplink_bytes_per_sec: f32_f(v, "uplink_bytes_per_sec")?,
+        downlink_bytes_per_sec: f32_f(v, "downlink_bytes_per_sec")?,
+    })
+}
+
+fn resources_from(v: &Value) -> Result<ResourceSpec, String> {
+    let assignment = req(v, "assignment")?;
+    let assignment = match str_f(assignment, "kind")? {
+        "smartphone" => ResourceAssignment::Smartphone,
+        "microcontroller" => ResourceAssignment::Microcontroller,
+        "heterogeneous" => ResourceAssignment::Heterogeneous { seed: u64_f(assignment, "seed")? },
+        "explicit" => ResourceAssignment::Explicit(
+            req(assignment, "devices")?
+                .as_array()
+                .ok_or_else(|| "\"devices\" is not an array".to_string())?
+                .iter()
+                .map(device_resources_from)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        other => return Err(format!("unknown resource assignment \"{other}\"")),
+    };
+    Ok(ResourceSpec { assignment, server_seconds: f64_f(v, "server_seconds")? })
+}
+
+fn algo_from(v: &Value) -> Result<Algo, String> {
+    let config = req(v, "config")?;
+    Ok(match str_f(v, "kind")? {
+        "fedzkt" => Algo::FedZkt(fedzkt_cfg_from(config)?),
+        "fedavg" => Algo::FedAvg(fedavg_cfg_from(config)?),
+        "fedprox" => Algo::FedProx(fedavg_cfg_from(config)?),
+        "fedmd" => Algo::FedMd {
+            public: family_from_slug(str_f(v, "public")?)?,
+            cfg: fedmd_cfg_from(config)?,
+        },
+        other => return Err(format!("unknown algorithm kind \"{other}\"")),
+    })
+}
+
+fn scenario_from(v: &Value) -> Result<Scenario, String> {
+    let data = req(v, "data")?;
+    let sim = req(v, "sim")?;
+    let zoo = req(v, "zoo")?
+        .as_array()
+        .ok_or_else(|| "\"zoo\" is not an array".to_string())?
+        .iter()
+        .map(|entry| {
+            Ok::<_, String>((model_from(req(entry, "model")?)?, usize_f(entry, "count")?))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let resources = match req(v, "resources")? {
+        Value::Null => None,
+        other => Some(resources_from(other)?),
+    };
+    Ok(Scenario {
+        name: str_f(v, "name")?.to_string(),
+        data: DataSpec {
+            family: family_from_slug(str_f(data, "family")?)?,
+            img: usize_f(data, "img")?,
+            train_n: usize_f(data, "train_n")?,
+            test_n: usize_f(data, "test_n")?,
+            classes: usize_f(data, "classes")?,
+            noise_std: f32_f(data, "noise_std")?,
+        },
+        partition: partition_from(req(v, "partition")?)?,
+        zoo,
+        resources,
+        algorithm: algo_from(req(v, "algorithm")?)?,
+        sim: SimConfig {
+            rounds: usize_f(sim, "rounds")?,
+            participation: f32_f(sim, "participation")?,
+            eval_batch: usize_f(sim, "eval_batch")?,
+            eval_every: usize_f(sim, "eval_every")?,
+            seed: u64_f(sim, "seed")?,
+            threads: usize_f(sim, "threads")?,
+        },
+    })
+}
+
+impl Scenario {
+    /// Render the scenario in the canonical pretty JSON form (2-space
+    /// indent, struct field order, shortest round-trip float formatting,
+    /// trailing newline). [`Scenario::from_json`] recovers the value
+    /// exactly, and re-serializing a parsed canonical document reproduces
+    /// it byte for byte — the property the checked-in `scenarios/*.json`
+    /// golden files are tested under.
+    pub fn to_json(&self) -> String {
+        let tree = J::Obj(vec![
+            ("name", sj(&self.name)),
+            (
+                "data",
+                J::Obj(vec![
+                    ("family", sj(family_slug(self.data.family))),
+                    ("img", us(self.data.img)),
+                    ("train_n", us(self.data.train_n)),
+                    ("test_n", us(self.data.test_n)),
+                    ("classes", us(self.data.classes)),
+                    ("noise_std", f32j(self.data.noise_std)),
+                ]),
+            ),
+            ("partition", partition_j(&self.partition)),
+            (
+                "zoo",
+                J::Arr(
+                    self.zoo
+                        .iter()
+                        .map(|(model, count)| {
+                            J::Obj(vec![("model", model_j(model)), ("count", us(*count))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("resources", self.resources.as_ref().map_or(J::Null, resources_j)),
+            ("algorithm", algo_j(&self.algorithm)),
+            ("sim", sim_j(&self.sim)),
+        ]);
+        let mut out = String::new();
+        pretty(&tree, 0, &mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Parse a scenario from its JSON form.
+    ///
+    /// # Errors
+    /// Returns [`ScenarioError::Parse`] when the input is not a scenario in
+    /// the supported schema. The result is *not* validated — call
+    /// [`Scenario::validate`] (or just run it) for semantic checks.
+    pub fn from_json(input: &str) -> Result<Scenario, ScenarioError> {
+        let value = json::parse(input).map_err(ScenarioError::Parse)?;
+        scenario_from(&value).map_err(ScenarioError::Parse)
+    }
+
+    /// Read and parse a scenario file.
+    ///
+    /// # Errors
+    /// [`ScenarioError::Io`] when the file cannot be read,
+    /// [`ScenarioError::Parse`] when its contents are not a scenario.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Scenario, ScenarioError> {
+        let path = path.as_ref();
+        let contents = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+        Scenario::from_json(&contents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn every_preset_roundtrips_exactly() {
+        for preset in presets() {
+            let scenario = preset.scenario();
+            let json = scenario.to_json();
+            let back = Scenario::from_json(&json)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{json}", preset.name));
+            assert_eq!(scenario, back, "{}", preset.name);
+            assert_eq!(json, back.to_json(), "{}: reserialization drifted", preset.name);
+        }
+    }
+
+    #[test]
+    fn non_canonical_whitespace_parses_to_the_same_value() {
+        let scenario = presets()[0].scenario();
+        let compact: String = scenario
+            .to_json()
+            .chars()
+            .filter(|c| !c.is_ascii_whitespace() || *c == ' ')
+            .collect();
+        let back = Scenario::from_json(&compact).expect("compact form parses");
+        assert_eq!(scenario, back);
+    }
+
+    #[test]
+    fn infinite_server_throughput_roundtrips_via_null() {
+        let mut scenario = presets()[0].scenario();
+        scenario
+            .fedzkt_cfg_mut()
+            .expect("preset 0 runs fedzkt")
+            .server_samples_per_sec = f32::INFINITY;
+        let json = scenario.to_json();
+        assert!(json.contains("\"server_samples_per_sec\": null"), "{json}");
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(scenario, back);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_scenarios() {
+        assert!(Scenario::from_json("").is_err());
+        assert!(Scenario::from_json("{}").is_err());
+        assert!(Scenario::from_json("{\"name\": 3}").is_err());
+        let valid = presets()[0].scenario().to_json();
+        let broken = valid.replace("\"kind\": \"iid\"", "\"kind\": \"zipf\"");
+        assert!(matches!(Scenario::from_json(&broken), Err(ScenarioError::Parse(_))));
+    }
+}

@@ -1,0 +1,72 @@
+//! Golden-file tests for the checked-in `scenarios/*.json` presets.
+//!
+//! Each file must (a) parse, (b) re-serialize to the exact bytes on disk
+//! (the canonical form is the golden form), (c) match the registry preset
+//! of the same name, and (d) validate. Together these fail the build on
+//! any schema or registry drift; regenerate a file with
+//! `scenarios describe <name> --json > scenarios/<name>.json` after an
+//! intentional change.
+
+use fedzkt_scenario::{preset, presets, Scenario};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn golden_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory exists at the workspace root")
+        .filter_map(|entry| {
+            let path = entry.expect("readable directory entry").path();
+            (path.extension().is_some_and(|e| e == "json")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn golden_files_roundtrip_bit_identically() {
+    let files = golden_files();
+    assert!(!files.is_empty(), "no checked-in scenario files found");
+    for path in files {
+        let on_disk = std::fs::read_to_string(&path).expect("readable scenario file");
+        let parsed = Scenario::from_json(&on_disk)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            parsed.to_json(),
+            on_disk,
+            "{}: re-serialization is not bit-identical; regenerate with \
+             `scenarios describe {} --json`",
+            path.display(),
+            parsed.name,
+        );
+        parsed.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn golden_files_match_the_registry() {
+    // Every preset has a golden file and every golden file has a preset —
+    // the two sources of truth cannot drift apart silently.
+    let files = golden_files();
+    assert_eq!(
+        files.len(),
+        presets().len(),
+        "scenarios/ and the preset registry disagree on entry count"
+    );
+    for path in files {
+        let on_disk = std::fs::read_to_string(&path).expect("readable scenario file");
+        let parsed = Scenario::from_json(&on_disk).expect("golden file parses");
+        let registered = preset(&parsed.name).unwrap_or_else(|| {
+            panic!("{}: no preset named \"{}\" in the registry", path.display(), parsed.name)
+        });
+        assert_eq!(registered, parsed, "{}", path.display());
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(parsed.name.as_str()),
+            "file name and scenario name must agree"
+        );
+    }
+}

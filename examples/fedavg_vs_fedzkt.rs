@@ -1,70 +1,43 @@
 //! Classical FL vs FedZKT on the same federation.
 //!
 //! FedAvg requires every device to run the same architecture; FedZKT frees
-//! each device to pick its own. This example runs both on identical data
-//! shards — FedAvg with the *smallest* architecture every device could
-//! afford (the MCU's LeNet, since classical FL is constrained by the
-//! weakest participant), FedZKT with the full heterogeneous zoo — and
-//! compares accuracy and per-device communication. Both algorithms run
-//! under the **same** `Simulation` driver with the same `SimConfig`.
+//! each device to pick its own. This example builds both legs as
+//! *scenarios* sharing one dataset, partition and protocol config — FedAvg
+//! with the *smallest* architecture every device could afford (the MCU's
+//! LeNet, since classical FL is constrained by the weakest participant),
+//! FedZKT with the full heterogeneous zoo — and, because the runner is
+//! algorithm-erased, drives both simulations out of one `Vec`.
 //!
 //! ```sh
 //! cargo run --release --example fedavg_vs_fedzkt
 //! ```
 
-use fedzkt::core::{FedZkt, FedZktConfig};
-use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::{FedAvg, FedAvgConfig, SimConfig, Simulation};
-use fedzkt::models::{GeneratorSpec, ModelSpec};
+use fedzkt::data::{DataFamily, Partition};
+use fedzkt::scenario::{preset, Scenario, Tier};
 
 fn main() {
-    let devices = 5;
-    let rounds = 6;
-    let (train, test) = SynthConfig {
-        family: DataFamily::MnistLike,
-        img: 12,
-        train_n: 600,
-        test_n: 300,
-        seed: 13,
-        ..Default::default()
-    }
-    .generate();
-    let shards = Partition::Iid
-        .split(train.labels(), train.num_classes(), devices, 13)
-        .expect("partition");
-    let sim_cfg = SimConfig { rounds, seed: 13, ..Default::default() };
-
     // Classical FL: everyone must run the lowest-common-denominator model.
-    let lcd = ModelSpec::LeNet { scale: 0.5, deep: false };
-    let fedavg = FedAvg::new(
-        lcd,
-        &train,
-        &shards,
-        FedAvgConfig { local_epochs: 2, batch_size: 32, lr: 0.05, ..Default::default() },
-        &sim_cfg,
+    let fedavg = preset("fedavg-lcd").expect("registry preset");
+    // FedZKT: same data/partition/seed, but each device runs the
+    // architecture its hardware affords.
+    let mut fedzkt = Scenario::standard(
+        DataFamily::MnistLike,
+        Partition::Iid,
+        Tier::Quick,
+        fedavg.sim.seed,
     );
-    let mut avg_sim = Simulation::builder(fedavg, test.clone(), sim_cfg).build();
-    let avg_log = avg_sim.run().clone();
+    fedzkt.sim.rounds = fedavg.sim.rounds;
+    let lcd = fedavg.zoo[0].0;
+    let rounds = fedavg.sim.rounds;
 
-    // FedZKT: each device runs the architecture its hardware affords.
-    let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), devices);
-    let fedzkt = FedZkt::new(
-        &zoo,
-        &train,
-        &shards,
-        FedZktConfig {
-            local_epochs: 2,
-            distill_iters: 16,
-            transfer_iters: 16,
-            device_lr: 0.05,
-            generator: GeneratorSpec { z_dim: 32, ngf: 8 },
-            global_model: ModelSpec::SmallCnn { base_channels: 8 },
-            ..Default::default()
-        },
-        &sim_cfg,
-    );
-    let mut zkt_sim = Simulation::builder(fedzkt, test, sim_cfg).build();
-    let zkt_log = zkt_sim.run().clone();
+    // One erased collection, two algorithms — run them uniformly.
+    let scenarios = [fedavg, fedzkt];
+    let mut logs = Vec::new();
+    for scenario in &scenarios {
+        let mut sim = scenario.build().expect("buildable scenario");
+        logs.push(sim.run().clone());
+    }
+    let (avg_log, zkt_log) = (&logs[0], &logs[1]);
 
     println!("round  FedAvg(LCD {})   FedZKT(heterogeneous zoo)", lcd.name());
     for r in 0..rounds {

@@ -4,40 +4,28 @@
 //! resources showing why element-wise averaging (FedAvg) cannot even be
 //! attempted and where the wall-clock time goes.
 //!
-//! The simulated clock is owned by the `Simulation` driver: attaching
-//! `DeviceResources` populates `sim_seconds` in every round's metrics, so
-//! the timing below is read straight from the `RunLog`.
+//! Everything — the zoo, the heterogeneous hardware population, the
+//! per-round server latency — is the `hetero-cifar` registry preset
+//! (`scenarios/hetero-cifar.json`); attaching resources is what populates
+//! `sim_seconds` in every round's metrics.
 //!
 //! ```sh
 //! cargo run --release --example heterogeneous_devices
 //! ```
 
-use fedzkt::core::{FedZkt, FedZktConfig};
-use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::{DeviceResources, SimConfig, Simulation};
-use fedzkt::models::{GeneratorSpec, ModelSpec};
 use fedzkt::nn::param_bytes;
+use fedzkt::scenario::preset;
 
 fn main() {
-    let devices = 10;
-    let (train, test) = SynthConfig {
-        family: DataFamily::Cifar10Like,
-        img: 12,
-        train_n: 500,
-        test_n: 250,
-        seed: 11,
-        ..Default::default()
-    }
-    .generate();
-    let shards = Partition::Iid.split(train.labels(), 10, devices, 11).expect("partition");
-    let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_cifar(), devices);
-
-    // Heterogeneous hardware: a mix of phone- and MCU-class devices.
-    let resources = DeviceResources::heterogeneous_population(devices, 11);
+    let scenario = preset("hetero-cifar").expect("registry preset");
+    let m = scenario.materialize().expect("materializable scenario");
+    let resources = m.resources.as_ref().expect("preset attaches resources");
 
     println!("device  architecture          params(B)  samples/s");
-    for (i, spec) in zoo.iter().enumerate() {
-        let bytes = param_bytes(spec.build(3, 10, 12, 0).as_ref());
+    let channels = scenario.data.family.channels();
+    let classes = scenario.data.effective_classes();
+    for (i, spec) in m.zoo.iter().enumerate() {
+        let bytes = param_bytes(spec.build(channels, classes, scenario.data.img, 0).as_ref());
         println!(
             "{:>6}  {:<20} {:>9}  {:>9.1}",
             i + 1,
@@ -48,38 +36,23 @@ fn main() {
     }
     println!("\nNote: five distinct architectures — element-wise FedAvg is impossible here.\n");
 
-    let sim_cfg = SimConfig { rounds: 6, seed: 11, ..Default::default() };
-    let cfg = FedZktConfig {
-        local_epochs: 2,
-        distill_iters: 16,
-        transfer_iters: 16,
-        device_lr: 0.05,
-        generator: GeneratorSpec { z_dim: 32, ngf: 8 },
-        global_model: ModelSpec::MobileNetV2 { width: 1.0 },
-        ..Default::default()
-    };
-    let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
-    let mut sim = Simulation::builder(fed, test, sim_cfg)
-        .resources(resources)
-        // Per-round orchestration latency; the distillation game's compute
-        // is charged separately via FedZktConfig::server_samples_per_sec.
-        .server_seconds(1.0)
-        .build();
     println!("round  avg-acc  per-device accuracies                                   sim-time");
-    sim.run_with(|m| {
-        let accs: Vec<String> =
-            m.device_accuracy.iter().map(|a| format!("{:>4.0}%", 100.0 * a)).collect();
-        println!(
-            "{:>5}  {:>6.1}%  [{}]  +{:.0}s",
-            m.round,
-            100.0 * m.avg_device_accuracy,
-            accs.join(" "),
-            m.sim_seconds
-        );
-    });
-    let total: f64 = sim.log().rounds.iter().map(|r| r.sim_seconds).sum();
-    println!("\ntotal simulated wall time: {:.0} s", total);
+    let log = scenario
+        .run_with(&mut |metrics| {
+            let accs: Vec<String> =
+                metrics.device_accuracy.iter().map(|a| format!("{:>4.0}%", 100.0 * a)).collect();
+            println!(
+                "{:>5}  {:>6.1}%  [{}]  +{:.0}s",
+                metrics.round,
+                100.0 * metrics.avg_device_accuracy,
+                accs.join(" "),
+                metrics.sim_seconds
+            );
+        })
+        .expect("runnable scenario");
+    let total: f64 = log.rounds.iter().map(|r| r.sim_seconds).sum();
+    println!("\ntotal simulated wall time: {total:.0} s");
     assert!(total > 0.0, "resources are attached, so simulated time must accrue");
-    sim.log().write_artifacts("target/examples", "heterogeneous_devices").expect("write artifacts");
+    log.write_artifacts("target/examples", "heterogeneous_devices").expect("write artifacts");
     println!("\nartifacts: target/examples/heterogeneous_devices.{{csv,json}}");
 }

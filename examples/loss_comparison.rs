@@ -2,50 +2,37 @@
 //! candidate disagreement losses during a FedZKT run and watch the
 //! KL gradient vanish while the logit-ℓ1 gradient stays large.
 //!
+//! The run is a standard scenario with one switch flipped
+//! (`probe_grad_norms`); the probe itself is FedZKT-specific state, reached
+//! by downcasting the erased runner back to `Simulation<FedZkt>`.
+//!
 //! ```sh
 //! cargo run --release --example loss_comparison
 //! ```
 
-use fedzkt::core::{FedZkt, FedZktConfig};
-use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::{SimConfig, Simulation};
-use fedzkt::models::{GeneratorSpec, ModelSpec};
+use fedzkt::core::FedZkt;
+use fedzkt::data::{DataFamily, Partition};
+use fedzkt::fl::Simulation;
+use fedzkt::scenario::{Scenario, Tier};
 
 fn main() {
-    let devices = 5;
-    let (train, test) = SynthConfig {
-        family: DataFamily::MnistLike,
-        img: 12,
-        train_n: 600,
-        test_n: 300,
-        seed: 9,
-        ..Default::default()
-    }
-    .generate();
-    let shards = Partition::Iid
-        .split(train.labels(), train.num_classes(), devices, 9)
-        .expect("partition");
-    let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), devices);
-    let sim_cfg = SimConfig { rounds: 8, seed: 9, ..Default::default() };
-    let cfg = FedZktConfig {
-        local_epochs: 2,
-        distill_iters: 16,
-        transfer_iters: 16,
-        device_lr: 0.05,
-        probe_grad_norms: true,
-        generator: GeneratorSpec { z_dim: 32, ngf: 8 },
-        global_model: ModelSpec::SmallCnn { base_channels: 8 },
-        ..Default::default()
-    };
-    let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
-    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+    let mut scenario = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Quick, 9);
+    scenario.sim.rounds = 8;
+    scenario.fedzkt_cfg_mut().expect("standard scenarios run fedzkt").probe_grad_norms = true;
+
+    let mut sim = scenario.build().expect("buildable scenario");
     sim.run();
+    // The erased runner keeps the typed simulation reachable underneath.
+    let typed = sim
+        .as_any()
+        .downcast_ref::<Simulation<FedZkt>>()
+        .expect("fedzkt scenario");
 
     println!("round  ||grad_x KL||  ||grad_x l1||  ||grad_x SL||");
-    for r in sim.algorithm().probe().records() {
+    for r in typed.algorithm().probe().records() {
         println!("{:>5}  {:>13.5}  {:>13.5}  {:>13.5}", r.round, r.kl, r.logit_l1, r.sl);
     }
-    let last = sim.algorithm().probe().records().last().expect("records");
+    let last = typed.algorithm().probe().records().last().expect("records");
     println!(
         "\nlate-round ordering (Hypotheses 1-2):  KL {:.5} <= SL {:.5} <= l1 {:.5} : {}",
         last.kl,
@@ -53,6 +40,6 @@ fn main() {
         last.logit_l1,
         if last.kl <= last.sl * 1.5 && last.sl <= last.logit_l1 * 1.5 { "holds" } else { "inspect" }
     );
-    sim.log().write_artifacts("target/examples", "loss_comparison").expect("write artifacts");
+    typed.log().write_artifacts("target/examples", "loss_comparison").expect("write artifacts");
     println!("\nartifacts: target/examples/loss_comparison.{{csv,json}}");
 }

@@ -2,62 +2,33 @@
 //! ℓ2 proximal regularizer of Eq. 9, showing (a) how skewed the shards are
 //! and (b) the regularizer's effect — the Table IV ablation in miniature.
 //!
+//! The base experiment is the `noniid-dirichlet` registry preset; the two
+//! legs differ in exactly one scenario field (`prox_mu`).
+//!
 //! ```sh
 //! cargo run --release --example noniid_dirichlet
 //! ```
 
-use fedzkt::core::{FedZkt, FedZktConfig};
-use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::{SimConfig, Simulation};
-use fedzkt::models::{GeneratorSpec, ModelSpec};
+use fedzkt::scenario::preset;
 
 fn main() {
-    let beta = 0.3f32;
-    let devices = 5;
-    let (train, test) = SynthConfig {
-        family: DataFamily::FashionLike,
-        img: 12,
-        train_n: 600,
-        test_n: 300,
-        seed: 3,
-        ..Default::default()
-    }
-    .generate();
-    let shards = Partition::Dirichlet { beta }
-        .split(train.labels(), train.num_classes(), devices, 3)
-        .expect("partition");
+    let base = preset("noniid-dirichlet").expect("registry preset");
 
-    println!("Dirichlet(beta={beta}) shards (rows: devices, cols: class counts):");
-    for (i, shard) in shards.iter().enumerate() {
-        let sub = train.subset(shard);
+    // Materialize once to inspect the skew the partition produced.
+    let m = base.materialize().expect("materializable scenario");
+    println!("{} shards (rows: devices, cols: class counts):", base.partition);
+    for (i, shard) in m.shards.iter().enumerate() {
+        let sub = m.train.subset(shard);
         println!("  device {i}: {:?}  ({} samples)", sub.class_counts(), sub.len());
     }
-
-    let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), devices);
-    let sim_cfg = SimConfig { rounds: 6, seed: 3, ..Default::default() };
-    let base = FedZktConfig {
-        local_epochs: 2,
-        distill_iters: 16,
-        transfer_iters: 16,
-        device_lr: 0.05,
-        generator: GeneratorSpec { z_dim: 32, ngf: 8 },
-        global_model: ModelSpec::SmallCnn { base_channels: 8 },
-        ..Default::default()
-    };
 
     for (tag, label, mu) in [
         ("mu0", "no regularization", 0.0f32),
         ("mu1", "l2 regularization (Eq. 9)", 1.0),
     ] {
-        let fed = FedZkt::new(
-            &zoo,
-            &train,
-            &shards,
-            FedZktConfig { prox_mu: mu, ..base },
-            &sim_cfg,
-        );
-        let mut sim = Simulation::builder(fed, test.clone(), sim_cfg).build();
-        let log = sim.run();
+        let mut leg = base.clone();
+        leg.fedzkt_cfg_mut().expect("preset runs fedzkt").prox_mu = mu;
+        let log = leg.run().expect("runnable scenario");
         println!(
             "\n{label}: final avg accuracy {:.1}%  (per round: {})",
             100.0 * log.final_accuracy(),

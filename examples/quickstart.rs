@@ -1,69 +1,54 @@
-//! Quickstart: the smallest complete FedZKT run.
+//! Quickstart: the smallest complete FedZKT run, driven entirely by a
+//! declarative scenario.
 //!
 //! Five devices with five *different* architectures learn a shared task
 //! from an MNIST-like synthetic dataset, with zero-shot knowledge transfer
-//! at the server — no public data, no pre-trained generator. The round
-//! loop is owned by the generic `Simulation` driver; FedZKT only supplies
-//! its device/server phases.
+//! at the server — no public data, no pre-trained generator. The whole
+//! experiment is the `quickstart` entry of the scenario registry (also
+//! checked in as `scenarios/quickstart.json`); this example just runs it
+//! and narrates.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use fedzkt::core::{FedZkt, FedZktConfig};
-use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::{SimConfig, Simulation};
-use fedzkt::models::{GeneratorSpec, ModelSpec};
 use fedzkt::nn::param_count;
+use fedzkt::scenario::preset;
 
 fn main() {
-    // 1. A synthetic MNIST-like dataset (the offline stand-in; see
-    //    DESIGN.md for the substitution rationale).
-    let (train, test) = SynthConfig {
-        family: DataFamily::MnistLike,
-        img: 12,
-        train_n: 600,
-        test_n: 300,
-        seed: 7,
-        ..Default::default()
-    }
-    .generate();
+    // The experiment is data: dataset, partition, zoo, algorithm, protocol.
+    let scenario = preset("quickstart").expect("registry preset");
+    println!(
+        "scenario \"{}\": {} on {} ({} devices, {} rounds)\n",
+        scenario.name,
+        scenario.algorithm.name(),
+        scenario.data.family.name(),
+        scenario.devices(),
+        scenario.sim.rounds
+    );
 
-    // 2. IID partition across five devices.
-    let shards = Partition::Iid
-        .split(train.labels(), train.num_classes(), 5, 7)
-        .expect("partition");
-
-    // 3. Every device picks its own architecture — the core premise.
-    let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), 5);
-    for (i, spec) in zoo.iter().enumerate() {
-        let params = param_count(spec.build(1, 10, 12, 0).as_ref());
+    // Every device picks its own architecture — the core premise.
+    let channels = scenario.data.family.channels();
+    let classes = scenario.data.effective_classes();
+    for (i, spec) in scenario.device_specs().iter().enumerate() {
+        let params = param_count(spec.build(channels, classes, scenario.data.img, 0).as_ref());
         println!("device {i}: {:<18} ({params} parameters)", spec.name());
     }
 
-    // 4. Run FedZKT under the generic driver.
-    let sim_cfg = SimConfig { rounds: 8, seed: 7, ..Default::default() };
-    let cfg = FedZktConfig {
-        local_epochs: 2,
-        distill_iters: 16,
-        transfer_iters: 16,
-        device_lr: 0.05,
-        generator: GeneratorSpec { z_dim: 32, ngf: 8 },
-        global_model: ModelSpec::SmallCnn { base_channels: 8 },
-        ..Default::default()
-    };
-    let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
-    let mut sim = Simulation::builder(fed, test, sim_cfg).build();
+    // Run it through the erased runner, observing every round.
     println!("\nround  avg-device-acc  global-acc  upload-KiB");
-    sim.run_with(|m| {
-        println!(
-            "{:>5}  {:>14.1}%  {:>9.1}%  {:>10.1}",
-            m.round,
-            100.0 * m.avg_device_accuracy,
-            100.0 * m.global_accuracy.unwrap_or(0.0),
-            m.upload_bytes as f64 / 1024.0
-        );
-    });
-    sim.log().write_artifacts("target/examples", "quickstart").expect("write artifacts");
+    let log = scenario
+        .run_with(&mut |m| {
+            println!(
+                "{:>5}  {:>14.1}%  {:>9.1}%  {:>10.1}",
+                m.round,
+                100.0 * m.avg_device_accuracy,
+                100.0 * m.global_accuracy.unwrap_or(0.0),
+                m.upload_bytes as f64 / 1024.0
+            );
+        })
+        .expect("runnable scenario");
+    log.write_artifacts("target/examples", "quickstart").expect("write artifacts");
     println!("\nartifacts: target/examples/quickstart.{{csv,json}}");
+    println!("same run from the CLI: cargo run -p fedzkt_scenario --bin scenarios -- run quickstart");
 }

@@ -1,57 +1,29 @@
 //! Straggler robustness (§IV-C3): run FedZKT with different participation
 //! portions p and compare the learning curves — Figure 6 in miniature.
 //!
-//! The participation sampler lives in the `Simulation` driver, so the only
-//! thing that changes between runs is `SimConfig::participation`. Device
-//! resources are attached too: the per-round `sim_seconds` in the `RunLog`
-//! shows that smaller active sets also shorten the simulated round time
-//! (fewer chances to include the slowest device).
+//! The `straggler` registry preset fixes everything but the participation
+//! portion; the three legs of this comparison differ in exactly one
+//! `SimConfig` field. Device resources are attached too: the per-round
+//! `sim_seconds` in the `RunLog` shows that smaller active sets also
+//! shorten the simulated round time (fewer chances to include the slowest
+//! device).
 //!
 //! ```sh
 //! cargo run --release --example straggler_effect
 //! ```
 
-use fedzkt::core::{FedZkt, FedZktConfig};
-use fedzkt::data::{DataFamily, Partition, SynthConfig};
-use fedzkt::fl::{DeviceResources, SimConfig, Simulation};
-use fedzkt::models::{GeneratorSpec, ModelSpec};
+use fedzkt::scenario::preset;
 
 fn main() {
-    let devices = 5;
-    let (train, test) = SynthConfig {
-        family: DataFamily::MnistLike,
-        img: 12,
-        train_n: 600,
-        test_n: 300,
-        seed: 5,
-        ..Default::default()
-    }
-    .generate();
-    let shards = Partition::Iid
-        .split(train.labels(), train.num_classes(), devices, 5)
-        .expect("partition");
-    let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), devices);
-    let cfg = FedZktConfig {
-        local_epochs: 2,
-        distill_iters: 16,
-        transfer_iters: 16,
-        device_lr: 0.05,
-        generator: GeneratorSpec { z_dim: 32, ngf: 8 },
-        global_model: ModelSpec::SmallCnn { base_channels: 8 },
-        ..Default::default()
-    };
+    let base = preset("straggler").expect("registry preset");
 
     let portions = [0.2f32, 0.6, 1.0];
     let mut curves = Vec::new();
     let mut sim_times = Vec::new();
     for &p in &portions {
-        let sim_cfg = SimConfig { rounds: 6, participation: p, seed: 5, ..Default::default() };
-        let fed = FedZkt::new(&zoo, &train, &shards, cfg, &sim_cfg);
-        let mut sim = Simulation::builder(fed, test.clone(), sim_cfg)
-            .resources(DeviceResources::heterogeneous_population(devices, 5))
-            .server_seconds(1.0)
-            .build();
-        let log = sim.run().clone();
+        let mut leg = base.clone();
+        leg.sim.participation = p;
+        let log = leg.run().expect("runnable scenario");
         println!(
             "p = {p}: active per round = {:?}",
             log.rounds.iter().map(|r| r.active_devices.len()).collect::<Vec<_>>()

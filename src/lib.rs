@@ -15,24 +15,21 @@
 //! * [`data`] — synthetic dataset families and non-IID partitioners;
 //! * [`fl`] — the generic `Simulation` driver + `FederatedAlgorithm`
 //!   trait, simulation substrate, FedAvg/FedProx;
-//! * [`core`] — FedZKT itself (Algorithms 1–3), FedMD, bounds, probes.
+//! * [`core`] — FedZKT itself (Algorithms 1–3), FedMD, bounds, probes;
+//! * [`scenario`] — the declarative experiment layer: one serializable
+//!   `Scenario` per experiment, a named preset registry, and the erased
+//!   runner behind the `scenarios` CLI.
 //!
-//! See `examples/` for runnable entry points and `crates/bench/src/bin/`
-//! for the per-table/figure experiment harness.
+//! See `examples/` for runnable entry points, `scenarios/*.json` for the
+//! checked-in experiment descriptions, and `crates/bench/src/bin/` for the
+//! per-table/figure experiment harness.
 //!
 //! ```no_run
-//! use fedzkt::core::{FedZkt, FedZktConfig};
-//! use fedzkt::data::{DataFamily, Partition, SynthConfig};
-//! use fedzkt::fl::{SimConfig, Simulation};
-//! use fedzkt::models::ModelSpec;
+//! use fedzkt::scenario::preset;
 //!
-//! let (train, test) = SynthConfig { family: DataFamily::MnistLike, ..Default::default() }.generate();
-//! let shards = Partition::Iid.split(train.labels(), train.num_classes(), 5, 1).unwrap();
-//! let zoo = ModelSpec::assign_round_robin(&ModelSpec::paper_zoo_small(), 5);
-//! let sim_cfg = SimConfig::default();
-//! let fed = FedZkt::new(&zoo, &train, &shards, FedZktConfig::default(), &sim_cfg);
-//! let mut sim = Simulation::builder(fed, test, sim_cfg).build();
-//! println!("final accuracy: {:.3}", sim.run().final_accuracy());
+//! let scenario = preset("quickstart").unwrap();
+//! let log = scenario.run().unwrap();
+//! println!("final accuracy: {:.3}", log.final_accuracy());
 //! ```
 
 #![warn(missing_docs)]
@@ -43,4 +40,5 @@ pub use fedzkt_data as data;
 pub use fedzkt_fl as fl;
 pub use fedzkt_models as models;
 pub use fedzkt_nn as nn;
+pub use fedzkt_scenario as scenario;
 pub use fedzkt_tensor as tensor;

@@ -175,6 +175,26 @@ fn fedmd_runlog_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn scenario_file_runs_bit_identically_across_thread_counts() {
+    let _guard = serial_guard();
+    // The declarative path end to end: a checked-in scenario *file* parsed
+    // and executed through the erased runner must carry the same guarantee
+    // as the hand-wired runs above — the description layer cannot introduce
+    // nondeterminism.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/tiny.json");
+    let mut scenario = fedzkt::scenario::Scenario::load(path).expect("checked-in tiny scenario");
+    scenario.sim.threads = 1;
+    let one = scenario.run().expect("runnable scenario");
+    scenario.sim.threads = 4;
+    let four = scenario.run().expect("runnable scenario");
+    assert_eq!(one, four, "scenario threads=1 vs threads=4 diverged");
+    assert_bit_identical(&one, &four);
+    // And the artifact layer too: serialized logs agree byte for byte.
+    assert_eq!(one.to_json(), four.to_json());
+    assert_eq!(one.rounds.len(), scenario.sim.rounds);
+}
+
+#[test]
 fn tensor_kernels_bit_identical_across_thread_counts() {
     let _guard = serial_guard();
     // Above the GEMM parallel threshold (128^3 = 2 MMACs) so the row
