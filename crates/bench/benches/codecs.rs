@@ -1,0 +1,53 @@
+//! Microbenchmarks of the wire-format payload codecs: encode/decode
+//! throughput over a realistic on-device model state dict. Encoding sits
+//! on the round's critical path for every device, so a codec that saves
+//! 4× the bytes must not cost more than the transfer it avoids.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedzkt_fl::{CodecSpec, PayloadCodec};
+use fedzkt_models::ModelSpec;
+use fedzkt_nn::state_dict;
+use std::hint::black_box;
+
+/// The paper zoo's largest small-dataset member, at quickstart geometry.
+fn payload() -> fedzkt_nn::StateDict {
+    let model = ModelSpec::LeNet { scale: 1.0, deep: true }.build(1, 10, 12, 7);
+    state_dict(model.as_ref())
+}
+
+fn codecs() -> [CodecSpec; 4] {
+    [
+        CodecSpec::Raw,
+        CodecSpec::QuantQ8,
+        CodecSpec::QuantQ4,
+        CodecSpec::TopK { density: 0.1 },
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let sd = payload();
+    let mut group = c.benchmark_group("codec_encode");
+    group.sample_size(20);
+    for codec in codecs() {
+        group.bench_function(codec.name(), |bench| {
+            bench.iter(|| black_box(codec.encode(&sd)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let sd = payload();
+    let mut group = c.benchmark_group("codec_decode");
+    group.sample_size(20);
+    for codec in codecs() {
+        let bytes = codec.encode(&sd);
+        group.bench_function(codec.name(), |bench| {
+            bench.iter(|| black_box(codec.decode(&bytes).expect("self-encoded payload")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(codec_benches, bench_encode, bench_decode);
+criterion_main!(codec_benches);

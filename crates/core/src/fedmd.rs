@@ -24,7 +24,7 @@ use fedzkt_fl::{
     SimConfig,
 };
 use fedzkt_models::ModelSpec;
-use fedzkt_nn::{load_state_dict, state_dict, Module};
+use fedzkt_nn::{load_state_dict, state_dict, Module, StateDict};
 use fedzkt_tensor::{seeded_rng, split_seed, Tensor};
 use rand::seq::SliceRandom;
 
@@ -208,10 +208,10 @@ impl FedMd {
         self.cfg.alignment_size.min(self.public.len())
     }
 
-    /// Bytes of one device's logit payload for the round's alignment
-    /// subset.
-    fn logit_bytes(&self) -> usize {
-        self.alignment_len() * self.public.num_classes() * std::mem::size_of::<f32>()
+    /// Wrap a logit tensor as the single-tensor [`StateDict`] the wire
+    /// codecs operate on.
+    fn logit_payload(scores: Tensor) -> StateDict {
+        StateDict { params: vec![scores], buffers: Vec::new() }
     }
 }
 
@@ -237,16 +237,18 @@ impl FederatedAlgorithm for FedMd {
         let (align_x, _) = self.public.batch(&indices);
         let align_var = Var::constant(align_x.clone());
 
-        // 2. Communicate: each active device scores the subset.
-        let logit_bytes = self.logit_bytes();
+        // 2. Communicate: each active device scores the subset and ships
+        // its logits over the wire; the server averages what it *decoded*,
+        // so a lossy codec's error enters the consensus.
         let mut logits: Vec<Tensor> = Vec::with_capacity(active.len());
         for &k in active {
             let dev = &self.devices[k];
             dev.model.set_training(false);
             let scores = fedzkt_autograd::no_grad(|| dev.model.forward(&align_var).value_clone());
             dev.model.set_training(true);
-            ctx.comm.record_upload(k, logit_bytes);
-            logits.push(scores);
+            let (decoded, wire) = ctx.through_wire(&Self::logit_payload(scores));
+            ctx.comm.record_upload(k, wire);
+            logits.push(decoded.params.into_iter().next().expect("one logit tensor"));
         }
 
         // 3. Aggregate: consensus = average of active devices' scores.
@@ -268,7 +270,10 @@ impl FederatedAlgorithm for FedMd {
     fn server_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) {
         let Alignment { inputs, consensus } =
             self.pending.take().expect("local_update ran this round");
-        let logit_bytes = self.logit_bytes();
+        // The consensus broadcast goes through the wire once; every active
+        // device digests the decoded copy and is charged its wire size.
+        let (decoded, logit_wire) = ctx.through_wire(&Self::logit_payload(consensus));
+        let consensus = decoded.params.into_iter().next().expect("one consensus tensor");
         let jobs: Vec<FleetJob> = active
             .iter()
             .map(|&k| {
@@ -306,7 +311,7 @@ impl FederatedAlgorithm for FedMd {
         drop(jobs);
         let mut loss_sum = 0.0f32;
         for (&k, (loss, sd)) in active.iter().zip(results) {
-            ctx.comm.record_download(k, logit_bytes);
+            ctx.comm.record_download(k, logit_wire);
             loss_sum += loss;
             load_state_dict(self.devices[k].model.as_ref(), &sd)
                 .expect("fleet result matches device architecture");
@@ -318,10 +323,10 @@ impl FederatedAlgorithm for FedMd {
         self.devices[k].model.as_ref()
     }
 
-    /// FedMD's payload is logit-sized, not model-sized: the alignment
+    /// FedMD's payload is logit-shaped, not model-shaped: the alignment
     /// subset's class scores.
-    fn payload_bytes(&self, _k: usize) -> usize {
-        self.logit_bytes()
+    fn payload_template(&self, _k: usize) -> StateDict {
+        Self::logit_payload(Tensor::zeros(&[self.alignment_len(), self.public.num_classes()]))
     }
 
     /// Digest over the alignment set plus the private revisit — and, in a
@@ -417,11 +422,15 @@ mod tests {
 
     #[test]
     fn communication_is_logit_sized_not_model_sized() {
+        use fedzkt_fl::{CodecSpec, PayloadCodec};
         let mut sim = setup(DataFamily::Cifar100Like);
         let metrics = sim.round(0);
-        // 3 devices × 32 alignment samples × 4 classes × 4 bytes.
-        assert_eq!(metrics.upload_bytes, 3 * 32 * 4 * 4);
-        assert_eq!(metrics.download_bytes, 3 * 32 * 4 * 4);
+        // 3 devices × the raw wire size of a 32-sample × 4-class logit
+        // payload (4 bytes a value + the self-describing header).
+        let wire = CodecSpec::Raw.wire_bytes(&sim.algorithm().payload_template(0)) as u64;
+        assert_eq!(wire, 19 + 32 * 4 * 4, "one [32,4] tensor behind a 19-byte header");
+        assert_eq!(metrics.upload_bytes, 3 * wire);
+        assert_eq!(metrics.download_bytes, 3 * wire);
     }
 
     #[test]

@@ -11,8 +11,8 @@ use fedzkt_fl::{
 };
 use fedzkt_models::{Generator, ModelSpec};
 use fedzkt_nn::{
-    load_state_dict, state_bytes, state_dict, Adam, AdamConfig, Module, MultiStepLr, Optimizer,
-    Sgd, SgdConfig,
+    load_state_dict, state_dict, Adam, AdamConfig, Module, MultiStepLr, Optimizer, Sgd,
+    SgdConfig, StateDict,
 };
 use fedzkt_tensor::{seeded_rng, split_seed, Prng, Tensor};
 
@@ -300,10 +300,20 @@ impl FederatedAlgorithm for FedZkt {
         let mut loss_sum = 0.0f32;
         for (&k, (loss, sd)) in active.iter().zip(results) {
             loss_sum += loss;
-            // Upload ŵ_k: the device's own (small) parameters only.
-            ctx.comm.record_upload(k, sd.byte_size());
-            load_state_dict(self.devices[k].model.as_ref(), &sd)
-                .expect("fleet result matches device architecture");
+            // Upload ŵ_k: the device's own (small) parameters only, pushed
+            // through the round's wire codec — the server distills from
+            // what it *received*, so lossy-codec error reaches the game
+            // (a lossless codec receives the fleet result verbatim).
+            if ctx.lossless() {
+                ctx.comm.record_upload(k, ctx.wire_size(&sd));
+                load_state_dict(self.devices[k].model.as_ref(), &sd)
+                    .expect("fleet result matches device architecture");
+            } else {
+                let (uploaded, wire) = ctx.through_wire(&sd);
+                ctx.comm.record_upload(k, wire);
+                load_state_dict(self.devices[k].model.as_ref(), &uploaded)
+                    .expect("fleet result matches device architecture");
+            }
         }
         loss_sum / active.len().max(1) as f32
     }
@@ -333,8 +343,23 @@ impl FederatedAlgorithm for FedZkt {
             self.probe.measure(round + 1, self.global.as_ref(), &teachers, &x);
         }
 
+        // Transfer w_k back (Algorithm 1, line 12): each active device
+        // receives its own updated model over the wire, and keeps the
+        // *decoded* state — under a lossy codec the device trains next
+        // round from the quantized/sparsified transfer it actually got.
+        // A bit-exact codec makes the transfer a pure accounting event,
+        // so the decode-and-reload is skipped.
         for &k in active {
-            ctx.comm.record_download(k, self.payload_bytes(k));
+            let model = self.devices[k].model.as_ref();
+            if ctx.lossless() {
+                // Shape-only accounting: no snapshot, no reload.
+                ctx.comm.record_download(k, ctx.module_wire_size(model));
+            } else {
+                let (received, wire) = ctx.through_wire(&state_dict(model));
+                ctx.comm.record_download(k, wire);
+                load_state_dict(model, &received)
+                    .expect("wire round-trip preserves the device architecture");
+            }
         }
     }
 
@@ -347,8 +372,8 @@ impl FederatedAlgorithm for FedZkt {
     }
 
     /// The O(|w_k|) claim: device `k` only ever exchanges its own model.
-    fn payload_bytes(&self, k: usize) -> usize {
-        state_bytes(self.devices[k].model.as_ref())
+    fn payload_template(&self, k: usize) -> StateDict {
+        state_dict(self.devices[k].model.as_ref())
     }
 
     fn local_samples(&self, k: usize) -> usize {

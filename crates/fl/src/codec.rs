@@ -1,0 +1,687 @@
+//! Wire-format payload codecs.
+//!
+//! Until now the simulator accounted communication as raw `f32` state
+//! bytes — the size a [`StateDict`] would occupy if every parameter were
+//! shipped uncompressed. Real resource-constrained deployments (the
+//! paper's motivating setting) compress the payload: quantization and
+//! sparsification routinely cut uplink traffic by 4–10× at negligible
+//! accuracy cost. This module makes that axis expressible: a
+//! [`PayloadCodec`] turns a [`StateDict`] into concrete wire bytes and
+//! back, the driver accounts the *encoded* size, and — because decoding a
+//! lossy codec returns a perturbed state — compression error genuinely
+//! flows into training instead of being wished away.
+//!
+//! ## The four codecs
+//!
+//! | [`CodecSpec`] | wire payload per tensor | lossy? |
+//! |---|---|---|
+//! | `Raw` | `4n` bytes of little-endian `f32` bits | no (bit-exact) |
+//! | `QuantQ8` | 8-byte `(min, scale)` + `n` bytes (256 levels) | ≤ `scale/2` per element |
+//! | `QuantQ4` | 8-byte `(min, scale)` + `⌈n/2⌉` bytes (16 levels) | ≤ `scale/2` per element |
+//! | `TopK { density }` | 4-byte count + 8 bytes per kept element | zeroes all but the `k` largest magnitudes |
+//!
+//! Every payload starts with a self-describing header (codec id, tensor
+//! count, shapes), so `decode` needs no out-of-band model description and
+//! a device can never misinterpret a payload encoded for a different
+//! architecture. [`PayloadCodec::wire_bytes`] returns exactly
+//! `encode(sd).len()` without materialising the bytes — for all four
+//! codecs the wire size is a pure function of the tensor shapes.
+//!
+//! ## Determinism and non-finite values
+//!
+//! Encoding and decoding are pure scalar arithmetic: same input, same
+//! bytes, on every thread count — the workspace determinism guarantee
+//! extends through lossy codecs. Non-finite values (a diverged run's
+//! NaN/±∞) must not panic mid-simulation; the clamp policy is:
+//!
+//! * `Raw` and `TopK` store raw `f32` bits, so non-finite values round-trip
+//!   (under `TopK`, NaN/±∞ order *above* every finite magnitude and are
+//!   retained first);
+//! * the quantizers compute their range over the **finite** elements only,
+//!   then clamp: `+∞` to the range maximum, `-∞` to the minimum, and NaN
+//!   to the minimum (the zero-point). A tensor with no finite element
+//!   quantizes to all zeros.
+//!
+//! ## Adding a codec
+//!
+//! 1. Add a variant to [`CodecSpec`] with its parameters, a wire id in
+//!    `wire_id`/`from_wire_id`, and a slug in `slug`/`parse`.
+//! 2. Implement its per-tensor `encode_tensor_*` / `decode_tensor_*` pair
+//!    and its arm in [`PayloadCodec::wire_bytes`] (the size must equal the
+//!    encoded length *exactly* — the property suite enforces it).
+//! 3. Serialize it in `fedzkt_scenario::serial` (writer + reader arm) and
+//!    regenerate any golden preset that uses it.
+//! 4. The codec property suite (`crates/fl/tests/codec_props.rs`), the
+//!    protocol-invariant matrix and the determinism tests then apply to
+//!    the new codec unchanged.
+
+use fedzkt_nn::StateDict;
+use fedzkt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Wire-format version byte; bump on any incompatible layout change.
+const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a decoded tensor's element count (2^28 ≈ 268M values,
+/// 1 GiB of f32) — orders of magnitude above any model in the workspace.
+/// Decoding is exposed to *wire* data, so a corrupt or hostile header
+/// claiming an absurd shape must surface as a [`CodecError`], not as an
+/// allocation abort.
+const MAX_TENSOR_ELEMENTS: usize = 1 << 28;
+
+/// A malformed or truncated wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Which payload codec a run uses — serializable, `Copy`, and itself the
+/// [`PayloadCodec`] implementation (enum dispatch; there is no boxed
+/// registry to keep in sync).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum CodecSpec {
+    /// Uncompressed little-endian `f32` — bit-exact, today's behaviour.
+    #[default]
+    Raw,
+    /// Per-tensor affine 8-bit quantization (256 levels).
+    QuantQ8,
+    /// Per-tensor affine 4-bit quantization (16 levels, two per byte).
+    QuantQ4,
+    /// Magnitude top-k sparsification: keep `⌈density·n⌉` elements per
+    /// tensor as `(u32 index, f32 value)` pairs, zero the rest.
+    TopK {
+        /// Fraction of elements kept per tensor, in `(0, 1]`.
+        density: f32,
+    },
+}
+
+impl CodecSpec {
+    /// Short lowercase name for tables and artifact file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodecSpec::Raw => "raw",
+            CodecSpec::QuantQ8 => "q8",
+            CodecSpec::QuantQ4 => "q4",
+            CodecSpec::TopK { .. } => "topk",
+        }
+    }
+
+    /// Parse a CLI-style codec reference: `raw`, `q8`, `q4`, `topk`
+    /// (density 0.1) or `topk:<density>`.
+    ///
+    /// # Errors
+    /// Returns a message for an unknown name or a malformed density.
+    pub fn parse(reference: &str) -> Result<CodecSpec, String> {
+        match reference {
+            "raw" => Ok(CodecSpec::Raw),
+            "q8" => Ok(CodecSpec::QuantQ8),
+            "q4" => Ok(CodecSpec::QuantQ4),
+            "topk" => Ok(CodecSpec::TopK { density: 0.1 }),
+            other => match other.strip_prefix("topk:") {
+                Some(density) => {
+                    let density: f32 = density
+                        .parse()
+                        .map_err(|_| format!("topk: bad density \"{density}\""))?;
+                    Ok(CodecSpec::TopK { density })
+                }
+                None => Err(format!("unknown codec \"{other}\" (raw|q8|q4|topk[:density])")),
+            },
+        }
+    }
+
+    /// Is the codec's parameterisation well-formed? (`TopK` needs a
+    /// density in `(0, 1]`; the others have no knobs.)
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            CodecSpec::TopK { density } => density.is_finite() && density > 0.0 && density <= 1.0,
+            _ => true,
+        }
+    }
+
+    fn wire_id(&self) -> u8 {
+        match self {
+            CodecSpec::Raw => 0,
+            CodecSpec::QuantQ8 => 1,
+            CodecSpec::QuantQ4 => 2,
+            CodecSpec::TopK { .. } => 3,
+        }
+    }
+
+    /// Elements `TopK` keeps for an `n`-element tensor: `⌈density·n⌉`,
+    /// at least 1 for a non-empty tensor, never more than `n`.
+    fn top_k_len(density: f32, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        ((density as f64 * n as f64).ceil() as usize).clamp(1, n)
+    }
+}
+
+/// A payload compression scheme: [`StateDict`] ⇄ wire bytes.
+///
+/// The contract, enforced by the property suite in
+/// `crates/fl/tests/codec_props.rs`:
+///
+/// * `decode(encode(sd))` succeeds and preserves every tensor shape;
+/// * `wire_bytes(sd) == encode(sd).len()`, exactly;
+/// * encoding is deterministic (same input ⇒ same bytes) and total — it
+///   never panics, including on empty, scalar-shaped, or non-finite
+///   tensors (see the module docs for the non-finite clamp policy).
+pub trait PayloadCodec {
+    /// Encode a state dict into its wire form.
+    fn encode(&self, sd: &StateDict) -> Vec<u8>;
+
+    /// Decode a wire payload produced by [`PayloadCodec::encode`] on the
+    /// *same* codec configuration.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on a truncated or foreign payload.
+    fn decode(&self, bytes: &[u8]) -> Result<StateDict, CodecError>;
+
+    /// The exact encoded size in bytes, without materialising the bytes.
+    fn wire_bytes(&self, sd: &StateDict) -> usize;
+}
+
+// ---- little-endian primitives -------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| CodecError(format!("truncated payload at offset {}", self.pos)))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+// ---- header -------------------------------------------------------------
+
+fn write_header(codec: &CodecSpec, sd: &StateDict, out: &mut Vec<u8>) {
+    out.push(codec.wire_id());
+    out.push(WIRE_VERSION);
+    put_u32(out, sd.params.len() as u32);
+    put_u32(out, sd.buffers.len() as u32);
+    for t in sd.iter_tensors() {
+        out.push(t.shape().len() as u8);
+        for &d in t.shape() {
+            put_u32(out, d as u32);
+        }
+    }
+}
+
+/// Shapes of `(params, buffers)` recovered from a payload header.
+fn read_header(
+    codec: &CodecSpec,
+    r: &mut Reader,
+) -> Result<(Vec<Vec<usize>>, usize), CodecError> {
+    let id = r.u8()?;
+    if id != codec.wire_id() {
+        return Err(CodecError(format!(
+            "payload was encoded by codec id {id}, decoding as {}",
+            codec.name()
+        )));
+    }
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(CodecError(format!("unsupported wire version {version}")));
+    }
+    let n_params = r.u32()? as usize;
+    let n_buffers = r.u32()? as usize;
+    let total = n_params
+        .checked_add(n_buffers)
+        .ok_or_else(|| CodecError("tensor count overflow".into()))?;
+    // Capacity hints are capped: the counts are wire-controlled, and a
+    // corrupt header must fail on the next read, not on an allocation.
+    let mut shapes = Vec::with_capacity(total.min(1024));
+    for _ in 0..total {
+        let ndim = r.u8()? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(r.u32()? as usize);
+        }
+        // Reject shapes whose element count cannot be addressed — or is
+        // implausibly large for this workspace — before allocating.
+        let elements = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| CodecError("tensor shape overflow".into()))?;
+        if elements > MAX_TENSOR_ELEMENTS {
+            return Err(CodecError(format!(
+                "tensor claims {elements} elements (limit {MAX_TENSOR_ELEMENTS})"
+            )));
+        }
+        shapes.push(shape);
+    }
+    Ok((shapes, n_params))
+}
+
+fn assemble(shapes: Vec<Vec<usize>>, n_params: usize, tensors: Vec<Tensor>) -> StateDict {
+    debug_assert_eq!(shapes.len(), tensors.len());
+    let mut it = tensors.into_iter();
+    let params: Vec<Tensor> = (&mut it).take(n_params).collect();
+    let buffers: Vec<Tensor> = it.collect();
+    StateDict { params, buffers }
+}
+
+fn tensor_from(shape: &[usize], data: Vec<f32>) -> Result<Tensor, CodecError> {
+    Tensor::from_vec(data, shape).map_err(|e| CodecError(format!("rebuilding tensor: {e}")))
+}
+
+// ---- per-tensor codecs --------------------------------------------------
+
+/// Affine quantization range over the finite elements (see the module
+/// docs' clamp policy). Returns `(min, scale)` with
+/// `scale = (max - min) / levels`; a constant or all-non-finite tensor
+/// yields `scale == 0` and decodes exactly.
+fn quant_range(data: &[f32], levels: f32) -> (f32, f32) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in data {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 0.0);
+    }
+    // f64 intermediate: (max - min) can overflow f32 for extreme ranges,
+    // and an infinite scale would decode finite input to NaN (0 · ∞).
+    (min, ((max as f64 - min as f64) / levels as f64) as f32)
+}
+
+/// Quantize one value to a level index in `[0, levels]`, applying the
+/// non-finite clamp policy.
+fn quantize(v: f32, min: f32, scale: f32, levels: f32) -> u8 {
+    if scale == 0.0 {
+        return 0;
+    }
+    let v = if v.is_nan() { min } else { v };
+    (((v - min) / scale).round().clamp(0.0, levels)) as u8
+}
+
+fn encode_tensor_quant(data: &[f32], levels: f32, packed: bool, out: &mut Vec<u8>) {
+    let (min, scale) = quant_range(data, levels);
+    put_f32(out, min);
+    put_f32(out, scale);
+    if packed {
+        for pair in data.chunks(2) {
+            let lo = quantize(pair[0], min, scale, levels);
+            let hi = pair.get(1).map_or(0, |&v| quantize(v, min, scale, levels));
+            out.push(lo | (hi << 4));
+        }
+    } else {
+        for &v in data {
+            out.push(quantize(v, min, scale, levels));
+        }
+    }
+}
+
+fn decode_tensor_quant(
+    r: &mut Reader,
+    n: usize,
+    packed: bool,
+) -> Result<Vec<f32>, CodecError> {
+    let min = r.f32()?;
+    let scale = r.f32()?;
+    // take() validates the length against the actual payload before any
+    // n-sized allocation happens.
+    if packed {
+        let bytes = r.take(n.div_ceil(2))?;
+        let mut data = Vec::with_capacity(n);
+        for (i, &b) in bytes.iter().enumerate() {
+            data.push(min + scale * (b & 0x0F) as f32);
+            if 2 * i + 1 < n {
+                data.push(min + scale * (b >> 4) as f32);
+            }
+        }
+        Ok(data)
+    } else {
+        Ok(r.take(n)?.iter().map(|&b| min + scale * b as f32).collect())
+    }
+}
+
+/// The `k` indices of largest magnitude, deterministic under ties (lower
+/// index wins) and total over non-finite values (`f32::total_cmp` on the
+/// absolute value orders NaN/±∞ above every finite magnitude, so a
+/// diverged tensor's worst offenders are exactly what gets shipped).
+fn top_k_indices(data: &[f32], k: usize) -> Vec<u32> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<u32> = (0..data.len() as u32).collect();
+    // The comparator is a strict total order (index breaks ties), so the
+    // k-smallest-under-it prefix is a unique *set* — partial selection is
+    // deterministic — and encoding sits on every active device's round
+    // critical path, so O(n + k log k) beats a full sort.
+    if k < order.len() {
+        order.select_nth_unstable_by(k - 1, |&a, &b| {
+            f32::total_cmp(&data[b as usize].abs(), &data[a as usize].abs()).then(a.cmp(&b))
+        });
+        order.truncate(k);
+    }
+    order.sort_unstable(); // canonical wire order: ascending index
+    order
+}
+
+fn encode_tensor_topk(data: &[f32], density: f32, out: &mut Vec<u8>) {
+    let k = CodecSpec::top_k_len(density, data.len());
+    put_u32(out, k as u32);
+    for idx in top_k_indices(data, k) {
+        put_u32(out, idx);
+        put_f32(out, data[idx as usize]);
+    }
+}
+
+fn decode_tensor_topk(r: &mut Reader, n: usize) -> Result<Vec<f32>, CodecError> {
+    let k = r.u32()? as usize;
+    if k > n {
+        return Err(CodecError(format!("top-k count {k} exceeds tensor length {n}")));
+    }
+    let mut data = vec![0.0f32; n];
+    for _ in 0..k {
+        let idx = r.u32()? as usize;
+        if idx >= n {
+            return Err(CodecError(format!("top-k index {idx} out of range {n}")));
+        }
+        data[idx] = r.f32()?;
+    }
+    Ok(data)
+}
+
+impl PayloadCodec for CodecSpec {
+    fn encode(&self, sd: &StateDict) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes(sd));
+        write_header(self, sd, &mut out);
+        for t in sd.iter_tensors() {
+            match *self {
+                CodecSpec::Raw => {
+                    for &v in t.data() {
+                        put_f32(&mut out, v);
+                    }
+                }
+                CodecSpec::QuantQ8 => encode_tensor_quant(t.data(), 255.0, false, &mut out),
+                CodecSpec::QuantQ4 => encode_tensor_quant(t.data(), 15.0, true, &mut out),
+                CodecSpec::TopK { density } => encode_tensor_topk(t.data(), density, &mut out),
+            }
+        }
+        debug_assert_eq!(out.len(), self.wire_bytes(sd), "wire_bytes out of sync with encode");
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<StateDict, CodecError> {
+        let mut r = Reader::new(bytes);
+        let (shapes, n_params) = read_header(self, &mut r)?;
+        let mut tensors = Vec::with_capacity(shapes.len());
+        for shape in &shapes {
+            let n = shape.iter().product::<usize>();
+            let data = match *self {
+                CodecSpec::Raw => {
+                    let raw = r.take(4 * n)?;
+                    raw.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                        .collect()
+                }
+                CodecSpec::QuantQ8 => decode_tensor_quant(&mut r, n, false)?,
+                CodecSpec::QuantQ4 => decode_tensor_quant(&mut r, n, true)?,
+                CodecSpec::TopK { .. } => decode_tensor_topk(&mut r, n)?,
+            };
+            tensors.push(tensor_from(shape, data)?);
+        }
+        if !r.done() {
+            return Err(CodecError("trailing bytes after payload".into()));
+        }
+        Ok(assemble(shapes, n_params, tensors))
+    }
+
+    fn wire_bytes(&self, sd: &StateDict) -> usize {
+        self.wire_bytes_for_shapes(sd.iter_tensors().map(Tensor::shape))
+    }
+}
+
+impl CodecSpec {
+    /// [`PayloadCodec::wire_bytes`] from tensor shapes alone — every
+    /// codec's wire size is a pure function of shapes, so accounting
+    /// paths (e.g. a lossless transfer that skips the decode-and-reload)
+    /// need not materialise a [`StateDict`] snapshot at all.
+    pub fn wire_bytes_for_shapes<'a>(
+        &self,
+        shapes: impl Iterator<Item = &'a [usize]>,
+    ) -> usize {
+        // Fixed header (id, version, two counts) + per-tensor shape
+        // record + per-tensor body.
+        10 + shapes
+            .map(|shape| {
+                let n: usize = shape.iter().product();
+                let body = match *self {
+                    CodecSpec::Raw => 4 * n,
+                    CodecSpec::QuantQ8 => 8 + n,
+                    CodecSpec::QuantQ4 => 8 + n.div_ceil(2),
+                    CodecSpec::TopK { density } => 4 + 8 * CodecSpec::top_k_len(density, n),
+                };
+                1 + 4 * shape.len() + body
+            })
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd(tensors: Vec<Tensor>) -> StateDict {
+        StateDict { params: tensors, buffers: Vec::new() }
+    }
+
+    const ALL: [CodecSpec; 4] = [
+        CodecSpec::Raw,
+        CodecSpec::QuantQ8,
+        CodecSpec::QuantQ4,
+        CodecSpec::TopK { density: 0.5 },
+    ];
+
+    #[test]
+    fn raw_roundtrips_bit_exactly_with_buffers() {
+        let dict = StateDict {
+            params: vec![
+                Tensor::from_vec(vec![1.5, -2.25, 0.0, -0.0], &[2, 2]).unwrap(),
+                Tensor::from_vec(vec![f32::MIN_POSITIVE], &[1]).unwrap(),
+            ],
+            buffers: vec![Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap()],
+        };
+        let codec = CodecSpec::Raw;
+        let back = codec.decode(&codec.encode(&dict)).unwrap();
+        assert_eq!(back.params.len(), 2);
+        assert_eq!(back.buffers.len(), 1);
+        for (a, b) in dict
+            .params
+            .iter()
+            .chain(&dict.buffers)
+            .zip(back.params.iter().chain(&back.buffers))
+        {
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quantizers_bound_error_by_half_scale() {
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let dict = sd(vec![Tensor::from_vec(data.clone(), &[64]).unwrap()]);
+        for (codec, levels) in [(CodecSpec::QuantQ8, 255.0f32), (CodecSpec::QuantQ4, 15.0)] {
+            let back = codec.decode(&codec.encode(&dict)).unwrap();
+            let (min, max) = data.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+            let scale = (max - min) / levels;
+            for (x, y) in data.iter().zip(back.params[0].data()) {
+                assert!(
+                    (x - y).abs() <= scale * 0.5 + scale * 1e-4,
+                    "{codec:?}: |{x} - {y}| > scale/2 = {}",
+                    scale * 0.5
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_values_encode_and_decode_without_panicking() {
+        let data = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.0, -2.0, 0.5];
+        let dict = sd(vec![Tensor::from_vec(data.clone(), &[6]).unwrap()]);
+        for codec in ALL {
+            let back = codec.decode(&codec.encode(&dict)).unwrap();
+            let out = back.params[0].data();
+            assert_eq!(out.len(), 6, "{codec:?}");
+            match codec {
+                // Raw ships the bits; TopK keeps the largest "magnitudes",
+                // which under total order are exactly the non-finite ones.
+                CodecSpec::Raw => {
+                    assert!(out[0].is_nan() && out[1] == f32::INFINITY);
+                    assert_eq!(out[2], f32::NEG_INFINITY);
+                }
+                CodecSpec::TopK { .. } => {
+                    assert!(out[0].is_nan(), "NaN ranks above finite magnitudes");
+                    assert_eq!(out[1], f32::INFINITY);
+                    assert_eq!(out[2], f32::NEG_INFINITY);
+                }
+                // The quantizers clamp into the finite range [-2, 1]:
+                // +inf to the max, -inf and NaN to the min.
+                CodecSpec::QuantQ8 | CodecSpec::QuantQ4 => {
+                    assert!(out.iter().all(|v| v.is_finite()), "{codec:?}: {out:?}");
+                    assert!((out[1] - 1.0).abs() < 0.2, "+inf clamps to max, got {}", out[1]);
+                    assert!((out[2] + 2.0).abs() < 0.2, "-inf clamps to min, got {}", out[2]);
+                    assert!((out[0] + 2.0).abs() < 0.2, "NaN clamps to min, got {}", out[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_non_finite_tensor_quantizes_to_zero() {
+        let dict = sd(vec![Tensor::from_vec(vec![f32::NAN, f32::INFINITY], &[2]).unwrap()]);
+        for codec in [CodecSpec::QuantQ8, CodecSpec::QuantQ4] {
+            let back = codec.decode(&codec.encode(&dict)).unwrap();
+            assert_eq!(back.params[0].data(), &[0.0, 0.0], "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes_and_breaks_ties_low_index_first() {
+        let data = vec![0.1, -5.0, 2.0, 2.0, -0.2, 3.0];
+        let dict = sd(vec![Tensor::from_vec(data, &[6]).unwrap()]);
+        let codec = CodecSpec::TopK { density: 0.5 }; // k = 3
+        let back = codec.decode(&codec.encode(&dict)).unwrap();
+        // Kept: |-5| and |3| outright; the 2.0 at index 2 wins the tie.
+        assert_eq!(back.params[0].data(), &[0.0, -5.0, 2.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn decode_rejects_foreign_truncated_and_padded_payloads() {
+        let dict = sd(vec![Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap()]);
+        let raw = CodecSpec::Raw.encode(&dict);
+        assert!(CodecSpec::QuantQ8.decode(&raw).is_err(), "codec id mismatch");
+        assert!(CodecSpec::Raw.decode(&raw[..raw.len() - 1]).is_err(), "truncated");
+        let mut padded = raw.clone();
+        padded.push(0);
+        assert!(CodecSpec::Raw.decode(&padded).is_err(), "trailing bytes");
+        assert!(CodecSpec::Raw.decode(&[]).is_err(), "empty input");
+        let mut wrong_version = raw;
+        wrong_version[1] = 99;
+        assert!(CodecSpec::Raw.decode(&wrong_version).is_err(), "future version");
+    }
+
+    #[test]
+    fn corrupt_headers_error_instead_of_allocating() {
+        // A 10-byte payload claiming u32::MAX params + u32::MAX buffers:
+        // must come back as the documented CodecError (truncated), never
+        // as an allocation abort.
+        let mut huge_counts = vec![0u8, WIRE_VERSION];
+        huge_counts.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge_counts.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(CodecSpec::Raw.decode(&huge_counts).is_err());
+
+        // One tensor whose claimed shape is astronomically large (but not
+        // usize-overflowing): rejected by the element cap up front.
+        let mut huge_shape = vec![0u8, WIRE_VERSION];
+        huge_shape.extend_from_slice(&1u32.to_le_bytes()); // 1 param
+        huge_shape.extend_from_slice(&0u32.to_le_bytes()); // 0 buffers
+        huge_shape.push(1); // ndim 1
+        huge_shape.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let err = CodecSpec::Raw.decode(&huge_shape).unwrap_err();
+        assert!(err.0.contains("elements"), "{err}");
+    }
+
+    #[test]
+    fn empty_state_dict_roundtrips() {
+        let dict = StateDict { params: Vec::new(), buffers: Vec::new() };
+        for codec in ALL {
+            assert_eq!(codec.encode(&dict).len(), codec.wire_bytes(&dict), "{codec:?}");
+            let back = codec.decode(&codec.encode(&dict)).unwrap();
+            assert!(back.params.is_empty() && back.buffers.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_covers_the_cli_spellings() {
+        assert_eq!(CodecSpec::parse("raw").unwrap(), CodecSpec::Raw);
+        assert_eq!(CodecSpec::parse("q8").unwrap(), CodecSpec::QuantQ8);
+        assert_eq!(CodecSpec::parse("q4").unwrap(), CodecSpec::QuantQ4);
+        assert_eq!(CodecSpec::parse("topk").unwrap(), CodecSpec::TopK { density: 0.1 });
+        assert_eq!(CodecSpec::parse("topk:0.25").unwrap(), CodecSpec::TopK { density: 0.25 });
+        assert!(CodecSpec::parse("gzip").is_err());
+        assert!(CodecSpec::parse("topk:lots").is_err());
+    }
+
+    #[test]
+    fn validity_checks_the_topk_density() {
+        assert!(CodecSpec::Raw.is_valid());
+        assert!(CodecSpec::TopK { density: 1.0 }.is_valid());
+        for density in [0.0f32, -0.5, 1.5, f32::NAN, f32::INFINITY] {
+            assert!(!CodecSpec::TopK { density }.is_valid(), "{density}");
+        }
+    }
+}

@@ -14,16 +14,17 @@
 //! * [`server_update`](FederatedAlgorithm::server_update) — server-side
 //!   aggregation / distillation and the transfer back to devices;
 //!
-//! plus accessors for its evaluable models and per-device payload sizes.
+//! plus accessors for its evaluable models and per-device payload shapes.
 //! A new scenario — a straggler model, an evaluation cadence, a
 //! communication budget, a new algorithm — is written once here and
 //! applies to every algorithm.
 
 use crate::{
-    evaluate, CommTracker, DeviceResources, ParticipationSampler, RoundMetrics, RunLog, SimClock,
+    evaluate, CodecSpec, CommTracker, DeviceResources, ParticipationSampler, PayloadCodec,
+    RoundMetrics, RunLog, SimClock,
 };
 use fedzkt_data::Dataset;
-use fedzkt_nn::Module;
+use fedzkt_nn::{Module, StateDict};
 use fedzkt_tensor::{par, split_seed};
 use std::any::Any;
 
@@ -50,6 +51,11 @@ pub struct SimConfig {
     /// [`fedzkt_tensor::par::max_threads`] (`FEDZKT_THREADS`, then
     /// available parallelism). Results are bit-identical for every value.
     pub threads: usize,
+    /// Wire-format codec every transmitted payload passes through
+    /// ([`crate::codec`]). [`CodecSpec::Raw`] (the default) is bit-exact;
+    /// the lossy codecs shrink the accounted traffic *and* perturb the
+    /// decoded states the receiving side trains on.
+    pub codec: CodecSpec,
 }
 
 impl Default for SimConfig {
@@ -61,6 +67,7 @@ impl Default for SimConfig {
             eval_every: 1,
             seed: 0,
             threads: 0,
+            codec: CodecSpec::Raw,
         }
     }
 }
@@ -76,23 +83,26 @@ impl SimConfig {
 
 /// Per-round state the driver hands to an algorithm's phases.
 ///
-/// Algorithms record their traffic into [`RoundContext::comm`] (the driver
-/// totals it into the metrics and feeds the per-device byte counts to the
-/// simulated clock) and read the resolved worker-thread count from
-/// [`RoundContext::threads`].
+/// Algorithms push every transmitted payload through
+/// [`RoundContext::through_wire`] and record the returned wire size into
+/// [`RoundContext::comm`] (the driver totals it into the metrics and feeds
+/// the per-device byte counts to the simulated clock), and read the
+/// resolved worker-thread count from [`RoundContext::threads`].
 pub struct RoundContext {
     /// Uplink/downlink accounting for this round; record every payload a
-    /// device sends or receives.
+    /// device sends or receives at its **wire** (encoded) size.
     pub comm: CommTracker,
+    codec: CodecSpec,
     threads: usize,
     server_seconds: f64,
     train_loss: Option<f32>,
 }
 
 impl RoundContext {
-    fn new(devices: usize, threads: usize) -> Self {
+    fn new(devices: usize, codec: CodecSpec, threads: usize) -> Self {
         RoundContext {
             comm: CommTracker::new(devices),
+            codec,
             threads,
             server_seconds: 0.0,
             train_loss: None,
@@ -103,6 +113,60 @@ impl RoundContext {
     /// ([`crate::train_local_fleet`] and friends).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The round's wire-format codec ([`SimConfig::codec`]).
+    pub fn codec(&self) -> &CodecSpec {
+        &self.codec
+    }
+
+    /// Is the round's codec bit-exact (`decode(encode(x)) == x`)? When it
+    /// is, a transfer is a pure accounting event: record
+    /// [`RoundContext::wire_size`] and skip the decode-and-reload, since
+    /// the receiver would observe the sender's state verbatim.
+    pub fn lossless(&self) -> bool {
+        matches!(self.codec, CodecSpec::Raw)
+    }
+
+    /// The wire size of `sd` under the round's codec, without encoding.
+    pub fn wire_size(&self, sd: &StateDict) -> usize {
+        self.codec.wire_bytes(sd)
+    }
+
+    /// The wire size of `module`'s transferable state under the round's
+    /// codec, computed from tensor shapes alone — no snapshot, no
+    /// encoding. The accounting path for lossless transfers.
+    pub fn module_wire_size(&self, module: &dyn Module) -> usize {
+        let shapes: Vec<Vec<usize>> = module
+            .params()
+            .iter()
+            .map(|p| p.shape())
+            .chain(module.buffers().iter().map(|b| b.shape()))
+            .collect();
+        self.codec.wire_bytes_for_shapes(shapes.iter().map(Vec::as_slice))
+    }
+
+    /// Push a payload through the wire once: encode with the round's
+    /// codec, then decode. Returns what the *receiving* side observes —
+    /// the (possibly lossy) decoded state — and the wire size in bytes to
+    /// record into [`RoundContext::comm`]. Under [`CodecSpec::Raw`] the
+    /// returned state is bit-identical to `sd`.
+    ///
+    /// A broadcast (one server payload to many devices) goes through the
+    /// wire **once**; record the returned size once per recipient.
+    pub fn through_wire(&self, sd: &StateDict) -> (StateDict, usize) {
+        // Raw is bit-exact by contract (property-tested), so the default
+        // path skips the encode/decode memcpys and pays one clone.
+        if matches!(self.codec, CodecSpec::Raw) {
+            return (sd.clone(), self.codec.wire_bytes(sd));
+        }
+        let bytes = self.codec.encode(sd);
+        let wire = bytes.len();
+        let decoded = self
+            .codec
+            .decode(&bytes)
+            .expect("a payload this codec just encoded must decode");
+        (decoded, wire)
     }
 
     /// Add simulated *server-side* compute time for this round (seconds);
@@ -130,10 +194,12 @@ impl RoundContext {
 ///
 /// * only devices in `active` may change state during a round — stragglers
 ///   stay bit-identical;
-/// * every byte a device sends or receives is recorded in `ctx.comm`, and
-///   a device's per-round traffic is `O(payload_bytes(k))` — its own model
-///   or logits, never server-side state;
-/// * same seed ⇒ same run, for every worker-thread count.
+/// * every payload a device sends or receives goes through
+///   [`RoundContext::through_wire`] and is recorded in `ctx.comm` at its
+///   encoded size; a device's per-round traffic is the wire size of its
+///   own model or logits ([`FederatedAlgorithm::payload_template`]),
+///   never a function of server-side state;
+/// * same seed ⇒ same run, for every worker-thread count and codec.
 pub trait FederatedAlgorithm {
     /// Number of devices in the federation.
     fn devices(&self) -> usize;
@@ -157,9 +223,16 @@ pub trait FederatedAlgorithm {
         None
     }
 
-    /// Size (bytes) of device `k`'s per-round payload — the quantity the
-    /// paper's communication claims are stated in (FedZKT: `O(|w_k|)`).
-    fn payload_bytes(&self, k: usize) -> usize;
+    /// A template of device `k`'s per-round payload — the quantity the
+    /// paper's communication claims are stated in (FedZKT: `O(|w_k|)`, a
+    /// state dict of the device's own model; FedMD: an alignment-sized
+    /// logit tensor). Every codec's wire size is a pure function of the
+    /// template's tensor *shapes*, so
+    /// [`PayloadCodec::wire_bytes`]`(template)` is the device's expected
+    /// per-direction traffic — the invariant the workspace protocol suite
+    /// checks against the recorded [`CommTracker`] totals. Values need not
+    /// match what a live round ships.
+    fn payload_template(&self, k: usize) -> StateDict;
 
     /// Training samples device `k` processes locally in one round (drives
     /// the simulated clock's compute time).
@@ -430,7 +503,8 @@ impl<A: FederatedAlgorithm> Simulation<A> {
             self.log.rounds.len()
         );
         let active = self.sampler.active(round);
-        let mut ctx = RoundContext::new(self.algo.devices(), self.cfg.resolved_threads());
+        let mut ctx =
+            RoundContext::new(self.algo.devices(), self.cfg.codec, self.cfg.resolved_threads());
 
         let local_loss = self.algo.local_update(round, &active, &mut ctx);
         self.algo.server_update(round, &active, &mut ctx);
@@ -517,25 +591,37 @@ mod tests {
         fn local_update(&mut self, _r: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
             self.local_calls.push(active.to_vec());
             for &k in active {
-                ctx.comm.record_upload(k, self.payload_bytes(k));
+                let (_, wire) = ctx.through_wire(&self.payload_template(k));
+                ctx.comm.record_upload(k, wire);
             }
             0.5
         }
         fn server_update(&mut self, _r: usize, active: &[usize], ctx: &mut RoundContext) {
             self.server_calls.push(active.to_vec());
             for &k in active {
-                ctx.comm.record_download(k, self.payload_bytes(k));
+                let (_, wire) = ctx.through_wire(&self.payload_template(k));
+                ctx.comm.record_download(k, wire);
             }
         }
         fn device_model(&self, k: usize) -> &dyn Module {
             self.models[k].as_ref()
         }
-        fn payload_bytes(&self, k: usize) -> usize {
-            100 * (k + 1)
+        fn payload_template(&self, k: usize) -> StateDict {
+            // 25·(k+1) raw f32 values → a per-device payload size gradient.
+            StateDict {
+                params: vec![fedzkt_tensor::Tensor::zeros(&[25 * (k + 1)])],
+                buffers: Vec::new(),
+            }
         }
         fn local_samples(&self, _k: usize) -> usize {
             40
         }
+    }
+
+    /// Raw wire size of the Stub's payload for device `k`: a 15-byte
+    /// header (codec id, version, counts, one 1-d shape) + 4 bytes/value.
+    fn stub_wire(k: usize) -> u64 {
+        (15 + 100 * (k + 1)) as u64
     }
 
     fn test_set() -> Dataset {
@@ -549,14 +635,33 @@ mod tests {
         let log = sim.run().clone();
         assert_eq!(log.rounds.len(), 3);
         for r in &log.rounds {
-            assert_eq!(r.upload_bytes, 100 + 200);
-            assert_eq!(r.download_bytes, 100 + 200);
+            assert_eq!(r.upload_bytes, stub_wire(0) + stub_wire(1));
+            assert_eq!(r.download_bytes, stub_wire(0) + stub_wire(1));
             assert_eq!(r.active_devices, vec![0, 1]);
             assert_eq!(r.train_loss, 0.5);
             assert_eq!(r.sim_seconds, 0.0, "no clock attached");
         }
         assert_eq!(sim.algorithm().local_calls.len(), 3);
         assert_eq!(sim.algorithm().server_calls.len(), 3);
+    }
+
+    #[test]
+    fn codec_shrinks_accounted_traffic() {
+        let raw_cfg = SimConfig { rounds: 1, ..Default::default() };
+        let q8_cfg = SimConfig { rounds: 1, codec: CodecSpec::QuantQ8, ..Default::default() };
+        let mut raw = Simulation::builder(Stub::new(2), test_set(), raw_cfg).build();
+        let mut q8 = Simulation::builder(Stub::new(2), test_set(), q8_cfg).build();
+        let raw_up = raw.round(0).upload_bytes;
+        let q8_up = q8.round(0).upload_bytes;
+        // (The Stub's payloads are tiny — 25/50 values — so the fixed
+        // header keeps the ratio below the asymptotic ~4×.)
+        assert!(2 * q8_up < raw_up, "q8 {q8_up} vs raw {raw_up}");
+        // The accounted traffic is exactly the codec's wire size of each
+        // active device's payload template.
+        let expected: u64 = (0..2)
+            .map(|k| CodecSpec::QuantQ8.wire_bytes(&q8.algorithm().payload_template(k)) as u64)
+            .sum();
+        assert_eq!(q8_up, expected);
     }
 
     #[test]
@@ -701,8 +806,8 @@ mod tests {
             fn global_model(&self) -> Option<&dyn Module> {
                 Some(self.model.as_ref())
             }
-            fn payload_bytes(&self, _k: usize) -> usize {
-                0
+            fn payload_template(&self, _k: usize) -> StateDict {
+                StateDict { params: Vec::new(), buffers: Vec::new() }
             }
             fn local_samples(&self, _k: usize) -> usize {
                 0

@@ -14,7 +14,7 @@ use crate::{
 };
 use fedzkt_data::Dataset;
 use fedzkt_models::ModelSpec;
-use fedzkt_nn::{load_state_dict, state_bytes, state_dict, Module, StateDict};
+use fedzkt_nn::{load_state_dict, state_dict, Module, StateDict};
 use fedzkt_tensor::split_seed;
 
 /// Hyperparameters of [`FedAvg`]'s update rules. Protocol-level knobs
@@ -87,12 +87,25 @@ impl FederatedAlgorithm for FedAvg {
         self.shards.len()
     }
 
-    /// Every active device starts from the broadcast global snapshot and
-    /// trains independently; the fleet driver runs them on worker threads
-    /// and returns updates in `active` order, so the aggregation in
-    /// `server_update` is bit-deterministic for any thread count.
+    /// Every active device starts from the broadcast global snapshot —
+    /// **as decoded from the wire**, so a lossy codec's quantization error
+    /// is what the devices actually train from — and trains independently;
+    /// the fleet driver runs them on worker threads and returns updates in
+    /// `active` order, so the aggregation in `server_update` is
+    /// bit-deterministic for any thread count.
     fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
-        let global_sd = state_dict(self.global.as_ref());
+        // One broadcast payload: encoded once, every recipient charged its
+        // wire size and handed the same decoded state (lossless codecs
+        // broadcast the snapshot itself — no wire round-trip).
+        let (global_sd, down_wire) = {
+            let sd = state_dict(self.global.as_ref());
+            if ctx.lossless() {
+                let wire = ctx.wire_size(&sd);
+                (sd, wire)
+            } else {
+                ctx.through_wire(&sd)
+            }
+        };
         let jobs: Vec<FleetJob> = active
             .iter()
             .map(|&dev| FleetJob {
@@ -118,10 +131,19 @@ impl FederatedAlgorithm for FedAvg {
         let mut loss_sum = 0.0f32;
         self.pending.clear();
         for (&dev, (loss, sd)) in active.iter().zip(results) {
-            ctx.comm.record_download(dev, global_sd.byte_size());
+            ctx.comm.record_download(dev, down_wire);
             loss_sum += loss;
-            ctx.comm.record_upload(dev, sd.byte_size());
-            self.pending.push((dev, sd));
+            // The server aggregates what it received over the wire, not
+            // the device's exact local state (a lossless codec makes the
+            // two identical, so the update moves without a round-trip).
+            if ctx.lossless() {
+                ctx.comm.record_upload(dev, ctx.wire_size(&sd));
+                self.pending.push((dev, sd));
+            } else {
+                let (uploaded, up_wire) = ctx.through_wire(&sd);
+                ctx.comm.record_upload(dev, up_wire);
+                self.pending.push((dev, uploaded));
+            }
         }
         loss_sum / active.len().max(1) as f32
     }
@@ -154,8 +176,8 @@ impl FederatedAlgorithm for FedAvg {
         Some(self.global.as_ref())
     }
 
-    fn payload_bytes(&self, _k: usize) -> usize {
-        state_bytes(self.global.as_ref())
+    fn payload_template(&self, _k: usize) -> StateDict {
+        state_dict(self.global.as_ref())
     }
 
     fn local_samples(&self, k: usize) -> usize {
@@ -194,7 +216,7 @@ pub(crate) fn average_state_dicts(weighted: &[(f32, &StateDict)]) -> StateDict {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Simulation;
+    use crate::{CodecSpec, PayloadCodec, Simulation};
     use fedzkt_data::{DataFamily, Partition, SynthConfig};
 
     fn setup(prox_mu: f32, participation: f32) -> Simulation<FedAvg> {
@@ -243,13 +265,51 @@ mod tests {
     }
 
     #[test]
-    fn comm_bytes_match_model_size() {
+    fn comm_bytes_match_model_wire_size() {
         let mut sim = setup(0.0, 1.0);
         let metrics = sim.round(0);
-        let sd_bytes =
-            state_dict(sim.algorithm().global_model().unwrap()).byte_size() as u64;
-        assert_eq!(metrics.upload_bytes, 3 * sd_bytes);
-        assert_eq!(metrics.download_bytes, 3 * sd_bytes);
+        let wire = CodecSpec::Raw.wire_bytes(&sim.algorithm().payload_template(0)) as u64;
+        assert_eq!(metrics.upload_bytes, 3 * wire);
+        assert_eq!(metrics.download_bytes, 3 * wire);
+    }
+
+    #[test]
+    fn lossy_codec_error_flows_into_training() {
+        // Same seed, different codec: the Q4 run aggregates from decoded
+        // (quantized) uploads and broadcasts a quantized global, so its
+        // global model must genuinely diverge from the raw run's.
+        let run = |codec: CodecSpec| {
+            let (train, test) = SynthConfig {
+                family: DataFamily::MnistLike,
+                img: 8,
+                train_n: 120,
+                test_n: 60,
+                classes: 4,
+                seed: 5,
+                ..Default::default()
+            }
+            .generate();
+            let shards = Partition::Iid.split(train.labels(), 4, 3, 7).unwrap();
+            let sim = SimConfig { rounds: 1, seed: 1, codec, ..Default::default() };
+            let fed = FedAvg::new(
+                ModelSpec::Mlp { hidden: 24 },
+                &train,
+                &shards,
+                FedAvgConfig { local_epochs: 1, batch_size: 16, ..Default::default() },
+                &sim,
+            );
+            let mut sim = Simulation::builder(fed, test, sim).build();
+            sim.round(0);
+            state_dict(sim.algorithm().global_model().unwrap())
+        };
+        let raw = run(CodecSpec::Raw);
+        let q4 = run(CodecSpec::QuantQ4);
+        assert_ne!(raw, q4, "quantization error never reached the aggregate");
+        // But quantization is a small perturbation, not a rewrite.
+        for (a, b) in raw.params.iter().zip(&q4.params) {
+            let diff = a.sub(b).unwrap();
+            assert!(diff.norm_l2() < 0.5 * a.norm_l2().max(1e-3), "implausibly large drift");
+        }
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!   [`DeviceResources`], and per-round metrics with CSV/JSON export;
 //! * [`FederatedAlgorithm`] — the trait an algorithm implements to run
 //!   under the driver: a device-side phase, a server-side phase, and
-//!   accessors for its evaluable models and per-device payload sizes;
+//!   accessors for its evaluable models and per-device payload shapes;
+//! * [`codec`] — the wire-format payload codecs ([`PayloadCodec`]):
+//!   every transmitted payload is pushed through the run's [`CodecSpec`]
+//!   (raw f32, int8/int4 quantization, top-k sparsification), so the
+//!   accounted traffic is the *encoded* size and lossy-decode error flows
+//!   into training;
 //! * [`FedAvg`] — FedAvg (McMahan et al.) and FedProx (ℓ2-proximal local
 //!   objective) over homogeneous models, used both as substrate validation
 //!   and as conceptual baselines for the FedZKT comparison in
@@ -21,9 +26,11 @@
 //!
 //! Implement [`FederatedAlgorithm`]: put device-side work (local SGD,
 //! logit scoring, …) in `local_update`, server-side aggregation in
-//! `server_update`, record every transmitted byte into the
-//! [`RoundContext`]'s tracker, and keep inactive devices untouched. The
-//! driver then gives you stragglers, comm accounting, simulated time,
+//! `server_update`, push every transmitted payload through
+//! [`RoundContext::through_wire`] (recording the returned wire size into
+//! the tracker, and handing the *decoded* state to the receiving side),
+//! and keep inactive devices untouched. The driver then gives you
+//! stragglers, wire-format codecs, comm accounting, simulated time,
 //! evaluation cadence and run logging for free — and the workspace's
 //! protocol-invariant and determinism suites apply to your algorithm
 //! unchanged.
@@ -54,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 mod comm;
 mod driver;
 mod eval;
@@ -64,6 +72,7 @@ mod participation;
 mod simclock;
 mod training;
 
+pub use codec::{CodecError, CodecSpec, PayloadCodec};
 pub use comm::CommTracker;
 pub use driver::{
     ErasedSimulation, FederatedAlgorithm, RoundContext, SimConfig, Simulation, SimulationBuilder,

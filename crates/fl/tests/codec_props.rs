@@ -1,0 +1,207 @@
+//! Property-based tests of the wire-format payload codecs, via the
+//! vendored proptest shim: the [`PayloadCodec`] contract holds for
+//! arbitrary tensor shapes (empty, scalar, 1-element, multi-dimensional)
+//! and arbitrary finite values.
+//!
+//! The properties (the codec module's documented contract):
+//! * `Raw` round-trips bit-exactly;
+//! * `QuantQ8`/`QuantQ4` bound per-element error by `scale/2` and are
+//!   exact on constant tensors;
+//! * `TopK` decoding is idempotent and keeps exactly the `k` largest
+//!   magnitudes;
+//! * every codec's `wire_bytes` equals `encode(..).len()`, exactly.
+
+use fedzkt_fl::{CodecSpec, PayloadCodec};
+use fedzkt_nn::StateDict;
+use fedzkt_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic value fill (SplitMix64 → roughly centered floats), so a
+/// generated `(dims, seed)` pair fully determines a tensor.
+fn tensor_from_seed(dims: &[usize], seed: u64) -> Tensor {
+    let n: usize = dims.iter().product();
+    let mut state = seed;
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let unit = ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            ((unit - 0.5) * 64.0) as f32
+        })
+        .collect();
+    Tensor::from_vec(data, dims).unwrap()
+}
+
+/// Finite min/max over a slice (the quantizer's range).
+fn range(data: &[f32]) -> (f32, f32) {
+    data.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+const ALL: [CodecSpec; 6] = [
+    CodecSpec::Raw,
+    CodecSpec::QuantQ8,
+    CodecSpec::QuantQ4,
+    CodecSpec::TopK { density: 0.05 },
+    CodecSpec::TopK { density: 0.5 },
+    CodecSpec::TopK { density: 1.0 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Raw round-trips bit-exactly for arbitrary shapes, including empty
+    /// (a zero dimension), scalar (`[]`), and 1-element tensors, split
+    /// arbitrarily between params and buffers.
+    #[test]
+    fn raw_roundtrips_bit_exactly(
+        shapes in proptest::collection::vec(proptest::collection::vec(0usize..5, 0..=3), 0..=4),
+        n_params in 0usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let tensors: Vec<Tensor> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, dims)| tensor_from_seed(dims, seed.wrapping_add(i as u64)))
+            .collect();
+        let split = n_params.min(tensors.len());
+        let (params, buffers) = {
+            let mut it = tensors.into_iter();
+            let params: Vec<Tensor> = (&mut it).take(split).collect();
+            (params, it.collect::<Vec<Tensor>>())
+        };
+        let sd = StateDict { params, buffers };
+        let codec = CodecSpec::Raw;
+        let back = codec.decode(&codec.encode(&sd)).unwrap();
+        prop_assert_eq!(back.params.len(), sd.params.len());
+        prop_assert_eq!(back.buffers.len(), sd.buffers.len());
+        for (a, b) in sd.iter_tensors().zip(back.iter_tensors()) {
+            prop_assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// The quantizers' round-trip error is bounded by scale/2 per element
+    /// (scale = finite range / levels), for arbitrary shapes and values.
+    #[test]
+    fn quantizers_bound_roundtrip_error(
+        dims in proptest::collection::vec(1usize..6, 0..=3),
+        seed in 0u64..1_000_000,
+    ) {
+        let t = tensor_from_seed(&dims, seed);
+        let data = t.data().to_vec();
+        let sd = StateDict { params: vec![t], buffers: Vec::new() };
+        for (codec, levels) in [(CodecSpec::QuantQ8, 255.0f64), (CodecSpec::QuantQ4, 15.0)] {
+            let back = codec.decode(&codec.encode(&sd)).unwrap();
+            let (min, max) = range(&data);
+            // Empty and 1-element tensors have a degenerate (zero) range.
+            let scale = if data.len() < 2 { 0.0 } else { ((max as f64 - min as f64) / levels) as f32 };
+            // A hair of slack for the f32 reconstruction arithmetic.
+            let bound = scale * 0.5 + scale * 1e-4 + 1e-6;
+            for (x, y) in data.iter().zip(back.params[0].data()) {
+                prop_assert!(
+                    (x - y).abs() <= bound,
+                    "{:?}: |{} - {}| = {} > {}", codec, x, y, (x - y).abs(), bound
+                );
+            }
+        }
+    }
+
+    /// Constant tensors survive quantization exactly: the range collapses,
+    /// the scale is zero, and every element decodes to the constant.
+    #[test]
+    fn quantizers_are_exact_on_constant_tensors(
+        n in 1usize..40,
+        value in -1000.0f32..1000.0,
+    ) {
+        let sd = StateDict { params: vec![Tensor::full(&[n], value)], buffers: Vec::new() };
+        for codec in [CodecSpec::QuantQ8, CodecSpec::QuantQ4] {
+            let back = codec.decode(&codec.encode(&sd)).unwrap();
+            for y in back.params[0].data() {
+                prop_assert_eq!(*y, value, "{:?}", codec);
+            }
+        }
+    }
+
+    /// TopK decode is idempotent — re-encoding a decoded payload selects
+    /// the same survivors, bit for bit — and what survives is exactly the
+    /// k largest magnitudes: no dropped element outranks a kept one.
+    #[test]
+    fn topk_is_idempotent_and_keeps_the_largest(
+        dims in proptest::collection::vec(1usize..6, 1..=3),
+        seed in 0u64..1_000_000,
+        density in 0.01f32..1.0,
+    ) {
+        let codec = CodecSpec::TopK { density };
+        let t = tensor_from_seed(&dims, seed);
+        let original = t.data().to_vec();
+        let sd = StateDict { params: vec![t], buffers: Vec::new() };
+        let once = codec.decode(&codec.encode(&sd)).unwrap();
+        let twice = codec.decode(&codec.encode(&once)).unwrap();
+        for (a, b) in once.params[0].data().iter().zip(twice.params[0].data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "decode is not idempotent");
+        }
+        // Survivor analysis against the original values.
+        let decoded = once.params[0].data();
+        let kept: Vec<usize> = (0..original.len()).filter(|&i| decoded[i] != 0.0).collect();
+        let dropped_max = (0..original.len())
+            .filter(|i| !kept.contains(i))
+            .map(|i| original[i].abs())
+            .fold(0.0f32, f32::max);
+        for &i in &kept {
+            prop_assert_eq!(decoded[i].to_bits(), original[i].to_bits(), "kept values are verbatim");
+            prop_assert!(
+                original[i].abs() >= dropped_max,
+                "kept |{}| < dropped max |{}|", original[i], dropped_max
+            );
+        }
+        // Kept exactly ⌈density·n⌉ elements — modulo original zeros, which
+        // are indistinguishable from dropped positions after decode.
+        let n = original.len();
+        let k = ((density as f64 * n as f64).ceil() as usize).clamp(1, n);
+        let zero_originals = original.iter().filter(|v| **v == 0.0).count();
+        prop_assert!(kept.len() <= k && kept.len() + zero_originals >= k);
+    }
+
+    /// Every codec's `wire_bytes` equals `encode(..).len()` exactly, for
+    /// arbitrary shapes (the accounting the simulator trusts).
+    #[test]
+    fn wire_bytes_equals_encoded_length(
+        shapes in proptest::collection::vec(proptest::collection::vec(0usize..6, 0..=3), 0..=3),
+        seed in 0u64..1_000_000,
+    ) {
+        let tensors: Vec<Tensor> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, dims)| tensor_from_seed(dims, seed.wrapping_add(i as u64)))
+            .collect();
+        let sd = StateDict { params: tensors, buffers: Vec::new() };
+        for codec in ALL {
+            prop_assert_eq!(
+                codec.encode(&sd).len(),
+                codec.wire_bytes(&sd),
+                "{:?}", codec
+            );
+        }
+    }
+
+    /// Encoding is a pure function: byte-identical across invocations.
+    #[test]
+    fn encoding_is_deterministic(
+        dims in proptest::collection::vec(0usize..6, 0..=3),
+        seed in 0u64..1_000_000,
+    ) {
+        let sd = StateDict {
+            params: vec![tensor_from_seed(&dims, seed)],
+            buffers: vec![tensor_from_seed(&dims, seed.wrapping_add(7))],
+        };
+        for codec in ALL {
+            prop_assert_eq!(codec.encode(&sd), codec.encode(&sd), "{:?}", codec);
+        }
+    }
+}

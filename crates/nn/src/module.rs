@@ -31,6 +31,11 @@ impl Buffer {
         self.inner.borrow().len()
     }
 
+    /// Shape of the held tensor, without cloning its data.
+    pub fn shape(&self) -> Vec<usize> {
+        self.inner.borrow().shape().to_vec()
+    }
+
     /// Whether the buffer holds no values.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -103,14 +108,21 @@ pub struct StateDict {
 }
 
 impl StateDict {
-    /// Total number of f32 values (parameters + buffers).
-    pub fn value_count(&self) -> usize {
-        self.params.iter().map(Tensor::len).sum::<usize>()
-            + self.buffers.iter().map(Tensor::len).sum::<usize>()
+    /// All tensors in transfer order: parameters first, then buffers —
+    /// the canonical iteration every wire codec encodes and decodes in.
+    pub fn iter_tensors(&self) -> impl Iterator<Item = &Tensor> {
+        self.params.iter().chain(self.buffers.iter())
     }
 
-    /// Bytes needed to transmit this state dict as raw f32s — the paper's
-    /// notion of per-round communication cost.
+    /// Total number of f32 values (parameters + buffers).
+    pub fn value_count(&self) -> usize {
+        self.iter_tensors().map(Tensor::len).sum()
+    }
+
+    /// Bytes this state dict occupies as **raw uncompressed** f32s. This
+    /// is a size, not a traffic count: what a round actually ships is the
+    /// codec-encoded form, and all communication accounting reads the
+    /// encoded wire size (`fedzkt_fl::codec`).
     pub fn byte_size(&self) -> usize {
         self.value_count() * std::mem::size_of::<f32>()
     }
@@ -177,10 +189,12 @@ pub fn param_bytes(module: &dyn Module) -> usize {
     param_count(module) * std::mem::size_of::<f32>()
 }
 
-/// Bytes of the full transferable state (parameters **and** buffers) —
-/// exactly [`StateDict::byte_size`] of [`state_dict`]`(module)`, but
-/// computed without materialising the snapshot. This is the per-round
-/// communication cost accounting reads every round.
+/// Bytes of the full transferable state (parameters **and** buffers) as
+/// **raw uncompressed** f32s — exactly [`StateDict::byte_size`] of
+/// [`state_dict`]`(module)`, but computed without materialising the
+/// snapshot. Like `byte_size`, this is a size, not a traffic count:
+/// per-round communication accounting goes through the wire codec
+/// (`fedzkt_fl::codec`), which reports the *encoded* payload size.
 pub fn state_bytes(module: &dyn Module) -> usize {
     let values = module.params().iter().map(|p| p.value().len()).sum::<usize>()
         + module.buffers().iter().map(Buffer::len).sum::<usize>();

@@ -16,10 +16,19 @@
 //! thread count.
 
 use fedzkt_data::Partition;
+use fedzkt_fl::CodecSpec;
 use fedzkt_scenario::{presets, resolve, standard_zoo, Scenario, ScenarioError};
 use fedzkt_tensor::par;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Human-readable codec label for `describe` and cell tables.
+fn codec_label(codec: &CodecSpec) -> String {
+    match *codec {
+        CodecSpec::TopK { density } => format!("topk(density {density})"),
+        other => other.name().to_string(),
+    }
+}
 
 const USAGE: &str = "\
 usage: scenarios <subcommand> [options]
@@ -34,6 +43,7 @@ run/sweep options:
   --out DIR          artifact directory (default target/scenarios)
   --threads N        worker threads (0 = FEDZKT_THREADS / all cores)
   --seed N           override the scenario's master seed (run only)
+  --codec C          override the wire codec: raw|q8|q4|topk[:density] (run only)
 
 sweep axes (comma-separated values; absent axes keep the base value):
   --seeds 1,2,3      master seeds
@@ -42,6 +52,7 @@ sweep axes (comma-separated values; absent axes keep the base value):
   --participations 0.2,1.0
   --devices 5,10     device counts (re-cycles the zoo)
   --zoos small,cifar paper zoo families
+  --codecs raw,q8,q4,topk:0.1   wire codecs
 ";
 
 fn main() -> ExitCode {
@@ -108,9 +119,21 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
         println!("  {:<22} x{count}", spec.name());
     }
     match &scenario.resources {
-        Some(r) => println!("resources:  attached (+{}s server time per round)", r.server_seconds),
+        Some(r) => {
+            let links = match r.bandwidth {
+                Some(bw) => {
+                    format!(", links {}/{} B/s up/down", bw.up_bytes_per_sec, bw.down_bytes_per_sec)
+                }
+                None => String::new(),
+            };
+            println!(
+                "resources:  attached (+{}s server time per round{links})",
+                r.server_seconds
+            );
+        }
         None => println!("resources:  none (no simulated clock)"),
     }
+    println!("codec:      {}", codec_label(&scenario.sim.codec));
     println!(
         "protocol:   {} rounds, participation {}, seed {}, threads {}",
         scenario.sim.rounds, scenario.sim.participation, scenario.sim.seed, scenario.sim.threads
@@ -125,6 +148,7 @@ struct RunOptions {
     out_dir: PathBuf,
     threads: Option<usize>,
     seed: Option<u64>,
+    codec: Option<CodecSpec>,
     rest: Vec<(String, String)>,
 }
 
@@ -133,6 +157,7 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
         out_dir: PathBuf::from("target/scenarios"),
         threads: None,
         seed: None,
+        codec: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -151,6 +176,9 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
             "--seed" => {
                 opts.seed =
                     Some(value.parse().map_err(|_| format!("--seed: bad seed \"{value}\""))?);
+            }
+            "--codec" => {
+                opts.codec = Some(CodecSpec::parse(&value).map_err(|e| format!("--codec: {e}"))?);
             }
             other => opts.rest.push((other.to_string(), value)),
         }
@@ -178,12 +206,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(seed) = opts.seed {
         scenario.sim.seed = seed;
     }
+    if let Some(codec) = opts.codec {
+        scenario.sim.codec = codec;
+    }
     println!(
-        "running {} ({}, {} rounds, seed {})",
+        "running {} ({}, {} rounds, seed {}, codec {})",
         scenario.name,
         scenario.algorithm.name(),
         scenario.sim.rounds,
-        scenario.sim.seed
+        scenario.sim.seed,
+        codec_label(&scenario.sim.codec)
     );
     println!("{:>6} {:>9} {:>11} {:>12} {:>10}", "round", "avg-acc", "train-loss", "uplink-KiB", "sim-time");
     let log = scenario
@@ -237,6 +269,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if opts.seed.is_some() {
         return Err("--seed is a run option; sweep over seeds with --seeds a,b,c".into());
     }
+    if opts.codec.is_some() {
+        return Err("--codec is a run option; sweep over codecs with --codecs a,b,c".into());
+    }
 
     let mut seeds: Vec<u64> = Vec::new();
     let mut betas: Vec<f32> = Vec::new();
@@ -244,6 +279,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut participations: Vec<f32> = Vec::new();
     let mut devices: Vec<usize> = Vec::new();
     let mut zoos: Vec<String> = Vec::new();
+    let mut codecs: Vec<CodecSpec> = Vec::new();
     for (flag, value) in &opts.rest {
         match flag.as_str() {
             "--seeds" => seeds = parse_list(flag, value)?,
@@ -252,6 +288,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "--participations" => participations = parse_list(flag, value)?,
             "--devices" => devices = parse_list(flag, value)?,
             "--zoos" => zoos = parse_list(flag, value)?,
+            "--codecs" => {
+                codecs = value
+                    .split(',')
+                    .map(|item| CodecSpec::parse(item.trim()).map_err(|e| format!("--codecs: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
             other => return Err(format!("unknown sweep axis {other}\n{USAGE}")),
         }
     }
@@ -292,6 +334,18 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             sc.zoo = standard_zoo(family, sc.devices());
         },
     );
+    cells = expand(
+        cells,
+        &codecs,
+        |codec| {
+            // File-safe suffix (the cell name becomes the artifact name).
+            match *codec {
+                CodecSpec::TopK { density } => format!("ctopk{density}"),
+                other => format!("c{}", other.name()),
+            }
+        },
+        |sc, &codec| sc.sim.codec = codec,
+    );
     for zoo in &zoos {
         if zoo != "small" && zoo != "cifar" {
             return Err(format!("--zoos: unknown zoo \"{zoo}\" (small|cifar)"));
@@ -319,25 +373,35 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     // the realized labels) must not discard the rest of the grid: write
     // every successful cell's artifacts and the summary first, then report
     // the failures.
-    let mut summary = String::from("cell,algorithm,rounds,final_accuracy,best_accuracy,error\n");
+    let mut summary = String::from(
+        "cell,algorithm,codec,rounds,final_accuracy,best_accuracy,upload_bytes,download_bytes,sim_seconds,error\n",
+    );
     let mut failures = Vec::new();
-    println!("{:<44} {:>10} {:>10}", "cell", "final", "best");
+    println!("{:<44} {:>10} {:>10} {:>12}", "cell", "final", "best", "uplink-KiB");
     for (cell, result) in cells.iter().zip(results) {
         match result {
             Ok(log) => {
+                let upload: u64 = log.rounds.iter().map(|r| r.upload_bytes).sum();
+                let download: u64 = log.rounds.iter().map(|r| r.download_bytes).sum();
+                let sim_seconds: f64 = log.rounds.iter().map(|r| r.sim_seconds).sum();
                 println!(
-                    "{:<44} {:>9.2}% {:>9.2}%",
+                    "{:<44} {:>9.2}% {:>9.2}% {:>12.1}",
                     cell.name,
                     100.0 * log.final_accuracy(),
-                    100.0 * log.best_accuracy()
+                    100.0 * log.best_accuracy(),
+                    upload as f64 / 1024.0
                 );
                 summary.push_str(&format!(
-                    "{},{},{},{:.4},{:.4},\n",
+                    "{},{},{},{},{:.4},{:.4},{},{},{:.2},\n",
                     cell.name,
                     cell.algorithm.name(),
+                    codec_label(&cell.sim.codec),
                     log.rounds.len(),
                     log.final_accuracy(),
-                    log.best_accuracy()
+                    log.best_accuracy(),
+                    upload,
+                    download,
+                    sim_seconds
                 ));
                 // An artifact I/O error for one cell (disk full, permission
                 // flip) is a failure of that cell, not of the whole sweep.
@@ -346,11 +410,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 }
             }
             Err(e) => {
-                println!("{:<44} {:>10} {:>10}", cell.name, "FAILED", "");
+                println!("{:<44} {:>10} {:>10} {:>12}", cell.name, "FAILED", "", "");
                 summary.push_str(&format!(
-                    "{},{},0,,,\"{e}\"\n",
+                    "{},{},{},0,,,,,,\"{e}\"\n",
                     cell.name,
                     cell.algorithm.name(),
+                    codec_label(&cell.sim.codec),
                 ));
                 failures.push(format!("{}: {e}", cell.name));
             }

@@ -30,11 +30,16 @@
 //! * [`Scenario::zoo`] — `(architecture, count)` pairs; the paper's core
 //!   premise is that these need not agree across devices.
 //! * [`Scenario::resources`] — optional simulated hardware
-//!   ([`ResourceSpec`]); attaching it populates `sim_seconds` in the log.
+//!   ([`ResourceSpec`]); attaching it populates `sim_seconds` in the log,
+//!   including transfer time for the codec-encoded payloads over each
+//!   device's links (optionally pinned by a [`LinkBandwidth`] override,
+//!   where `+∞` spells an unlimited link).
 //! * [`Scenario::algorithm`] — [`Algo`]: FedZKT, FedAvg, FedProx or FedMD
 //!   with their hyperparameters.
 //! * [`Scenario::sim`] — the protocol knobs every algorithm shares
-//!   ([`SimConfig`](fedzkt_fl::SimConfig)).
+//!   ([`SimConfig`](fedzkt_fl::SimConfig)), including the wire-format
+//!   codec ([`CodecSpec`](fedzkt_fl::CodecSpec)) every payload passes
+//!   through.
 //!
 //! Degenerate descriptions (empty zoo, more devices than samples, a
 //! quantity skew asking for more classes than exist…) are rejected by
@@ -60,9 +65,10 @@
 //! * `list` — the preset registry;
 //! * `describe <name|file> [--json]` — summary or canonical JSON;
 //! * `run <name|file>` — execute, writing `<name>.csv` + `<name>.json`
-//!   artifacts;
-//! * `sweep <name|file> --seeds 1,2 --betas 0.1,0.5 …` — expand grid axes
-//!   into child scenarios and execute them fleet-parallel.
+//!   artifacts (`--codec q8` overrides the wire format for one run);
+//! * `sweep <name|file> --seeds 1,2 --codecs raw,q8,q4,topk:0.1 …` —
+//!   expand grid axes into child scenarios and execute them
+//!   fleet-parallel.
 
 #![warn(missing_docs)]
 
@@ -75,7 +81,9 @@ pub use error::ScenarioError;
 pub use registry::{
     fedmd_public_family, preset, presets, resolve, standard_zoo, Preset, Scale, Tier,
 };
-pub use spec::{Algo, DataSpec, Materialized, ResourceAssignment, ResourceSpec, Scenario};
+pub use spec::{
+    Algo, DataSpec, LinkBandwidth, Materialized, ResourceAssignment, ResourceSpec, Scenario,
+};
 
 #[cfg(test)]
 mod tests {
@@ -184,9 +192,76 @@ mod tests {
             assignment: ResourceAssignment::Explicit(vec![
                 fedzkt_fl::DeviceResources::smartphone(),
             ]),
+            bandwidth: None,
             server_seconds: 0.0,
         });
         assert!(matches!(sc.validate(), Err(ScenarioError::InvalidResources(_))));
+    }
+
+    #[test]
+    fn malformed_codec_is_a_typed_error() {
+        use fedzkt_fl::CodecSpec;
+        for density in [0.0f32, -0.5, 1.5, f32::NAN] {
+            let mut sc = base();
+            sc.sim.codec = CodecSpec::TopK { density };
+            assert!(
+                matches!(sc.validate(), Err(ScenarioError::InvalidSim(_))),
+                "density {density}"
+            );
+        }
+        let mut sc = base();
+        sc.sim.codec = CodecSpec::TopK { density: 0.5 };
+        sc.validate().unwrap();
+    }
+
+    #[test]
+    fn malformed_bandwidth_is_a_typed_error() {
+        let with_bw = |up: f32, down: f32| {
+            let mut sc = base();
+            sc.resources = Some(ResourceSpec {
+                assignment: ResourceAssignment::Smartphone,
+                bandwidth: Some(LinkBandwidth { up_bytes_per_sec: up, down_bytes_per_sec: down }),
+                server_seconds: 0.0,
+            });
+            sc
+        };
+        for (up, down) in [(0.0f32, 1e5), (1e5, -1.0), (f32::NAN, 1e5), (1e5, f32::NEG_INFINITY)]
+        {
+            assert!(
+                matches!(with_bw(up, down).validate(), Err(ScenarioError::InvalidResources(_))),
+                "({up}, {down})"
+            );
+        }
+        // +inf is the documented unlimited-link spelling, and it survives
+        // a save/load cycle as such (serialized as null).
+        let sc = with_bw(f32::INFINITY, 4e6);
+        sc.validate().unwrap();
+        let back = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(back, sc);
+        back.validate().unwrap();
+    }
+
+    /// Satellite regression for the raw-f32 accounting bug: the reported
+    /// traffic must be the *codec wire size*, so int8 quantization shows
+    /// up as ≈¼ the raw traffic on the same scenario — in the RunLog and
+    /// therefore in every artifact derived from it.
+    #[test]
+    fn quant_q8_traffic_is_about_a_quarter_of_raw_on_tiny() {
+        use fedzkt_fl::CodecSpec;
+        let mut sc = base();
+        sc.sim.rounds = 1;
+        let raw = sc.run().unwrap();
+        sc.sim.codec = CodecSpec::QuantQ8;
+        let q8 = sc.run().unwrap();
+        let ratio = raw.rounds[0].upload_bytes as f64 / q8.rounds[0].upload_bytes as f64;
+        assert!(
+            (3.2..=4.0).contains(&ratio),
+            "expected ≈4× uplink shrink under q8, got {ratio:.2} ({} vs {} bytes)",
+            raw.rounds[0].upload_bytes,
+            q8.rounds[0].upload_bytes
+        );
+        let down_ratio = raw.rounds[0].download_bytes as f64 / q8.rounds[0].download_bytes as f64;
+        assert!((3.2..=4.0).contains(&down_ratio), "downlink ratio {down_ratio:.2}");
     }
 
     #[test]

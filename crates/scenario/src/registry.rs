@@ -8,10 +8,12 @@
 //! sweeps) derives its scenarios from here or from the [`presets`] built on
 //! top, instead of hand-wiring datasets and configs.
 
-use crate::{Algo, DataSpec, ResourceAssignment, ResourceSpec, Scenario, ScenarioError};
+use crate::{
+    Algo, DataSpec, LinkBandwidth, ResourceAssignment, ResourceSpec, Scenario, ScenarioError,
+};
 use fedzkt_core::{FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
-use fedzkt_fl::{FedAvgConfig, SimConfig};
+use fedzkt_fl::{CodecSpec, FedAvgConfig, SimConfig};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
 /// Workload tier: how much compute an experiment spends.
@@ -286,6 +288,7 @@ fn hetero_cifar() -> Scenario {
     sc.sim.rounds = 6;
     sc.resources = Some(ResourceSpec {
         assignment: ResourceAssignment::Heterogeneous { seed: 11 },
+        bandwidth: None,
         server_seconds: 1.0,
     });
     sc
@@ -297,6 +300,7 @@ fn straggler() -> Scenario {
     sc.sim.participation = 0.6;
     sc.resources = Some(ResourceSpec {
         assignment: ResourceAssignment::Heterogeneous { seed: 5 },
+        bandwidth: None,
         server_seconds: 1.0,
     });
     sc
@@ -333,6 +337,38 @@ fn fedprox_noniid() -> Scenario {
 fn fedmd_public() -> Scenario {
     let sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Quick, 2);
     sc.fedmd_counterpart(Tier::Quick, fedmd_public_family(DataFamily::MnistLike))
+}
+
+fn quant_uplink() -> Scenario {
+    // Seconds-scale on purpose: this is the codec path's determinism and
+    // CI workhorse (the quantized analogue of `tiny`). Smartphone-class
+    // links are uniform, so transfer time is wholly payload-driven and a
+    // codec change moves `sim_seconds` visibly.
+    let mut sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 17);
+    sc.sim.codec = CodecSpec::QuantQ8;
+    sc.resources = Some(ResourceSpec {
+        assignment: ResourceAssignment::Smartphone,
+        bandwidth: None,
+        server_seconds: 0.5,
+    });
+    sc
+}
+
+fn lowband_straggler() -> Scenario {
+    // The straggler preset under harsh links: a uniform 20 kB/s up /
+    // 100 kB/s down override dominates the round time, and top-k
+    // sparsification (25% density) is what keeps the uplink usable —
+    // Fed-ET-style per-client communication budgets in miniature.
+    let mut sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Quick, 5);
+    sc.sim.rounds = 6;
+    sc.sim.participation = 0.6;
+    sc.sim.codec = CodecSpec::TopK { density: 0.25 };
+    sc.resources = Some(ResourceSpec {
+        assignment: ResourceAssignment::Heterogeneous { seed: 5 },
+        bandwidth: Some(LinkBandwidth { up_bytes_per_sec: 2e4, down_bytes_per_sec: 1e5 }),
+        server_seconds: 1.0,
+    });
+    sc
 }
 
 fn paper_small() -> Scenario {
@@ -394,6 +430,18 @@ pub fn presets() -> Vec<Preset> {
             about: "FedMD baseline: MNIST-like private data, FASHION-like public corpus",
             paper_scale: false,
             build: fedmd_public,
+        },
+        Preset {
+            name: "quant-uplink",
+            about: "tiny MNIST run with int8-quantized payloads and smartphone links (codec CI anchor)",
+            paper_scale: false,
+            build: quant_uplink,
+        },
+        Preset {
+            name: "lowband-straggler",
+            about: "straggler run on 20 kB/s uplinks with top-k(0.25) sparsified payloads",
+            paper_scale: false,
+            build: lowband_straggler,
         },
         Preset {
             name: "paper-small",

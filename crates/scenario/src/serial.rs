@@ -8,12 +8,12 @@
 //! preset files *golden*: `parse → to_json` reproduces them byte for byte.
 
 use crate::{
-    Algo, DataSpec, ResourceAssignment, ResourceSpec, Scenario, ScenarioError,
+    Algo, DataSpec, LinkBandwidth, ResourceAssignment, ResourceSpec, Scenario, ScenarioError,
 };
 use fedzkt_core::{DistillLoss, FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
 use fedzkt_fl::json::{self, Value};
-use fedzkt_fl::{DeviceResources, FedAvgConfig, SimConfig};
+use fedzkt_fl::{CodecSpec, DeviceResources, FedAvgConfig, SimConfig};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
 /// An owned JSON tree, built by the writer and pretty-printed canonically.
@@ -239,6 +239,26 @@ fn device_resources_j(r: &DeviceResources) -> J {
     ])
 }
 
+/// An unlimited link (`+∞`) serializes as `null`, mirroring the
+/// free-server spelling of `server_samples_per_sec`; other non-finite
+/// values write `-1` so they come back *rejected* rather than unlimited.
+fn link_j(v: f32) -> J {
+    if v == f32::INFINITY {
+        J::Null
+    } else if v.is_finite() {
+        f32j(v)
+    } else {
+        J::Num("-1".into())
+    }
+}
+
+fn bandwidth_j(b: &LinkBandwidth) -> J {
+    J::Obj(vec![
+        ("up_bytes_per_sec", link_j(b.up_bytes_per_sec)),
+        ("down_bytes_per_sec", link_j(b.down_bytes_per_sec)),
+    ])
+}
+
 fn resources_j(r: &ResourceSpec) -> J {
     let assignment = J::Obj(match &r.assignment {
         ResourceAssignment::Smartphone => vec![("kind", sj("smartphone"))],
@@ -251,7 +271,22 @@ fn resources_j(r: &ResourceSpec) -> J {
             ("devices", J::Arr(list.iter().map(device_resources_j).collect())),
         ],
     });
-    J::Obj(vec![("assignment", assignment), ("server_seconds", f64j(r.server_seconds))])
+    J::Obj(vec![
+        ("assignment", assignment),
+        ("bandwidth", r.bandwidth.as_ref().map_or(J::Null, bandwidth_j)),
+        ("server_seconds", f64j(r.server_seconds)),
+    ])
+}
+
+fn codec_j(c: &CodecSpec) -> J {
+    J::Obj(match *c {
+        CodecSpec::Raw => vec![("kind", sj("raw"))],
+        CodecSpec::QuantQ8 => vec![("kind", sj("quant_q8"))],
+        CodecSpec::QuantQ4 => vec![("kind", sj("quant_q4"))],
+        CodecSpec::TopK { density } => {
+            vec![("kind", sj("top_k")), ("density", f32j(density))]
+        }
+    })
 }
 
 fn algo_j(a: &Algo) -> J {
@@ -275,6 +310,7 @@ fn sim_j(s: &SimConfig) -> J {
         ("eval_every", us(s.eval_every)),
         ("seed", u64j(s.seed)),
         ("threads", us(s.threads)),
+        ("codec", codec_j(&s.codec)),
     ])
 }
 
@@ -416,6 +452,22 @@ fn device_resources_from(v: &Value) -> Result<DeviceResources, String> {
     })
 }
 
+/// `null` reads back as the unlimited-link spelling (`+∞`), inverting
+/// [`link_j`].
+fn link_f(v: &Value, key: &str) -> Result<f32, String> {
+    match req(v, key)? {
+        Value::Null => Ok(f32::INFINITY),
+        _ => f32_f(v, key),
+    }
+}
+
+fn bandwidth_from(v: &Value) -> Result<LinkBandwidth, String> {
+    Ok(LinkBandwidth {
+        up_bytes_per_sec: link_f(v, "up_bytes_per_sec")?,
+        down_bytes_per_sec: link_f(v, "down_bytes_per_sec")?,
+    })
+}
+
 fn resources_from(v: &Value) -> Result<ResourceSpec, String> {
     let assignment = req(v, "assignment")?;
     let assignment = match str_f(assignment, "kind")? {
@@ -432,7 +484,22 @@ fn resources_from(v: &Value) -> Result<ResourceSpec, String> {
         ),
         other => return Err(format!("unknown resource assignment \"{other}\"")),
     };
-    Ok(ResourceSpec { assignment, server_seconds: f64_f(v, "server_seconds")? })
+    // Absent (a pre-codec-era file) reads like `null`: no override.
+    let bandwidth = match v.get("bandwidth") {
+        None | Some(Value::Null) => None,
+        Some(other) => Some(bandwidth_from(other)?),
+    };
+    Ok(ResourceSpec { assignment, bandwidth, server_seconds: f64_f(v, "server_seconds")? })
+}
+
+fn codec_from(v: &Value) -> Result<CodecSpec, String> {
+    Ok(match str_f(v, "kind")? {
+        "raw" => CodecSpec::Raw,
+        "quant_q8" => CodecSpec::QuantQ8,
+        "quant_q4" => CodecSpec::QuantQ4,
+        "top_k" => CodecSpec::TopK { density: f32_f(v, "density")? },
+        other => return Err(format!("unknown codec kind \"{other}\"")),
+    })
 }
 
 fn algo_from(v: &Value) -> Result<Algo, String> {
@@ -485,6 +552,12 @@ fn scenario_from(v: &Value) -> Result<Scenario, String> {
             eval_every: usize_f(sim, "eval_every")?,
             seed: u64_f(sim, "seed")?,
             threads: usize_f(sim, "threads")?,
+            // Absent (a pre-codec-era file) means raw — the wire format
+            // those files were written against.
+            codec: match sim.get("codec") {
+                None => CodecSpec::Raw,
+                Some(v) => codec_from(v)?,
+            },
         },
     })
 }
@@ -596,6 +669,23 @@ mod tests {
         assert!(json.contains("\"server_samples_per_sec\": null"), "{json}");
         let back = Scenario::from_json(&json).unwrap();
         assert_eq!(scenario, back);
+    }
+
+    #[test]
+    fn pre_codec_era_files_parse_with_defaults() {
+        // A scenario file written before the wire-format layer has no
+        // `sim.codec` and no `resources.bandwidth`; it must keep loading,
+        // defaulting to the raw codec and no link override.
+        let mut sc = crate::preset("straggler").expect("preset with resources");
+        sc.sim.codec = fedzkt_fl::CodecSpec::Raw;
+        sc.resources.as_mut().unwrap().bandwidth = None;
+        let legacy = sc
+            .to_json()
+            .replace(",\n    \"codec\": {\n      \"kind\": \"raw\"\n    }", "")
+            .replace("    \"bandwidth\": null,\n", "");
+        assert!(!legacy.contains("codec") && !legacy.contains("bandwidth"), "{legacy}");
+        let back = Scenario::from_json(&legacy).expect("legacy schema parses");
+        assert_eq!(back, sc);
     }
 
     #[test]

@@ -72,19 +72,47 @@ pub enum ResourceAssignment {
     Explicit(Vec<DeviceResources>),
 }
 
+/// A uniform link-bandwidth override applied to every device of the
+/// resource population (bytes/second), replacing whatever the assignment
+/// itself would give each device. `f32::INFINITY` spells an *unlimited*
+/// link (transfer time zero — the pre-codec accounting), serialized as
+/// `null`; finite values make `sim_seconds` include real transfer time
+/// for the codec-encoded payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBandwidth {
+    /// Device → server link (bytes/second).
+    pub up_bytes_per_sec: f32,
+    /// Server → device link (bytes/second).
+    pub down_bytes_per_sec: f32,
+}
+
+impl LinkBandwidth {
+    /// Unlimited links in both directions: transfer time is zero no
+    /// matter how many bytes a codec puts on the wire.
+    pub fn unlimited() -> Self {
+        LinkBandwidth {
+            up_bytes_per_sec: f32::INFINITY,
+            down_bytes_per_sec: f32::INFINITY,
+        }
+    }
+}
+
 /// Simulated-time modelling: a resource assignment plus the constant
 /// server-side orchestration latency added to every round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceSpec {
     /// Per-device compute/link capabilities.
     pub assignment: ResourceAssignment,
+    /// Optional uniform link-bandwidth override (`None` keeps each
+    /// device's own link speeds from the assignment).
+    pub bandwidth: Option<LinkBandwidth>,
     /// Constant simulated server seconds added to every round.
     pub server_seconds: f64,
 }
 
 impl ResourceSpec {
     fn population(&self, devices: usize) -> Vec<DeviceResources> {
-        match &self.assignment {
+        let mut population = match &self.assignment {
             ResourceAssignment::Smartphone => vec![DeviceResources::smartphone(); devices],
             ResourceAssignment::Microcontroller => {
                 vec![DeviceResources::microcontroller(); devices]
@@ -93,7 +121,14 @@ impl ResourceSpec {
                 DeviceResources::heterogeneous_population(devices, *seed)
             }
             ResourceAssignment::Explicit(list) => list.clone(),
+        };
+        if let Some(bw) = self.bandwidth {
+            for device in &mut population {
+                device.uplink_bytes_per_sec = bw.up_bytes_per_sec;
+                device.downlink_bytes_per_sec = bw.down_bytes_per_sec;
+            }
         }
+        population
     }
 }
 
@@ -404,12 +439,29 @@ impl Scenario {
         if self.sim.eval_batch == 0 {
             return Err(ScenarioError::InvalidSim("eval_batch must be positive".into()));
         }
+        if !self.sim.codec.is_valid() {
+            return Err(ScenarioError::InvalidSim(format!(
+                "codec {:?} is malformed (top-k density must be finite and in (0, 1])",
+                self.sim.codec
+            )));
+        }
         if let Some(resources) = &self.resources {
             if !resources.server_seconds.is_finite() || resources.server_seconds < 0.0 {
                 return Err(ScenarioError::InvalidResources(format!(
                     "server_seconds {} must be finite and non-negative",
                     resources.server_seconds
                 )));
+            }
+            if let Some(bw) = resources.bandwidth {
+                // +∞ is the documented "unlimited link" spelling; NaN and
+                // non-positive speeds are never meaningful.
+                let link_ok = |v: f32| !v.is_nan() && v > 0.0;
+                if !link_ok(bw.up_bytes_per_sec) || !link_ok(bw.down_bytes_per_sec) {
+                    return Err(ScenarioError::InvalidResources(format!(
+                        "bandwidth override ({}, {}) must be positive (+inf = unlimited)",
+                        bw.up_bytes_per_sec, bw.down_bytes_per_sec
+                    )));
+                }
             }
             if let ResourceAssignment::Explicit(list) = &resources.assignment {
                 if list.len() != devices {

@@ -195,6 +195,34 @@ fn scenario_file_runs_bit_identically_across_thread_counts() {
 }
 
 #[test]
+fn lossy_codec_scenario_runs_bit_identically_across_thread_counts() {
+    let _guard = serial_guard();
+    // The quantized analogue of the tiny-scenario guarantee above: the
+    // checked-in `quant-uplink` preset pushes every payload through the
+    // int8 codec, so this asserts that *lossy* encode/decode — quantized
+    // uploads feeding the distillation game, quantized transfers loaded
+    // back into devices — is bit-deterministic across worker-thread
+    // counts, not just the raw path.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/quant-uplink.json");
+    let mut scenario =
+        fedzkt::scenario::Scenario::load(path).expect("checked-in quant-uplink scenario");
+    assert_eq!(
+        scenario.sim.codec,
+        fedzkt::fl::CodecSpec::QuantQ8,
+        "preset must exercise a lossy codec"
+    );
+    scenario.sim.threads = 1;
+    let one = scenario.run().expect("runnable scenario");
+    scenario.sim.threads = 4;
+    let four = scenario.run().expect("runnable scenario");
+    assert_eq!(one, four, "quant-uplink threads=1 vs threads=4 diverged");
+    assert_bit_identical(&one, &four);
+    assert_eq!(one.to_json(), four.to_json());
+    // The preset attaches smartphone links, so transfer time is charged.
+    assert!(one.rounds.iter().all(|r| r.sim_seconds > 0.0));
+}
+
+#[test]
 fn tensor_kernels_bit_identical_across_thread_counts() {
     let _guard = serial_guard();
     // Above the GEMM parallel threshold (128^3 = 2 MMACs) so the row

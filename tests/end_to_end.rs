@@ -122,6 +122,90 @@ fn runlog_json_roundtrips_from_real_run() {
     assert_eq!(log.to_csv().lines().count(), 1 + back.rounds.len());
 }
 
+/// Acceptance for the wire-format layer, on the `paper-small` scenario
+/// (miniaturized: the zoo, algorithm, partition and data family are the
+/// preset's own — all four codec-relevant payload shapes are the paper
+/// configuration's — while rounds/samples/iterations are scaled down so
+/// the tier-1 suite stays minutes-fast; the uplink ratio is a pure
+/// function of the zoo's tensor shapes, so it is exactly paper-small's):
+///
+/// * int8-quantized payloads report ≥ 3.5× less uplink traffic than raw;
+/// * final accuracy stays within 2 percentage points of the raw run;
+/// * `sim_seconds` strictly increases once links have finite bandwidth
+///   (vs the unlimited-bandwidth spelling of the same resources).
+#[test]
+fn quantized_uplink_on_paper_small_saves_traffic_without_losing_accuracy() {
+    use fedzkt::fl::CodecSpec;
+    use fedzkt::scenario::{preset, LinkBandwidth, ResourceAssignment, ResourceSpec};
+
+    let mut base = preset("paper-small").expect("registry preset");
+    // Miniaturize the scale knobs only; everything the codec sees (the
+    // paper zoo's architectures, and hence every payload's tensor shapes)
+    // is untouched.
+    base.data.img = 8;
+    base.data.train_n = 200;
+    base.data.test_n = 400;
+    base.sim.rounds = 2;
+    base.sim.eval_every = 0; // accuracy is read from the final round only
+    base.set_device_count(5);
+    {
+        let cfg = base.fedzkt_cfg_mut().expect("paper-small runs fedzkt");
+        cfg.local_epochs = 1;
+        cfg.distill_iters = 3;
+        cfg.transfer_iters = 3;
+        cfg.device_batch = 16;
+        cfg.distill_batch = 16;
+        cfg.device_lr = 0.05;
+    }
+
+    let raw = base.run().expect("raw run");
+    let mut quant = base.clone();
+    quant.sim.codec = CodecSpec::QuantQ8;
+    let q8 = quant.run().expect("q8 run");
+
+    let uplink = |log: &fedzkt::fl::RunLog| -> u64 {
+        log.rounds.iter().map(|r| r.upload_bytes).sum()
+    };
+    let ratio = uplink(&raw) as f64 / uplink(&q8) as f64;
+    assert!(
+        ratio >= 3.5,
+        "QuantQ8 must report ≥3.5× less uplink than raw, got {ratio:.2} ({} vs {})",
+        uplink(&raw),
+        uplink(&q8)
+    );
+    let gap = (raw.final_accuracy() - q8.final_accuracy()).abs();
+    assert!(
+        gap <= 0.02,
+        "quantization moved accuracy by {:.2} points (raw {:.4}, q8 {:.4})",
+        100.0 * gap,
+        raw.final_accuracy(),
+        q8.final_accuracy()
+    );
+
+    // Finite links must strictly lengthen the simulated rounds relative to
+    // unlimited links over the *same* population and run.
+    let with_bandwidth = |bw: LinkBandwidth| {
+        let mut sc = quant.clone();
+        sc.sim.rounds = 1;
+        sc.resources = Some(ResourceSpec {
+            assignment: ResourceAssignment::Smartphone,
+            bandwidth: Some(bw),
+            server_seconds: 0.0,
+        });
+        sc.run().expect("clocked run").rounds[0].sim_seconds
+    };
+    let unlimited = with_bandwidth(LinkBandwidth::unlimited());
+    let finite = with_bandwidth(LinkBandwidth {
+        up_bytes_per_sec: 5e4,
+        down_bytes_per_sec: 2e5,
+    });
+    assert!(unlimited > 0.0, "compute time alone keeps the clock moving");
+    assert!(
+        finite > unlimited,
+        "finite bandwidth must add transfer time: {finite} vs {unlimited}"
+    );
+}
+
 #[test]
 fn fedzkt_beats_local_only_on_skewed_data() {
     // With 2 classes per device out of 4, federation must help: each

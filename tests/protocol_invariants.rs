@@ -11,9 +11,19 @@
 
 use fedzkt::core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Dataset, Partition, SynthConfig};
-use fedzkt::fl::{FedAvg, FedAvgConfig, FederatedAlgorithm, SimConfig, Simulation};
+use fedzkt::fl::{
+    CodecSpec, FedAvg, FedAvgConfig, FederatedAlgorithm, PayloadCodec, SimConfig, Simulation,
+};
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 use fedzkt::nn::{param_bytes, state_dict};
+
+/// The full codec grid every trait-level invariant is checked under.
+const CODECS: [CodecSpec; 4] = [
+    CodecSpec::Raw,
+    CodecSpec::QuantQ8,
+    CodecSpec::QuantQ4,
+    CodecSpec::TopK { density: 0.25 },
+];
 
 fn data(seed: u64) -> (Dataset, Dataset) {
     SynthConfig {
@@ -125,20 +135,24 @@ fn assert_stragglers_untouched<A: FederatedAlgorithm>(sim: &mut Simulation<A>) {
     }
 }
 
-/// Trait-level invariant 2: per-round traffic equals the sum of the active
-/// devices' own payload sizes, in both directions — `O(|w_k|)` per device
-/// for the model-exchanging algorithms, logit-sized for FedMD, and never a
-/// function of server-side state.
-fn assert_traffic_is_payload_sized<A: FederatedAlgorithm>(sim: &mut Simulation<A>) {
+/// Trait-level invariant 2: per-round traffic equals the sum of the
+/// active devices' own payloads' **encoded wire sizes** under the run's
+/// codec, in both directions — `O(|w_k|)` per device for the
+/// model-exchanging algorithms, logit-shaped for FedMD, and never a
+/// function of server-side state. (Every codec's wire size is a pure
+/// function of the payload template's shapes, so the expectation is
+/// computable without replaying the round.)
+fn assert_traffic_is_wire_sized<A: FederatedAlgorithm>(sim: &mut Simulation<A>) {
+    let codec = sim.config().codec;
     let metrics = sim.round(0);
     let expected: u64 = metrics
         .active_devices
         .iter()
-        .map(|&k| sim.algorithm().payload_bytes(k) as u64)
+        .map(|&k| codec.wire_bytes(&sim.algorithm().payload_template(k)) as u64)
         .sum();
     assert!(expected > 0, "payloads must be non-trivial");
-    assert_eq!(metrics.upload_bytes, expected, "uplink");
-    assert_eq!(metrics.download_bytes, expected, "downlink");
+    assert_eq!(metrics.upload_bytes, expected, "uplink under {codec:?}");
+    assert_eq!(metrics.download_bytes, expected, "downlink under {codec:?}");
 }
 
 // participation 0.34 of 3 devices → exactly 1 active, 2 stragglers.
@@ -153,6 +167,25 @@ fn full() -> SimConfig {
 #[test]
 fn stragglers_keep_their_stale_models_fedzkt() {
     assert_stragglers_untouched(&mut fedzkt_sim(tiny_cfg(), partial()));
+}
+
+/// Stragglers stay bit-unchanged even when the codec is lossy: the wire
+/// round-trip only ever touches *active* devices, in every algorithm.
+#[test]
+fn stragglers_untouched_under_every_lossy_codec() {
+    for codec in CODECS {
+        assert_stragglers_untouched(&mut fedzkt_sim(
+            tiny_cfg(),
+            SimConfig { codec, ..partial() },
+        ));
+        assert_stragglers_untouched(&mut fedmd_sim(SimConfig { codec, ..partial() }));
+        // FedAvg's shared-model degeneration of the invariant, as above:
+        // one active device must still be able to move the global model.
+        let mut sim = fedavg_sim(SimConfig { codec, ..partial() });
+        let before = state_dict(sim.algorithm().device_model(0));
+        sim.round(0);
+        assert_ne!(state_dict(sim.algorithm().device_model(0)), before, "{codec:?}");
+    }
 }
 
 #[test]
@@ -174,39 +207,63 @@ fn stragglers_keep_their_stale_models_fedmd() {
 }
 
 #[test]
-fn traffic_is_payload_sized_fedzkt() {
-    assert_traffic_is_payload_sized(&mut fedzkt_sim(tiny_cfg(), full()));
-    assert_traffic_is_payload_sized(&mut fedzkt_sim(tiny_cfg(), partial()));
+fn traffic_is_wire_sized_fedzkt() {
+    for codec in CODECS {
+        assert_traffic_is_wire_sized(&mut fedzkt_sim(tiny_cfg(), SimConfig { codec, ..full() }));
+    }
+    assert_traffic_is_wire_sized(&mut fedzkt_sim(tiny_cfg(), partial()));
 }
 
 #[test]
-fn traffic_is_payload_sized_fedavg() {
-    assert_traffic_is_payload_sized(&mut fedavg_sim(full()));
-    assert_traffic_is_payload_sized(&mut fedavg_sim(partial()));
+fn traffic_is_wire_sized_fedavg() {
+    for codec in CODECS {
+        assert_traffic_is_wire_sized(&mut fedavg_sim(SimConfig { codec, ..full() }));
+    }
+    assert_traffic_is_wire_sized(&mut fedavg_sim(partial()));
 }
 
 #[test]
-fn traffic_is_payload_sized_fedmd() {
-    assert_traffic_is_payload_sized(&mut fedmd_sim(full()));
-    assert_traffic_is_payload_sized(&mut fedmd_sim(partial()));
+fn traffic_is_wire_sized_fedmd() {
+    for codec in CODECS {
+        assert_traffic_is_wire_sized(&mut fedmd_sim(SimConfig { codec, ..full() }));
+    }
+    assert_traffic_is_wire_sized(&mut fedmd_sim(partial()));
 }
 
-/// FedZKT's payloads really are state-dict sizes (the `O(|w_k|)` claim in
-/// its concrete form), and FedMD's really are logit-sized — so invariant 2
-/// above is not vacuously true.
+/// The lossy codecs genuinely shrink what the tracker records — the
+/// invariant above is not satisfied by everything reporting raw sizes.
+#[test]
+fn lossy_codecs_record_less_traffic_than_raw() {
+    let uplink = |codec| {
+        fedzkt_sim(tiny_cfg(), SimConfig { codec, ..full() }).round(0).upload_bytes
+    };
+    let raw = uplink(CodecSpec::Raw);
+    for codec in &CODECS[1..] {
+        let lossy = uplink(*codec);
+        // The weakest grid member is top-k at density 0.25 (8 bytes per
+        // kept element ⇒ asymptotically 2×); everything must clear 1.5×.
+        assert!(3 * lossy < 2 * raw, "{codec:?}: {lossy} vs raw {raw}");
+    }
+}
+
+/// FedZKT's payloads really are state-dict shaped (the `O(|w_k|)` claim
+/// in its concrete form), and FedMD's really are logit-shaped — so
+/// invariant 2 above is not vacuously true.
 #[test]
 fn payload_semantics_per_algorithm() {
     let sim = fedzkt_sim(tiny_cfg(), full());
     for k in 0..sim.devices() {
         assert_eq!(
-            sim.algorithm().payload_bytes(k),
+            sim.algorithm().payload_template(k).byte_size(),
             state_dict(sim.algorithm().device_model(k)).byte_size()
         );
     }
     let sim = fedmd_sim(full());
     // 32 alignment samples × 4 classes × 4 bytes, identical for every k.
     for k in 0..sim.devices() {
-        assert_eq!(sim.algorithm().payload_bytes(k), 32 * 4 * 4);
+        let template = sim.algorithm().payload_template(k);
+        assert_eq!(template.byte_size(), 32 * 4 * 4);
+        assert_eq!(template.params[0].shape(), &[32, 4]);
     }
 }
 
