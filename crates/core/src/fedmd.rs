@@ -4,24 +4,35 @@
 //!
 //! FedMD also lets every device choose its own architecture, but transfers
 //! knowledge through a **public dataset**: each round the active devices
-//! share their class scores (logits) on a public subset, the server
-//! averages them into a consensus, and each device *digests* the consensus
-//! before *revisiting* its private data. The quality of the public dataset
-//! is FedMD's Achilles' heel — reproduced here by running it with a
-//! similar-distribution public set (`Cifar100Like`) and a
-//! different-distribution one (`SvhnLike`).
+//! share their class scores (logits) on a public subset, the server folds
+//! them one device at a time into a running consensus, and each device
+//! *digests* the consensus before *revisiting* its private data. The
+//! quality of the public dataset is FedMD's Achilles' heel — reproduced
+//! here by running it with a similar-distribution public set
+//! (`Cifar100Like`) and a different-distribution one (`SvhnLike`).
 //!
 //! Runs under the [`Simulation`](fedzkt_fl::Simulation) driver like the
 //! other algorithms: the transfer-learning warm-up happens lazily, per
 //! device, the first round a device participates (a straggler that never
 //! participates never trains), and the digest/revisit phases execute
 //! device-parallel on the [`train_local_fleet`] worker pool.
+//!
+//! ## Scale model
+//!
+//! Unlike FedZKT, nothing in a FedMD round touches an inactive device:
+//! scoring, digest and revisit all run over the active set, and the
+//! consensus accumulates incrementally. Under
+//! [`Materialization::Lazy`] the fleet therefore stays at
+//! O(active-per-round) resident devices on non-evaluation rounds — only
+//! [`prepare_eval`](FederatedAlgorithm::prepare_eval) materializes
+//! everyone, and end-of-round drops all models back to
+//! [`DeviceRegistry`] summaries. Lazy and eager runs are bit-identical.
 
 use fedzkt_autograd::Var;
 use fedzkt_data::Dataset;
 use fedzkt_fl::{
-    train_local_fleet, DigestConfig, FederatedAlgorithm, FleetJob, LocalTrainConfig, RoundContext,
-    SimConfig,
+    train_local_fleet, DeviceRegistry, DigestConfig, FederatedAlgorithm, FleetJob,
+    LocalTrainConfig, Materialization, RoundContext, SimConfig,
 };
 use fedzkt_models::ModelSpec;
 use fedzkt_nn::{load_state_dict, state_dict, Module, StateDict};
@@ -63,16 +74,26 @@ impl Default for FedMdConfig {
     }
 }
 
-struct MdDevice {
+/// One simulated device: its architecture, and the model itself while the
+/// device is materialized (`None` between rounds in a lazy fleet).
+struct MdSlot {
     spec: ModelSpec,
-    model: Box<dyn Module>,
-    data: Dataset,
-    /// Lazily set the first round this device participates.
-    warmed_up: bool,
-    /// Did the warm-up run in the round currently being accounted? The
-    /// simulated clock reads `local_samples` after the phases, so the
-    /// one-off warm-up compute must be charged to that round.
-    warmed_this_round: bool,
+    model: Option<Box<dyn Module>>,
+}
+
+/// Private shards, stored per the fleet's materialization mode.
+enum MdData {
+    Eager(Vec<Dataset>),
+    Lazy { train: Dataset, index: Vec<Vec<usize>> },
+}
+
+impl MdData {
+    fn shard_len(&self, k: usize) -> usize {
+        match self {
+            MdData::Eager(shards) => shards[k].len(),
+            MdData::Lazy { index, .. } => index[k].len(),
+        }
+    }
 }
 
 /// Alignment state produced by `local_update`, consumed by
@@ -88,7 +109,17 @@ pub struct FedMd {
     cfg: FedMdConfig,
     seed: u64,
     io: (usize, usize, usize),
-    devices: Vec<MdDevice>,
+    mode: Materialization,
+    slots: Vec<MdSlot>,
+    data: MdData,
+    registry: DeviceRegistry,
+    /// Lazily set the first round a device participates. Lives outside the
+    /// slots so it survives a lazy fleet's end-of-round release.
+    warmed_up: Vec<bool>,
+    /// Did the warm-up run in the round currently being accounted? The
+    /// simulated clock reads `local_samples` after the phases, so the
+    /// one-off warm-up compute must be charged to that round.
+    warmed_this_round: Vec<bool>,
     public: Dataset,
     pending: Option<Alignment>,
 }
@@ -97,7 +128,8 @@ impl FedMd {
     /// Build the federation. `public` provides the alignment inputs; its
     /// labels are taken modulo the private class count for the
     /// transfer-learning warm-up (the public task may have more classes,
-    /// e.g. CIFAR-100 vs CIFAR-10). `sim` supplies the run seed.
+    /// e.g. CIFAR-100 vs CIFAR-10). `sim` supplies the run seed and the
+    /// fleet's [`Materialization`] mode.
     ///
     /// # Panics
     /// Panics when `zoo`/`shards` lengths differ or are empty, or when the
@@ -124,23 +156,39 @@ impl FedMd {
             public.labels().iter().map(|&l| l % classes).collect(),
             classes,
         );
-        let devices = zoo
-            .iter()
-            .zip(shards)
-            .enumerate()
-            .map(|(i, (spec, idx))| MdDevice {
-                spec: *spec,
-                model: spec.build(channels, classes, img, split_seed(sim.seed, 200 + i as u64)),
-                data: train.subset(idx),
-                warmed_up: false,
-                warmed_this_round: false,
-            })
-            .collect();
+        let (slots, data, registry) = match sim.materialization {
+            Materialization::Eager => (
+                zoo.iter()
+                    .enumerate()
+                    .map(|(i, spec)| MdSlot {
+                        spec: *spec,
+                        model: Some(spec.build(
+                            channels,
+                            classes,
+                            img,
+                            split_seed(sim.seed, 200 + i as u64),
+                        )),
+                    })
+                    .collect::<Vec<_>>(),
+                MdData::Eager(shards.iter().map(|idx| train.subset(idx)).collect()),
+                DeviceRegistry::eager(zoo.len()),
+            ),
+            Materialization::Lazy => (
+                zoo.iter().map(|spec| MdSlot { spec: *spec, model: None }).collect(),
+                MdData::Lazy { train: train.clone(), index: shards.to_vec() },
+                DeviceRegistry::new(zoo.len()),
+            ),
+        };
         FedMd {
             cfg,
             seed: sim.seed,
             io: (channels, classes, img),
-            devices,
+            mode: sim.materialization,
+            slots,
+            data,
+            registry,
+            warmed_up: vec![false; zoo.len()],
+            warmed_this_round: vec![false; zoo.len()],
             public,
             pending: None,
         }
@@ -153,7 +201,55 @@ impl FedMd {
 
     /// Has device `k` gone through its transfer-learning warm-up yet?
     pub fn warmed_up(&self, k: usize) -> bool {
-        self.devices[k].warmed_up
+        self.warmed_up[k]
+    }
+
+    /// Device `k`'s materialized model.
+    ///
+    /// # Panics
+    /// Panics when the device is not resident — a lifecycle bug, since
+    /// every code path that touches a model materializes it first.
+    fn model(&self, k: usize) -> &dyn Module {
+        self.slots[k].model.as_deref().expect("device model must be resident here")
+    }
+
+    /// Materialize device `k` if it is not already resident: run the same
+    /// seeded build the eager constructor runs, then restore the stored
+    /// summary, if any (the snapshot→rebuild→load round trip is lossless,
+    /// so a rematerialized device is bit-identical to one held eagerly).
+    fn ensure_resident(&mut self, k: usize) {
+        if self.slots[k].model.is_some() {
+            return;
+        }
+        let (channels, classes, img) = self.io;
+        let model =
+            self.slots[k].spec.build(channels, classes, img, split_seed(self.seed, 200 + k as u64));
+        if let Some(summary) = self.registry.take_summary(k) {
+            load_state_dict(model.as_ref(), &summary)
+                .expect("registry summary matches device architecture");
+        }
+        self.slots[k].model = Some(model);
+        self.registry.checkout(k);
+    }
+
+    /// Stage the private shards of `ids` for a lazy fleet's dispatch
+    /// (empty in eager mode, where the shards are held permanently).
+    fn stage_shards(&self, ids: &[usize]) -> Vec<Dataset> {
+        match &self.data {
+            MdData::Eager(_) => Vec::new(),
+            MdData::Lazy { train, index } => {
+                ids.iter().map(|&k| train.subset(&index[k])).collect()
+            }
+        }
+    }
+
+    /// The `i`-th staged shard of `ids` — from the permanent store in
+    /// eager mode, from `staged` in lazy mode.
+    fn shard<'a>(&'a self, staged: &'a [Dataset], ids: &[usize], i: usize) -> &'a Dataset {
+        match &self.data {
+            MdData::Eager(shards) => &shards[ids[i]],
+            MdData::Lazy { .. } => &staged[i],
+        }
     }
 
     /// Transfer-learning warm-up for the not-yet-warmed devices of
@@ -163,15 +259,15 @@ impl FedMd {
     /// round-trip once). Lazy so stragglers that never participate stay
     /// untouched.
     fn warmup(&mut self, active: &[usize], threads: usize) {
-        let cold: Vec<usize> =
-            active.iter().copied().filter(|&k| !self.devices[k].warmed_up).collect();
+        let cold: Vec<usize> = active.iter().copied().filter(|&k| !self.warmed_up[k]).collect();
         if cold.is_empty() {
             return;
         }
+        let staged = self.stage_shards(&cold);
         let jobs: Vec<FleetJob> = cold
             .iter()
-            .map(|&k| {
-                let dev = &self.devices[k];
+            .enumerate()
+            .map(|(i, &k)| {
                 let phase_cfg = |epochs: usize, seed_base: u64| LocalTrainConfig {
                     epochs,
                     batch_size: self.cfg.batch_size,
@@ -181,9 +277,9 @@ impl FedMd {
                     ..Default::default()
                 };
                 FleetJob {
-                    spec: dev.spec,
-                    snapshot: state_dict(dev.model.as_ref()),
-                    data: &dev.data,
+                    spec: self.slots[k].spec,
+                    snapshot: state_dict(self.model(k)),
+                    data: self.shard(&staged, &cold, i),
                     cfg: phase_cfg(self.cfg.private_warmup_epochs, 400),
                     pretrain: Some((&self.public, phase_cfg(self.cfg.public_warmup_epochs, 300))),
                     digest: None,
@@ -194,12 +290,11 @@ impl FedMd {
         let results = train_local_fleet(&jobs, self.io, threads);
         drop(jobs);
         for (&k, (_, sd)) in cold.iter().zip(results) {
-            load_state_dict(self.devices[k].model.as_ref(), &sd)
-                .expect("warmup result matches device architecture");
+            load_state_dict(self.model(k), &sd).expect("warmup result matches device architecture");
         }
         for &k in &cold {
-            self.devices[k].warmed_up = true;
-            self.devices[k].warmed_this_round = true;
+            self.warmed_up[k] = true;
+            self.warmed_this_round[k] = true;
         }
     }
 
@@ -217,15 +312,16 @@ impl FedMd {
 
 impl FederatedAlgorithm for FedMd {
     fn devices(&self) -> usize {
-        self.devices.len()
+        self.slots.len()
     }
 
     /// FedMD steps 1–3: warm up first-time participants, sample the
     /// round's alignment subset, have every active device score it, and
-    /// average the scores into the consensus.
+    /// fold the scores into the consensus one device at a time.
     fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
-        for dev in &mut self.devices {
-            dev.warmed_this_round = false;
+        self.warmed_this_round.iter_mut().for_each(|w| *w = false);
+        for &k in active {
+            self.ensure_resident(k);
         }
         self.warmup(active, ctx.threads());
 
@@ -237,26 +333,30 @@ impl FederatedAlgorithm for FedMd {
         let (align_x, _) = self.public.batch(&indices);
         let align_var = Var::constant(align_x.clone());
 
-        // 2. Communicate: each active device scores the subset and ships
-        // its logits over the wire; the server averages what it *decoded*,
-        // so a lossy codec's error enters the consensus.
-        let mut logits: Vec<Tensor> = Vec::with_capacity(active.len());
+        // 2–3. Communicate and aggregate, streamed: each active device in
+        // turn scores the subset, ships its logits over the wire, and the
+        // server folds the *decoded* copy straight into the running
+        // consensus (lossy-codec error enters it; no per-device logit set
+        // is ever held). The fold accumulates in active order and divides
+        // once at the end — the same op order as a batch average.
+        let mut consensus: Option<Tensor> = None;
         for &k in active {
-            let dev = &self.devices[k];
-            dev.model.set_training(false);
-            let scores = fedzkt_autograd::no_grad(|| dev.model.forward(&align_var).value_clone());
-            dev.model.set_training(true);
+            let model = self.model(k);
+            model.set_training(false);
+            let scores = fedzkt_autograd::no_grad(|| model.forward(&align_var).value_clone());
+            model.set_training(true);
             let (decoded, wire) = ctx.through_wire(&Self::logit_payload(scores));
             ctx.comm.record_upload(k, wire);
-            logits.push(decoded.params.into_iter().next().expect("one logit tensor"));
+            let decoded = decoded.params.into_iter().next().expect("one logit tensor");
+            match &mut consensus {
+                None => consensus = Some(decoded),
+                Some(acc) => {
+                    acc.add_scaled_inplace(&decoded, 1.0).expect("logit shapes");
+                }
+            }
         }
-
-        // 3. Aggregate: consensus = average of active devices' scores.
-        let mut consensus = logits[0].clone();
-        for l in &logits[1..] {
-            consensus.add_scaled_inplace(l, 1.0).expect("logit shapes");
-        }
-        let consensus = consensus.mul_scalar(1.0 / logits.len() as f32);
+        let consensus =
+            consensus.expect("at least one active device").mul_scalar(1.0 / active.len() as f32);
         self.pending = Some(Alignment { inputs: align_x, consensus });
 
         // The loss-bearing device phase (revisit) runs after aggregation;
@@ -274,57 +374,57 @@ impl FederatedAlgorithm for FedMd {
         // device digests the decoded copy and is charged its wire size.
         let (decoded, logit_wire) = ctx.through_wire(&Self::logit_payload(consensus));
         let consensus = decoded.params.into_iter().next().expect("one consensus tensor");
+        let staged = self.stage_shards(active);
         let jobs: Vec<FleetJob> = active
             .iter()
-            .map(|&k| {
-                let dev = &self.devices[k];
-                FleetJob {
-                    spec: dev.spec,
-                    snapshot: state_dict(dev.model.as_ref()),
-                    data: &dev.data,
-                    cfg: LocalTrainConfig {
-                        epochs: self.cfg.revisit_epochs,
-                        batch_size: self.cfg.batch_size,
-                        lr: self.cfg.lr,
-                        momentum: 0.9,
-                        seed: split_seed(self.seed, 700 + (round * 31 + k) as u64),
-                        ..Default::default()
-                    },
-                    pretrain: None,
-                    digest: Some(DigestConfig {
-                        inputs: &inputs,
-                        targets: &consensus,
-                        epochs: self.cfg.digest_epochs,
-                        batch_size: self.cfg.batch_size,
-                        // The digest step matches raw logits with an ℓ1
-                        // loss, whose gradients are much larger than
-                        // cross-entropy's; a fraction of the base learning
-                        // rate keeps it from erasing local features.
-                        lr: self.cfg.lr * 0.2,
-                        seed: split_seed(self.seed, 600 + (round * 31 + k) as u64),
-                    }),
-                    rebuild_seed: split_seed(self.seed, 0xB11D_0000 + (round * 31 + k) as u64),
-                }
+            .enumerate()
+            .map(|(i, &k)| FleetJob {
+                spec: self.slots[k].spec,
+                snapshot: state_dict(self.model(k)),
+                data: self.shard(&staged, active, i),
+                cfg: LocalTrainConfig {
+                    epochs: self.cfg.revisit_epochs,
+                    batch_size: self.cfg.batch_size,
+                    lr: self.cfg.lr,
+                    momentum: 0.9,
+                    seed: split_seed(self.seed, 700 + (round * 31 + k) as u64),
+                    ..Default::default()
+                },
+                pretrain: None,
+                digest: Some(DigestConfig {
+                    inputs: &inputs,
+                    targets: &consensus,
+                    epochs: self.cfg.digest_epochs,
+                    batch_size: self.cfg.batch_size,
+                    // The digest step matches raw logits with an ℓ1
+                    // loss, whose gradients are much larger than
+                    // cross-entropy's; a fraction of the base learning
+                    // rate keeps it from erasing local features.
+                    lr: self.cfg.lr * 0.2,
+                    seed: split_seed(self.seed, 600 + (round * 31 + k) as u64),
+                }),
+                rebuild_seed: split_seed(self.seed, 0xB11D_0000 + (round * 31 + k) as u64),
             })
             .collect();
         let results = train_local_fleet(&jobs, self.io, ctx.threads());
         drop(jobs);
+        drop(staged);
         let mut loss_sum = 0.0f32;
         for (&k, (loss, sd)) in active.iter().zip(results) {
             ctx.comm.record_download(k, logit_wire);
             loss_sum += loss;
-            load_state_dict(self.devices[k].model.as_ref(), &sd)
-                .expect("fleet result matches device architecture");
+            load_state_dict(self.model(k), &sd).expect("fleet result matches device architecture");
         }
         ctx.set_train_loss(loss_sum / active.len().max(1) as f32);
     }
 
     fn device_model(&self, k: usize) -> &dyn Module {
-        self.devices[k].model.as_ref()
+        self.model(k)
     }
 
     /// FedMD's payload is logit-shaped, not model-shaped: the alignment
-    /// subset's class scores.
+    /// subset's class scores. (No device model needed — a lazy fleet
+    /// answers this without materializing anything.)
     fn payload_template(&self, _k: usize) -> StateDict {
         Self::logit_payload(Tensor::zeros(&[self.alignment_len(), self.public.num_classes()]))
     }
@@ -333,20 +433,42 @@ impl FederatedAlgorithm for FedMd {
     /// device's first participating round, the one-off transfer-learning
     /// warm-up it just ran (public + private epochs).
     fn local_samples(&self, k: usize) -> usize {
-        let dev = &self.devices[k];
-        let warmup = if dev.warmed_this_round {
+        let shard = self.data.shard_len(k);
+        let warmup = if self.warmed_this_round[k] {
             self.cfg.public_warmup_epochs * self.public.len()
-                + self.cfg.private_warmup_epochs * dev.data.len()
+                + self.cfg.private_warmup_epochs * shard
         } else {
             0
         };
-        warmup
-            + self.cfg.revisit_epochs * dev.data.len()
-            + self.cfg.digest_epochs * self.alignment_len()
+        warmup + self.cfg.revisit_epochs * shard + self.cfg.digest_epochs * self.alignment_len()
     }
 
     fn construction_seed(&self) -> Option<u64> {
         Some(self.seed)
+    }
+
+    fn registry(&self) -> Option<&DeviceRegistry> {
+        Some(&self.registry)
+    }
+
+    /// Evaluation borrows every device model; nothing else in a FedMD
+    /// round does, so this is the only place a lazy fleet goes beyond
+    /// O(active) resident devices.
+    fn prepare_eval(&mut self) {
+        for k in 0..self.slots.len() {
+            self.ensure_resident(k);
+        }
+    }
+
+    fn end_round(&mut self, _round: usize) {
+        if self.mode.is_lazy() {
+            for k in 0..self.slots.len() {
+                if let Some(model) = self.slots[k].model.take() {
+                    self.registry.store_summary(k, state_dict(model.as_ref()));
+                    self.registry.release(k);
+                }
+            }
+        }
     }
 }
 
@@ -483,5 +605,58 @@ mod tests {
         let mut sim = setup(DataFamily::SvhnLike);
         let log = sim.run();
         assert!(log.final_accuracy().is_finite());
+    }
+
+    #[test]
+    fn lazy_run_is_bit_identical_to_eager() {
+        let run = |mode: Materialization| {
+            let mut sim = setup_with(
+                DataFamily::Cifar100Like,
+                SimConfig {
+                    rounds: 2,
+                    participation: 0.67,
+                    seed: 1,
+                    materialization: mode,
+                    ..Default::default()
+                },
+            );
+            sim.run().to_json()
+        };
+        let mut eager = run(Materialization::Eager);
+        let mut lazy = run(Materialization::Lazy);
+        // The residency gauge is the one *intentionally* mode-dependent
+        // column; every other logged bit must agree.
+        for log in [&mut eager, &mut lazy] {
+            *log = log
+                .split("\"peak_resident_devices\":")
+                .map(|part| match part.find('}') {
+                    Some(i) => &part[i..],
+                    None => part,
+                })
+                .collect();
+        }
+        assert_eq!(eager, lazy, "lazy FedMD diverged from eager");
+    }
+
+    #[test]
+    fn lazy_fleet_stays_at_the_active_count_without_eval() {
+        // 2 of 3 active, evaluation off (and round 0 is not the final
+        // round, which always evaluates): the whole round runs at
+        // O(active) resident devices and ends at zero.
+        let mut sim = setup_with(
+            DataFamily::Cifar100Like,
+            SimConfig {
+                rounds: 2,
+                participation: 0.67,
+                seed: 1,
+                eval_every: 0,
+                materialization: Materialization::Lazy,
+                ..Default::default()
+            },
+        );
+        sim.round(0);
+        let reg = sim.algorithm().registry().expect("fedmd exposes its registry");
+        assert_eq!(reg.resident(), 0);
+        assert_eq!(reg.peak_resident(), 2, "eval off → peak stays at the active count");
     }
 }

@@ -1,13 +1,30 @@
 //! The FedZKT orchestrator (Algorithms 1–3 of the paper), as a
 //! [`FederatedAlgorithm`] run by the [`Simulation`](fedzkt_fl::Simulation)
 //! driver.
+//!
+//! ## Scale model
+//!
+//! Under [`Materialization::Lazy`] the federation holds devices as
+//! [`DeviceRegistry`] summaries and materializes them on demand: active
+//! devices for the local update, and — because the zero-shot distillation
+//! game uses **every** device model as a teacher (the ensemble of Eq. 2),
+//! and evaluation borrows every device model — the whole fleet for the
+//! server phase and for evaluation rounds. Everything is dropped back to
+//! summaries at end of round, so the *between-rounds* footprint is O(1),
+//! but FedZKT's in-round peak is inherently O(fleet); the strict
+//! O(sampled) peak belongs to stateless-device algorithms (FedAvg/
+//! FedProx). Lazy and eager runs are bit-identical: a first
+//! materialization runs the same seeded build as the eager constructor,
+//! and a re-materialization restores the stored summary through the
+//! lossless snapshot→rebuild→load round trip.
 
 use crate::{FedZktConfig, GradNormProbe};
 use fedzkt_autograd::loss::kl_div_probs;
 use fedzkt_autograd::{no_grad, Var};
 use fedzkt_data::Dataset;
 use fedzkt_fl::{
-    train_local_fleet, FederatedAlgorithm, FleetJob, LocalTrainConfig, RoundContext, SimConfig,
+    train_local_fleet, DeviceRegistry, FederatedAlgorithm, FleetJob, LocalTrainConfig,
+    Materialization, RoundContext, SimConfig,
 };
 use fedzkt_models::{Generator, ModelSpec};
 use fedzkt_nn::{
@@ -17,11 +34,26 @@ use fedzkt_nn::{
 use fedzkt_tensor::{seeded_rng, split_seed, Prng, Tensor};
 
 /// One simulated device: an architecture chosen independently of its peers
-/// (the paper's core premise) plus its private shard.
-struct DeviceState {
+/// (the paper's core premise). The model is `None` while the device is not
+/// materialized (lazy fleets, between rounds).
+struct DeviceSlot {
     spec: ModelSpec,
-    model: Box<dyn Module>,
-    data: Dataset,
+    model: Option<Box<dyn Module>>,
+}
+
+/// Device shards, stored per the fleet's materialization mode.
+enum DeviceData {
+    Eager(Vec<Dataset>),
+    Lazy { train: Dataset, index: Vec<Vec<usize>> },
+}
+
+impl DeviceData {
+    fn shard_len(&self, k: usize) -> usize {
+        match self {
+            DeviceData::Eager(shards) => shards[k].len(),
+            DeviceData::Lazy { index, .. } => index[k].len(),
+        }
+    }
 }
 
 /// The FedZKT federated-learning algorithm.
@@ -48,7 +80,10 @@ pub struct FedZkt {
     /// Data geometry `(channels, classes, img_size)`; worker threads rebuild
     /// device models against it during the parallel device update.
     io: (usize, usize, usize),
-    devices: Vec<DeviceState>,
+    mode: Materialization,
+    slots: Vec<DeviceSlot>,
+    data: DeviceData,
+    registry: DeviceRegistry,
     global: Box<dyn Module>,
     generator: Generator,
     generator_opt: Adam,
@@ -61,7 +96,8 @@ impl FedZkt {
     ///
     /// * `zoo[i]` — architecture of device `i` (heterogeneous by design);
     /// * `shards[i]` — index set of device `i`'s private data in `train`;
-    /// * `sim` — the protocol config (supplies the run seed).
+    /// * `sim` — the protocol config (supplies the run seed and the
+    ///   fleet's [`Materialization`] mode).
     ///
     /// # Panics
     /// Panics when `zoo`/`shards` lengths differ or are empty.
@@ -78,17 +114,31 @@ impl FedZkt {
         let (channels, classes, img) = (train.channels(), train.num_classes(), train.img_size());
         // Footnote 1 of Algorithm 1: all models Glorot-initialised; the
         // same initialisation is not required across devices, so each
-        // device gets its own stream.
-        let devices: Vec<DeviceState> = zoo
-            .iter()
-            .zip(shards)
-            .enumerate()
-            .map(|(i, (spec, idx))| DeviceState {
-                spec: *spec,
-                model: spec.build(channels, classes, img, split_seed(seed, 100 + i as u64)),
-                data: train.subset(idx),
-            })
-            .collect();
+        // device gets its own stream. Lazy fleets run the identical build
+        // on first materialization instead.
+        let (slots, data, registry) = match sim.materialization {
+            Materialization::Eager => (
+                zoo.iter()
+                    .enumerate()
+                    .map(|(i, spec)| DeviceSlot {
+                        spec: *spec,
+                        model: Some(spec.build(
+                            channels,
+                            classes,
+                            img,
+                            split_seed(seed, 100 + i as u64),
+                        )),
+                    })
+                    .collect::<Vec<_>>(),
+                DeviceData::Eager(shards.iter().map(|idx| train.subset(idx)).collect()),
+                DeviceRegistry::eager(zoo.len()),
+            ),
+            Materialization::Lazy => (
+                zoo.iter().map(|spec| DeviceSlot { spec: *spec, model: None }).collect(),
+                DeviceData::Lazy { train: train.clone(), index: shards.to_vec() },
+                DeviceRegistry::new(zoo.len()),
+            ),
+        };
         let global = cfg.global_model.build(channels, classes, img, split_seed(seed, 7));
         let generator = cfg.generator.build(channels, img, split_seed(seed, 8));
         let generator_opt = Adam::new(
@@ -99,7 +149,10 @@ impl FedZkt {
             cfg,
             seed,
             io: (channels, classes, img),
-            devices,
+            mode: sim.materialization,
+            slots,
+            data,
+            registry,
             global,
             generator,
             generator_opt,
@@ -113,7 +166,7 @@ impl FedZkt {
     /// # Panics
     /// Panics when `k` is out of range.
     pub fn device_spec(&self, k: usize) -> ModelSpec {
-        self.devices[k].spec
+        self.slots[k].spec
     }
 
     /// The server-side generator `G`.
@@ -125,6 +178,60 @@ impl FedZkt {
     /// `cfg.probe_grad_norms` is set).
     pub fn probe(&self) -> &GradNormProbe {
         &self.probe
+    }
+
+    /// Device `k`'s materialized model.
+    ///
+    /// # Panics
+    /// Panics when the device is not resident — a lifecycle bug, since
+    /// every code path that touches a model materializes it first.
+    fn model(&self, k: usize) -> &dyn Module {
+        self.slots[k].model.as_deref().expect("device model must be resident here")
+    }
+
+    /// Every device model, in device order (all must be resident).
+    fn models(&self) -> impl Iterator<Item = &dyn Module> {
+        self.slots
+            .iter()
+            .map(|s| s.model.as_deref().expect("device model must be resident here"))
+    }
+
+    /// Materialize device `k` if it is not already resident: run the same
+    /// seeded build the eager constructor runs, then restore the stored
+    /// summary, if any (the snapshot→rebuild→load round trip is lossless,
+    /// so a rematerialized device is bit-identical to one held eagerly).
+    fn ensure_resident(&mut self, k: usize) {
+        if self.slots[k].model.is_some() {
+            return;
+        }
+        let (channels, classes, img) = self.io;
+        let model =
+            self.slots[k].spec.build(channels, classes, img, split_seed(self.seed, 100 + k as u64));
+        if let Some(summary) = self.registry.take_summary(k) {
+            load_state_dict(model.as_ref(), &summary)
+                .expect("registry summary matches device architecture");
+        }
+        self.slots[k].model = Some(model);
+        self.registry.checkout(k);
+    }
+
+    /// Materialize the whole fleet (the distillation game's teacher
+    /// ensemble and the evaluation pass borrow every device model).
+    fn ensure_all_resident(&mut self) {
+        for k in 0..self.slots.len() {
+            self.ensure_resident(k);
+        }
+    }
+
+    /// Drop every resident device back to its registry summary (lazy mode
+    /// only; an eager fleet stays materialized for the whole run).
+    fn release_all(&mut self) {
+        for k in 0..self.slots.len() {
+            if let Some(model) = self.slots[k].model.take() {
+                self.registry.store_summary(k, state_dict(model.as_ref()));
+                self.registry.release(k);
+            }
+        }
     }
 
     /// Algorithm 3: the zero-shot distillation game followed by the
@@ -141,8 +248,8 @@ impl FedZkt {
             self.global.params(),
             SgdConfig { lr: self.cfg.server_lr, momentum: 0.9, weight_decay: 0.0 },
         );
-        for d in &self.devices {
-            d.model.set_training(false);
+        for m in self.models() {
+            m.set_training(false);
         }
         self.global.set_training(true);
         self.generator.set_training(true);
@@ -158,8 +265,7 @@ impl FedZkt {
             let z = Var::constant(self.generator.sample_z(self.cfg.distill_batch, &mut self.rng));
             let x = self.generator.forward(&z);
             let student = self.global.forward(&x);
-            let teacher_logits: Vec<Var> =
-                self.devices.iter().map(|d| d.model.forward(&x)).collect();
+            let teacher_logits: Vec<Var> = self.models().map(|m| m.forward(&x)).collect();
             let teacher_refs: Vec<&Var> = teacher_logits.iter().collect();
             let l_g = self.cfg.loss.eval(&student, &teacher_refs).neg();
             l_g.backward();
@@ -179,7 +285,7 @@ impl FedZkt {
             let (x, teacher_logits) = no_grad(|| {
                 let x = self.generator.forward(&z);
                 let t: Vec<Tensor> =
-                    self.devices.iter().map(|d| d.model.forward(&x).value_clone()).collect();
+                    self.models().map(|m| m.forward(&x).value_clone()).collect();
                 (x.value_clone(), t)
             });
             let x = Var::constant(x);
@@ -205,11 +311,11 @@ impl FedZkt {
         let device_opts: Vec<(usize, Sgd)> = active
             .iter()
             .map(|&k| {
-                self.devices[k].model.set_training(true);
+                self.model(k).set_training(true);
                 (
                     k,
                     Sgd::new(
-                        self.devices[k].model.params(),
+                        self.model(k).params(),
                         SgdConfig { lr: self.cfg.transfer_lr, momentum: 0.9, weight_decay: 0.0 },
                     ),
                 )
@@ -218,11 +324,7 @@ impl FedZkt {
         // Ablation: optionally replace the trained generator with a fresh
         // random one for this phase (cfg.fresh_generator_for_transfer).
         let fresh_generator = self.cfg.fresh_generator_for_transfer.then(|| {
-            self.cfg.generator.build(
-                self.devices[0].data.channels(),
-                self.devices[0].data.img_size(),
-                split_seed(self.seed, 0xF4E5),
-            )
+            self.cfg.generator.build(self.io.0, self.io.2, split_seed(self.seed, 0xF4E5))
         });
         let transfer_generator: &Generator = fresh_generator.as_ref().unwrap_or(&self.generator);
         for iter in 0..self.cfg.transfer_iters {
@@ -238,7 +340,7 @@ impl FedZkt {
             for (k, opt) in &device_opts {
                 transfer_schedule.apply(opt, iter);
                 opt.zero_grad();
-                let student_probs = self.devices[*k].model.forward(&x).softmax();
+                let student_probs = self.model(*k).forward(&x).softmax();
                 // Eq. 8 with KL loss: minimise KL(F ‖ f'_k) over f'_k.
                 let loss = kl_div_probs(&teacher_probs, &student_probs);
                 loss.backward();
@@ -246,14 +348,14 @@ impl FedZkt {
             }
         }
         self.global.set_training(true);
-        for d in &self.devices {
-            d.model.set_training(true);
+        for m in self.models() {
+            m.set_training(true);
         }
     }
 
     fn clear_device_grads(&self) {
-        for d in &self.devices {
-            for p in d.model.params() {
+        for m in self.models() {
+            for p in m.params() {
                 p.zero_grad();
             }
         }
@@ -262,7 +364,7 @@ impl FedZkt {
 
 impl FederatedAlgorithm for FedZkt {
     fn devices(&self) -> usize {
-        self.devices.len()
+        self.slots.len()
     }
 
     /// On-device update (Algorithm 2). Devices are independent (the
@@ -272,31 +374,44 @@ impl FederatedAlgorithm for FedZkt {
     /// stream, and results are merged back in device order — bit-identical
     /// for any thread count.
     fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
+        for &k in active {
+            self.ensure_resident(k);
+        }
+        // Lazy fleet: slice the active shards for the duration of the
+        // dispatch.
+        let staged: Vec<Dataset> = match &self.data {
+            DeviceData::Eager(_) => Vec::new(),
+            DeviceData::Lazy { train, index } => {
+                active.iter().map(|&k| train.subset(&index[k])).collect()
+            }
+        };
         let jobs: Vec<FleetJob> = active
             .iter()
-            .map(|&k| {
-                let dev = &self.devices[k];
-                FleetJob {
-                    spec: dev.spec,
-                    snapshot: state_dict(dev.model.as_ref()),
-                    data: &dev.data,
-                    cfg: LocalTrainConfig {
-                        epochs: self.cfg.local_epochs,
-                        batch_size: self.cfg.device_batch,
-                        lr: self.cfg.device_lr,
-                        momentum: self.cfg.device_momentum,
-                        weight_decay: 0.0,
-                        prox_mu: self.cfg.prox_mu,
-                        seed: split_seed(self.seed, (round * 1009 + k) as u64),
-                    },
-                    pretrain: None,
-                    digest: None,
-                    rebuild_seed: split_seed(self.seed, 0xB11D_0000 + (round * 1009 + k) as u64),
-                }
+            .enumerate()
+            .map(|(i, &k)| FleetJob {
+                spec: self.slots[k].spec,
+                snapshot: state_dict(self.model(k)),
+                data: match &self.data {
+                    DeviceData::Eager(shards) => &shards[k],
+                    DeviceData::Lazy { .. } => &staged[i],
+                },
+                cfg: LocalTrainConfig {
+                    epochs: self.cfg.local_epochs,
+                    batch_size: self.cfg.device_batch,
+                    lr: self.cfg.device_lr,
+                    momentum: self.cfg.device_momentum,
+                    weight_decay: 0.0,
+                    prox_mu: self.cfg.prox_mu,
+                    seed: split_seed(self.seed, (round * 1009 + k) as u64),
+                },
+                pretrain: None,
+                digest: None,
+                rebuild_seed: split_seed(self.seed, 0xB11D_0000 + (round * 1009 + k) as u64),
             })
             .collect();
         let results = train_local_fleet(&jobs, self.io, ctx.threads());
         drop(jobs);
+        drop(staged);
         let mut loss_sum = 0.0f32;
         for (&k, (loss, sd)) in active.iter().zip(results) {
             loss_sum += loss;
@@ -306,12 +421,12 @@ impl FederatedAlgorithm for FedZkt {
             // (a lossless codec receives the fleet result verbatim).
             if ctx.lossless() {
                 ctx.comm.record_upload(k, ctx.wire_size(&sd));
-                load_state_dict(self.devices[k].model.as_ref(), &sd)
+                load_state_dict(self.model(k), &sd)
                     .expect("fleet result matches device architecture");
             } else {
                 let (uploaded, wire) = ctx.through_wire(&sd);
                 ctx.comm.record_upload(k, wire);
-                load_state_dict(self.devices[k].model.as_ref(), &uploaded)
+                load_state_dict(self.model(k), &uploaded)
                     .expect("fleet result matches device architecture");
             }
         }
@@ -321,6 +436,14 @@ impl FederatedAlgorithm for FedZkt {
     /// Server update (Algorithm 3) and the transfer of `w_k` back to the
     /// active devices (Algorithm 1, line 12).
     fn server_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) {
+        // The game's teacher ensemble (and the Figure-2 probe) forward
+        // every device model, so the whole fleet must be resident for the
+        // server phase — the received ŵ_k are fed into the game's teacher
+        // list one device at a time; what a lazy fleet saves is the
+        // *between-rounds* footprint, not FedZKT's in-game ensemble.
+        if self.cfg.distill_iters > 0 || self.cfg.probe_grad_norms {
+            self.ensure_all_resident();
+        }
         self.distillation_game(active);
 
         // Charge the game's compute to the simulated clock: the generator
@@ -338,8 +461,11 @@ impl FederatedAlgorithm for FedZkt {
             let mut probe_rng = seeded_rng(split_seed(self.seed, 0xF160 + round as u64));
             let z = self.generator.sample_z(self.cfg.distill_batch.min(16), &mut probe_rng);
             let x = no_grad(|| self.generator.forward(&Var::constant(z))).value_clone();
-            let teachers: Vec<&dyn Module> =
-                self.devices.iter().map(|d| d.model.as_ref()).collect();
+            let teachers: Vec<&dyn Module> = self
+                .slots
+                .iter()
+                .map(|s| s.model.as_deref().expect("fleet is resident for the probe"))
+                .collect();
             self.probe.measure(round + 1, self.global.as_ref(), &teachers, &x);
         }
 
@@ -350,7 +476,7 @@ impl FederatedAlgorithm for FedZkt {
         // A bit-exact codec makes the transfer a pure accounting event,
         // so the decode-and-reload is skipped.
         for &k in active {
-            let model = self.devices[k].model.as_ref();
+            let model = self.model(k);
             if ctx.lossless() {
                 // Shape-only accounting: no snapshot, no reload.
                 ctx.comm.record_download(k, ctx.module_wire_size(model));
@@ -364,7 +490,7 @@ impl FederatedAlgorithm for FedZkt {
     }
 
     fn device_model(&self, k: usize) -> &dyn Module {
-        self.devices[k].model.as_ref()
+        self.model(k)
     }
 
     fn global_model(&self) -> Option<&dyn Module> {
@@ -372,16 +498,44 @@ impl FederatedAlgorithm for FedZkt {
     }
 
     /// The O(|w_k|) claim: device `k` only ever exchanges its own model.
+    /// (Shapes are what matter here; a non-resident device answers from
+    /// its summary, or from a fresh seeded build if it never trained.)
     fn payload_template(&self, k: usize) -> StateDict {
-        state_dict(self.devices[k].model.as_ref())
+        if let Some(model) = &self.slots[k].model {
+            return state_dict(model.as_ref());
+        }
+        if let Some(summary) = self.registry.summary(k) {
+            return summary.clone();
+        }
+        let (channels, classes, img) = self.io;
+        let model =
+            self.slots[k].spec.build(channels, classes, img, split_seed(self.seed, 100 + k as u64));
+        state_dict(model.as_ref())
     }
 
     fn local_samples(&self, k: usize) -> usize {
-        self.cfg.local_epochs * self.devices[k].data.len()
+        self.cfg.local_epochs * self.data.shard_len(k)
     }
 
     fn construction_seed(&self) -> Option<u64> {
         Some(self.seed)
+    }
+
+    fn registry(&self) -> Option<&DeviceRegistry> {
+        Some(&self.registry)
+    }
+
+    /// Evaluation borrows every device model, so a lazy fleet materializes
+    /// the stragglers too (a no-op right after a server phase that ran the
+    /// game, which already made everything resident).
+    fn prepare_eval(&mut self) {
+        self.ensure_all_resident();
+    }
+
+    fn end_round(&mut self, _round: usize) {
+        if self.mode.is_lazy() {
+            self.release_all();
+        }
     }
 }
 
@@ -481,5 +635,52 @@ mod tests {
             sim.run().final_accuracy()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lazy_run_is_bit_identical_to_eager() {
+        let run = |mode: Materialization| {
+            let sim_cfg = SimConfig {
+                rounds: 2,
+                participation: 0.67,
+                seed: 1,
+                materialization: mode,
+                ..Default::default()
+            };
+            let mut sim = tiny_setup(tiny_cfg(), sim_cfg);
+            sim.run().to_json()
+        };
+        let mut eager = run(Materialization::Eager);
+        let mut lazy = run(Materialization::Lazy);
+        // The residency gauge is the one *intentionally* mode-dependent
+        // column; every other logged bit must agree.
+        for log in [&mut eager, &mut lazy] {
+            *log = log
+                .split("\"peak_resident_devices\":")
+                .map(|part| match part.find('}') {
+                    Some(i) => &part[i..],
+                    None => part,
+                })
+                .collect();
+        }
+        assert_eq!(eager, lazy, "lazy FedZKT diverged from eager");
+    }
+
+    #[test]
+    fn lazy_fleet_releases_between_rounds() {
+        let sim_cfg = SimConfig {
+            rounds: 2,
+            participation: 0.67,
+            seed: 1,
+            eval_every: 0,
+            materialization: Materialization::Lazy,
+            ..Default::default()
+        };
+        let mut sim = tiny_setup(tiny_cfg(), sim_cfg);
+        sim.round(0);
+        let reg = sim.algorithm().registry().expect("fedzkt exposes its registry");
+        assert_eq!(reg.resident(), 0, "everything drops back to summaries at end of round");
+        // The game's teacher ensemble touches the whole fleet.
+        assert_eq!(reg.peak_resident(), 3);
     }
 }

@@ -1,0 +1,218 @@
+//! Streaming weighted aggregation of [`StateDict`]s.
+//!
+//! FedAvg's server step is a weighted average of the active devices'
+//! uplinks (Eq. 1 of McMahan et al.). Collecting every decoded uplink into
+//! a `Vec` before averaging makes the server's peak memory O(sampled
+//! models) *on top of* the accumulator; at cross-device scale the decoded
+//! states should instead be folded into one running sum and dropped —
+//! which is what [`StreamingAverage`] does.
+//!
+//! Floating-point addition is not associative, so a streaming fold is only
+//! bit-identical to the batch average if it performs **the same additions
+//! in the same order**. The contract here (pinned by unit tests, and the
+//! discipline the device-parallel fleet merge already follows) is:
+//!
+//! * callers fold uplinks in **ascending device-id order** — the order the
+//!   participation sampler emits the active set in;
+//! * the fold scales each incoming state by `weight / total` and adds it
+//!   tensor-by-tensor, parameters before buffers — exactly the operation
+//!   sequence of the batch form.
+//!
+//! [`average_state_dicts`] is the batch form, implemented *as* a fold so
+//! there is one arithmetic path to keep bit-exact, not two.
+
+use fedzkt_nn::StateDict;
+
+/// A running weighted average of [`StateDict`]s with a fixed total weight.
+///
+/// Construct with the total weight (known up front — for FedAvg it is the
+/// sum of the active devices' shard sizes, available before any uplink is
+/// decoded), then [`fold`](StreamingAverage::fold) each decoded uplink in
+/// ascending device-id order and [`finish`](StreamingAverage::finish).
+/// Peak memory is one accumulator plus the single state being folded.
+#[derive(Debug)]
+pub struct StreamingAverage {
+    total: f32,
+    acc: Option<StateDict>,
+    folded: usize,
+}
+
+impl StreamingAverage {
+    /// Start a fold whose weights will sum to `total`.
+    ///
+    /// # Panics
+    /// Panics when `total` is not finite and positive.
+    pub fn new(total: f32) -> Self {
+        assert!(
+            total.is_finite() && total > 0.0,
+            "total weight must be finite and positive, got {total}"
+        );
+        StreamingAverage { total, acc: None, folded: 0 }
+    }
+
+    /// Fold one state in with `weight`. The first fold seeds the
+    /// accumulator with `sd · weight/total`; every later fold adds
+    /// `sd · weight/total` in place, parameters then buffers.
+    ///
+    /// # Panics
+    /// Panics when `sd`'s tensor layout differs from the first fold's.
+    pub fn fold(&mut self, weight: f32, sd: &StateDict) {
+        let scale = weight / self.total;
+        match &mut self.acc {
+            None => {
+                let mut seeded = sd.clone();
+                for t in seeded.params.iter_mut().chain(seeded.buffers.iter_mut()) {
+                    *t = t.mul_scalar(scale);
+                }
+                self.acc = Some(seeded);
+            }
+            Some(acc) => {
+                assert!(acc.same_layout(sd), "folded state dicts must share one layout");
+                for (a, t) in acc.params.iter_mut().zip(&sd.params) {
+                    a.add_scaled_inplace(t, scale).expect("param layout");
+                }
+                for (a, t) in acc.buffers.iter_mut().zip(&sd.buffers) {
+                    a.add_scaled_inplace(t, scale).expect("buffer layout");
+                }
+            }
+        }
+        self.folded += 1;
+    }
+
+    /// States folded so far.
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// The completed average.
+    ///
+    /// # Panics
+    /// Panics when nothing was folded.
+    pub fn finish(self) -> StateDict {
+        self.acc.expect("no updates folded")
+    }
+}
+
+/// Weighted average of state dicts, batch form: equivalent to — and
+/// implemented as — a [`StreamingAverage`] folding `weighted` in slice
+/// order, so the two forms are bit-identical by construction.
+///
+/// # Panics
+/// Panics when `weighted` is empty or layouts are inconsistent.
+pub fn average_state_dicts(weighted: &[(f32, &StateDict)]) -> StateDict {
+    assert!(!weighted.is_empty(), "no updates to average");
+    let total: f32 = weighted.iter().map(|(w, _)| *w).sum();
+    let mut avg = StreamingAverage::new(total);
+    for (w, sd) in weighted {
+        avg.fold(*w, sd);
+    }
+    avg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_tensor::{seeded_rng, Tensor};
+
+    fn sd(seed: u64) -> StateDict {
+        let mut rng = seeded_rng(seed);
+        StateDict {
+            params: vec![Tensor::randn(&[3, 2], &mut rng), Tensor::randn(&[4], &mut rng)],
+            buffers: vec![Tensor::randn(&[2], &mut rng)],
+        }
+    }
+
+    #[test]
+    fn uniform_average_of_identical_states_is_identity_like() {
+        let a = sd(1);
+        let avg = average_state_dicts(&[(1.0, &a), (1.0, &a), (1.0, &a)]);
+        for (t, u) in avg.iter_tensors().zip(a.iter_tensors()) {
+            for (x, y) in t.data().iter().zip(u.data()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_bias_toward_the_heavier_state() {
+        let zeros = StateDict { params: vec![Tensor::zeros(&[2])], buffers: vec![] };
+        let ones = StateDict {
+            params: vec![Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap()],
+            buffers: vec![],
+        };
+        let avg = average_state_dicts(&[(1.0, &zeros), (3.0, &ones)]);
+        assert_eq!(avg.params[0].data(), &[0.75, 0.75]);
+    }
+
+    /// The bugfix pin: a streaming fold in device-id order is bit-for-bit
+    /// the batch average — same additions, same order.
+    #[test]
+    fn streaming_fold_matches_batch_average_bit_for_bit() {
+        let states: Vec<StateDict> = (0..5).map(|k| sd(100 + k)).collect();
+        let weights = [3.0f32, 1.0, 7.0, 2.0, 5.0];
+        let weighted: Vec<(f32, &StateDict)> =
+            weights.iter().copied().zip(states.iter()).collect();
+        let batch = average_state_dicts(&weighted);
+
+        let total: f32 = weights.iter().sum();
+        let mut streaming = StreamingAverage::new(total);
+        for (w, s) in weights.iter().zip(&states) {
+            streaming.fold(*w, s);
+        }
+        assert_eq!(streaming.folded(), 5);
+        let streamed = streaming.finish();
+        for (a, b) in batch.iter_tensors().zip(streamed.iter_tensors()) {
+            let bits_a: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "streaming fold drifted from the batch sum");
+        }
+    }
+
+    /// Fold order matters for f32 sums — which is exactly why the contract
+    /// pins ascending device-id order. A permuted fold is generally *not*
+    /// bit-identical; this test documents the sensitivity the order
+    /// discipline exists to contain.
+    #[test]
+    fn fold_order_sensitivity_is_real() {
+        let states: Vec<StateDict> = (0..6).map(|k| sd(300 + k)).collect();
+        let weights = [1.0f32, 0.3, 7.7, 0.11, 13.0, 2.2];
+        let total: f32 = weights.iter().sum();
+        let forward = {
+            let mut s = StreamingAverage::new(total);
+            for (w, st) in weights.iter().zip(&states) {
+                s.fold(*w, st);
+            }
+            s.finish()
+        };
+        let reverse = {
+            let mut s = StreamingAverage::new(total);
+            for (w, st) in weights.iter().zip(&states).rev() {
+                s.fold(*w, st);
+            }
+            s.finish()
+        };
+        let differs = forward
+            .iter_tensors()
+            .zip(reverse.iter_tensors())
+            .any(|(a, b)| {
+                a.data().iter().zip(b.data()).any(|(x, y)| x.to_bits() != y.to_bits())
+            });
+        assert!(differs, "expected at least one ULP of order sensitivity");
+    }
+
+    #[test]
+    #[should_panic(expected = "no updates")]
+    fn empty_average_panics() {
+        average_state_dicts(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one layout")]
+    fn layout_mismatch_panics() {
+        let a = sd(1);
+        let b = StateDict { params: vec![Tensor::zeros(&[2])], buffers: vec![] };
+        let mut s = StreamingAverage::new(2.0);
+        s.fold(1.0, &a);
+        s.fold(1.0, &b);
+    }
+}

@@ -20,8 +20,8 @@
 //! applies to every algorithm.
 
 use crate::{
-    evaluate, CodecSpec, CommTracker, DeviceResources, ParticipationSampler, PayloadCodec,
-    RoundMetrics, RunLog, SimClock,
+    evaluate, CodecSpec, CommTracker, DeviceRegistry, DeviceResources, Materialization,
+    ParticipationSampler, PayloadCodec, RoundMetrics, RunLog, SimClock,
 };
 use fedzkt_data::Dataset;
 use fedzkt_nn::{Module, StateDict};
@@ -56,6 +56,13 @@ pub struct SimConfig {
     /// the lossy codecs shrink the accounted traffic *and* perturb the
     /// decoded states the receiving side trains on.
     pub codec: CodecSpec,
+    /// Fleet materialization strategy ([`crate::registry`]). Like
+    /// `threads`, a throughput/memory knob and never a semantics knob:
+    /// lazy and eager runs of the same config are bit-identical. Eager
+    /// (the default) materializes every device up front; lazy keeps
+    /// devices as registry summaries and materializes them only while
+    /// needed, bounding peak memory by the resident set.
+    pub materialization: Materialization,
 }
 
 impl Default for SimConfig {
@@ -68,6 +75,7 @@ impl Default for SimConfig {
             seed: 0,
             threads: 0,
             codec: CodecSpec::Raw,
+            materialization: Materialization::Eager,
         }
     }
 }
@@ -246,6 +254,26 @@ pub trait FederatedAlgorithm {
     fn construction_seed(&self) -> Option<u64> {
         None
     }
+
+    /// The algorithm's [`DeviceRegistry`], when it runs its fleet through
+    /// one. The driver exports the registry's residency counters into
+    /// every round's metrics; algorithms without a registry report the
+    /// whole fleet as resident.
+    fn registry(&self) -> Option<&DeviceRegistry> {
+        None
+    }
+
+    /// Called by the driver right before it evaluates device models, so a
+    /// lazily materialized fleet can make every model the evaluation will
+    /// borrow resident ([`FederatedAlgorithm::device_model`] hands out
+    /// `&dyn Module`, which cannot materialize on demand). Default: no-op.
+    fn prepare_eval(&mut self) {}
+
+    /// Called by the driver at the very end of a round — after evaluation
+    /// and clock advancement — so a lazy fleet can drop the round's
+    /// materialized device state back to registry summaries. Default:
+    /// no-op.
+    fn end_round(&mut self, _round: usize) {}
 }
 
 /// An object-safe view of a [`Simulation`], independent of the algorithm
@@ -515,6 +543,7 @@ impl<A: FederatedAlgorithm> Simulation<A> {
         metrics.download_bytes = ctx.comm.total_download();
 
         if self.eval_due(round) {
+            self.algo.prepare_eval();
             self.last_eval = Some(self.evaluate_all());
         }
         if let Some(snapshot) = &self.last_eval {
@@ -533,6 +562,17 @@ impl<A: FederatedAlgorithm> Simulation<A> {
                 self.server_seconds + ctx.server_seconds,
             );
         }
+
+        // Let a lazy fleet drop the round's materialized state, then read
+        // the residency gauge (peak is a monotone high-water mark, so it
+        // is unaffected by the release; `resident` intentionally reflects
+        // the *between-rounds* footprint).
+        self.algo.end_round(round);
+        metrics.registered_devices = self.algo.devices();
+        metrics.peak_resident_devices = match self.algo.registry() {
+            Some(reg) => reg.peak_resident(),
+            None => self.algo.devices(),
+        };
 
         metrics.active_devices = active;
         self.log.push(metrics.clone());
@@ -784,6 +824,68 @@ mod tests {
         let b = erased.round(0);
         assert_eq!(a, b);
         assert_eq!(typed.run(), erased.run());
+    }
+
+    #[test]
+    fn residency_columns_fall_back_to_the_fleet_size() {
+        // Stub has no registry: both columns report the fleet.
+        let cfg = SimConfig { rounds: 2, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(3), test_set(), cfg).build();
+        let log = sim.run().clone();
+        for r in &log.rounds {
+            assert_eq!(r.registered_devices, 3);
+            assert_eq!(r.peak_resident_devices, 3);
+        }
+    }
+
+    #[test]
+    fn lifecycle_hooks_fire_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Hooked {
+            model: Box<dyn Module>,
+            events: Rc<RefCell<Vec<&'static str>>>,
+        }
+        impl FederatedAlgorithm for Hooked {
+            fn devices(&self) -> usize {
+                2
+            }
+            fn local_update(&mut self, _: usize, _: &[usize], _: &mut RoundContext) -> f32 {
+                self.events.borrow_mut().push("local");
+                0.0
+            }
+            fn server_update(&mut self, _: usize, _: &[usize], _: &mut RoundContext) {
+                self.events.borrow_mut().push("server");
+            }
+            fn device_model(&self, _k: usize) -> &dyn Module {
+                self.model.as_ref()
+            }
+            fn payload_template(&self, _k: usize) -> StateDict {
+                StateDict { params: Vec::new(), buffers: Vec::new() }
+            }
+            fn local_samples(&self, _k: usize) -> usize {
+                0
+            }
+            fn prepare_eval(&mut self) {
+                self.events.borrow_mut().push("prepare_eval");
+            }
+            fn end_round(&mut self, _round: usize) {
+                self.events.borrow_mut().push("end_round");
+            }
+        }
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let algo = Hooked {
+            model: ModelSpec::Mlp { hidden: 4 }.build(1, 2, 8, 1),
+            events: Rc::clone(&events),
+        };
+        // eval_every = 0: only the final round evaluates, so prepare_eval
+        // must fire exactly once, between server_update and end_round.
+        let cfg = SimConfig { rounds: 2, eval_every: 0, ..Default::default() };
+        Simulation::builder(algo, test_set(), cfg).build().run();
+        assert_eq!(
+            *events.borrow(),
+            vec!["local", "server", "end_round", "local", "server", "prepare_eval", "end_round"]
+        );
     }
 
     #[test]

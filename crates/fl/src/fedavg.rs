@@ -8,9 +8,22 @@
 //!
 //! Run under the [`Simulation`](crate::Simulation) driver — see
 //! [`FederatedAlgorithm`] for the phase contract.
+//!
+//! ## Scale model
+//!
+//! FedAvg's devices are *stateless between rounds*: every round starts
+//! from the broadcast global snapshot, so the only per-device state is the
+//! data shard. Under [`Materialization::Lazy`] the federation therefore
+//! keeps just the shard **index sets** and materializes a device's shard
+//! only while it is sampled; the server folds decoded uplinks into a
+//! [`StreamingAverage`] as they arrive instead of collecting them. Peak
+//! memory is O(sampled-per-round), never O(registered fleet) — the bound
+//! the workspace memory-bound regression test enforces on the
+//! [`DeviceRegistry`] counters.
 
 use crate::{
-    train_local_fleet, FederatedAlgorithm, FleetJob, LocalTrainConfig, RoundContext, SimConfig,
+    train_local_fleet, DeviceRegistry, FederatedAlgorithm, FleetJob, LocalTrainConfig,
+    Materialization, RoundContext, SimConfig, StreamingAverage,
 };
 use fedzkt_data::Dataset;
 use fedzkt_models::ModelSpec;
@@ -40,6 +53,30 @@ impl Default for FedAvgConfig {
     }
 }
 
+/// Device data, stored per the fleet's materialization mode: eager keeps
+/// every shard sliced; lazy keeps one training set plus per-device index
+/// sets, and slices a shard only while its device is sampled.
+enum ShardStore {
+    Eager(Vec<Dataset>),
+    Lazy { train: Dataset, index: Vec<Vec<usize>> },
+}
+
+impl ShardStore {
+    fn devices(&self) -> usize {
+        match self {
+            ShardStore::Eager(shards) => shards.len(),
+            ShardStore::Lazy { index, .. } => index.len(),
+        }
+    }
+
+    fn shard_len(&self, k: usize) -> usize {
+        match self {
+            ShardStore::Eager(shards) => shards[k].len(),
+            ShardStore::Lazy { index, .. } => index[k].len(),
+        }
+    }
+}
+
 /// A FedAvg (or, with `prox_mu > 0`, FedProx) federation over homogeneous
 /// on-device models.
 pub struct FedAvg {
@@ -48,14 +85,18 @@ pub struct FedAvg {
     spec: ModelSpec,
     io: (usize, usize, usize),
     global: Box<dyn Module>,
-    shards: Vec<Dataset>,
-    /// Updates uploaded in `local_update`, consumed by `server_update`.
-    pending: Vec<(usize, StateDict)>,
+    shards: ShardStore,
+    registry: DeviceRegistry,
+    /// Running weighted fold of the round's decoded uplinks, built in
+    /// `local_update` (ascending device-id order), consumed by
+    /// `server_update`.
+    pending: Option<StreamingAverage>,
 }
 
 impl FedAvg {
     /// Build the federation: every device runs `spec`; `shards[i]` is the
-    /// index set of device `i` in `train`. `sim` supplies the run seed.
+    /// index set of device `i` in `train`. `sim` supplies the run seed and
+    /// the fleet's [`Materialization`] mode.
     ///
     /// # Panics
     /// Panics when `shards` is empty.
@@ -69,30 +110,33 @@ impl FedAvg {
         assert!(!shards.is_empty(), "need at least one device");
         let io = (train.channels(), train.num_classes(), train.img_size());
         let global = spec.build(io.0, io.1, io.2, sim.seed);
-        let datasets = shards.iter().map(|idx| train.subset(idx)).collect();
-        FedAvg {
-            cfg,
-            seed: sim.seed,
-            spec,
-            io,
-            global,
-            shards: datasets,
-            pending: Vec::new(),
-        }
+        let (store, registry) = match sim.materialization {
+            Materialization::Eager => (
+                ShardStore::Eager(shards.iter().map(|idx| train.subset(idx)).collect()),
+                DeviceRegistry::eager(shards.len()),
+            ),
+            Materialization::Lazy => (
+                ShardStore::Lazy { train: train.clone(), index: shards.to_vec() },
+                DeviceRegistry::new(shards.len()),
+            ),
+        };
+        FedAvg { cfg, seed: sim.seed, spec, io, global, shards: store, registry, pending: None }
     }
 }
 
 impl FederatedAlgorithm for FedAvg {
     fn devices(&self) -> usize {
-        self.shards.len()
+        self.shards.devices()
     }
 
     /// Every active device starts from the broadcast global snapshot —
     /// **as decoded from the wire**, so a lossy codec's quantization error
     /// is what the devices actually train from — and trains independently;
     /// the fleet driver runs them on worker threads and returns updates in
-    /// `active` order, so the aggregation in `server_update` is
-    /// bit-deterministic for any thread count.
+    /// `active` order (ascending device ids), so folding each decoded
+    /// uplink into the running [`StreamingAverage`] as it is consumed is
+    /// bit-deterministic for any thread count **and** bit-identical to the
+    /// batch average the eager implementation used.
     fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
         // One broadcast payload: encoded once, every recipient charged its
         // wire size and handed the same decoded state (lossless codecs
@@ -106,12 +150,29 @@ impl FederatedAlgorithm for FedAvg {
                 ctx.through_wire(&sd)
             }
         };
+        // Lazy fleet: materialize the active shards for the duration of
+        // the dispatch (the data is the only per-device state — models are
+        // rebuilt from the broadcast snapshot on the workers).
+        let staged: Vec<Dataset> = match &self.shards {
+            ShardStore::Eager(_) => Vec::new(),
+            ShardStore::Lazy { train, index } => active
+                .iter()
+                .map(|&dev| {
+                    self.registry.checkout(dev);
+                    train.subset(&index[dev])
+                })
+                .collect(),
+        };
         let jobs: Vec<FleetJob> = active
             .iter()
-            .map(|&dev| FleetJob {
+            .enumerate()
+            .map(|(i, &dev)| FleetJob {
                 spec: self.spec,
                 snapshot: global_sd.clone(),
-                data: &self.shards[dev],
+                data: match &self.shards {
+                    ShardStore::Eager(shards) => &shards[dev],
+                    ShardStore::Lazy { .. } => &staged[i],
+                },
                 cfg: LocalTrainConfig {
                     epochs: self.cfg.local_epochs,
                     batch_size: self.cfg.batch_size,
@@ -128,41 +189,47 @@ impl FederatedAlgorithm for FedAvg {
             .collect();
         let results = train_local_fleet(&jobs, self.io, ctx.threads());
         drop(jobs);
+        drop(staged);
+        if let ShardStore::Lazy { .. } = self.shards {
+            for &dev in active {
+                self.registry.release(dev);
+            }
+        }
+        // Stream the aggregation: the total weight is known before any
+        // uplink arrives (shard sizes), so each decoded update is folded
+        // into the running weighted sum and dropped — the server never
+        // holds more than the accumulator plus one in-flight state.
+        let total: f32 = active.iter().map(|&dev| self.shards.shard_len(dev) as f32).sum();
+        let mut fold = StreamingAverage::new(total);
         let mut loss_sum = 0.0f32;
-        self.pending.clear();
         for (&dev, (loss, sd)) in active.iter().zip(results) {
             ctx.comm.record_download(dev, down_wire);
             loss_sum += loss;
+            let weight = self.shards.shard_len(dev) as f32;
             // The server aggregates what it received over the wire, not
             // the device's exact local state (a lossless codec makes the
             // two identical, so the update moves without a round-trip).
             if ctx.lossless() {
                 ctx.comm.record_upload(dev, ctx.wire_size(&sd));
-                self.pending.push((dev, sd));
+                fold.fold(weight, &sd);
             } else {
                 let (uploaded, up_wire) = ctx.through_wire(&sd);
                 ctx.comm.record_upload(dev, up_wire);
-                self.pending.push((dev, uploaded));
+                fold.fold(weight, &uploaded);
             }
         }
+        self.pending = Some(fold);
         loss_sum / active.len().max(1) as f32
     }
 
-    /// Weighted element-wise average (weights = shard sizes) of the
-    /// uploaded updates into the global model.
+    /// Load the round's completed streaming fold (weights = shard sizes)
+    /// into the global model.
     fn server_update(&mut self, _round: usize, _active: &[usize], _ctx: &mut RoundContext) {
-        if self.pending.is_empty() {
+        let Some(fold) = self.pending.take() else { return };
+        if fold.folded() == 0 {
             return;
         }
-        let averaged = average_state_dicts(
-            &self
-                .pending
-                .iter()
-                .map(|(dev, sd)| (self.shards[*dev].len() as f32, sd))
-                .collect::<Vec<_>>(),
-        );
-        load_state_dict(self.global.as_ref(), &averaged).expect("averaged state dict");
-        self.pending.clear();
+        load_state_dict(self.global.as_ref(), &fold.finish()).expect("averaged state dict");
     }
 
     /// Homogeneous setting: every device ends the round holding the global
@@ -181,45 +248,25 @@ impl FederatedAlgorithm for FedAvg {
     }
 
     fn local_samples(&self, k: usize) -> usize {
-        self.cfg.local_epochs * self.shards[k].len()
+        self.cfg.local_epochs * self.shards.shard_len(k)
     }
 
     fn construction_seed(&self) -> Option<u64> {
         Some(self.seed)
     }
-}
 
-/// Weighted element-wise average of state dicts (FedAvg aggregation).
-///
-/// # Panics
-/// Panics when the list is empty or layouts disagree.
-pub(crate) fn average_state_dicts(weighted: &[(f32, &StateDict)]) -> StateDict {
-    assert!(!weighted.is_empty(), "no updates to average");
-    let total: f32 = weighted.iter().map(|(w, _)| *w).sum();
-    let mut out = weighted[0].1.clone();
-    let scale0 = weighted[0].0 / total;
-    for t in out.params.iter_mut().chain(out.buffers.iter_mut()) {
-        *t = t.mul_scalar(scale0);
+    fn registry(&self) -> Option<&DeviceRegistry> {
+        Some(&self.registry)
     }
-    for (w, sd) in &weighted[1..] {
-        let scale = *w / total;
-        for (acc, t) in out.params.iter_mut().zip(&sd.params) {
-            acc.add_scaled_inplace(t, scale).expect("param layout");
-        }
-        for (acc, t) in out.buffers.iter_mut().zip(&sd.buffers) {
-            acc.add_scaled_inplace(t, scale).expect("buffer layout");
-        }
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CodecSpec, PayloadCodec, Simulation};
+    use crate::{average_state_dicts, CodecSpec, PayloadCodec, Simulation};
     use fedzkt_data::{DataFamily, Partition, SynthConfig};
 
-    fn setup(prox_mu: f32, participation: f32) -> Simulation<FedAvg> {
+    fn setup_mode(prox_mu: f32, participation: f32, mode: Materialization) -> Simulation<FedAvg> {
         let (train, test) = SynthConfig {
             family: DataFamily::MnistLike,
             img: 8,
@@ -231,7 +278,13 @@ mod tests {
         }
         .generate();
         let shards = Partition::Iid.split(train.labels(), 4, 3, 7).unwrap();
-        let sim = SimConfig { rounds: 4, participation, seed: 1, ..Default::default() };
+        let sim = SimConfig {
+            rounds: 4,
+            participation,
+            seed: 1,
+            materialization: mode,
+            ..Default::default()
+        };
         let fed = FedAvg::new(
             ModelSpec::Mlp { hidden: 24 },
             &train,
@@ -240,6 +293,10 @@ mod tests {
             &sim,
         );
         Simulation::builder(fed, test, sim).build()
+    }
+
+    fn setup(prox_mu: f32, participation: f32) -> Simulation<FedAvg> {
+        setup_mode(prox_mu, participation, Materialization::Eager)
     }
 
     #[test]
@@ -262,6 +319,40 @@ mod tests {
         let log = sim.run();
         assert!(log.rounds.iter().all(|r| r.active_devices.len() == 2));
         assert!(log.final_accuracy() > 0.3);
+    }
+
+    #[test]
+    fn lazy_run_is_bit_identical_to_eager() {
+        // The tentpole contract at unit scale: same seed, both modes, every
+        // logged quantity identical except the residency gauge.
+        let eager = setup_mode(0.0, 0.67, Materialization::Eager).run().clone();
+        let lazy = setup_mode(0.0, 0.67, Materialization::Lazy).run().clone();
+        assert_eq!(eager.rounds.len(), lazy.rounds.len());
+        for (a, b) in eager.rounds.iter().zip(&lazy.rounds) {
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+            assert_eq!(a.device_accuracy, b.device_accuracy);
+            assert_eq!(a.upload_bytes, b.upload_bytes);
+            assert_eq!(a.active_devices, b.active_devices);
+        }
+    }
+
+    #[test]
+    fn lazy_registry_peaks_at_the_sampled_count() {
+        let mut sim = setup_mode(0.0, 0.67, Materialization::Lazy);
+        sim.run();
+        let reg = sim.algorithm().registry().expect("fedavg exposes its registry");
+        assert_eq!(reg.registered(), 3);
+        assert_eq!(reg.peak_resident(), 2, "peak must be the 2 sampled devices");
+        assert_eq!(reg.resident(), 0, "everything released after merge");
+    }
+
+    #[test]
+    fn eager_registry_reports_the_whole_fleet_resident() {
+        let mut sim = setup_mode(0.0, 0.67, Materialization::Eager);
+        sim.run();
+        let reg = sim.algorithm().registry().unwrap();
+        assert_eq!(reg.resident(), 3);
+        assert_eq!(reg.peak_resident(), 3);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   (raw f32, int8/int4 quantization, top-k sparsification), so the
 //!   accounted traffic is the *encoded* size and lossy-decode error flows
 //!   into training;
+//! * [`registry`] — the lazy, sharded [`DeviceRegistry`] behind
+//!   cross-device scale: under [`Materialization::Lazy`] a device is
+//!   materialized from its spec + deterministic per-device seed only while
+//!   needed and dropped back to a state summary afterwards, with
+//!   resident/peak counters exported into every
+//!   [`RoundMetrics`] row (lazy and eager runs are bit-identical);
 //! * [`FedAvg`] — FedAvg (McMahan et al.) and FedProx (ℓ2-proximal local
 //!   objective) over homogeneous models, used both as substrate validation
 //!   and as conceptual baselines for the FedZKT comparison in
@@ -61,6 +67,7 @@
 
 #![warn(missing_docs)]
 
+mod aggregate;
 pub mod codec;
 mod comm;
 mod driver;
@@ -69,9 +76,11 @@ mod fedavg;
 pub mod json;
 mod metrics;
 mod participation;
+pub mod registry;
 mod simclock;
 mod training;
 
+pub use aggregate::{average_state_dicts, StreamingAverage};
 pub use codec::{CodecError, CodecSpec, PayloadCodec};
 pub use comm::CommTracker;
 pub use driver::{
@@ -81,6 +90,7 @@ pub use eval::{accuracy, evaluate};
 pub use fedavg::{FedAvg, FedAvgConfig};
 pub use metrics::{RoundMetrics, RunLog};
 pub use participation::ParticipationSampler;
+pub use registry::{DeviceRegistry, Materialization};
 pub use simclock::{DeviceResources, SimClock};
 pub use training::{
     digest_logits, train_local, train_local_fleet, DigestConfig, FleetJob, LocalTrainConfig,

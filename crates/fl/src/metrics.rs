@@ -25,6 +25,15 @@ pub struct RoundMetrics {
     pub sim_seconds: f64,
     /// Devices that participated.
     pub active_devices: Vec<usize>,
+    /// Registered fleet size (the registry population; identical between
+    /// lazy and eager runs of one scenario).
+    pub registered_devices: usize,
+    /// High-water mark of simultaneously materialized devices, from the
+    /// algorithm's [`DeviceRegistry`](crate::DeviceRegistry) counters (the
+    /// fleet size when no registry is attached). Deliberately
+    /// mode-dependent: this column is *the* observable difference between
+    /// a lazy and an eager run of the same scenario.
+    pub peak_resident_devices: usize,
 }
 
 impl RoundMetrics {
@@ -40,6 +49,8 @@ impl RoundMetrics {
             download_bytes: 0,
             sim_seconds: 0.0,
             active_devices: Vec::new(),
+            registered_devices: 0,
+            peak_resident_devices: 0,
         }
     }
 }
@@ -106,7 +117,8 @@ impl RunLog {
             out.push_str(&format!(
                 "{{\"round\":{},\"avg_device_accuracy\":{},\"device_accuracy\":[{}],\
                  \"global_accuracy\":{},\"train_loss\":{},\"upload_bytes\":{},\
-                 \"download_bytes\":{},\"sim_seconds\":{},\"active_devices\":[{}]}}",
+                 \"download_bytes\":{},\"sim_seconds\":{},\"active_devices\":[{}],\
+                 \"registered_devices\":{},\"peak_resident_devices\":{}}}",
                 r.round,
                 f32j(r.avg_device_accuracy),
                 device_accuracy.join(","),
@@ -116,6 +128,8 @@ impl RunLog {
                 r.download_bytes,
                 f64j(r.sim_seconds),
                 active.join(","),
+                r.registered_devices,
+                r.peak_resident_devices,
             ));
         }
         out.push_str("]}");
@@ -171,6 +185,18 @@ impl RunLog {
                 .collect()
         }
         let f32p = |s: &str| s.parse::<f32>().ok();
+        // The residency columns arrived with the lazy-fleet registry;
+        // pre-registry logs parse with 0 (same spirit as an absent codec
+        // field defaulting to Raw in scenario files).
+        let count_or_zero = |obj: &json::Value, key: &str| -> Result<usize, String> {
+            match obj.get(key) {
+                None => Ok(0),
+                Some(v) => v
+                    .as_number()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("malformed count field \"{key}\"")),
+            }
+        };
         let f32_field = |obj: &json::Value, key: &str| -> Result<f32, String> {
             float(obj.get(key), key, f32p, f32::NAN)
         };
@@ -205,6 +231,8 @@ impl RunLog {
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| "malformed entry in \"active_devices\"".to_string())
                 })?,
+                registered_devices: count_or_zero(obj, "registered_devices")?,
+                peak_resident_devices: count_or_zero(obj, "peak_resident_devices")?,
             });
         }
         Ok(log)
@@ -230,11 +258,11 @@ impl RunLog {
     /// Render as CSV (header + one row per round).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,avg_device_accuracy,global_accuracy,train_loss,upload_bytes,download_bytes,sim_seconds,active_devices\n",
+            "round,avg_device_accuracy,global_accuracy,train_loss,upload_bytes,download_bytes,sim_seconds,active_devices,registered_devices,peak_resident_devices\n",
         );
         for r in &self.rounds {
             out.push_str(&format!(
-                "{},{:.4},{},{:.4},{},{},{:.2},{}\n",
+                "{},{:.4},{},{:.4},{},{},{:.2},{},{},{}\n",
                 r.round,
                 r.avg_device_accuracy,
                 r.global_accuracy.map(|g| format!("{g:.4}")).unwrap_or_default(),
@@ -243,6 +271,8 @@ impl RunLog {
                 r.download_bytes,
                 r.sim_seconds,
                 r.active_devices.len(),
+                r.registered_devices,
+                r.peak_resident_devices,
             ));
         }
         out
@@ -298,6 +328,8 @@ mod tests {
             download_bytes: 0,
             sim_seconds: 1_234.567_890_123,
             active_devices: vec![0, 2],
+            registered_devices: 1_000_000,
+            peak_resident_devices: 1_024,
         });
         log.push(RoundMetrics {
             global_accuracy: None,
@@ -345,6 +377,32 @@ mod tests {
         assert!(back.rounds[0].avg_device_accuracy.is_nan(), "inf flattens to NaN");
         assert_eq!(back.rounds[0].device_accuracy[0], 0.5);
         assert!(back.rounds[0].device_accuracy[1].is_nan());
+    }
+
+    #[test]
+    fn pre_registry_logs_parse_with_zero_residency_columns() {
+        // A round object written before the lazy-fleet columns existed.
+        let old = "{\"rounds\":[{\"round\":1,\"avg_device_accuracy\":0.5,\
+                   \"device_accuracy\":[0.5],\"global_accuracy\":null,\
+                   \"train_loss\":0.1,\"upload_bytes\":10,\"download_bytes\":20,\
+                   \"sim_seconds\":0,\"active_devices\":[0]}]}";
+        let log = RunLog::from_json(old).expect("pre-registry log parses");
+        assert_eq!(log.rounds[0].registered_devices, 0);
+        assert_eq!(log.rounds[0].peak_resident_devices, 0);
+    }
+
+    #[test]
+    fn csv_includes_residency_columns() {
+        let mut log = RunLog::new();
+        log.push(RoundMetrics {
+            registered_devices: 100,
+            peak_resident_devices: 7,
+            ..record(1, 0.25)
+        });
+        let csv = log.to_csv();
+        assert!(csv.starts_with("round,"));
+        assert!(csv.lines().next().unwrap().ends_with("registered_devices,peak_resident_devices"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",100,7"));
     }
 
     #[test]

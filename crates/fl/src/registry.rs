@@ -1,0 +1,365 @@
+//! The lazy, sharded device registry behind million-device fleets.
+//!
+//! FedZKT targets the *cross-device* regime: a huge registered population
+//! of which only a small fraction is sampled each round. Materializing
+//! every device's model up front — the eager fleet the first PRs used —
+//! turns a 1M-device scenario into a memory wall. This module supplies the
+//! bookkeeping for the lazy alternative:
+//!
+//! * [`Materialization`] — the [`SimConfig`](crate::SimConfig) knob
+//!   selecting between the eager fleet (every device model lives for the
+//!   whole run) and the lazy fleet (a device's model and data shard are
+//!   materialized from its `ModelSpec` + deterministic per-device seed
+//!   only while needed, and dropped after merge);
+//! * [`DeviceRegistry`] — per-device slots holding only a device's
+//!   cumulative state summary (a [`StateDict`], absent until the device
+//!   first trains) plus residency flags, sharded so that slot storage for
+//!   a million registered devices is allocated on demand, never up front.
+//!
+//! The registry is also the **instrument**: it maintains `resident` /
+//! `peak_resident` / `touched` counters that the driver exports into every
+//! [`RoundMetrics`](crate::RoundMetrics) row, so the memory bound of the
+//! lazy fleet (peak resident ≤ sampled-per-round + O(1) for stateless-
+//! device algorithms such as FedAvg/FedProx) is *enforced by tests* on the
+//! counter rather than claimed from OS-level RSS readings.
+//!
+//! Determinism: rematerialization is bit-exact. A device's first
+//! materialization runs the same seeded `ModelSpec::build` an eager fleet
+//! runs at construction; a *re*-materialization rebuilds and restores the
+//! stored summary via `load_state_dict`, the same snapshot→rebuild→load
+//! round trip the device-parallel fleet driver already relies on (and the
+//! checkpoint tests prove lossless). Lazy and eager runs of the same
+//! scenario therefore produce bit-identical [`RunLog`](crate::RunLog)s —
+//! the workspace equivalence suite asserts exactly that.
+
+use fedzkt_nn::StateDict;
+
+/// Fleet materialization strategy — a throughput/memory knob, never a
+/// semantics knob: for any scenario, lazy and eager runs are bit-identical
+/// (up to the [`RoundMetrics`](crate::RoundMetrics) residency gauge, which
+/// reports the mode's actual memory behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Materialization {
+    /// Materialize every device at construction and keep it resident for
+    /// the whole run. Right for paper-scale fleets (tens of devices),
+    /// where slicing shards up front is cheaper than re-subsetting per
+    /// round, and for interactive use that pokes at arbitrary device
+    /// models between rounds.
+    #[default]
+    Eager,
+    /// Materialize a device only while it is needed — sampled for a
+    /// round, serving as a distillation teacher, or being evaluated — and
+    /// drop it back to its registry summary afterwards. Peak memory is
+    /// O(resident), not O(registered): the cross-device setting's only
+    /// viable mode at 10⁵–10⁶ registered devices.
+    Lazy,
+}
+
+impl Materialization {
+    /// Parse the scenario/CLI spelling (`"eager"` or `"lazy"`).
+    ///
+    /// # Errors
+    /// Returns a description of the accepted forms on any other input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "eager" => Ok(Materialization::Eager),
+            "lazy" => Ok(Materialization::Lazy),
+            other => Err(format!("unknown materialization \"{other}\" (use \"eager\" or \"lazy\")")),
+        }
+    }
+
+    /// The canonical spelling, inverse of [`Materialization::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Materialization::Eager => "eager",
+            Materialization::Lazy => "lazy",
+        }
+    }
+
+    /// Is this the lazy mode?
+    pub fn is_lazy(&self) -> bool {
+        matches!(self, Materialization::Lazy)
+    }
+}
+
+impl std::fmt::Display for Materialization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One registered device's slot: its residency flag and — once the device
+/// has trained at least once — the cumulative state summary it is
+/// rematerialized from.
+#[derive(Debug, Default)]
+struct Slot {
+    resident: bool,
+    summary: Option<StateDict>,
+}
+
+/// Per-device slot storage plus residency accounting for a (possibly
+/// enormous) registered fleet.
+///
+/// Storage is sharded: slots come into existence a shard at a time, the
+/// first time any device in the shard is touched, so a registry over 10⁶
+/// devices of which ~10³ are ever sampled allocates slot storage roughly
+/// proportional to the touched set, not the registered population. The
+/// shard size is an internal layout detail — every observable behaviour
+/// (counters, summaries, residency) is identical for every shard size,
+/// which the workspace property suite asserts.
+///
+/// The counters are the scale instrument the driver exports per round:
+///
+/// * [`resident`](DeviceRegistry::resident) — devices materialized right
+///   now;
+/// * [`peak_resident`](DeviceRegistry::peak_resident) — the high-water
+///   mark over the whole run (monotone, so read order never matters);
+/// * [`touched`](DeviceRegistry::touched) — devices ever materialized.
+///
+/// Misuse (double checkout, releasing a non-resident device, any
+/// out-of-range id) panics: residency bugs must fail loudly in tests, not
+/// skew the gauge that CI's memory-bound regression reads.
+#[derive(Debug)]
+pub struct DeviceRegistry {
+    registered: usize,
+    shard_size: usize,
+    shards: Vec<Option<Box<[Slot]>>>,
+    resident: usize,
+    peak_resident: usize,
+    touched: usize,
+}
+
+/// Default slot-shard size; at ~10³ devices sampled from 10⁶ registered,
+/// this keeps demand-allocated slot storage in the low megabytes.
+const DEFAULT_SHARD_SIZE: usize = 256;
+
+impl DeviceRegistry {
+    /// A registry over `registered` devices (ids `0..registered`), with
+    /// the default shard size. No slot storage is allocated yet.
+    ///
+    /// # Panics
+    /// Panics when `registered` is 0.
+    pub fn new(registered: usize) -> Self {
+        Self::with_shard_size(registered, DEFAULT_SHARD_SIZE)
+    }
+
+    /// A registry with an explicit slot-shard size (a layout knob exposed
+    /// for the shard-count-invariance property tests; simulations use
+    /// [`DeviceRegistry::new`]).
+    ///
+    /// # Panics
+    /// Panics when `registered` or `shard_size` is 0.
+    pub fn with_shard_size(registered: usize, shard_size: usize) -> Self {
+        assert!(registered > 0, "a registry needs at least one device");
+        assert!(shard_size > 0, "shard size must be positive");
+        let shards = registered.div_ceil(shard_size);
+        DeviceRegistry {
+            registered,
+            shard_size,
+            shards: (0..shards).map(|_| None).collect(),
+            resident: 0,
+            peak_resident: 0,
+            touched: 0,
+        }
+    }
+
+    /// A registry for an eager fleet: every device is checked out at
+    /// construction and stays resident for the whole run, so the gauge
+    /// honestly reports the eager mode's memory shape
+    /// (`resident == peak_resident == registered`).
+    pub fn eager(registered: usize) -> Self {
+        let mut reg = Self::new(registered);
+        for k in 0..registered {
+            reg.checkout(k);
+        }
+        reg
+    }
+
+    /// Number of registered devices.
+    pub fn registered(&self) -> usize {
+        self.registered
+    }
+
+    /// Devices currently materialized.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// High-water mark of [`DeviceRegistry::resident`] over the run.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Devices that have ever been materialized.
+    pub fn touched(&self) -> usize {
+        self.touched
+    }
+
+    /// Is device `k` currently materialized?
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn is_resident(&self, k: usize) -> bool {
+        self.assert_in_range(k);
+        self.slot(k).is_some_and(|s| s.resident)
+    }
+
+    /// Mark device `k` materialized, updating the residency counters.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range or already resident.
+    pub fn checkout(&mut self, k: usize) {
+        let slot = self.slot_mut(k);
+        assert!(!slot.resident, "device {k} checked out twice");
+        slot.resident = true;
+        self.resident += 1;
+        self.touched += 1;
+        self.peak_resident = self.peak_resident.max(self.resident);
+    }
+
+    /// Mark device `k` dropped.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range or not resident.
+    pub fn release(&mut self, k: usize) {
+        let slot = self.slot_mut(k);
+        assert!(slot.resident, "device {k} released while not resident");
+        slot.resident = false;
+        self.resident -= 1;
+    }
+
+    /// Store device `k`'s cumulative state summary (replacing any previous
+    /// one) — the snapshot a later rematerialization restores bit-exactly.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn store_summary(&mut self, k: usize, summary: StateDict) {
+        self.slot_mut(k).summary = Some(summary);
+    }
+
+    /// Device `k`'s stored summary, if it has one. `None` means the device
+    /// has never trained: materialize it from its construction seed alone.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn summary(&self, k: usize) -> Option<&StateDict> {
+        self.assert_in_range(k);
+        self.slot(k).and_then(|s| s.summary.as_ref())
+    }
+
+    /// Remove and return device `k`'s stored summary, if any — the
+    /// move-out path for rematerialization (avoids cloning model-sized
+    /// state on the hot path).
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn take_summary(&mut self, k: usize) -> Option<StateDict> {
+        self.slot_mut(k).summary.take()
+    }
+
+    fn assert_in_range(&self, k: usize) {
+        assert!(k < self.registered, "device {k} out of range (registered: {})", self.registered);
+    }
+
+    /// The slot for device `k`, if its shard has been allocated.
+    fn slot(&self, k: usize) -> Option<&Slot> {
+        self.shards[k / self.shard_size].as_ref().map(|s| &s[k % self.shard_size])
+    }
+
+    /// The slot for device `k`, allocating its shard on first touch.
+    fn slot_mut(&mut self, k: usize) -> &mut Slot {
+        self.assert_in_range(k);
+        let shard = self.shards[k / self.shard_size].get_or_insert_with(|| {
+            (0..self.shard_size).map(|_| Slot::default()).collect::<Vec<_>>().into_boxed_slice()
+        });
+        &mut shard[k % self.shard_size]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedzkt_tensor::Tensor;
+
+    fn summary(v: f32) -> StateDict {
+        StateDict { params: vec![Tensor::scalar(v)], buffers: Vec::new() }
+    }
+
+    #[test]
+    fn counters_track_checkout_release() {
+        let mut reg = DeviceRegistry::new(10);
+        assert_eq!((reg.resident(), reg.peak_resident(), reg.touched()), (0, 0, 0));
+        reg.checkout(3);
+        reg.checkout(7);
+        assert_eq!((reg.resident(), reg.peak_resident(), reg.touched()), (2, 2, 2));
+        assert!(reg.is_resident(3) && reg.is_resident(7) && !reg.is_resident(0));
+        reg.release(3);
+        assert_eq!((reg.resident(), reg.peak_resident(), reg.touched()), (1, 2, 2));
+        // Peak is a monotone high-water mark.
+        reg.checkout(3);
+        reg.release(3);
+        reg.release(7);
+        assert_eq!((reg.resident(), reg.peak_resident(), reg.touched()), (0, 2, 3));
+    }
+
+    #[test]
+    fn eager_registry_is_fully_resident() {
+        let reg = DeviceRegistry::eager(5);
+        assert_eq!(reg.resident(), 5);
+        assert_eq!(reg.peak_resident(), 5);
+        assert_eq!(reg.touched(), 5);
+        assert!((0..5).all(|k| reg.is_resident(k)));
+    }
+
+    #[test]
+    fn summaries_store_and_take() {
+        let mut reg = DeviceRegistry::new(4);
+        assert!(reg.summary(2).is_none());
+        reg.store_summary(2, summary(1.5));
+        assert_eq!(reg.summary(2), Some(&summary(1.5)));
+        reg.store_summary(2, summary(2.5));
+        assert_eq!(reg.take_summary(2), Some(summary(2.5)));
+        assert!(reg.summary(2).is_none());
+        assert!(reg.take_summary(2).is_none());
+    }
+
+    #[test]
+    fn slot_storage_is_allocated_on_demand() {
+        let mut reg = DeviceRegistry::with_shard_size(1_000_000, 256);
+        assert!(reg.shards.iter().all(Option::is_none), "no slots before first touch");
+        reg.checkout(999_999);
+        assert_eq!(reg.shards.iter().filter(|s| s.is_some()).count(), 1);
+        assert_eq!(reg.resident(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "checked out twice")]
+    fn double_checkout_panics() {
+        let mut reg = DeviceRegistry::new(2);
+        reg.checkout(1);
+        reg.checkout(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn release_without_checkout_panics() {
+        DeviceRegistry::new(2).release(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        DeviceRegistry::new(2).checkout(2);
+    }
+
+    #[test]
+    fn parse_roundtrips_materialization() {
+        for mode in [Materialization::Eager, Materialization::Lazy] {
+            assert_eq!(Materialization::parse(mode.as_str()), Ok(mode));
+        }
+        assert!(Materialization::parse("ondemand").is_err());
+        assert_eq!(Materialization::default(), Materialization::Eager);
+        assert!(Materialization::Lazy.is_lazy());
+        assert!(!Materialization::Eager.is_lazy());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the lazy-fleet substrate: the participation sampler
+//! replayed over [`DeviceRegistry`]s, shard-layout invariance of every
+//! registry observable, and bit-exactness of the rematerialization round
+//! trip the lazy mode's determinism guarantee rests on.
+
+use fedzkt_fl::{DeviceRegistry, ParticipationSampler};
+use fedzkt_models::ModelSpec;
+use fedzkt_nn::{load_state_dict, state_dict, StateDict};
+use fedzkt_tensor::{split_seed, Tensor};
+use proptest::prelude::*;
+
+fn scalar_summary(v: f32) -> StateDict {
+    StateDict { params: vec![Tensor::scalar(v)], buffers: Vec::new() }
+}
+
+/// Every f32 in transfer order, as raw bits — the comparison that catches
+/// even a `-0.0` vs `0.0` drift a value compare would wave through.
+fn bits(sd: &StateDict) -> Vec<u32> {
+    sd.iter_tensors().flat_map(|t| t.data().iter().map(|v| v.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replaying the sampler's rounds as checkout/release cycles over a
+    /// lazy registry: the active set is always a sorted, unique subset of
+    /// the registered ids; the sampled ids are a function of
+    /// `(devices, fraction, seed, round)` alone (so lazy and eager fleets,
+    /// which share one sampler construction, sample identically); and the
+    /// resulting counters — including the peak-resident gauge the memory
+    /// tests read — are identical for every slot-shard size.
+    #[test]
+    fn sampled_residency_is_shard_invariant(devices in 1usize..64, p in 0.01f32..1.0, seed in 0u64..200) {
+        let sampler = ParticipationSampler::new(devices, p, seed);
+        let again = ParticipationSampler::new(devices, p, seed);
+        let mut outcomes = Vec::new();
+        for shard_size in [1usize, 7, 64] {
+            let mut reg = DeviceRegistry::with_shard_size(devices, shard_size);
+            for round in 0..4 {
+                let active = sampler.active(round);
+                prop_assert!(active.windows(2).all(|w| w[0] < w[1]), "sorted & unique");
+                prop_assert!(active.iter().all(|&k| k < reg.registered()));
+                prop_assert_eq!(&active, &again.active(round));
+                for &k in &active {
+                    reg.checkout(k);
+                }
+                prop_assert_eq!(reg.resident(), active.len());
+                for &k in &active {
+                    reg.release(k);
+                }
+            }
+            outcomes.push((reg.resident(), reg.peak_resident(), reg.touched()));
+        }
+        prop_assert!(outcomes.windows(2).all(|w| w[0] == w[1]), "shard size leaked: {outcomes:?}");
+        let (resident, peak, _) = outcomes[0];
+        prop_assert_eq!(resident, 0, "every round released its working set");
+        prop_assert_eq!(peak, sampler.active_count(), "peak is exactly one round's sample");
+    }
+
+    /// Shard size is pure layout: an arbitrary interleaving of checkouts,
+    /// releases, summary stores and summary takes produces identical
+    /// observables (counters, residency flags, summaries, returned values)
+    /// on registries sharded 1, 7 and 64 wide.
+    #[test]
+    fn registry_observables_are_shard_size_invariant(
+        ops in proptest::collection::vec((0usize..16, 0u8..3), 1..80),
+    ) {
+        let mut regs: Vec<DeviceRegistry> =
+            [1usize, 7, 64].iter().map(|&s| DeviceRegistry::with_shard_size(16, s)).collect();
+        for (i, &(k, op)) in ops.iter().enumerate() {
+            let mut returned = Vec::new();
+            for reg in &mut regs {
+                returned.push(match op {
+                    0 => {
+                        if reg.is_resident(k) {
+                            reg.release(k);
+                        } else {
+                            reg.checkout(k);
+                        }
+                        None
+                    }
+                    1 => {
+                        reg.store_summary(k, scalar_summary(i as f32));
+                        None
+                    }
+                    _ => reg.take_summary(k),
+                });
+            }
+            prop_assert!(returned.windows(2).all(|w| w[0] == w[1]));
+            let observed: Vec<_> = regs
+                .iter()
+                .map(|r| {
+                    (r.resident(), r.peak_resident(), r.touched(), r.is_resident(k), r.summary(k).cloned())
+                })
+                .collect();
+            prop_assert!(observed.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases: each one builds three models.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The lazy fleet's rematerialization contract, on real zoo members:
+    /// a fresh build from the construction seed is bit-identical to the
+    /// original build, and a fresh build from a *different* seed restored
+    /// via `load_state_dict` is bit-identical to the stored summary — every
+    /// parameter and buffer, compared as raw f32 bits.
+    #[test]
+    fn rematerialization_roundtrip_is_bit_exact(arch in 0usize..4, img_sel in 0usize..2, seed in 0u64..1000) {
+        let spec = [
+            ModelSpec::Mlp { hidden: 8 },
+            ModelSpec::Mlp { hidden: 17 },
+            ModelSpec::SmallCnn { base_channels: 2 },
+            ModelSpec::SmallCnn { base_channels: 3 },
+        ][arch];
+        let img = [4usize, 8][img_sel];
+        let original = spec.build(1, 4, img, seed);
+        let summary = state_dict(&*original);
+
+        // First materialization: same spec, same seed, nothing to restore.
+        let fresh = spec.build(1, 4, img, seed);
+        prop_assert_eq!(bits(&state_dict(&*fresh)), bits(&summary));
+
+        // Rematerialization: deliberately different init seed, then the
+        // stored summary overwrites every parameter and buffer.
+        let rebuilt = spec.build(1, 4, img, split_seed(seed, 999));
+        load_state_dict(&*rebuilt, &summary).expect("same architecture");
+        prop_assert_eq!(bits(&state_dict(&*rebuilt)), bits(&summary));
+    }
+}

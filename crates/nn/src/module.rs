@@ -126,6 +126,17 @@ impl StateDict {
     pub fn byte_size(&self) -> usize {
         self.value_count() * std::mem::size_of::<f32>()
     }
+
+    /// Do `self` and `other` describe the same architecture — equal
+    /// parameter and buffer counts, with matching shapes position by
+    /// position? This is the precondition for aggregating two snapshots
+    /// (`fedzkt_fl`'s streaming average), for decoding a wire payload
+    /// against a template, and for [`load_state_dict`] succeeding.
+    pub fn same_layout(&self, other: &StateDict) -> bool {
+        self.params.len() == other.params.len()
+            && self.buffers.len() == other.buffers.len()
+            && self.iter_tensors().zip(other.iter_tensors()).all(|(a, b)| a.shape() == b.shape())
+    }
 }
 
 /// Snapshot a module's parameters and buffers.
@@ -326,6 +337,18 @@ mod tests {
         assert_eq!(state_dict(&m).byte_size(), 104);
         // The snapshot-free count agrees with the snapshot's.
         assert_eq!(state_bytes(&m), state_dict(&m).byte_size());
+    }
+
+    #[test]
+    fn same_layout_requires_matching_counts_and_shapes() {
+        let a = state_dict(&tiny_model(1));
+        let b = state_dict(&tiny_model(2));
+        assert!(a.same_layout(&b), "same architecture, different weights");
+        let mut rng = seeded_rng(7);
+        let narrow = state_dict(&Linear::new(3, 2, true, &mut rng));
+        assert!(!a.same_layout(&narrow), "different parameter count");
+        let transposed = state_dict(&Linear::new(2, 3, true, &mut rng));
+        assert!(!narrow.same_layout(&transposed), "same counts, different shapes");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! thread count.
 
 use fedzkt_data::Partition;
-use fedzkt_fl::CodecSpec;
+use fedzkt_fl::{CodecSpec, Materialization};
 use fedzkt_scenario::{presets, resolve, standard_zoo, Scenario, ScenarioError};
 use fedzkt_tensor::par;
 use std::path::PathBuf;
@@ -44,6 +44,7 @@ run/sweep options:
   --threads N        worker threads (0 = FEDZKT_THREADS / all cores)
   --seed N           override the scenario's master seed (run only)
   --codec C          override the wire codec: raw|q8|q4|topk[:density] (run only)
+  --materialization M  override the fleet mode: eager|lazy (run only)
 
 sweep axes (comma-separated values; absent axes keep the base value):
   --seeds 1,2,3      master seeds
@@ -53,6 +54,7 @@ sweep axes (comma-separated values; absent axes keep the base value):
   --devices 5,10     device counts (re-cycles the zoo)
   --zoos small,cifar paper zoo families
   --codecs raw,q8,q4,topk:0.1   wire codecs
+  --materializations eager,lazy   fleet materialization modes
 ";
 
 fn main() -> ExitCode {
@@ -114,8 +116,14 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
         scenario.data.test_n
     );
     println!("partition:  {}", scenario.partition);
-    println!("devices:    {}", scenario.devices());
-    for (spec, count) in &scenario.zoo {
+    match scenario.registered_devices {
+        0 => println!("devices:    {}", scenario.devices()),
+        n => println!(
+            "devices:    {n} registered (zoo re-cycled), {} fleet",
+            scenario.sim.materialization
+        ),
+    }
+    for (spec, count) in &scenario.effective_zoo() {
         println!("  {:<22} x{count}", spec.name());
     }
     match &scenario.resources {
@@ -135,8 +143,12 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
     }
     println!("codec:      {}", codec_label(&scenario.sim.codec));
     println!(
-        "protocol:   {} rounds, participation {}, seed {}, threads {}",
-        scenario.sim.rounds, scenario.sim.participation, scenario.sim.seed, scenario.sim.threads
+        "protocol:   {} rounds, participation {}, seed {}, threads {}, {} fleet",
+        scenario.sim.rounds,
+        scenario.sim.participation,
+        scenario.sim.seed,
+        scenario.sim.threads,
+        scenario.sim.materialization
     );
     Ok(())
 }
@@ -149,6 +161,7 @@ struct RunOptions {
     threads: Option<usize>,
     seed: Option<u64>,
     codec: Option<CodecSpec>,
+    materialization: Option<Materialization>,
     rest: Vec<(String, String)>,
 }
 
@@ -158,6 +171,7 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
         threads: None,
         seed: None,
         codec: None,
+        materialization: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -179,6 +193,11 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
             }
             "--codec" => {
                 opts.codec = Some(CodecSpec::parse(&value).map_err(|e| format!("--codec: {e}"))?);
+            }
+            "--materialization" => {
+                opts.materialization = Some(
+                    Materialization::parse(&value).map_err(|e| format!("--materialization: {e}"))?,
+                );
             }
             other => opts.rest.push((other.to_string(), value)),
         }
@@ -209,13 +228,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(codec) = opts.codec {
         scenario.sim.codec = codec;
     }
+    if let Some(materialization) = opts.materialization {
+        scenario.sim.materialization = materialization;
+    }
     println!(
-        "running {} ({}, {} rounds, seed {}, codec {})",
+        "running {} ({}, {} rounds, seed {}, codec {}, {} fleet)",
         scenario.name,
         scenario.algorithm.name(),
         scenario.sim.rounds,
         scenario.sim.seed,
-        codec_label(&scenario.sim.codec)
+        codec_label(&scenario.sim.codec),
+        scenario.sim.materialization
     );
     println!("{:>6} {:>9} {:>11} {:>12} {:>10}", "round", "avg-acc", "train-loss", "uplink-KiB", "sim-time");
     let log = scenario
@@ -272,6 +295,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if opts.codec.is_some() {
         return Err("--codec is a run option; sweep over codecs with --codecs a,b,c".into());
     }
+    if opts.materialization.is_some() {
+        return Err(
+            "--materialization is a run option; sweep over modes with --materializations a,b"
+                .into(),
+        );
+    }
 
     let mut seeds: Vec<u64> = Vec::new();
     let mut betas: Vec<f32> = Vec::new();
@@ -280,6 +309,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut devices: Vec<usize> = Vec::new();
     let mut zoos: Vec<String> = Vec::new();
     let mut codecs: Vec<CodecSpec> = Vec::new();
+    let mut materializations: Vec<Materialization> = Vec::new();
     for (flag, value) in &opts.rest {
         match flag.as_str() {
             "--seeds" => seeds = parse_list(flag, value)?,
@@ -292,6 +322,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 codecs = value
                     .split(',')
                     .map(|item| CodecSpec::parse(item.trim()).map_err(|e| format!("--codecs: {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--materializations" => {
+                materializations = value
+                    .split(',')
+                    .map(|item| {
+                        Materialization::parse(item.trim())
+                            .map_err(|e| format!("--materializations: {e}"))
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
             }
             other => return Err(format!("unknown sweep axis {other}\n{USAGE}")),
@@ -345,6 +384,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             }
         },
         |sc, &codec| sc.sim.codec = codec,
+    );
+    cells = expand(
+        cells,
+        &materializations,
+        |m| format!("m{m}"),
+        |sc, &m| sc.sim.materialization = m,
     );
     for zoo in &zoos {
         if zoo != "small" && zoo != "cifar" {

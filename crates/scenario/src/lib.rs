@@ -29,6 +29,13 @@
 //!   ([`Partition`](fedzkt_data::Partition)).
 //! * [`Scenario::zoo`] — `(architecture, count)` pairs; the paper's core
 //!   premise is that these need not agree across devices.
+//! * [`Scenario::registered_devices`] — optional cross-device population
+//!   override: `0` means the zoo expansion *is* the fleet; a positive
+//!   value registers that many devices, re-cycling the zoo's
+//!   architectures over them ([`Scenario::effective_zoo`]). Pair it with
+//!   `"materialization": "lazy"` in `sim` so the fleet is registry slots,
+//!   not resident models — the `mega-fleet` preset registers 10⁶ devices
+//!   this way.
 //! * [`Scenario::resources`] — optional simulated hardware
 //!   ([`ResourceSpec`]); attaching it populates `sim_seconds` in the log,
 //!   including transfer time for the codec-encoded payloads over each
@@ -50,7 +57,12 @@
 //!
 //! 1. Write a `fn my_preset() -> Scenario` in `registry.rs` — start from
 //!    [`Scenario::standard`] (the paper's standard setup for a family /
-//!    partition / [`Tier`]) and override fields.
+//!    partition / [`Tier`]) and override fields. For a cross-device
+//!    preset, set `registered_devices` to the population size (the zoo
+//!    then describes the architecture mix, not the head count) and
+//!    `sim.materialization` to `Lazy` — see `mega_fleet()` for the
+//!    pattern; leave both at their defaults (`0` / `Eager`) for
+//!    paper-scale fleets.
 //! 2. Append a [`Preset`] entry to [`presets`] with a unique name and a
 //!    one-line description.
 //! 3. Regenerate its golden file:
@@ -65,10 +77,11 @@
 //! * `list` — the preset registry;
 //! * `describe <name|file> [--json]` — summary or canonical JSON;
 //! * `run <name|file>` — execute, writing `<name>.csv` + `<name>.json`
-//!   artifacts (`--codec q8` overrides the wire format for one run);
-//! * `sweep <name|file> --seeds 1,2 --codecs raw,q8,q4,topk:0.1 …` —
-//!   expand grid axes into child scenarios and execute them
-//!   fleet-parallel.
+//!   artifacts (`--codec q8` / `--materialization lazy` override the wire
+//!   format / fleet mode for one run);
+//! * `sweep <name|file> --seeds 1,2 --codecs raw,q8,q4,topk:0.1
+//!   --materializations eager,lazy …` — expand grid axes into child
+//!   scenarios and execute them fleet-parallel.
 
 #![warn(missing_docs)]
 

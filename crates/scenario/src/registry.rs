@@ -13,7 +13,7 @@ use crate::{
 };
 use fedzkt_core::{FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
-use fedzkt_fl::{CodecSpec, FedAvgConfig, SimConfig};
+use fedzkt_fl::{CodecSpec, FedAvgConfig, Materialization, SimConfig};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
 /// Workload tier: how much compute an experiment spends.
@@ -211,6 +211,7 @@ impl Scenario {
             },
             partition,
             zoo: standard_zoo(family, scale.devices),
+            registered_devices: 0,
             resources: None,
             algorithm: Algo::FedZkt(scale.fedzkt_config(family, tier)),
             sim: SimConfig { rounds: scale.rounds, seed, ..Default::default() },
@@ -371,6 +372,43 @@ fn lowband_straggler() -> Scenario {
     sc
 }
 
+fn mega_fleet() -> Scenario {
+    // The lazy registry's acceptance anchor: one **million** registered
+    // devices, ~1000 sampled per round, each holding one sample and a
+    // micro-MLP. Lazy materialization keeps the resident fleet at the
+    // sampled count, so the run completes in bounded memory; an eager run
+    // of this description would build a million models up front.
+    Scenario {
+        name: "mega-fleet".into(),
+        data: DataSpec {
+            family: DataFamily::MnistLike,
+            img: 4,
+            train_n: 1_000_000,
+            test_n: 64,
+            classes: 0,
+            noise_std: -1.0,
+        },
+        partition: Partition::Iid,
+        zoo: vec![(ModelSpec::Mlp { hidden: 8 }, 1)],
+        registered_devices: 1_000_000,
+        resources: None,
+        algorithm: Algo::FedAvg(FedAvgConfig {
+            local_epochs: 1,
+            batch_size: 16,
+            lr: 0.05,
+            ..Default::default()
+        }),
+        sim: SimConfig {
+            rounds: 2,
+            participation: 0.001,
+            eval_every: 0,
+            seed: 21,
+            materialization: Materialization::Lazy,
+            ..Default::default()
+        },
+    }
+}
+
 fn paper_small() -> Scenario {
     Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Paper, 42)
 }
@@ -442,6 +480,12 @@ pub fn presets() -> Vec<Preset> {
             about: "straggler run on 20 kB/s uplinks with top-k(0.25) sparsified payloads",
             paper_scale: false,
             build: lowband_straggler,
+        },
+        Preset {
+            name: "mega-fleet",
+            about: "one million registered devices, ~1k sampled/round, lazy materialization",
+            paper_scale: false,
+            build: mega_fleet,
         },
         Preset {
             name: "paper-small",

@@ -13,7 +13,7 @@ use crate::{
 use fedzkt_core::{DistillLoss, FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
 use fedzkt_fl::json::{self, Value};
-use fedzkt_fl::{CodecSpec, DeviceResources, FedAvgConfig, SimConfig};
+use fedzkt_fl::{CodecSpec, DeviceResources, FedAvgConfig, Materialization, SimConfig};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
 /// An owned JSON tree, built by the writer and pretty-printed canonically.
@@ -311,6 +311,7 @@ fn sim_j(s: &SimConfig) -> J {
         ("seed", u64j(s.seed)),
         ("threads", us(s.threads)),
         ("codec", codec_j(&s.codec)),
+        ("materialization", sj(s.materialization.as_str())),
     ])
 }
 
@@ -543,6 +544,12 @@ fn scenario_from(v: &Value) -> Result<Scenario, String> {
         },
         partition: partition_from(req(v, "partition")?)?,
         zoo,
+        // Absent (a pre-registry-era file) means the zoo expansion *is*
+        // the population — no override.
+        registered_devices: match v.get("registered_devices") {
+            None => 0,
+            Some(_) => usize_f(v, "registered_devices")?,
+        },
         resources,
         algorithm: algo_from(req(v, "algorithm")?)?,
         sim: SimConfig {
@@ -557,6 +564,12 @@ fn scenario_from(v: &Value) -> Result<Scenario, String> {
             codec: match sim.get("codec") {
                 None => CodecSpec::Raw,
                 Some(v) => codec_from(v)?,
+            },
+            // Absent (a pre-registry-era file) means eager — the only
+            // materialization those files could run.
+            materialization: match sim.get("materialization") {
+                None => Materialization::Eager,
+                Some(_) => Materialization::parse(str_f(sim, "materialization")?)?,
             },
         },
     })
@@ -595,6 +608,7 @@ impl Scenario {
                         .collect(),
                 ),
             ),
+            ("registered_devices", us(self.registered_devices)),
             ("resources", self.resources.as_ref().map_or(J::Null, resources_j)),
             ("algorithm", algo_j(&self.algorithm)),
             ("sim", sim_j(&self.sim)),
@@ -686,6 +700,38 @@ mod tests {
         assert!(!legacy.contains("codec") && !legacy.contains("bandwidth"), "{legacy}");
         let back = Scenario::from_json(&legacy).expect("legacy schema parses");
         assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn pre_registry_era_files_parse_with_defaults() {
+        // A scenario file written before the lazy-fleet layer has no
+        // `sim.materialization` and no `registered_devices`; it must keep
+        // loading, defaulting to an eager fleet sized by the zoo.
+        let sc = presets()[0].scenario();
+        assert_eq!(sc.registered_devices, 0, "golden presets predate the override");
+        let legacy = sc
+            .to_json()
+            .replace(",\n    \"materialization\": \"eager\"", "")
+            .replace("  \"registered_devices\": 0,\n", "");
+        assert!(
+            !legacy.contains("materialization") && !legacy.contains("registered_devices"),
+            "{legacy}"
+        );
+        let back = Scenario::from_json(&legacy).expect("legacy schema parses");
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn registered_devices_and_materialization_roundtrip() {
+        let mut sc = presets()[0].scenario();
+        sc.registered_devices = 1_000_000;
+        sc.sim.materialization = Materialization::Lazy;
+        let json = sc.to_json();
+        assert!(json.contains("\"registered_devices\": 1000000"), "{json}");
+        assert!(json.contains("\"materialization\": \"lazy\""), "{json}");
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(sc, back);
+        assert_eq!(back.devices(), 1_000_000);
     }
 
     #[test]

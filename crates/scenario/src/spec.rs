@@ -234,6 +234,15 @@ pub struct Scenario {
     /// The device zoo as `(architecture, device count)` pairs; the device
     /// population is the expansion in order.
     pub zoo: Vec<(ModelSpec, usize)>,
+    /// Registered-fleet override: `0` keeps the zoo expansion as the
+    /// population; a positive value re-cycles the zoo's architectures over
+    /// this many devices instead (per-architecture counts as in §IV-C2's
+    /// round-robin assignment). The idiom for cross-device scale: a
+    /// one-line zoo plus `"registered_devices": 1000000` describes a
+    /// million-device fleet without a million-entry expansion, and
+    /// [`SimConfig::materialization`] `lazy` keeps it resident only while
+    /// sampled.
+    pub registered_devices: usize,
     /// Simulated device resources (None = no simulated clock).
     pub resources: Option<ResourceSpec>,
     /// The algorithm and its hyperparameters.
@@ -262,15 +271,35 @@ pub struct Materialized {
 }
 
 impl Scenario {
-    /// Number of devices in the federation (the zoo expansion's length).
+    /// Number of devices in the federation: the `registered_devices`
+    /// override when set, the zoo expansion's length otherwise.
     pub fn devices(&self) -> usize {
-        self.zoo.iter().map(|(_, count)| count).sum()
+        if self.registered_devices > 0 {
+            self.registered_devices
+        } else {
+            self.zoo.iter().map(|(_, count)| count).sum()
+        }
     }
 
-    /// Per-device architectures: each zoo entry repeated `count` times, in
-    /// order.
+    /// The effective `(architecture, count)` zoo: the written zoo, or its
+    /// architectures re-cycled over [`Scenario::devices`] when
+    /// `registered_devices` overrides the population size.
+    pub fn effective_zoo(&self) -> Vec<(ModelSpec, usize)> {
+        if self.registered_devices > 0 {
+            let specs: Vec<ModelSpec> = self.zoo.iter().map(|(s, _)| *s).collect();
+            if specs.is_empty() {
+                return Vec::new(); // validation reports the empty zoo
+            }
+            cycle_counts(&specs, self.registered_devices)
+        } else {
+            self.zoo.clone()
+        }
+    }
+
+    /// Per-device architectures: each effective-zoo entry repeated `count`
+    /// times, in order.
     pub fn device_specs(&self) -> Vec<ModelSpec> {
-        self.zoo
+        self.effective_zoo()
             .iter()
             .flat_map(|(spec, count)| std::iter::repeat_n(*spec, *count))
             .collect()
@@ -279,8 +308,10 @@ impl Scenario {
     /// Re-cycle the current distinct architectures over `k` devices,
     /// replacing the zoo counts (per-architecture counts as in §IV-C2's
     /// round-robin assignment; device order grouped by architecture, like
-    /// every zoo expansion). Used by device-count sweeps.
+    /// every zoo expansion). Used by device-count sweeps. Clears any
+    /// `registered_devices` override — the explicit count wins.
     pub fn set_device_count(&mut self, k: usize) {
+        self.registered_devices = 0;
         let specs: Vec<ModelSpec> = self.zoo.iter().map(|(s, _)| *s).collect();
         if specs.is_empty() {
             return; // validation reports the empty zoo

@@ -136,6 +136,8 @@ fn assert_bit_identical(a: &RunLog, b: &RunLog) {
         assert_eq!(ra.download_bytes, rb.download_bytes);
         assert_eq!(ra.sim_seconds.to_bits(), rb.sim_seconds.to_bits());
         assert_eq!(ra.active_devices, rb.active_devices);
+        assert_eq!(ra.registered_devices, rb.registered_devices);
+        assert_eq!(ra.peak_resident_devices, rb.peak_resident_devices);
     }
 }
 
@@ -220,6 +222,26 @@ fn lossy_codec_scenario_runs_bit_identically_across_thread_counts() {
     assert_eq!(one.to_json(), four.to_json());
     // The preset attaches smartphone links, so transfer time is charged.
     assert!(one.rounds.iter().all(|r| r.sim_seconds > 0.0));
+}
+
+#[test]
+fn lazy_scenario_runs_bit_identically_across_thread_counts() {
+    let _guard = serial_guard();
+    // The lazy fleet adds a third determinism axis next to seed and thread
+    // count: materialization. A lazily materialized run must carry the
+    // thread-count guarantee just like the eager runs above — checkout/
+    // release bookkeeping and on-demand rebuilds happen on the driver
+    // thread, outside the fleet's parallel region.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/tiny.json");
+    let mut scenario = fedzkt::scenario::Scenario::load(path).expect("checked-in tiny scenario");
+    scenario.sim.materialization = fedzkt::fl::Materialization::Lazy;
+    scenario.sim.threads = 1;
+    let one = scenario.run().expect("runnable scenario");
+    scenario.sim.threads = 4;
+    let four = scenario.run().expect("runnable scenario");
+    assert_eq!(one, four, "lazy threads=1 vs threads=4 diverged");
+    assert_bit_identical(&one, &four);
+    assert_eq!(one.to_json(), four.to_json());
 }
 
 #[test]

@@ -1,0 +1,130 @@
+//! The lazy-fleet correctness contract: materialization is a memory knob,
+//! never a semantics knob. For **every** checked-in scenario file, a run
+//! with the lazy `DeviceRegistry` must produce a `RunLog` bit-identical to
+//! the eager run — same seed, same wire traffic, same accuracies, same
+//! simulated clock — with exactly one permitted difference: the
+//! `peak_resident_devices` gauge, which is the *point* of the lazy fleet
+//! (it reports the sampled working set, not the registered population).
+//!
+//! The paper-scale presets are hours of CPU at their written size, so the
+//! sweep runs every file through one uniform miniaturization (same data,
+//! partition shape, algorithm and codec; tiny sizes). The two seconds-scale
+//! CI anchors — `tiny` and `quant-uplink` — additionally run at full size.
+
+use fedzkt::core::FedMdConfig;
+use fedzkt::fl::{Materialization, RunLog};
+use fedzkt::models::{GeneratorSpec, ModelSpec};
+use fedzkt::scenario::Scenario;
+
+fn scenario_files() -> Vec<std::path::PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("checked-in scenarios directory")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no scenario files found");
+    files
+}
+
+/// Shrink a scenario to seconds-scale while preserving its shape: the same
+/// family, partition, algorithm, codec and resource model, over tiny data
+/// and a three-device re-cycle of its zoo.
+fn miniaturize(sc: &mut Scenario) {
+    sc.data.img = 8;
+    sc.data.train_n = 96;
+    sc.data.test_n = 32;
+    sc.set_device_count(3);
+    sc.sim.rounds = 2;
+    sc.sim.eval_batch = 32;
+    if let Some(cfg) = sc.fedzkt_cfg_mut() {
+        cfg.local_epochs = 1;
+        cfg.distill_iters = 2;
+        cfg.transfer_iters = 2;
+        cfg.device_batch = 8;
+        cfg.distill_batch = 8;
+        cfg.generator = GeneratorSpec { z_dim: 8, ngf: 4 };
+        cfg.global_model = ModelSpec::SmallCnn { base_channels: 4 };
+    }
+    if let Some(cfg) = sc.fedavg_cfg_mut() {
+        cfg.local_epochs = 1;
+        cfg.batch_size = 8;
+    }
+    if let Some(cfg) = sc.fedmd_cfg_mut() {
+        *cfg = FedMdConfig {
+            public_warmup_epochs: 1,
+            private_warmup_epochs: 1,
+            alignment_size: 16,
+            digest_epochs: 1,
+            revisit_epochs: 1,
+            batch_size: 8,
+            lr: cfg.lr,
+        };
+    }
+}
+
+fn run_in_mode(sc: &Scenario, mode: Materialization) -> RunLog {
+    let mut sc = sc.clone();
+    sc.sim.materialization = mode;
+    sc.run().unwrap_or_else(|e| panic!("{} ({mode}): {e}", sc.name))
+}
+
+/// Zero out the one deliberately mode-dependent column so the rest of the
+/// log can be compared bit for bit (via the serialized form, which compares
+/// float *bits* — `to_json` round-trips f32 exactly).
+fn masked_json(log: &RunLog) -> String {
+    let mut log = log.clone();
+    for round in &mut log.rounds {
+        round.peak_resident_devices = 0;
+    }
+    log.to_json()
+}
+
+fn assert_modes_equivalent(sc: &Scenario, label: &str) {
+    let eager = run_in_mode(sc, Materialization::Eager);
+    let lazy = run_in_mode(sc, Materialization::Lazy);
+    assert_eq!(
+        masked_json(&eager),
+        masked_json(&lazy),
+        "{label}: lazy run diverged from eager"
+    );
+    for (re, rl) in eager.rounds.iter().zip(&lazy.rounds) {
+        assert_eq!(
+            re.registered_devices, rl.registered_devices,
+            "{label}: registered fleet size is mode-independent"
+        );
+        assert!(
+            rl.peak_resident_devices <= re.peak_resident_devices,
+            "{label} round {}: lazy peak {} exceeds eager peak {}",
+            re.round,
+            rl.peak_resident_devices,
+            re.peak_resident_devices
+        );
+    }
+}
+
+#[test]
+fn every_scenario_file_is_mode_equivalent_miniaturized() {
+    for path in scenario_files() {
+        let mut sc = Scenario::load(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        miniaturize(&mut sc);
+        assert_modes_equivalent(&sc, &format!("{} (miniaturized)", sc.name));
+    }
+}
+
+#[test]
+fn tiny_is_mode_equivalent_at_full_size() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/tiny.json");
+    let sc = Scenario::load(path).expect("checked-in tiny scenario");
+    assert_modes_equivalent(&sc, "tiny (full size)");
+}
+
+#[test]
+fn quant_uplink_is_mode_equivalent_at_full_size() {
+    // The lossy-codec anchor: quantized uploads decoded into the streaming
+    // fold must agree with the eager batch path bit for bit too.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/quant-uplink.json");
+    let sc = Scenario::load(path).expect("checked-in quant-uplink scenario");
+    assert_modes_equivalent(&sc, "quant-uplink (full size)");
+}

@@ -1,0 +1,48 @@
+//! Tier-1 memory-bound regression for the lazy fleet.
+//!
+//! The bound is asserted on the [`DeviceRegistry`] residency counters the
+//! driver exports into every `RunLog` row — a deterministic, allocator- and
+//! OS-independent gauge — **not** on process RSS, which measures the
+//! allocator and the test harness as much as the fleet. The registry panics
+//! on any checkout/release imbalance, so the counter cannot silently
+//! undercount.
+
+use fedzkt::scenario::Scenario;
+
+/// A 100 000-device tiny-model scenario (the checked-in `mega-fleet`
+/// preset, shrunk 10× to stay seconds-scale in debug builds) must complete
+/// with peak residency bounded by one round's sampled working set plus
+/// O(1) server-side state — never by the registered population.
+#[test]
+fn lazy_fleet_peak_residency_is_bounded_by_the_sampled_set() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/mega-fleet.json");
+    let mut sc = Scenario::load(path).expect("checked-in mega-fleet scenario");
+    assert!(sc.sim.materialization.is_lazy(), "mega-fleet is the lazy-mode preset");
+
+    sc.registered_devices = 100_000;
+    sc.data.train_n = 100_000;
+    sc.data.test_n = 32;
+    sc.sim.participation = 0.01;
+    sc.sim.rounds = 2;
+
+    let log = sc.run().expect("shrunk mega-fleet runs");
+    assert_eq!(log.rounds.len(), 2);
+
+    let max_sampled =
+        log.rounds.iter().map(|r| r.active_devices.len()).max().expect("two rounds");
+    assert_eq!(max_sampled, 1_000, "0.01 participation of 100k devices");
+
+    for round in &log.rounds {
+        assert_eq!(round.registered_devices, 100_000);
+        // Peak resident ≤ sampled-per-round + O(1): the eager fleet would
+        // report 100 000 here.
+        assert!(
+            round.peak_resident_devices <= max_sampled + 1,
+            "round {}: peak resident {} exceeds the sampled working set {}",
+            round.round,
+            round.peak_resident_devices,
+            max_sampled
+        );
+        assert!(round.peak_resident_devices >= round.active_devices.len());
+    }
+}
