@@ -1,15 +1,44 @@
-//! 2-D convolution (with groups/depthwise support) via batched im2col
-//! lowering.
+//! 2-D convolution (with groups/depthwise support) via **fused** im2col +
+//! GEMM lowering.
 //!
-//! The whole batch is lowered into one `[kvol, N·OH·OW]` column matrix per
-//! channel group ([`im2col_batch`]) and convolved with a single GEMM per
-//! group — forward and backward both dispatch to the workspace's unified
-//! kernel layer [`fedzkt_tensor::ops::gemm`], so large batches engage its
-//! row-partitioned multi-threading automatically.
+//! The forward pass never materialises the full `[kvol, N·OH·OW]` column
+//! matrix: it lowers and consumes the batch **panel by panel**
+//! ([`im2col_panel`] builds [`FUSE_PANEL`] columns at a time, one GEMM per
+//! panel against the group's weight matrix), so peak lowering memory is
+//! `O(kvol · FUSE_PANEL)` per worker instead of `O(kvol · N·OH·OW)` — a
+//! `KH·KW`-fold saving over the input itself, which matters most in the
+//! inference-heavy phases (eval, the distillation game) where the old
+//! implementation also *retained* the column matrices for a backward pass
+//! that never came. Panels are the unit of parallelism (`par::map_indexed`,
+//! one panel per worker at a time) and every panel is computed by the same
+//! float sequence regardless of thread assignment, so results stay
+//! bit-identical for every thread count — and, because a GEMM's per-element
+//! accumulation order is independent of how the N dimension is split, the
+//! fused forward is bit-identical to the unfused whole-batch GEMM it
+//! replaced.
+//!
+//! The backward pass still wants whole-batch column matrices (`dW += go ×
+//! colᵀ` is one big `nt` GEMM), so it **recomputes** `im2col_batch` from
+//! the saved input instead of retaining it from the forward — trading one
+//! extra lowering per backward for not holding a `KH·KW`-times-input-sized
+//! buffer across the whole forward/backward gap. The recomputed matrix is
+//! bitwise the one the old code retained, so gradients are unchanged.
+//!
+//! The forward GEMMs run in the caller's [`fedzkt_tensor::ComputeFormat`]
+//! scope, resolved once at entry (worker threads don't inherit the
+//! thread-local scope — see the `compute` module docs); the backward GEMMs
+//! always run in f32, since int8 is an inference-only format.
 
 use crate::Var;
-use fedzkt_tensor::ops::{col2im, gemm, im2col_batch, Conv2dGeometry};
+use fedzkt_tensor::compute::{current_format, ComputeFormat};
+use fedzkt_tensor::ops::{col2im, gemm, im2col_batch, im2col_panel, Conv2dGeometry};
 use fedzkt_tensor::{par, Tensor};
+
+/// Columns lowered and consumed per fused-forward panel. 256 output pixels
+/// keeps a worker's column panel (`kvol × 256` floats, ≤ 1.2 MiB for the
+/// zoo's widest `kvol = 1152`) L2-resident next to the weight matrix while
+/// still amortising the per-panel GEMM setup.
+const FUSE_PANEL: usize = 256;
 
 impl Var {
     /// 2-D convolution over an NCHW batch.
@@ -42,27 +71,49 @@ impl Var {
         let group_in = c_per_g * h * width;
         let kvol = c_per_g * kh * kw;
 
-        // Forward: per group, ONE GEMM over the whole batch:
-        //   out_g [OCg, N·OHOW] = W_g [OCg, kvol] x col_g [kvol, N·OHOW],
-        // where col_g's columns are sample-major (im2col_batch). The lowered
-        // matrices are kept for the backward pass.
+        // Forward: fused lowering. Per group, the column matrix is built
+        // and consumed FUSE_PANEL columns at a time:
+        //   out_g[:, c0..c0+pw] = W_g [OCg, kvol] x col_g[:, c0..c0+pw],
+        // with col_g's columns sample-major (im2col_panel). Panels are
+        // independent, so they run one-per-worker; splitting N this way
+        // leaves each output element's k-accumulation order untouched, so
+        // the result is bit-identical to the unfused whole-batch GEMM.
         let hw_out = oh * ow;
         let ncols = n * hw_out;
         let sample_stride = c * h * width;
+        let format = current_format();
         let mut out = vec![0.0f32; n * oc * hw_out];
-        let cols: Vec<Vec<f32>> = (0..groups)
-            .map(|g| im2col_batch(x.data(), g * group_in, sample_stride, n, &geom))
-            .collect();
-        for (g, col) in cols.iter().enumerate() {
+        let panels = ncols.div_ceil(FUSE_PANEL.max(1));
+        let threads =
+            if oc * kvol * ncols >= gemm::PAR_MIN_MACS { par::max_threads() } else { 1 };
+        for g in 0..groups {
             let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
-            let mut og = vec![0.0f32; oc_per_g * ncols];
-            gemm::gemm_nn(wg, col, &mut og, oc_per_g, kvol, ncols);
-            // Scatter [OCg, N·OHOW] (sample-major columns) into NCHW layout.
-            for s in 0..n {
+            let panel_outs: Vec<Vec<f32>> = par::map_indexed(panels, threads, |p| {
+                let c0 = p * FUSE_PANEL;
+                let pw = FUSE_PANEL.min(ncols - c0);
+                let mut col = vec![0.0f32; kvol * pw];
+                im2col_panel(x.data(), g * group_in, sample_stride, n, &geom, c0, &mut col);
+                let mut og = vec![0.0f32; oc_per_g * pw];
+                // Explicit-format call: workers don't inherit the caller's
+                // thread-local compute scope.
+                gemm::gemm_nn_with(format, wg, &col, &mut og, oc_per_g, kvol, pw);
+                og
+            });
+            // Scatter [OCg, panel] blocks (sample-major columns) into NCHW.
+            for (p, og) in panel_outs.iter().enumerate() {
+                let c0 = p * FUSE_PANEL;
+                let pw = FUSE_PANEL.min(ncols - c0);
                 for ol in 0..oc_per_g {
-                    let src = &og[ol * ncols + s * hw_out..][..hw_out];
-                    out[s * oc * hw_out + (g * oc_per_g + ol) * hw_out..][..hw_out]
-                        .copy_from_slice(src);
+                    let src_row = &og[ol * pw..(ol + 1) * pw];
+                    let mut j = 0usize;
+                    while j < pw {
+                        let s = (c0 + j) / hw_out;
+                        let px = (c0 + j) % hw_out;
+                        let run = (hw_out - px).min(pw - j);
+                        out[s * oc * hw_out + (g * oc_per_g + ol) * hw_out + px..][..run]
+                            .copy_from_slice(&src_row[j..j + run]);
+                        j += run;
+                    }
                 }
             }
         }
@@ -75,7 +126,13 @@ impl Var {
             // dcol_g is needed per group before the sample-parallel col2im
             // scatter, so groups are processed in two phases.
             let mut dcols: Vec<Vec<f32>> = Vec::with_capacity(if need.0 { groups } else { 0 });
-            for (g, col) in cols.iter().enumerate() {
+            for g in 0..groups {
+                // Recompute this group's whole-batch column matrix from the
+                // saved input — the forward consumed it panel by panel and
+                // deliberately retained nothing (see module docs). Bitwise
+                // the matrix the pre-fusion code kept alive.
+                let col = im2col_batch(x.data(), g * group_in, sample_stride, n, &geom);
+                let col = &col;
                 // Gather grad group g into [OCg, N·OHOW] sample-major columns.
                 let mut go = vec![0.0f32; oc_per_g * ncols];
                 for s in 0..n {
@@ -86,15 +143,25 @@ impl Var {
                     }
                 }
                 if let Some(gw) = gw.as_mut() {
-                    // dW_g += go [OCg, N·OHOW] x col_g^T [N·OHOW, kvol]
+                    // dW_g += go [OCg, N·OHOW] x col_g^T [N·OHOW, kvol].
+                    // Explicit f32: gradients must never take the lossy
+                    // int8 path, whatever scope the caller left active.
                     let dst = &mut gw[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
-                    gemm::gemm_nt(&go, col, dst, oc_per_g, ncols, kvol);
+                    gemm::gemm_nt_with(ComputeFormat::F32, &go, col, dst, oc_per_g, ncols, kvol);
                 }
                 if need.0 {
                     // dcol_g = W_g^T [kvol, OCg] x go [OCg, N·OHOW]
                     let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
                     let mut dcol = vec![0.0f32; kvol * ncols];
-                    gemm::gemm_tn(wg, &go, &mut dcol, oc_per_g, kvol, ncols);
+                    gemm::gemm_tn_with(
+                        ComputeFormat::F32,
+                        wg,
+                        &go,
+                        &mut dcol,
+                        oc_per_g,
+                        kvol,
+                        ncols,
+                    );
                     dcols.push(dcol);
                 }
             }
@@ -267,6 +334,73 @@ mod tests {
         for (a, b) in out.value().data().iter().zip(expected.data()) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    /// The fused panel-by-panel forward must reproduce the unfused
+    /// whole-batch lowering bit for bit (column splitting never touches an
+    /// output element's k-accumulation order). Built here by hand the way
+    /// the pre-fusion code did it: one im2col_batch + one GEMM per group.
+    #[test]
+    fn fused_forward_bit_identical_to_unfused_reference() {
+        let mut rng = seeded_rng(31);
+        // 2 groups; ncols = 2·6·6 = 72 per... sized so ncols spans several
+        // panels only when FUSE_PANEL is small — also run a big case that
+        // genuinely straddles panel boundaries (ncols = 4·144 = 576).
+        for (xs, ws, groups) in [
+            ([2usize, 4, 6, 6], [6usize, 2, 3, 3], 2usize),
+            ([4, 3, 12, 12], [8, 3, 3, 3], 1),
+        ] {
+            let x = Tensor::randn(&xs, &mut rng);
+            let w = Tensor::randn(&ws, &mut rng);
+            let fused = Var::constant(x.clone()).conv2d(&Var::constant(w.clone()), 1, 1, groups);
+            let (n, c, h, wid) = (xs[0], xs[1], xs[2], xs[3]);
+            let (oc, cpg, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+            let geom = Conv2dGeometry::new(cpg, h, wid, kh, kw, 1, 1).unwrap();
+            let (oh, ow) = (geom.out_h, geom.out_w);
+            let (hw_out, kvol) = (oh * ow, cpg * kh * kw);
+            let (ncols, oc_per_g) = (n * hw_out, oc / groups);
+            let mut expected = vec![0.0f32; n * oc * hw_out];
+            for g in 0..groups {
+                let col =
+                    im2col_batch(x.data(), g * cpg * h * wid, c * h * wid, n, &geom);
+                let wg = &w.data()[g * oc_per_g * kvol..(g + 1) * oc_per_g * kvol];
+                let mut og = vec![0.0f32; oc_per_g * ncols];
+                gemm::gemm_nn(wg, &col, &mut og, oc_per_g, kvol, ncols);
+                for s in 0..n {
+                    for ol in 0..oc_per_g {
+                        expected[s * oc * hw_out + (g * oc_per_g + ol) * hw_out..][..hw_out]
+                            .copy_from_slice(&og[ol * ncols + s * hw_out..][..hw_out]);
+                    }
+                }
+            }
+            for (a, b) in fused.value().data().iter().zip(&expected) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{xs:?} x {ws:?}");
+            }
+        }
+    }
+
+    /// A conv forward inside an int8 compute scope stays close to the f32
+    /// result (the scope must reach the per-panel GEMMs through the
+    /// explicit-format plumbing, workers notwithstanding).
+    #[test]
+    fn conv2d_int8_scope_approximates_f32() {
+        let mut rng = seeded_rng(32);
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let f32_out = Var::constant(x.clone()).conv2d(&Var::constant(w.clone()), 1, 1, 1);
+        let q_out = fedzkt_tensor::compute::with_format(ComputeFormat::Int8, || {
+            Var::constant(x.clone()).conv2d(&Var::constant(w.clone()), 1, 1, 1)
+        });
+        let mut max_err = 0.0f32;
+        let mut distinct = false;
+        for (a, b) in q_out.value().data().iter().zip(f32_out.value().data()) {
+            max_err = max_err.max((a - b).abs());
+            distinct |= a.to_bits() != b.to_bits();
+        }
+        // kvol = 27 taps; the codec scale/2 bound accumulates well under
+        // 0.5 for unit-normal data — and the path must actually quantize.
+        assert!(max_err < 0.5, "int8 conv drifted: {max_err}");
+        assert!(distinct, "int8 scope did not reach the conv GEMMs");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedzkt_tensor::ops::{gemm, im2col, Conv2dGeometry};
-use fedzkt_tensor::{par, seeded_rng, Tensor};
+use fedzkt_tensor::{par, seeded_rng, ComputeFormat, Tensor};
 use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {
@@ -56,7 +56,55 @@ fn bench_gemm_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(gemm_benches, bench_gemm_threads);
+/// The inner-kernel layer head to head: for each layout, the scalar
+/// reference kernel, the runtime-dispatched (vectorized where available)
+/// kernel, and the int8 quantized path — all single-threaded so the rows
+/// measure the microkernels, not the partitioner.
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels");
+    group.sample_size(10);
+    let n = 128usize;
+    let mut rng = seeded_rng(6);
+    let a = Tensor::randn(&[n, n], &mut rng);
+    let b = Tensor::randn(&[n, n], &mut rng);
+    par::set_threads(1);
+    type Kernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+    let scalar: [(&str, Kernel); 3] = [
+        ("nn_scalar", gemm::scalar::gemm_nn),
+        ("nt_scalar", gemm::scalar::gemm_nt),
+        ("tn_scalar", gemm::scalar::gemm_tn),
+    ];
+    let dispatched: [(&str, Kernel); 3] =
+        [("nn", gemm::gemm_nn), ("nt", gemm::gemm_nt), ("tn", gemm::gemm_tn)];
+    for (name, kernel) in scalar.into_iter().chain(dispatched) {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                kernel(a.data(), b.data(), &mut out, n, n, n);
+                black_box(out)
+            });
+        });
+    }
+    type KernelWith = fn(ComputeFormat, &[f32], &[f32], &mut [f32], usize, usize, usize);
+    let int8: [(&str, KernelWith); 3] = [
+        ("nn_int8", gemm::gemm_nn_with),
+        ("nt_int8", gemm::gemm_nt_with),
+        ("tn_int8", gemm::gemm_tn_with),
+    ];
+    for (name, kernel) in int8 {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                kernel(ComputeFormat::Int8, a.data(), b.data(), &mut out, n, n, n);
+                black_box(out)
+            });
+        });
+    }
+    par::set_threads(0);
+    group.finish();
+}
+
+criterion_group!(gemm_benches, bench_gemm_threads, bench_gemm_kernels);
 
 fn bench_im2col(c: &mut Criterion) {
     let mut group = c.benchmark_group("im2col");

@@ -1,17 +1,23 @@
-//! Execution-model performance baseline: GEMM and end-to-end round
-//! throughput across worker-thread counts, plus batched-vs-per-sample
-//! convolution lowering. Emits `BENCH_gemm.json` (current directory, or the
-//! path given as the first argument) so later PRs can compare against a
-//! committed baseline.
+//! Execution-model performance baseline: GEMM kernel throughput per
+//! backend (scalar reference vs the dispatched vectorized path) and per
+//! compute format (f32 vs int8) for all three variants (nn/nt/tn),
+//! conv-forward lowering strategies (fused panel vs fully-materialized
+//! im2col, batched vs per-sample), and end-to-end round throughput across
+//! worker-thread counts. Emits `BENCH_gemm.json` (current directory, or
+//! the path given as the first positional argument) so later PRs can
+//! compare against a committed baseline.
 //!
 //! Run with `cargo run --release -p fedzkt_bench --bin bench_gemm`.
+//! Pass `--quick` for a CI-sized smoke run (fewer repetitions, small
+//! round benchmark) — quick output is for sanity, not for committing.
 
+use fedzkt_autograd::{no_grad, Var};
 use fedzkt_core::{FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition, SynthConfig};
 use fedzkt_fl::{SimConfig, Simulation};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 use fedzkt_tensor::ops::{gemm, im2col, im2col_batch, Conv2dGeometry};
-use fedzkt_tensor::{par, seeded_rng, Tensor};
+use fedzkt_tensor::{par, seeded_rng, ComputeFormat, Tensor};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -27,6 +33,55 @@ fn time_median(runs: usize, mut f: impl FnMut()) -> f64 {
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// Which implementation a kernel row times.
+#[derive(Clone, Copy)]
+enum Impl {
+    /// The always-available scalar reference kernels.
+    Scalar,
+    /// The public dispatched f32 path (vectorized where the host supports
+    /// it — see `backend` in the emitted JSON).
+    Dispatched,
+    /// The int8 compute format through the same public entry points.
+    Int8,
+}
+
+/// Single-threaded GEMM seconds for one (variant, implementation) cell at
+/// size `n`³. All three variants are benchmarked on square operands so
+/// the GFLOP/s columns are directly comparable.
+fn kernel_seconds(variant: &str, imp: Impl, n: usize, runs: usize) -> f64 {
+    let mut rng = seeded_rng(1);
+    let a = Tensor::randn(&[n, n], &mut rng);
+    let b = Tensor::randn(&[n, n], &mut rng);
+    par::set_threads(1);
+    let secs = time_median(runs, || {
+        let mut out = vec![0.0f32; n * n];
+        let (a, b) = (a.data(), b.data());
+        match imp {
+            Impl::Scalar => match variant {
+                "nn" => gemm::scalar::gemm_nn(a, b, &mut out, n, n, n),
+                "nt" => gemm::scalar::gemm_nt(a, b, &mut out, n, n, n),
+                _ => gemm::scalar::gemm_tn(a, b, &mut out, n, n, n),
+            },
+            Impl::Dispatched => match variant {
+                "nn" => gemm::gemm_nn(a, b, &mut out, n, n, n),
+                "nt" => gemm::gemm_nt(a, b, &mut out, n, n, n),
+                _ => gemm::gemm_tn(a, b, &mut out, n, n, n),
+            },
+            Impl::Int8 => {
+                let f = ComputeFormat::Int8;
+                match variant {
+                    "nn" => gemm::gemm_nn_with(f, a, b, &mut out, n, n, n),
+                    "nt" => gemm::gemm_nt_with(f, a, b, &mut out, n, n, n),
+                    _ => gemm::gemm_tn_with(f, a, b, &mut out, n, n, n),
+                }
+            }
+        }
+        black_box(&out);
+    });
+    par::set_threads(0);
+    secs
 }
 
 fn gemm_seconds(n: usize, threads: usize, runs: usize) -> f64 {
@@ -90,10 +145,16 @@ fn round_seconds(devices: usize, threads: usize, runs: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Forward conv lowering over an 8-sample batch: one whole-batch GEMM vs one
-/// GEMM per sample (the pre-refactor strategy), both single-threaded so the
-/// comparison isolates the lowering strategy from the row partition.
-fn conv_lowering_seconds(runs: usize) -> (f64, f64) {
+/// Forward conv lowering over an 8-sample batch, all single-threaded so
+/// the comparison isolates the lowering strategy from the row partition:
+///
+/// * `fused` — the production path (`Var::conv2d`, panel-by-panel im2col
+///   consumed straight by the GEMM, no full column matrix);
+/// * `batched` — one fully-materialized whole-batch im2col + one GEMM
+///   (the pre-fusion strategy);
+/// * `per_sample` — one im2col + GEMM per sample (the pre-batching
+///   strategy).
+fn conv_lowering_seconds(runs: usize) -> (f64, f64, f64) {
     let (n, c, hw, oc) = (8usize, 8usize, 16usize, 16usize);
     let g = Conv2dGeometry::new(c, hw, hw, 3, 3, 1, 1).expect("conv geometry");
     let mut rng = seeded_rng(2);
@@ -102,6 +163,14 @@ fn conv_lowering_seconds(runs: usize) -> (f64, f64) {
     let kvol = g.col_rows();
     let cols = g.col_cols();
     par::set_threads(1);
+    let fused = {
+        let xv = Var::constant(x.clone());
+        let wv = Var::constant(w.clone());
+        time_median(runs, || {
+            let y = no_grad(|| xv.conv2d(&wv, 1, 1, 1));
+            black_box(y.value_clone());
+        })
+    };
     let batched = time_median(runs, || {
         let col = im2col_batch(x.data(), 0, c * hw * hw, n, &g);
         let mut out = vec![0.0f32; oc * n * cols];
@@ -117,55 +186,102 @@ fn conv_lowering_seconds(runs: usize) -> (f64, f64) {
         }
     });
     par::set_threads(0);
-    (batched, per_sample)
+    (fused, batched, per_sample)
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    eprintln!("host parallelism: {host_cpus}");
+    eprintln!("host parallelism: {host_cpus}, backend: {}", gemm::backend_name());
 
     let n = 256usize;
     let gflop = 2.0 * (n * n * n) as f64 / 1e9;
-    let g1 = gemm_seconds(n, 1, 9);
-    let g4 = gemm_seconds(n, 4, 9);
+    let kernel_runs = if quick { 3 } else { 9 };
+
+    // Per-kernel backend/format matrix: 3 variants × {scalar, dispatched,
+    // int8}, single-threaded 256³.
+    let mut kernel_rows = String::new();
+    for (i, variant) in ["nn", "nt", "tn"].iter().enumerate() {
+        let s = kernel_seconds(variant, Impl::Scalar, n, kernel_runs);
+        let v = kernel_seconds(variant, Impl::Dispatched, n, kernel_runs);
+        let q = kernel_seconds(variant, Impl::Int8, n, kernel_runs);
+        eprintln!(
+            "gemm_{variant} {n}^3 (1 thread): scalar {:.2}, {} {:.2}, int8 {:.2} GFLOP/s",
+            gflop / s,
+            gemm::backend_name(),
+            gflop / v,
+            gflop / q
+        );
+        kernel_rows.push_str(&format!(
+            "    \"{variant}\": {{ \"scalar_gflops\": {:.3}, \"dispatched_gflops\": {:.3}, \"int8_gflops\": {:.3}, \"dispatched_vs_scalar\": {:.3}, \"int8_vs_scalar\": {:.3} }}{}\n",
+            gflop / s,
+            gflop / v,
+            gflop / q,
+            s / v,
+            s / q,
+            if i + 1 < 3 { "," } else { "" }
+        ));
+    }
+
+    let g1 = gemm_seconds(n, 1, kernel_runs);
+    let g4 = gemm_seconds(n, 4, kernel_runs);
     eprintln!("gemm {n}^3: 1 thread {:.2} GFLOP/s, 4 threads {:.2} GFLOP/s", gflop / g1, gflop / g4);
 
-    let (conv_batched, conv_per_sample) = conv_lowering_seconds(9);
-    eprintln!("conv lowering: batched {:.3} ms, per-sample {:.3} ms", conv_batched * 1e3, conv_per_sample * 1e3);
+    let (conv_fused, conv_batched, conv_per_sample) = conv_lowering_seconds(kernel_runs);
+    eprintln!(
+        "conv lowering: fused {:.3} ms, batched {:.3} ms, per-sample {:.3} ms",
+        conv_fused * 1e3,
+        conv_batched * 1e3,
+        conv_per_sample * 1e3
+    );
 
-    let devices = 8usize;
-    let r1 = round_seconds(devices, 1, 3);
-    let r4 = round_seconds(devices, 4, 3);
+    let devices = if quick { 4usize } else { 8usize };
+    let round_runs = if quick { 1 } else { 3 };
+    let r1 = round_seconds(devices, 1, round_runs);
+    let r4 = round_seconds(devices, 4, round_runs);
     eprintln!("FedZkt round ({devices} devices): 1 thread {r1:.2} s, 4 threads {r4:.2} s");
 
     let json = format!(
         r#"{{
   "generated_by": "cargo run --release -p fedzkt_bench --bin bench_gemm",
   "host_cpus": {host_cpus},
+  "backend": "{backend}",
+  "gemm_kernels_256_threads_1": {{
+{kernel_rows}  }},
   "gemm_256x256x256": {{
     "threads_1": {{ "seconds": {g1:.6}, "gflops": {gf1:.3} }},
     "threads_4": {{ "seconds": {g4:.6}, "gflops": {gf4:.3} }},
     "speedup_4_vs_1": {gsp:.3}
   }},
   "conv2d_lowering_n8_c8_16x16_oc16": {{
+    "fused_seconds": {cf:.6},
     "batched_seconds": {cb:.6},
     "per_sample_seconds": {cp:.6},
+    "speedup_fused_vs_batched": {cfs:.3},
     "speedup_batched_vs_per_sample": {csp:.3}
   }},
-  "fedzkt_round_8_devices": {{
+  "fedzkt_round_{devices}_devices": {{
     "threads_1_seconds": {r1:.4},
     "threads_4_seconds": {r4:.4},
     "speedup_4_vs_1": {rsp:.3}
   }},
-  "note": "Thread-count speedups are bounded by host_cpus: on a single-core host threads_4 cannot beat threads_1; re-run on a multi-core host for the parallel baseline. Results are bit-identical across thread counts by construction."
+  "note": "Thread-count speedups are bounded by host_cpus: on a single-core host threads_4 cannot beat threads_1; re-run on a multi-core host for the parallel baseline. Results are bit-identical across thread counts by construction. The dispatched rows use the runtime-detected backend above; on a host without AVX2 they equal the scalar rows."
 }}
 "#,
+        backend = gemm::backend_name(),
         gf1 = gflop / g1,
         gf4 = gflop / g4,
         gsp = g1 / g4,
+        cf = conv_fused,
         cb = conv_batched,
         cp = conv_per_sample,
+        cfs = conv_batched / conv_fused,
         csp = conv_per_sample / conv_batched,
         rsp = r1 / r4,
     );

@@ -56,6 +56,7 @@
 //!    the new codec unchanged.
 
 use fedzkt_nn::StateDict;
+use fedzkt_tensor::ops::quant::{quant_range, quantize};
 use fedzkt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -310,37 +311,12 @@ fn tensor_from(shape: &[usize], data: Vec<f32>) -> Result<Tensor, CodecError> {
 }
 
 // ---- per-tensor codecs --------------------------------------------------
-
-/// Affine quantization range over the finite elements (see the module
-/// docs' clamp policy). Returns `(min, scale)` with
-/// `scale = (max - min) / levels`; a constant or all-non-finite tensor
-/// yields `scale == 0` and decodes exactly.
-fn quant_range(data: &[f32], levels: f32) -> (f32, f32) {
-    let mut min = f32::INFINITY;
-    let mut max = f32::NEG_INFINITY;
-    for &v in data {
-        if v.is_finite() {
-            min = min.min(v);
-            max = max.max(v);
-        }
-    }
-    if !min.is_finite() || !max.is_finite() {
-        return (0.0, 0.0);
-    }
-    // f64 intermediate: (max - min) can overflow f32 for extreme ranges,
-    // and an infinite scale would decode finite input to NaN (0 · ∞).
-    (min, ((max as f64 - min as f64) / levels as f64) as f32)
-}
-
-/// Quantize one value to a level index in `[0, levels]`, applying the
-/// non-finite clamp policy.
-fn quantize(v: f32, min: f32, scale: f32, levels: f32) -> u8 {
-    if scale == 0.0 {
-        return 0;
-    }
-    let v = if v.is_nan() { min } else { v };
-    (((v - min) / scale).round().clamp(0.0, levels)) as u8
-}
+//
+// The affine range/quantize arithmetic lives in `fedzkt_tensor::ops::quant`
+// (imported at the top): one definition shared with the int8 *compute*
+// format, so the wire codecs and the int8 GEMM agree on `(min, scale)`
+// semantics — and on the `scale/2` per-element error bound — by
+// construction.
 
 fn encode_tensor_quant(data: &[f32], levels: f32, packed: bool, out: &mut Vec<u8>) {
     let (min, scale) = quant_range(data, levels);

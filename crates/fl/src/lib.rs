@@ -88,6 +88,7 @@ pub use driver::{
 };
 pub use eval::{accuracy, evaluate};
 pub use fedavg::{FedAvg, FedAvgConfig};
+pub use fedzkt_tensor::ComputeFormat;
 pub use metrics::{RoundMetrics, RunLog};
 pub use participation::ParticipationSampler;
 pub use registry::{DeviceRegistry, Materialization};

@@ -16,7 +16,7 @@
 //! thread count.
 
 use fedzkt_data::Partition;
-use fedzkt_fl::{CodecSpec, Materialization};
+use fedzkt_fl::{CodecSpec, ComputeFormat, Materialization};
 use fedzkt_scenario::{presets, resolve, standard_zoo, Scenario, ScenarioError};
 use fedzkt_tensor::par;
 use std::path::PathBuf;
@@ -45,6 +45,7 @@ run/sweep options:
   --seed N           override the scenario's master seed (run only)
   --codec C          override the wire codec: raw|q8|q4|topk[:density] (run only)
   --materialization M  override the fleet mode: eager|lazy (run only)
+  --compute F        override the inference compute format: f32|int8 (run only)
 
 sweep axes (comma-separated values; absent axes keep the base value):
   --seeds 1,2,3      master seeds
@@ -55,6 +56,7 @@ sweep axes (comma-separated values; absent axes keep the base value):
   --zoos small,cifar paper zoo families
   --codecs raw,q8,q4,topk:0.1   wire codecs
   --materializations eager,lazy   fleet materialization modes
+  --computes f32,int8   inference compute formats
 ";
 
 fn main() -> ExitCode {
@@ -142,6 +144,7 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
         None => println!("resources:  none (no simulated clock)"),
     }
     println!("codec:      {}", codec_label(&scenario.sim.codec));
+    println!("compute:    {} (inference phases)", scenario.sim.compute.as_str());
     println!(
         "protocol:   {} rounds, participation {}, seed {}, threads {}, {} fleet",
         scenario.sim.rounds,
@@ -162,6 +165,7 @@ struct RunOptions {
     seed: Option<u64>,
     codec: Option<CodecSpec>,
     materialization: Option<Materialization>,
+    compute: Option<ComputeFormat>,
     rest: Vec<(String, String)>,
 }
 
@@ -172,6 +176,7 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
         seed: None,
         codec: None,
         materialization: None,
+        compute: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -198,6 +203,11 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.materialization = Some(
                     Materialization::parse(&value).map_err(|e| format!("--materialization: {e}"))?,
                 );
+            }
+            "--compute" => {
+                opts.compute = Some(ComputeFormat::parse(&value).ok_or_else(|| {
+                    format!("--compute: unknown compute format \"{value}\" (f32|int8)")
+                })?);
             }
             other => opts.rest.push((other.to_string(), value)),
         }
@@ -231,14 +241,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(materialization) = opts.materialization {
         scenario.sim.materialization = materialization;
     }
+    if let Some(compute) = opts.compute {
+        scenario.sim.compute = compute;
+    }
     println!(
-        "running {} ({}, {} rounds, seed {}, codec {}, {} fleet)",
+        "running {} ({}, {} rounds, seed {}, codec {}, {} fleet, {} compute)",
         scenario.name,
         scenario.algorithm.name(),
         scenario.sim.rounds,
         scenario.sim.seed,
         codec_label(&scenario.sim.codec),
-        scenario.sim.materialization
+        scenario.sim.materialization,
+        scenario.sim.compute.as_str()
     );
     println!("{:>6} {:>9} {:>11} {:>12} {:>10}", "round", "avg-acc", "train-loss", "uplink-KiB", "sim-time");
     let log = scenario
@@ -301,6 +315,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 .into(),
         );
     }
+    if opts.compute.is_some() {
+        return Err("--compute is a run option; sweep over formats with --computes a,b".into());
+    }
 
     let mut seeds: Vec<u64> = Vec::new();
     let mut betas: Vec<f32> = Vec::new();
@@ -310,6 +327,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut zoos: Vec<String> = Vec::new();
     let mut codecs: Vec<CodecSpec> = Vec::new();
     let mut materializations: Vec<Materialization> = Vec::new();
+    let mut computes: Vec<ComputeFormat> = Vec::new();
     for (flag, value) in &opts.rest {
         match flag.as_str() {
             "--seeds" => seeds = parse_list(flag, value)?,
@@ -330,6 +348,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                     .map(|item| {
                         Materialization::parse(item.trim())
                             .map_err(|e| format!("--materializations: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--computes" => {
+                computes = value
+                    .split(',')
+                    .map(|item| {
+                        ComputeFormat::parse(item.trim()).ok_or_else(|| {
+                            format!("--computes: unknown compute format \"{item}\" (f32|int8)")
+                        })
                     })
                     .collect::<Result<Vec<_>, _>>()?;
             }
@@ -391,6 +419,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         |m| format!("m{m}"),
         |sc, &m| sc.sim.materialization = m,
     );
+    cells = expand(
+        cells,
+        &computes,
+        |f| format!("f{}", f.as_str()),
+        |sc, &f| sc.sim.compute = f,
+    );
     for zoo in &zoos {
         if zoo != "small" && zoo != "cifar" {
             return Err(format!("--zoos: unknown zoo \"{zoo}\" (small|cifar)"));
@@ -419,7 +453,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     // every successful cell's artifacts and the summary first, then report
     // the failures.
     let mut summary = String::from(
-        "cell,algorithm,codec,rounds,final_accuracy,best_accuracy,upload_bytes,download_bytes,sim_seconds,error\n",
+        "cell,algorithm,codec,compute,rounds,final_accuracy,best_accuracy,upload_bytes,download_bytes,sim_seconds,error\n",
     );
     let mut failures = Vec::new();
     println!("{:<44} {:>10} {:>10} {:>12}", "cell", "final", "best", "uplink-KiB");
@@ -437,10 +471,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                     upload as f64 / 1024.0
                 );
                 summary.push_str(&format!(
-                    "{},{},{},{},{:.4},{:.4},{},{},{:.2},\n",
+                    "{},{},{},{},{},{:.4},{:.4},{},{},{:.2},\n",
                     cell.name,
                     cell.algorithm.name(),
                     codec_label(&cell.sim.codec),
+                    cell.sim.compute.as_str(),
                     log.rounds.len(),
                     log.final_accuracy(),
                     log.best_accuracy(),
@@ -457,10 +492,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             Err(e) => {
                 println!("{:<44} {:>10} {:>10} {:>12}", cell.name, "FAILED", "", "");
                 summary.push_str(&format!(
-                    "{},{},{},0,,,,,,\"{e}\"\n",
+                    "{},{},{},{},0,,,,,,\"{e}\"\n",
                     cell.name,
                     cell.algorithm.name(),
                     codec_label(&cell.sim.codec),
+                    cell.sim.compute.as_str(),
                 ));
                 failures.push(format!("{}: {e}", cell.name));
             }

@@ -13,7 +13,9 @@ use crate::{
 use fedzkt_core::{DistillLoss, FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
 use fedzkt_fl::json::{self, Value};
-use fedzkt_fl::{CodecSpec, DeviceResources, FedAvgConfig, Materialization, SimConfig};
+use fedzkt_fl::{
+    CodecSpec, ComputeFormat, DeviceResources, FedAvgConfig, Materialization, SimConfig,
+};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
 /// An owned JSON tree, built by the writer and pretty-printed canonically.
@@ -312,6 +314,7 @@ fn sim_j(s: &SimConfig) -> J {
         ("threads", us(s.threads)),
         ("codec", codec_j(&s.codec)),
         ("materialization", sj(s.materialization.as_str())),
+        ("compute", sj(s.compute.as_str())),
     ])
 }
 
@@ -571,6 +574,16 @@ fn scenario_from(v: &Value) -> Result<Scenario, String> {
                 None => Materialization::Eager,
                 Some(_) => Materialization::parse(str_f(sim, "materialization")?)?,
             },
+            // Absent (a pre-compute-format-era file) means f32 — the only
+            // compute format those files could run.
+            compute: match sim.get("compute") {
+                None => ComputeFormat::F32,
+                Some(_) => {
+                    let s = str_f(sim, "compute")?;
+                    ComputeFormat::parse(s)
+                        .ok_or_else(|| format!("unknown compute format \"{s}\""))?
+                }
+            },
         },
     })
 }
@@ -732,6 +745,31 @@ mod tests {
         let back = Scenario::from_json(&json).unwrap();
         assert_eq!(sc, back);
         assert_eq!(back.devices(), 1_000_000);
+    }
+
+    #[test]
+    fn pre_compute_format_era_files_parse_with_defaults() {
+        // A scenario file written before the compute-format layer has no
+        // `sim.compute`; it must keep loading, defaulting to f32 — the
+        // only compute format those files could run.
+        let sc = presets()[0].scenario();
+        assert_eq!(sc.sim.compute, ComputeFormat::F32);
+        let legacy = sc.to_json().replace(",\n    \"compute\": \"f32\"", "");
+        assert!(!legacy.contains("compute"), "{legacy}");
+        let back = Scenario::from_json(&legacy).expect("legacy schema parses");
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn compute_format_roundtrips_and_rejects_unknown_names() {
+        let mut sc = presets()[0].scenario();
+        sc.sim.compute = ComputeFormat::Int8;
+        let json = sc.to_json();
+        assert!(json.contains("\"compute\": \"int8\""), "{json}");
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(sc, back);
+        let broken = json.replace("\"compute\": \"int8\"", "\"compute\": \"fp8\"");
+        assert!(matches!(Scenario::from_json(&broken), Err(ScenarioError::Parse(_))));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compute;
 mod error;
 mod init;
 pub mod ops;
@@ -35,6 +36,7 @@ mod rng;
 mod shape;
 mod tensor;
 
+pub use compute::ComputeFormat;
 pub use error::TensorError;
 pub use init::{fan_in_out_conv2d, fan_in_out_linear, Init};
 pub use rng::{seeded_rng, split_seed, standard_normal, Prng};

@@ -158,6 +158,83 @@ pub fn im2col_batch(
     out
 }
 
+/// Lower a contiguous **column range** of the batch column matrix: fills
+/// `out` (row-major `[C·KH·KW, width]`, `width = out.len() / col_rows`) with
+/// global columns `col0 .. col0 + width` of the `[C·KH·KW, N·OH·OW]`
+/// sample-major matrix that [`im2col_batch`] would produce.
+///
+/// This is the fused conv lowering's building block: the forward pass
+/// builds and consumes the column matrix panel by panel instead of
+/// materialising all `N·OH·OW` columns at once. Every element of `out` is
+/// overwritten (out-of-bounds taps write an explicit `0.0`), so a panel
+/// buffer can be reused across calls without re-zeroing.
+///
+/// Runs entirely on the calling thread — panels are the unit of
+/// parallelism in the fused path, so the per-panel lowering must not fork.
+///
+/// # Panics
+/// Panics when `out.len()` is not a multiple of `col_rows`, when the column
+/// range overruns `n · col_cols`, or when `batch` is too short (as
+/// [`im2col_batch`]).
+pub fn im2col_panel(
+    batch: &[f32],
+    offset: usize,
+    sample_stride: usize,
+    n: usize,
+    g: &Conv2dGeometry,
+    col0: usize,
+    out: &mut [f32],
+) {
+    let rows = g.col_rows();
+    assert!(rows > 0 && out.len().is_multiple_of(rows), "panel must hold whole rows");
+    let width = out.len() / rows;
+    let cols = g.col_cols();
+    assert!(col0 + width <= n * cols, "panel columns out of range");
+    if width == 0 {
+        return;
+    }
+    assert!(
+        offset + (n - 1) * sample_stride + g.input_len() <= batch.len(),
+        "im2col_panel: input buffer too short"
+    );
+    let ow = g.out_w;
+    let hw = g.in_h * g.in_w;
+    let ktaps = g.kernel_h * g.kernel_w;
+    for (row, dst_row) in out.chunks_exact_mut(width).enumerate() {
+        let (c, kh, kw) = (row / ktaps, row % ktaps / g.kernel_w, row % g.kernel_w);
+        // Walk the global column range sample segment by sample segment,
+        // emitting the same values im2col_batch writes at these columns.
+        let mut cur = col0;
+        while cur < col0 + width {
+            let s = cur / cols;
+            let p0 = cur - s * cols;
+            let p1 = cols.min(p0 + (col0 + width - cur));
+            let plane = &batch[offset + s * sample_stride + c * hw..][..hw];
+            let dst = &mut dst_row[cur - col0..cur - col0 + (p1 - p0)];
+            for oy in p0 / ow..=(p1 - 1) / ow {
+                let seg0 = p0.max(oy * ow);
+                let seg1 = p1.min((oy + 1) * ow);
+                let seg = &mut dst[seg0 - p0..seg1 - p0];
+                let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                if iy < 0 || iy >= g.in_h as isize {
+                    seg.fill(0.0);
+                    continue;
+                }
+                let src_row = iy as usize * g.in_w;
+                for (d, ox) in seg.iter_mut().zip(seg0 - oy * ow..) {
+                    let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                    *d = if ix < 0 || ix >= g.in_w as isize {
+                        0.0
+                    } else {
+                        plane[src_row + ix as usize]
+                    };
+                }
+            }
+            cur += p1 - p0;
+        }
+    }
+}
+
 /// Scatter-accumulate a `[C·KH·KW, OH·OW]` column-matrix gradient back into a
 /// `[C, H, W]` input gradient (the adjoint of [`im2col`]).
 ///
@@ -286,6 +363,37 @@ mod tests {
                     &single[r * cols..(r + 1) * cols],
                     "row {r}, sample {s}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_panel_matches_batch_columns() {
+        let mut rng = seeded_rng(7);
+        let g = Conv2dGeometry::new(2, 5, 4, 3, 2, 1, 1).unwrap();
+        let (n, c_all) = (3usize, 3usize);
+        let sample_stride = c_all * 5 * 4;
+        let batch = Tensor::randn(&[n * sample_stride], &mut rng);
+        let offset = 5 * 4;
+        let full = im2col_batch(batch.data(), offset, sample_stride, n, &g);
+        let ncols = n * g.col_cols();
+        let rows = g.col_rows();
+        // Panel widths straddling sample boundaries, width 1, and the full
+        // matrix; buffers pre-filled with garbage to prove full overwrite.
+        for &(col0, width) in
+            &[(0usize, 7usize), (5, 13), (g.col_cols() - 2, 5), (ncols - 1, 1), (0, ncols)]
+        {
+            let mut panel = vec![f32::NAN; rows * width];
+            im2col_panel(batch.data(), offset, sample_stride, n, &g, col0, &mut panel);
+            for r in 0..rows {
+                for j in 0..width {
+                    assert_eq!(
+                        panel[r * width + j].to_bits(),
+                        full[r * ncols + col0 + j].to_bits(),
+                        "row {r} col {}",
+                        col0 + j
+                    );
+                }
             }
         }
     }

@@ -5,5 +5,6 @@
 pub mod gemm;
 mod image;
 mod matmul;
+pub mod quant;
 
-pub use image::{col2im, im2col, im2col_batch, Conv2dGeometry};
+pub use image::{col2im, im2col, im2col_batch, im2col_panel, Conv2dGeometry};

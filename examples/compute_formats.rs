@@ -1,0 +1,39 @@
+//! One federation, two compute formats.
+//!
+//! Runs the `tiny` preset (a seconds-scale FedZKT smoke federation) once
+//! per inference compute format and prints what int8 does to accuracy
+//! and wall time. The format only touches the tape-free forward passes —
+//! driver evaluation and the distillation game's teacher scoring — so
+//! every gradient step is still f32 and the run stays bit-identical
+//! across thread counts either way. The accuracy column is a real
+//! measurement: under int8 the teacher logits the students distill from
+//! are genuinely quantized, not replayed.
+//!
+//! ```sh
+//! cargo run --release --example compute_formats
+//! ```
+
+use fedzkt::fl::ComputeFormat;
+use fedzkt::scenario::preset;
+use std::time::Instant;
+
+fn main() {
+    let base = preset("tiny").expect("registry preset");
+
+    println!("compute   final-acc   best-acc   wall-s");
+    for compute in [ComputeFormat::F32, ComputeFormat::Int8] {
+        let mut scenario = base.clone();
+        scenario.sim.compute = compute;
+        let start = Instant::now();
+        let log = scenario.run().expect("runnable scenario");
+        let wall = start.elapsed().as_secs_f64();
+        println!(
+            "{:<7}   {:>8.2}%   {:>7.2}%   {:>6.2}",
+            compute.as_str(),
+            100.0 * log.final_accuracy(),
+            100.0 * log.best_accuracy(),
+            wall
+        );
+    }
+    println!("\ngradient steps always run f32; int8 covers only tape-free inference");
+}
