@@ -1,0 +1,67 @@
+//! Microbenchmarks of the churn evaluator at fleet scale. The
+//! availability scan runs once per round over every *registered* device
+//! (the same order as participation sampling), while the dropout and
+//! link draws run only for the ~10^3 *sampled* devices — so the scan
+//! must stay a few ns per device and the per-device draws must be cheap
+//! enough to vanish next to one mini-batch of local training. Both are
+//! pure functions of `(spec, device, round)`: no state is built up
+//! between iterations, and memory stays O(active) however large the
+//! registered population grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedzkt_fl::{ChurnProcess, ChurnSpec, ParticipationSampler};
+use std::hint::black_box;
+
+/// Every dynamic knob on at once — the worst case per query: arrival,
+/// lifetime, and duty bits all consulted, plus dropout and link draws.
+fn dynamic_spec() -> ChurnSpec {
+    ChurnSpec {
+        seed: 7,
+        arrival_window: 4,
+        mean_lifetime: 24.0,
+        duty_period: 3,
+        duty_on: 2,
+        dropout: 0.1,
+        bandwidth_floor: 0.5,
+    }
+}
+
+fn bench_availability_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_available_scan");
+    group.sample_size(10);
+    for registered in [10_000usize, 1_000_000] {
+        let process = ChurnProcess::new(dynamic_spec(), registered);
+        group.bench_function(format!("{registered}"), |bench| {
+            bench.iter(|| black_box(process.available(2).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_draws(c: &mut Criterion) {
+    // Dropout + link draws for ~1k sampled devices per round, as in
+    // mega-fleet: the cost that actually rides the round's critical path.
+    let mut group = c.benchmark_group("churn_draws_1k_sampled");
+    group.sample_size(20);
+    for registered in [10_000usize, 1_000_000] {
+        let process = ChurnProcess::new(dynamic_spec(), registered);
+        let sampler = ParticipationSampler::new(registered, 1000.0 / registered as f32, 7);
+        let active = sampler.active(0);
+        group.bench_function(format!("{registered}"), |bench| {
+            bench.iter(|| {
+                let mut acc = 0.0f64;
+                for &k in &active {
+                    if let Some(fraction) = process.dropout(k, 0) {
+                        acc += fraction;
+                    }
+                    acc += process.link_scale(k, 0);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(churn_fleet_benches, bench_availability_scan, bench_sampled_draws);
+criterion_main!(churn_fleet_benches);

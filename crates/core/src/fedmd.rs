@@ -31,7 +31,7 @@
 use fedzkt_autograd::Var;
 use fedzkt_data::Dataset;
 use fedzkt_fl::{
-    train_local_fleet, DeviceRegistry, DigestConfig, FederatedAlgorithm, FleetJob,
+    train_local_fleet, AlgoState, DeviceRegistry, DigestConfig, FederatedAlgorithm, FleetJob,
     LocalTrainConfig, Materialization, RoundContext, SimConfig,
 };
 use fedzkt_models::ModelSpec;
@@ -470,6 +470,60 @@ impl FederatedAlgorithm for FedMd {
             }
         }
     }
+
+    /// What FedMD carries across rounds: every trained device model
+    /// (resident or summarized — a never-warmed device rematerializes from
+    /// its construction seed), the warm-up ledger, and the registry's
+    /// monotone counters. `pending`/`warmed_this_round` are intra-round
+    /// scratch and never survive to a checkpoint boundary; the alignment
+    /// subset and consensus fold are pure functions of `(seed, round)`.
+    fn save_state(&self) -> AlgoState {
+        let mut state = AlgoState::new();
+        for (k, slot) in self.slots.iter().enumerate() {
+            if let Some(model) = &slot.model {
+                state.put_dict(format!("device_{k}"), &state_dict(model.as_ref()));
+            }
+        }
+        for (k, summary) in self.registry.summaries() {
+            state.put_dict(format!("device_{k}"), summary);
+        }
+        state.put_words("warmed_up", self.warmed_up.iter().map(|&w| w as u64).collect());
+        state.put_words(
+            "registry",
+            vec![self.registry.peak_resident() as u64, self.registry.touched() as u64],
+        );
+        state
+    }
+
+    fn load_state(&mut self, state: &AlgoState) -> Result<(), String> {
+        for k in 0..self.slots.len() {
+            let name = format!("device_{k}");
+            if !state.has_blob(&name) {
+                continue; // never trained: rematerializes from its seed
+            }
+            let sd = state.dict(&name)?;
+            match self.mode {
+                Materialization::Eager => load_state_dict(self.model(k), &sd)
+                    .map_err(|e| format!("device {k}: {e}"))?,
+                Materialization::Lazy => self.registry.store_summary(k, sd),
+            }
+        }
+        let warmed = state.words("warmed_up")?;
+        if warmed.len() != self.slots.len() {
+            return Err(format!(
+                "warm-up ledger holds {} devices, fleet has {}",
+                warmed.len(),
+                self.slots.len()
+            ));
+        }
+        self.warmed_up = warmed.iter().map(|&w| w != 0).collect();
+        let reg = state.words("registry")?;
+        if reg.len() != 2 {
+            return Err("registry counters must be [peak_resident, touched]".into());
+        }
+        self.registry.absorb_counters(reg[0] as usize, reg[1] as usize);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -636,6 +690,31 @@ mod tests {
                 .collect();
         }
         assert_eq!(eager, lazy, "lazy FedMD diverged from eager");
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_the_uninterrupted_run_bit_for_bit() {
+        for mode in [Materialization::Eager, Materialization::Lazy] {
+            // Partial participation so a straggler's warm-up ledger has to
+            // survive the checkpoint boundary.
+            let sim_cfg = SimConfig {
+                rounds: 2,
+                participation: 0.67,
+                seed: 1,
+                materialization: mode,
+                ..Default::default()
+            };
+            let reference = setup_with(DataFamily::Cifar100Like, sim_cfg).run().clone();
+            let mut first = setup_with(DataFamily::Cifar100Like, sim_cfg);
+            first.round(0);
+            // Through the serialized form, as a real kill/restart would go.
+            let ck = fedzkt_fl::SimCheckpoint::from_json(&first.checkpoint().to_json()).unwrap();
+            drop(first);
+            let mut resumed = setup_with(DataFamily::Cifar100Like, sim_cfg);
+            resumed.resume_from(&ck).expect("resume");
+            let log = resumed.run().clone();
+            assert_eq!(log.to_json(), reference.to_json(), "mode {mode:?}");
+        }
     }
 
     #[test]

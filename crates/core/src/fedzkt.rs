@@ -23,7 +23,7 @@ use fedzkt_autograd::loss::kl_div_probs;
 use fedzkt_autograd::{no_grad, Var};
 use fedzkt_data::Dataset;
 use fedzkt_fl::{
-    train_local_fleet, DeviceRegistry, FederatedAlgorithm, FleetJob, LocalTrainConfig,
+    train_local_fleet, AlgoState, DeviceRegistry, FederatedAlgorithm, FleetJob, LocalTrainConfig,
     Materialization, RoundContext, SimConfig,
 };
 use fedzkt_models::{Generator, ModelSpec};
@@ -553,6 +553,103 @@ impl FederatedAlgorithm for FedZkt {
             self.release_all();
         }
     }
+
+    /// Everything Algorithms 1–3 mutate across rounds: the global model,
+    /// the generator and its Adam moments, the shared distillation RNG
+    /// cursor, every trained device model (resident or summarized — a
+    /// never-trained device has no entry and rematerializes from its
+    /// construction seed), and the registry's monotone counters. The
+    /// Figure-2 probe is a diagnostic side channel and is deliberately
+    /// not checkpointed: its records never feed back into training or
+    /// the `RunLog`.
+    fn save_state(&self) -> AlgoState {
+        let mut state = AlgoState::new();
+        state.put_dict("global", &state_dict(self.global.as_ref()));
+        state.put_dict("generator", &state_dict(&self.generator));
+        let (t, moments) = self.generator_opt.export_state();
+        let mut mask = Vec::with_capacity(moments.len());
+        let mut packed = StateDict { params: Vec::new(), buffers: Vec::new() };
+        for entry in moments {
+            match entry {
+                Some((m, v)) => {
+                    mask.push(1);
+                    packed.params.push(m);
+                    packed.params.push(v);
+                }
+                None => mask.push(0),
+            }
+        }
+        state.put_words("adam", vec![t]);
+        state.put_words("adam_mask", mask);
+        state.put_dict("adam_moments", &packed);
+        state.put_words("rng", self.rng.state().to_vec());
+        for (k, slot) in self.slots.iter().enumerate() {
+            if let Some(model) = &slot.model {
+                state.put_dict(format!("device_{k}"), &state_dict(model.as_ref()));
+            }
+        }
+        // Non-resident trained devices live as registry summaries; the
+        // walk is O(touched), so a million-device checkpoint stays
+        // O(trained), not O(registered).
+        for (k, summary) in self.registry.summaries() {
+            state.put_dict(format!("device_{k}"), summary);
+        }
+        state.put_words(
+            "registry",
+            vec![self.registry.peak_resident() as u64, self.registry.touched() as u64],
+        );
+        state
+    }
+
+    fn load_state(&mut self, state: &AlgoState) -> Result<(), String> {
+        load_state_dict(self.global.as_ref(), &state.dict("global")?)
+            .map_err(|e| format!("global model: {e}"))?;
+        load_state_dict(&self.generator, &state.dict("generator")?)
+            .map_err(|e| format!("generator: {e}"))?;
+        let t = state.words("adam")?.first().copied().ok_or("empty \"adam\" entry")?;
+        let mask = state.words("adam_mask")?;
+        let mut packed = state.dict("adam_moments")?.params.into_iter();
+        let mut moments = Vec::with_capacity(mask.len());
+        for &m in mask {
+            moments.push(if m != 0 {
+                match (packed.next(), packed.next()) {
+                    (Some(first), Some(second)) => Some((first, second)),
+                    _ => return Err("truncated \"adam_moments\"".into()),
+                }
+            } else {
+                None
+            });
+        }
+        self.generator_opt
+            .import_state(t, moments)
+            .map_err(|e| format!("generator optimizer: {e}"))?;
+        let rng: [u64; 4] = state
+            .words("rng")?
+            .try_into()
+            .map_err(|_| "\"rng\" must hold 4 words".to_string())?;
+        if rng.iter().all(|&w| w == 0) {
+            return Err("all-zero RNG state".into());
+        }
+        self.rng = Prng::from_state(rng);
+        for k in 0..self.slots.len() {
+            let name = format!("device_{k}");
+            if !state.has_blob(&name) {
+                continue; // never trained: rematerializes from its seed
+            }
+            let sd = state.dict(&name)?;
+            match self.mode {
+                Materialization::Eager => load_state_dict(self.model(k), &sd)
+                    .map_err(|e| format!("device {k}: {e}"))?,
+                Materialization::Lazy => self.registry.store_summary(k, sd),
+            }
+        }
+        let reg = state.words("registry")?;
+        if reg.len() != 2 {
+            return Err("registry counters must be [peak_resident, touched]".into());
+        }
+        self.registry.absorb_counters(reg[0] as usize, reg[1] as usize);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -680,6 +777,27 @@ mod tests {
                 .collect();
         }
         assert_eq!(eager, lazy, "lazy FedZKT diverged from eager");
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_the_uninterrupted_run_bit_for_bit() {
+        for mode in [Materialization::Eager, Materialization::Lazy] {
+            let sim_cfg = SimConfig {
+                participation: 0.67,
+                materialization: mode,
+                ..tiny_sim()
+            };
+            let reference = tiny_setup(tiny_cfg(), sim_cfg).run().clone();
+            let mut first = tiny_setup(tiny_cfg(), sim_cfg);
+            first.round(0);
+            // Through the serialized form, as a real kill/restart would go.
+            let ck = fedzkt_fl::SimCheckpoint::from_json(&first.checkpoint().to_json()).unwrap();
+            drop(first);
+            let mut resumed = tiny_setup(tiny_cfg(), sim_cfg);
+            resumed.resume_from(&ck).expect("resume");
+            let log = resumed.run().clone();
+            assert_eq!(log.to_json(), reference.to_json(), "mode {mode:?}");
+        }
     }
 
     #[test]

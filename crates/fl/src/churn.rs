@@ -1,0 +1,395 @@
+//! Seeded, deterministic fleet dynamics: device arrival/departure,
+//! availability schedules, mid-round dropout, and time-varying link
+//! bandwidth.
+//!
+//! Real cross-device fleets are not a fixed `Vec<Device>`: devices come
+//! online, go away, disappear mid-round, and see their links degrade.
+//! [`ChurnSpec`] describes those dynamics declaratively and
+//! [`ChurnProcess`] evaluates them — and the whole model is a **pure
+//! function of `(spec, device, round)`**. There is no mutable churn state
+//! anywhere:
+//!
+//! * the availability timeline is identical however the fleet is chunked
+//!   or sharded (the registry's shard size can never leak into which
+//!   devices exist);
+//! * whether a round was ever *queried* cannot shift any other round's
+//!   answer, so checkpoint/resume needs no churn cursor at all — a
+//!   resumed run re-derives the exact timeline from the spec;
+//! * evaluating one device costs one SplitMix64 hash for the static
+//!   schedule (arrival round, lifetime, duty phase) plus two per-round
+//!   hashes for the dropout/link draws, which are only taken for sampled
+//!   devices — per-round cost is O(registered) *time* for the
+//!   availability scan (the same order as participation sampling itself)
+//!   and O(1) *memory*, so a million-device fleet with churn keeps peak
+//!   residency O(sampled).
+//!
+//! The per-device static schedule packs three independent draws into one
+//! 64-bit hash (21 + 21 + 22 bits); at those resolutions the arrival and
+//! lifetime quantiles are exact to ~5·10⁻⁷, far below anything a
+//! round-granularity process can observe.
+
+use fedzkt_tensor::split_seed;
+
+/// Stream tags separating the churn model's independent random draws
+/// from each other (and from every other consumer of the run seed).
+const STREAM_STATIC: u64 = 0xC4_12A1;
+const STREAM_DROPOUT: u64 = 0xC4_12A2;
+const STREAM_FRACTION: u64 = 0xC4_12A3;
+const STREAM_LINK: u64 = 0xC4_12A4;
+
+/// Declarative description of a fleet's dynamics, attached to a scenario.
+///
+/// The default value is the static fleet every pre-churn scenario
+/// implies: everyone present from round 0, nobody departs, no duty
+/// cycling, no dropout, steady links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnSpec {
+    /// Seed of the churn process, independent of the run seed so a seed
+    /// sweep can hold the fleet dynamics fixed (or vice versa).
+    pub seed: u64,
+    /// Devices come online at a round drawn uniformly from
+    /// `0..arrival_window`; `0` means the whole fleet is present from
+    /// round 0.
+    pub arrival_window: usize,
+    /// Mean lifetime in rounds after arrival (exponentially distributed,
+    /// minimum 1); `0` means devices never depart.
+    pub mean_lifetime: f32,
+    /// Duty-cycle period in rounds; `0` disables duty cycling.
+    pub duty_period: usize,
+    /// Rounds per period the device is on (each device gets its own
+    /// phase). Meaningful only when `duty_period > 0`.
+    pub duty_on: usize,
+    /// Probability that an available, sampled device drops mid-round
+    /// (receiving the round payload and burning partial compute, but
+    /// contributing no update).
+    pub dropout: f32,
+    /// Per-round link-bandwidth multiplier is drawn uniformly from
+    /// `[bandwidth_floor, 1]`; `1` leaves links steady.
+    pub bandwidth_floor: f32,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        ChurnSpec {
+            seed: 0,
+            arrival_window: 0,
+            mean_lifetime: 0.0,
+            duty_period: 0,
+            duty_on: 0,
+            dropout: 0.0,
+            bandwidth_floor: 1.0,
+        }
+    }
+}
+
+impl ChurnSpec {
+    /// Check the spec for degenerate values.
+    ///
+    /// # Errors
+    /// Returns a description of the offending field when the dropout
+    /// probability is outside `[0, 1)`, the bandwidth floor is outside
+    /// `(0, 1]`, the mean lifetime is negative or non-finite, or a duty
+    /// cycle has `duty_on` outside `1..=duty_period`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(format!("dropout probability {} outside [0, 1)", self.dropout));
+        }
+        if !(self.bandwidth_floor > 0.0 && self.bandwidth_floor <= 1.0) {
+            return Err(format!("bandwidth floor {} outside (0, 1]", self.bandwidth_floor));
+        }
+        if !(self.mean_lifetime.is_finite() && self.mean_lifetime >= 0.0) {
+            return Err(format!("mean lifetime {} must be finite and >= 0", self.mean_lifetime));
+        }
+        if self.duty_period > 0 && !(1..=self.duty_period).contains(&self.duty_on) {
+            return Err(format!(
+                "duty cycle {}/{} leaves no on-rounds (need 1 <= on <= period)",
+                self.duty_on, self.duty_period
+            ));
+        }
+        Ok(())
+    }
+
+    /// Does this spec describe any dynamics at all? A quiescent spec is
+    /// behaviourally identical to no churn (every device always
+    /// available, no dropout, steady links).
+    pub fn is_quiescent(&self) -> bool {
+        self.arrival_window == 0
+            && self.mean_lifetime == 0.0
+            && self.duty_period == 0
+            && self.dropout == 0.0
+            && self.bandwidth_floor >= 1.0
+    }
+}
+
+/// A device's static availability schedule: derived once per query from a
+/// single per-device hash, never stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Schedule {
+    /// First round the device is online.
+    arrival: usize,
+    /// First round after `arrival` the device is gone (`usize::MAX` =
+    /// never departs).
+    departure: usize,
+    /// Duty-cycle phase offset.
+    phase: usize,
+}
+
+/// Evaluator of a [`ChurnSpec`] over a fleet of `devices` devices.
+///
+/// Every method is a pure function of `(spec, device, round)` — see the
+/// module docs for why that is the load-bearing property.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnProcess {
+    spec: ChurnSpec,
+    devices: usize,
+    /// `split_seed(spec.seed, STREAM_STATIC)`, precomputed so the hot
+    /// availability scan costs one SplitMix64 evaluation per device.
+    static_seed: u64,
+}
+
+/// Map `bits`-wide integer entropy onto `[0, 1)`.
+fn unit(h: u64, bits: u32) -> f64 {
+    (h & ((1u64 << bits) - 1)) as f64 / (1u64 << bits) as f64
+}
+
+impl ChurnProcess {
+    /// Build the evaluator for a fleet of `devices` devices.
+    ///
+    /// # Panics
+    /// Panics when `devices` is 0 or the spec fails
+    /// [`ChurnSpec::validate`].
+    pub fn new(spec: ChurnSpec, devices: usize) -> Self {
+        assert!(devices > 0, "a churn process needs at least one device");
+        if let Err(e) = spec.validate() {
+            panic!("invalid churn spec: {e}");
+        }
+        ChurnProcess { spec, devices, static_seed: split_seed(spec.seed, STREAM_STATIC) }
+    }
+
+    /// The spec this process evaluates.
+    pub fn spec(&self) -> &ChurnSpec {
+        &self.spec
+    }
+
+    /// Number of devices in the fleet.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Device `k`'s static schedule, from one hash of `(seed, k)`.
+    fn schedule(&self, k: usize) -> Schedule {
+        let h = split_seed(self.static_seed, k as u64);
+        let arrival = if self.spec.arrival_window == 0 {
+            0
+        } else {
+            // Uniform over 0..window from 21 bits of entropy.
+            ((unit(h, 21) * self.spec.arrival_window as f64) as usize)
+                .min(self.spec.arrival_window - 1)
+        };
+        let departure = if self.spec.mean_lifetime == 0.0 {
+            usize::MAX
+        } else {
+            // Exponential lifetime with the configured mean, at least one
+            // round so an arriving device is observable.
+            let u = unit(h >> 21, 21);
+            let life = (-(self.spec.mean_lifetime as f64) * (1.0 - u).ln()).round() as usize;
+            arrival.saturating_add(life.max(1))
+        };
+        let phase =
+            if self.spec.duty_period == 0 { 0 } else { (h >> 42) as usize % self.spec.duty_period };
+        Schedule { arrival, departure, phase }
+    }
+
+    /// Is device `k` available (online and on-duty) in `round`?
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn is_available(&self, k: usize, round: usize) -> bool {
+        assert!(k < self.devices, "device {k} out of range (fleet: {})", self.devices);
+        let s = self.schedule(k);
+        if round < s.arrival || round >= s.departure {
+            return false;
+        }
+        self.spec.duty_period == 0 || (round + s.phase) % self.spec.duty_period < self.spec.duty_on
+    }
+
+    /// The sorted set of devices available in `round`.
+    pub fn available(&self, round: usize) -> Vec<usize> {
+        (0..self.devices).filter(|&k| self.is_available(k, round)).collect()
+    }
+
+    /// [`ChurnProcess::available`] evaluated a chunk at a time — the walk
+    /// a sharded registry performs. Exposed so the property suite can
+    /// assert chunk-size invariance: for every chunk size the
+    /// concatenation equals the monolithic scan.
+    pub fn available_chunked(&self, round: usize, chunk: usize) -> Vec<usize> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let mut out = Vec::new();
+        let mut lo = 0;
+        while lo < self.devices {
+            let hi = (lo + chunk).min(self.devices);
+            out.extend((lo..hi).filter(|&k| self.is_available(k, round)));
+            lo = hi;
+        }
+        out
+    }
+
+    /// Mid-round dropout decision for an available, sampled device:
+    /// `Some(fraction)` when device `k` drops out of `round` after
+    /// completing `fraction ∈ [0, 1)` of its local compute, `None` when
+    /// it survives the round.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn dropout(&self, k: usize, round: usize) -> Option<f64> {
+        assert!(k < self.devices, "device {k} out of range (fleet: {})", self.devices);
+        if self.spec.dropout == 0.0 {
+            return None;
+        }
+        let h = split_seed(split_seed(split_seed(self.spec.seed, STREAM_DROPOUT), round as u64), k as u64);
+        if unit(h, 53) >= self.spec.dropout as f64 {
+            return None;
+        }
+        let f = split_seed(split_seed(split_seed(self.spec.seed, STREAM_FRACTION), round as u64), k as u64);
+        Some(unit(f, 53))
+    }
+
+    /// Link-bandwidth multiplier for device `k` in `round`, uniform in
+    /// `[bandwidth_floor, 1]` (exactly `1.0` for a steady-link spec).
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn link_scale(&self, k: usize, round: usize) -> f64 {
+        assert!(k < self.devices, "device {k} out of range (fleet: {})", self.devices);
+        let floor = self.spec.bandwidth_floor as f64;
+        if floor >= 1.0 {
+            return 1.0;
+        }
+        let h = split_seed(split_seed(split_seed(self.spec.seed, STREAM_LINK), round as u64), k as u64);
+        floor + unit(h, 53) * (1.0 - floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_spec() -> ChurnSpec {
+        ChurnSpec {
+            seed: 7,
+            arrival_window: 4,
+            mean_lifetime: 6.0,
+            duty_period: 3,
+            duty_on: 2,
+            dropout: 0.3,
+            bandwidth_floor: 0.4,
+        }
+    }
+
+    #[test]
+    fn quiescent_spec_means_everyone_always_available() {
+        let p = ChurnProcess::new(ChurnSpec::default(), 10);
+        for round in 0..50 {
+            assert_eq!(p.available(round), (0..10).collect::<Vec<_>>());
+            for k in 0..10 {
+                assert_eq!(p.dropout(k, round), None);
+                assert_eq!(p.link_scale(k, round), 1.0);
+            }
+        }
+        assert!(ChurnSpec::default().is_quiescent());
+        assert!(!busy_spec().is_quiescent());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_pure() {
+        let a = ChurnProcess::new(busy_spec(), 64);
+        let b = ChurnProcess::new(busy_spec(), 64);
+        // Query b in scrambled round order first: history must not matter.
+        for round in [9, 0, 3, 9, 1].into_iter().chain(0..10) {
+            let _ = b.available(round);
+        }
+        for round in 0..10 {
+            assert_eq!(a.available(round), b.available(round));
+            for k in 0..64 {
+                assert_eq!(a.dropout(k, round), b.dropout(k, round));
+                assert_eq!(a.link_scale(k, round).to_bits(), b.link_scale(k, round).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_spread_over_the_window_then_departures_thin_the_fleet() {
+        let spec = ChurnSpec { seed: 3, arrival_window: 4, mean_lifetime: 8.0, ..Default::default() };
+        let p = ChurnProcess::new(spec, 500);
+        let counts: Vec<usize> = (0..40).map(|r| p.available(r).len()).collect();
+        // Monotone ramp while arrivals dominate…
+        assert!(counts[0] > 0, "some devices arrive at round 0");
+        assert!(counts[3] > counts[0], "the crowd builds over the window");
+        // …then the exponential lifetimes drain it.
+        assert!(counts[39] < counts[4] / 4, "mass departure: {counts:?}");
+    }
+
+    #[test]
+    fn duty_cycle_keeps_roughly_on_over_period_online() {
+        let spec = ChurnSpec { seed: 5, duty_period: 4, duty_on: 1, ..Default::default() };
+        let p = ChurnProcess::new(spec, 400);
+        let avg: f64 =
+            (0..16).map(|r| p.available(r).len() as f64).sum::<f64>() / 16.0 / 400.0;
+        assert!((avg - 0.25).abs() < 0.05, "duty 1/4 should keep ~25% online, got {avg}");
+        // Each device individually honours its cycle.
+        for k in 0..20 {
+            let on: usize = (0..16).filter(|&r| p.is_available(k, r)).count();
+            assert_eq!(on, 4, "device {k} must be on exactly 1 round in 4");
+        }
+    }
+
+    #[test]
+    fn dropout_rate_and_fractions_are_sane() {
+        let spec = ChurnSpec { seed: 11, dropout: 0.3, ..Default::default() };
+        let p = ChurnProcess::new(spec, 1000);
+        let drops: Vec<f64> = (0..1000).filter_map(|k| p.dropout(k, 0)).collect();
+        let rate = drops.len() as f64 / 1000.0;
+        assert!((rate - 0.3).abs() < 0.05, "dropout rate {rate}");
+        assert!(drops.iter().all(|&f| (0.0..1.0).contains(&f)));
+    }
+
+    #[test]
+    fn link_scale_stays_in_the_configured_band() {
+        let spec = ChurnSpec { seed: 13, bandwidth_floor: 0.4, ..Default::default() };
+        let p = ChurnProcess::new(spec, 100);
+        for round in 0..5 {
+            for k in 0..100 {
+                let s = p.link_scale(k, round);
+                assert!((0.4..=1.0).contains(&s), "scale {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_scan_matches_monolithic_scan() {
+        let p = ChurnProcess::new(busy_spec(), 257);
+        for chunk in [1, 2, 7, 64, 256, 300] {
+            for round in 0..6 {
+                assert_eq!(p.available_chunked(round, chunk), p.available(round));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        for (field, spec) in [
+            ("dropout", ChurnSpec { dropout: 1.0, ..Default::default() }),
+            ("dropout", ChurnSpec { dropout: -0.1, ..Default::default() }),
+            ("dropout", ChurnSpec { dropout: f32::NAN, ..Default::default() }),
+            ("floor", ChurnSpec { bandwidth_floor: 0.0, ..Default::default() }),
+            ("floor", ChurnSpec { bandwidth_floor: 1.5, ..Default::default() }),
+            ("lifetime", ChurnSpec { mean_lifetime: -1.0, ..Default::default() }),
+            ("lifetime", ChurnSpec { mean_lifetime: f32::INFINITY, ..Default::default() }),
+            ("duty", ChurnSpec { duty_period: 3, duty_on: 0, ..Default::default() }),
+            ("duty", ChurnSpec { duty_period: 3, duty_on: 4, ..Default::default() }),
+        ] {
+            assert!(spec.validate().is_err(), "{field} spec {spec:?} should be rejected");
+        }
+        busy_spec().validate().unwrap();
+    }
+}

@@ -19,9 +19,11 @@
 //! communication budget, a new algorithm — is written once here and
 //! applies to every algorithm.
 
+use crate::checkpoint::{AlgoState, SimCheckpoint, CHECKPOINT_VERSION};
 use crate::{
-    evaluate, CodecSpec, CommTracker, DeviceRegistry, DeviceResources, Materialization,
-    ParticipationSampler, PayloadCodec, RoundMetrics, RunLog, SimClock,
+    evaluate, ChurnProcess, ChurnSpec, CodecSpec, CommTracker, DeviceRegistry, DeviceResources,
+    Materialization, ParticipationSampler, PayloadCodec, RoundMetrics, RoundParticipant, RunLog,
+    SimClock,
 };
 use fedzkt_data::Dataset;
 use fedzkt_nn::{Module, StateDict};
@@ -286,6 +288,31 @@ pub trait FederatedAlgorithm {
     /// materialized device state back to registry summaries. Default:
     /// no-op.
     fn end_round(&mut self, _round: usize) {}
+
+    /// Serialize the algorithm's evolving state into a checkpoint bag:
+    /// everything `local_update`/`server_update` mutate across rounds
+    /// (model state dicts, RNG cursors, optimizer moments, registry
+    /// counters). State that is a pure function of the construction
+    /// config — specs, shards, seeds — must *not* be stored; resume
+    /// reconstructs the algorithm from the same config first and then
+    /// overlays this bag. Default: an empty bag, correct for an
+    /// algorithm whose rounds mutate nothing.
+    fn save_state(&self) -> AlgoState {
+        AlgoState::new()
+    }
+
+    /// Restore the state captured by [`FederatedAlgorithm::save_state`]
+    /// into a freshly constructed instance of the same config. The
+    /// implementation must fully overwrite every piece of state
+    /// `save_state` covers — resume-equivalence is only as good as this
+    /// round trip. Default: accept the empty bag.
+    ///
+    /// # Errors
+    /// Returns a message when the bag is missing entries or holds
+    /// payloads that do not fit this algorithm's shapes.
+    fn load_state(&mut self, _state: &AlgoState) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// An object-safe view of a [`Simulation`], independent of the algorithm
@@ -327,6 +354,18 @@ pub trait ErasedSimulation {
         self.run_with(&mut |_| {})
     }
 
+    /// Snapshot the full simulation state between rounds; see
+    /// [`Simulation::checkpoint`].
+    fn checkpoint(&self) -> SimCheckpoint;
+
+    /// Restore a snapshot into this (freshly built) simulation; see
+    /// [`Simulation::resume_from`].
+    ///
+    /// # Errors
+    /// Returns a message when the checkpoint does not belong to this
+    /// configuration.
+    fn resume_from(&mut self, ck: &SimCheckpoint) -> Result<(), String>;
+
     /// The concrete `Simulation<A>` behind the erasure, for downcasting.
     fn as_any(&self) -> &dyn Any;
 
@@ -353,6 +392,14 @@ impl<A: FederatedAlgorithm + 'static> ErasedSimulation for Simulation<A> {
 
     fn run_with(&mut self, observer: &mut dyn FnMut(&RoundMetrics)) -> &RunLog {
         Simulation::run_with(self, |m| observer(m))
+    }
+
+    fn checkpoint(&self) -> SimCheckpoint {
+        Simulation::checkpoint(self)
+    }
+
+    fn resume_from(&mut self, ck: &SimCheckpoint) -> Result<(), String> {
+        Simulation::resume_from(self, ck)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -386,6 +433,7 @@ pub struct Simulation<A: FederatedAlgorithm> {
     test: Dataset,
     sampler: ParticipationSampler,
     clock: Option<SimClock>,
+    churn: Option<ChurnProcess>,
     server_seconds: f64,
     log: RunLog,
     last_eval: Option<EvalSnapshot>,
@@ -398,6 +446,7 @@ pub struct SimulationBuilder<A: FederatedAlgorithm> {
     test: Dataset,
     cfg: SimConfig,
     resources: Option<Vec<DeviceResources>>,
+    churn: Option<ChurnSpec>,
     server_seconds: f64,
 }
 
@@ -423,6 +472,21 @@ impl<A: FederatedAlgorithm> SimulationBuilder<A> {
     /// meaningful together with [`SimulationBuilder::resources`].
     pub fn server_seconds(mut self, seconds: f64) -> Self {
         self.server_seconds = seconds;
+        self
+    }
+
+    /// Attach a churn model ([`crate::churn`]): the participation sampler
+    /// draws from each round's *available* devices, sampled devices may
+    /// drop out mid-round (charged partial compute, contributing no
+    /// update), and link bandwidths vary per round. A quiescent spec
+    /// ([`ChurnSpec::is_quiescent`]) is dropped here, so attaching one is
+    /// bit-identical to attaching none.
+    ///
+    /// # Panics
+    /// [`SimulationBuilder::build`] panics when the spec fails
+    /// [`ChurnSpec::validate`].
+    pub fn churn(mut self, spec: ChurnSpec) -> Self {
+        self.churn = Some(spec);
         self
     }
 
@@ -453,6 +517,10 @@ impl<A: FederatedAlgorithm> SimulationBuilder<A> {
             test: self.test,
             sampler,
             clock: self.resources.map(SimClock::new),
+            churn: self
+                .churn
+                .filter(|spec| !spec.is_quiescent())
+                .map(|spec| ChurnProcess::new(spec, devices)),
             server_seconds: self.server_seconds,
             log: RunLog::new(),
             last_eval: None,
@@ -463,7 +531,7 @@ impl<A: FederatedAlgorithm> SimulationBuilder<A> {
 impl<A: FederatedAlgorithm> Simulation<A> {
     /// Start configuring a simulation of `algo`, evaluated on `test`.
     pub fn builder(algo: A, test: Dataset, cfg: SimConfig) -> SimulationBuilder<A> {
-        SimulationBuilder { algo, test, cfg, resources: None, server_seconds: 0.0 }
+        SimulationBuilder { algo, test, cfg, resources: None, churn: None, server_seconds: 0.0 }
     }
 
     /// The wrapped algorithm (for its accessors: models, probes, specs).
@@ -489,6 +557,11 @@ impl<A: FederatedAlgorithm> Simulation<A> {
     /// The simulated clock, when resources are attached.
     pub fn clock(&self) -> Option<&SimClock> {
         self.clock.as_ref()
+    }
+
+    /// The churn model, when a non-quiescent one is attached.
+    pub fn churn(&self) -> Option<&ChurnProcess> {
+        self.churn.as_ref()
     }
 
     /// The run log so far.
@@ -548,17 +621,62 @@ impl<A: FederatedAlgorithm> Simulation<A> {
             "rounds must be driven in order; the next round index is {}",
             self.log.rounds.len()
         );
-        let active = self.sampler.active(round);
+        // Sample from the round's available pool. Without churn the pool
+        // is the whole fleet and `active_among` is bit-identical to the
+        // pre-churn `active` path (same shuffle stream over the same
+        // elements), so attaching no churn changes nothing.
+        let (available, sampled) = match &self.churn {
+            Some(churn) => {
+                let pool = churn.available(round);
+                let sampled = self.sampler.active_among(round, &pool);
+                (pool.len(), sampled)
+            }
+            None => (self.algo.devices(), self.sampler.active(round)),
+        };
+        // Partition the sampled set into survivors (the algorithm's active
+        // set) and mid-round dropouts, which are charged their download
+        // and partial compute below but never touch algorithm state.
+        let mut active = Vec::with_capacity(sampled.len());
+        let mut dropouts: Vec<(usize, f64)> = Vec::new();
+        match &self.churn {
+            Some(churn) => {
+                for &k in &sampled {
+                    match churn.dropout(k, round) {
+                        Some(fraction) => dropouts.push((k, fraction)),
+                        None => active.push(k),
+                    }
+                }
+            }
+            None => active = sampled,
+        }
         let mut ctx =
             RoundContext::new(self.algo.devices(), self.cfg.codec, self.cfg.resolved_threads());
 
-        let local_loss = self.algo.local_update(round, &active, &mut ctx);
-        self.algo.server_update(round, &active, &mut ctx);
+        // A round can be empty under churn (nobody online, or everyone
+        // sampled dropped): both algorithm phases are skipped — an empty
+        // active set must leave algorithm state untouched anyway — but
+        // evaluation cadence, the clock and the log still advance.
+        let local_loss = if active.is_empty() {
+            0.0
+        } else {
+            self.algo.local_update(round, &active, &mut ctx)
+        };
+        if !active.is_empty() {
+            self.algo.server_update(round, &active, &mut ctx);
+        }
+        // A dropout received the round's broadcast before dying: charge
+        // its downlink at the wire size of its own payload template.
+        for &(k, _) in &dropouts {
+            let wire = ctx.wire_size(&self.algo.payload_template(k));
+            ctx.comm.record_download(k, wire);
+        }
 
         let mut metrics = RoundMetrics::new(round + 1);
         metrics.train_loss = ctx.train_loss.unwrap_or(local_loss);
         metrics.upload_bytes = ctx.comm.total_upload();
         metrics.download_bytes = ctx.comm.total_download();
+        metrics.available_devices = available;
+        metrics.dropped_devices = dropouts.len();
 
         if self.eval_due(round) {
             self.algo.prepare_eval();
@@ -572,8 +690,24 @@ impl<A: FederatedAlgorithm> Simulation<A> {
 
         if let Some(clock) = &mut self.clock {
             let algo = &self.algo;
+            let participants: Vec<RoundParticipant> = match &self.churn {
+                Some(churn) => active
+                    .iter()
+                    .map(|&k| RoundParticipant {
+                        device: k,
+                        completion: 1.0,
+                        link_scale: churn.link_scale(k, round),
+                    })
+                    .chain(dropouts.iter().map(|&(k, fraction)| RoundParticipant {
+                        device: k,
+                        completion: fraction,
+                        link_scale: churn.link_scale(k, round),
+                    }))
+                    .collect(),
+                None => active.iter().copied().map(RoundParticipant::full).collect(),
+            };
             metrics.sim_seconds = clock.advance_round(
-                &active,
+                &participants,
                 &|d| algo.local_samples(d),
                 &|d| ctx.comm.download_bytes(d) as usize,
                 &|d| ctx.comm.upload_bytes(d) as usize,
@@ -595,6 +729,78 @@ impl<A: FederatedAlgorithm> Simulation<A> {
         metrics.active_devices = active;
         self.log.push(metrics.clone());
         metrics
+    }
+
+    /// Snapshot the full simulation state between rounds: the log (which
+    /// doubles as the round cursor), the clock instant, and the
+    /// algorithm's [`FederatedAlgorithm::save_state`] bag. The sampler
+    /// and churn model are pure functions of `(seed, round)` and need no
+    /// snapshot. Resuming the checkpoint into a freshly built simulation
+    /// of the same configuration continues the run bit-identically.
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        SimCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seed: self.cfg.seed,
+            devices: self.algo.devices(),
+            rounds_done: self.log.rounds.len(),
+            clock_now: self.clock.as_ref().map(SimClock::now),
+            algo: self.algo.save_state(),
+            log: self.log.clone(),
+        }
+    }
+
+    /// Restore a [`Simulation::checkpoint`] snapshot into this — freshly
+    /// built, not yet stepped — simulation: the log, clock and algorithm
+    /// state are overwritten and the next [`Simulation::round`] index is
+    /// `ck.rounds_done`. The carried-forward evaluation snapshot is
+    /// reconstructed from the last logged round (the log carries
+    /// accuracies forward over skipped rounds by design).
+    ///
+    /// # Errors
+    /// Returns a message when the checkpoint's seed, fleet size or clock
+    /// presence does not match this simulation's configuration, or when
+    /// the algorithm rejects its state bag. On error the simulation may
+    /// be partially overwritten and must be discarded.
+    pub fn resume_from(&mut self, ck: &SimCheckpoint) -> Result<(), String> {
+        if ck.seed != self.cfg.seed {
+            return Err(format!(
+                "checkpoint seed {} does not match this run's seed {}",
+                ck.seed, self.cfg.seed
+            ));
+        }
+        if ck.devices != self.algo.devices() {
+            return Err(format!(
+                "checkpoint fleet size {} does not match this run's {}",
+                ck.devices,
+                self.algo.devices()
+            ));
+        }
+        if ck.rounds_done > self.cfg.rounds {
+            return Err(format!(
+                "checkpoint is {} rounds deep but this run is configured for {}",
+                ck.rounds_done, self.cfg.rounds
+            ));
+        }
+        match (&mut self.clock, ck.clock_now) {
+            (Some(clock), Some(now)) => clock.set_now(now),
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err("checkpoint has no clock instant but this run has resources".into())
+            }
+            (None, Some(_)) => {
+                return Err("checkpoint has a clock instant but this run has no resources".into())
+            }
+        }
+        self.algo.load_state(&ck.algo)?;
+        self.log = ck.log.clone();
+        self.last_eval = self.log.rounds.last().filter(|r| !r.device_accuracy.is_empty()).map(
+            |r| EvalSnapshot {
+                device_accuracy: r.device_accuracy.clone(),
+                avg: r.avg_device_accuracy,
+                global: r.global_accuracy,
+            },
+        );
+        Ok(())
     }
 
     /// Run the remaining configured rounds, returning the full log.
@@ -904,6 +1110,119 @@ mod tests {
             *events.borrow(),
             vec!["local", "server", "end_round", "local", "server", "prepare_eval", "end_round"]
         );
+    }
+
+    fn clocked(devices: usize, cfg: SimConfig) -> Simulation<Stub> {
+        Simulation::builder(Stub::new(devices), test_set(), cfg)
+            .resources(vec![DeviceResources::smartphone(); devices])
+            .build()
+    }
+
+    #[test]
+    fn checkpoint_at_every_round_resumes_bit_identically() {
+        let cfg = SimConfig { rounds: 4, participation: 0.5, eval_every: 2, ..Default::default() };
+        let mut uninterrupted = clocked(4, cfg);
+        let reference = uninterrupted.run().clone();
+        for k in 0..=4 {
+            let mut first = clocked(4, cfg);
+            for r in 0..k {
+                first.round(r);
+            }
+            // Through the serialized form, as a real kill/restart would go.
+            let ck = SimCheckpoint::from_json(&first.checkpoint().to_json()).expect("parse");
+            assert_eq!(ck.rounds_done, k);
+            let mut resumed = clocked(4, cfg);
+            resumed.resume_from(&ck).expect("resume");
+            assert_eq!(resumed.run(), &reference, "killed at round {k}");
+        }
+    }
+
+    #[test]
+    fn resume_refuses_a_foreign_checkpoint() {
+        let cfg = SimConfig { rounds: 2, ..Default::default() };
+        let ck = clocked(2, cfg).checkpoint();
+        // Wrong seed.
+        let other = SimConfig { seed: 99, ..cfg };
+        let mut sim = clocked(2, other);
+        assert!(sim.resume_from(&ck).unwrap_err().contains("seed"));
+        // Wrong fleet size.
+        let mut sim = clocked(3, cfg);
+        assert!(sim.resume_from(&ck).unwrap_err().contains("fleet size"));
+        // Clock presence mismatch, both ways.
+        let mut sim = Simulation::builder(Stub::new(2), test_set(), cfg).build();
+        assert!(sim.resume_from(&ck).unwrap_err().contains("clock"));
+        let unclocked = Simulation::builder(Stub::new(2), test_set(), cfg).build().checkpoint();
+        let mut sim = clocked(2, cfg);
+        assert!(sim.resume_from(&unclocked).unwrap_err().contains("clock"));
+        // Deeper than the configured run.
+        let shallow = SimConfig { rounds: 1, ..cfg };
+        let mut deep = clocked(2, cfg);
+        deep.round(0);
+        deep.round(1);
+        let ck = deep.checkpoint();
+        let mut sim = clocked(2, shallow);
+        assert!(sim.resume_from(&ck).unwrap_err().contains("rounds deep"));
+    }
+
+    #[test]
+    fn quiescent_churn_is_dropped_and_bit_identical_to_none() {
+        let cfg = SimConfig { rounds: 3, participation: 0.5, ..Default::default() };
+        let mut plain = Simulation::builder(Stub::new(4), test_set(), cfg).build();
+        let mut quiet =
+            Simulation::builder(Stub::new(4), test_set(), cfg).churn(ChurnSpec::default()).build();
+        assert!(quiet.churn().is_none(), "a quiescent spec must be dropped at build time");
+        assert_eq!(plain.run(), quiet.run());
+    }
+
+    #[test]
+    fn churn_empties_rounds_without_touching_the_algorithm() {
+        // mean_lifetime = 0.1 rounds to a 1-round lifetime for every
+        // device: round 0 is fully populated, every later pool is empty.
+        let spec = ChurnSpec { seed: 1, mean_lifetime: 0.1, ..Default::default() };
+        let cfg = SimConfig { rounds: 3, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(3), test_set(), cfg).churn(spec).build();
+        let log = sim.run().clone();
+        assert_eq!(log.rounds[0].available_devices, 3);
+        assert_eq!(log.rounds[0].active_devices, vec![0, 1, 2]);
+        assert_eq!(log.rounds[1].available_devices, 0);
+        assert!(log.rounds[1].active_devices.is_empty());
+        assert_eq!(log.rounds[1].upload_bytes, 0);
+        assert_eq!(log.rounds[1].train_loss, 0.0);
+        // The algorithm's phases ran only in the populated round…
+        assert_eq!(sim.algorithm().local_calls.len(), 1);
+        assert_eq!(sim.algorithm().server_calls.len(), 1);
+        // …but the evaluation cadence is driver business and still fires.
+        assert_eq!(log.rounds[2].device_accuracy.len(), 3);
+    }
+
+    #[test]
+    fn dropouts_are_charged_download_but_never_upload_or_update() {
+        let spec = ChurnSpec { seed: 9, dropout: 0.5, ..Default::default() };
+        let cfg = SimConfig { rounds: 6, ..Default::default() };
+        let mut sim = Simulation::builder(Stub::new(4), test_set(), cfg)
+            .resources(vec![DeviceResources::smartphone(); 4])
+            .churn(spec)
+            .build();
+        let log = sim.run().clone();
+        let dropped: usize = log.rounds.iter().map(|r| r.dropped_devices).sum();
+        let survived: usize = log.rounds.iter().map(|r| r.active_devices.len()).sum();
+        assert!(dropped > 0, "p = 0.5 over 24 draws must drop someone");
+        assert!(survived > 0, "p = 0.5 over 24 draws must spare someone");
+        let mut li = 0;
+        for r in &log.rounds {
+            assert_eq!(r.active_devices.len() + r.dropped_devices, 4);
+            if !r.active_devices.is_empty() {
+                assert_eq!(r.active_devices, sim.algorithm().local_calls[li]);
+                li += 1;
+            }
+            // Upload comes from survivors only; every sampled device —
+            // survivor or dropout — is charged its download.
+            let up: u64 = r.active_devices.iter().map(|&k| stub_wire(k)).sum();
+            assert_eq!(r.upload_bytes, up);
+            assert_eq!(r.download_bytes, (0..4).map(stub_wire).sum::<u64>());
+            assert!(r.sim_seconds > 0.0);
+        }
+        assert_eq!(li, sim.algorithm().local_calls.len());
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //!   needed and dropped back to a state summary afterwards, with
 //!   resident/peak counters exported into every
 //!   [`RoundMetrics`] row (lazy and eager runs are bit-identical);
+//! * [`churn`] — seeded, deterministic fleet dynamics ([`ChurnSpec`] /
+//!   [`ChurnProcess`]): device arrival/departure, per-device availability
+//!   schedules, mid-round dropout and time-varying link bandwidth, all
+//!   pure functions of `(spec, device, round)` so availability timelines
+//!   survive resharding and restarts unchanged;
+//! * [`checkpoint`] — versioned whole-simulation snapshots
+//!   ([`SimCheckpoint`]): `RunLog`, RNG cursors, round index, registry
+//!   summaries and clock serialized so that kill-at-round-k + resume
+//!   reproduces the uninterrupted `RunLog` bit for bit;
 //! * [`FedAvg`] — FedAvg (McMahan et al.) and FedProx (ℓ2-proximal local
 //!   objective) over homogeneous models, used both as substrate validation
 //!   and as conceptual baselines for the FedZKT comparison in
@@ -68,6 +77,8 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+pub mod checkpoint;
+pub mod churn;
 pub mod codec;
 mod comm;
 mod driver;
@@ -81,6 +92,8 @@ mod simclock;
 mod training;
 
 pub use aggregate::{average_state_dicts, StreamingAverage};
+pub use checkpoint::{AlgoState, SimCheckpoint};
+pub use churn::{ChurnProcess, ChurnSpec};
 pub use codec::{CodecError, CodecSpec, PayloadCodec};
 pub use comm::CommTracker;
 pub use driver::{
@@ -92,7 +105,7 @@ pub use fedzkt_tensor::ComputeFormat;
 pub use metrics::{RoundMetrics, RunLog};
 pub use participation::ParticipationSampler;
 pub use registry::{DeviceRegistry, Materialization};
-pub use simclock::{DeviceResources, SimClock};
+pub use simclock::{DeviceResources, RoundParticipant, SimClock};
 pub use training::{
     digest_logits, train_local, train_local_fleet, DigestConfig, FleetJob, LocalTrainConfig,
 };

@@ -34,6 +34,14 @@ pub struct RoundMetrics {
     /// mode-dependent: this column is *the* observable difference between
     /// a lazy and an eager run of the same scenario.
     pub peak_resident_devices: usize,
+    /// Devices available this round under the scenario's churn model
+    /// (arrived, not departed, on-duty); the whole registered fleet when
+    /// no churn model is attached.
+    pub available_devices: usize,
+    /// Sampled devices that dropped out mid-round: they were charged
+    /// their download and partial compute time but contributed no update
+    /// (and do not appear in `active_devices`).
+    pub dropped_devices: usize,
 }
 
 impl RoundMetrics {
@@ -51,6 +59,8 @@ impl RoundMetrics {
             active_devices: Vec::new(),
             registered_devices: 0,
             peak_resident_devices: 0,
+            available_devices: 0,
+            dropped_devices: 0,
         }
     }
 }
@@ -118,7 +128,8 @@ impl RunLog {
                 "{{\"round\":{},\"avg_device_accuracy\":{},\"device_accuracy\":[{}],\
                  \"global_accuracy\":{},\"train_loss\":{},\"upload_bytes\":{},\
                  \"download_bytes\":{},\"sim_seconds\":{},\"active_devices\":[{}],\
-                 \"registered_devices\":{},\"peak_resident_devices\":{}}}",
+                 \"registered_devices\":{},\"peak_resident_devices\":{},\
+                 \"available_devices\":{},\"dropped_devices\":{}}}",
                 r.round,
                 f32j(r.avg_device_accuracy),
                 device_accuracy.join(","),
@@ -130,6 +141,8 @@ impl RunLog {
                 active.join(","),
                 r.registered_devices,
                 r.peak_resident_devices,
+                r.available_devices,
+                r.dropped_devices,
             ));
         }
         out.push_str("]}");
@@ -142,6 +155,13 @@ impl RunLog {
     /// Returns a message when the input is not the expected JSON shape.
     pub fn from_json(input: &str) -> Result<RunLog, String> {
         let value = json::parse(input)?;
+        RunLog::from_value(&value)
+    }
+
+    /// Parse a log from an already-parsed JSON value — the embedding used
+    /// by simulation checkpoints, which nest the log inside a larger
+    /// document.
+    pub(crate) fn from_value(value: &json::Value) -> Result<RunLog, String> {
         let rounds = value
             .get("rounds")
             .and_then(json::Value::as_array)
@@ -233,6 +253,8 @@ impl RunLog {
                 })?,
                 registered_devices: count_or_zero(obj, "registered_devices")?,
                 peak_resident_devices: count_or_zero(obj, "peak_resident_devices")?,
+                available_devices: count_or_zero(obj, "available_devices")?,
+                dropped_devices: count_or_zero(obj, "dropped_devices")?,
             });
         }
         Ok(log)
@@ -258,11 +280,11 @@ impl RunLog {
     /// Render as CSV (header + one row per round).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,avg_device_accuracy,global_accuracy,train_loss,upload_bytes,download_bytes,sim_seconds,active_devices,registered_devices,peak_resident_devices\n",
+            "round,avg_device_accuracy,global_accuracy,train_loss,upload_bytes,download_bytes,sim_seconds,active_devices,registered_devices,peak_resident_devices,available_devices,dropped_devices\n",
         );
         for r in &self.rounds {
             out.push_str(&format!(
-                "{},{:.4},{},{:.4},{},{},{:.2},{},{},{}\n",
+                "{},{:.4},{},{:.4},{},{},{:.2},{},{},{},{},{}\n",
                 r.round,
                 r.avg_device_accuracy,
                 r.global_accuracy.map(|g| format!("{g:.4}")).unwrap_or_default(),
@@ -273,6 +295,8 @@ impl RunLog {
                 r.active_devices.len(),
                 r.registered_devices,
                 r.peak_resident_devices,
+                r.available_devices,
+                r.dropped_devices,
             ));
         }
         out
@@ -330,6 +354,8 @@ mod tests {
             active_devices: vec![0, 2],
             registered_devices: 1_000_000,
             peak_resident_devices: 1_024,
+            available_devices: 250_000,
+            dropped_devices: 3,
         });
         log.push(RoundMetrics {
             global_accuracy: None,
@@ -389,6 +415,9 @@ mod tests {
         let log = RunLog::from_json(old).expect("pre-registry log parses");
         assert_eq!(log.rounds[0].registered_devices, 0);
         assert_eq!(log.rounds[0].peak_resident_devices, 0);
+        // The churn columns are newer still; they default the same way.
+        assert_eq!(log.rounds[0].available_devices, 0);
+        assert_eq!(log.rounds[0].dropped_devices, 0);
     }
 
     #[test]
@@ -397,12 +426,18 @@ mod tests {
         log.push(RoundMetrics {
             registered_devices: 100,
             peak_resident_devices: 7,
+            available_devices: 61,
+            dropped_devices: 2,
             ..record(1, 0.25)
         });
         let csv = log.to_csv();
         assert!(csv.starts_with("round,"));
-        assert!(csv.lines().next().unwrap().ends_with("registered_devices,peak_resident_devices"));
-        assert!(csv.lines().nth(1).unwrap().ends_with(",100,7"));
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("registered_devices,peak_resident_devices,available_devices,dropped_devices"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",100,7,61,2"));
     }
 
     #[test]

@@ -46,6 +46,32 @@ impl ParticipationSampler {
         active.sort_unstable();
         active
     }
+
+    /// The sorted active subset of `pool` for `round` — the churn-aware
+    /// sampling path. The participation fraction applies to the pool
+    /// (the round's *available* devices), so a thinned fleet still
+    /// fields at least one participant while anyone is online, and an
+    /// empty pool yields an empty round.
+    ///
+    /// Over the full pool this is bit-identical to
+    /// [`ParticipationSampler::active`]: the shuffle consumes the same
+    /// seeded stream over the same elements, so attaching a quiescent
+    /// churn model to a scenario changes nothing.
+    pub fn active_among(&self, round: usize, pool: &[usize]) -> Vec<usize> {
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        let m = ((pool.len() as f32 * self.fraction).round() as usize).clamp(1, pool.len());
+        if m == pool.len() {
+            return pool.to_vec();
+        }
+        let mut rng = seeded_rng(split_seed(self.seed, round as u64));
+        let mut ids = pool.to_vec();
+        ids.shuffle(&mut rng);
+        let mut active = ids[..m].to_vec();
+        active.sort_unstable();
+        active
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +105,31 @@ mod tests {
         assert_eq!(s.active(5), s.active(5));
         let all_same = (0..10).all(|r| s.active(r) == s.active(0));
         assert!(!all_same, "different rounds should differ");
+    }
+
+    #[test]
+    fn active_among_full_pool_matches_active_bit_for_bit() {
+        for fraction in [0.1f32, 0.4, 0.7, 1.0] {
+            let s = ParticipationSampler::new(23, fraction, 9);
+            let all: Vec<usize> = (0..23).collect();
+            for round in 0..10 {
+                assert_eq!(s.active_among(round, &all), s.active(round), "fraction {fraction}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_among_respects_the_pool() {
+        let s = ParticipationSampler::new(100, 0.5, 7);
+        let pool: Vec<usize> = (0..100).filter(|k| k % 3 == 0).collect();
+        let active = s.active_among(2, &pool);
+        assert_eq!(active.len(), (pool.len() as f32 * 0.5).round() as usize);
+        assert!(active.iter().all(|k| pool.contains(k)));
+        assert!(active.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+        // An empty pool is an empty round, never a panic.
+        assert!(s.active_among(2, &[]).is_empty());
+        // A one-device pool always fields that device.
+        assert_eq!(s.active_among(2, &[42]), vec![42]);
     }
 
     #[test]

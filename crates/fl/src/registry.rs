@@ -257,6 +257,29 @@ impl DeviceRegistry {
         self.slot_mut(k).summary.take()
     }
 
+    /// Every stored summary, as `(device, summary)` pairs in device order —
+    /// the checkpoint export path. Only allocated shards are visited, so
+    /// the cost is O(touched), not O(registered).
+    pub fn summaries(&self) -> impl Iterator<Item = (usize, &StateDict)> + '_ {
+        self.shards.iter().enumerate().filter_map(|(i, shard)| shard.as_ref().map(|s| (i, s))).flat_map(
+            move |(i, shard)| {
+                shard.iter().enumerate().filter_map(move |(j, slot)| {
+                    slot.summary.as_ref().map(|sd| (i * self.shard_size + j, sd))
+                })
+            },
+        )
+    }
+
+    /// Merge residency counters restored from a checkpoint: the peak
+    /// high-water mark and the touched count carry across a restart (a
+    /// resumed run must report the same gauge the uninterrupted run
+    /// reports), while `resident` always reflects the *live* slots and is
+    /// never overwritten.
+    pub fn absorb_counters(&mut self, peak_resident: usize, touched: usize) {
+        self.peak_resident = self.peak_resident.max(peak_resident);
+        self.touched = self.touched.max(touched);
+    }
+
     fn assert_in_range(&self, k: usize) {
         assert!(k < self.registered, "device {k} out of range (registered: {})", self.registered);
     }
@@ -330,6 +353,30 @@ mod tests {
         reg.checkout(999_999);
         assert_eq!(reg.shards.iter().filter(|s| s.is_some()).count(), 1);
         assert_eq!(reg.resident(), 1);
+    }
+
+    #[test]
+    fn summaries_iterate_in_device_order_without_touching_cold_shards() {
+        let mut reg = DeviceRegistry::with_shard_size(1000, 4);
+        reg.store_summary(517, summary(2.0));
+        reg.store_summary(3, summary(1.0));
+        reg.store_summary(999, summary(3.0));
+        let allocated = reg.shards.iter().filter(|s| s.is_some()).count();
+        assert_eq!(allocated, 3, "only the three touched shards exist");
+        let got: Vec<(usize, f32)> =
+            reg.summaries().map(|(k, sd)| (k, sd.params[0].item())).collect();
+        assert_eq!(got, vec![(3, 1.0), (517, 2.0), (999, 3.0)]);
+    }
+
+    #[test]
+    fn absorbed_counters_merge_monotonically() {
+        let mut reg = DeviceRegistry::new(8);
+        reg.checkout(0);
+        reg.absorb_counters(5, 6);
+        assert_eq!((reg.resident(), reg.peak_resident(), reg.touched()), (1, 5, 6));
+        // Never regresses the live counters.
+        reg.absorb_counters(0, 0);
+        assert_eq!((reg.resident(), reg.peak_resident(), reg.touched()), (1, 5, 6));
     }
 
     #[test]

@@ -75,6 +75,33 @@ impl DeviceResources {
     }
 }
 
+/// One device's participation in a synchronous round, as the clock sees
+/// it: how far through its local work the device got, and how its links
+/// are scaled this round (the churn model's time-varying bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundParticipant {
+    /// Device index.
+    pub device: usize,
+    /// Fraction of the local compute completed before leaving the round:
+    /// `1.0` for a device that finished, `< 1.0` for a mid-round dropout.
+    pub completion: f64,
+    /// Multiplier on both link rates this round; `1.0` leaves the
+    /// device's nominal links untouched.
+    pub link_scale: f64,
+}
+
+impl RoundParticipant {
+    /// A device that completes the whole round over its nominal links.
+    pub fn full(device: usize) -> Self {
+        RoundParticipant { device, completion: 1.0, link_scale: 1.0 }
+    }
+
+    /// Did the device finish its local work (and therefore upload)?
+    pub fn completed(&self) -> bool {
+        self.completion >= 1.0
+    }
+}
+
 /// Virtual clock advancing by synchronous federated rounds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimClock {
@@ -93,6 +120,12 @@ impl SimClock {
         self.now_s
     }
 
+    /// Restore the clock to a checkpointed instant (the resume path; a
+    /// live run never rewinds its own clock).
+    pub fn set_now(&mut self, now_s: f64) {
+        self.now_s = now_s;
+    }
+
     /// Resources of device `d`.
     ///
     /// # Panics
@@ -101,28 +134,46 @@ impl SimClock {
         &self.devices[d]
     }
 
-    /// Duration of one synchronous round: the slowest active device's
-    /// `download + compute + upload`, plus the server-side time. Advances
-    /// the clock and returns the duration.
+    /// Duration of one synchronous round: the slowest participant's
+    /// elapsed time, plus the server-side time. Advances the clock and
+    /// returns the duration.
     ///
-    /// All three per-device quantities are closures of the device index so
-    /// heterogeneous payloads (each device ships its *own* model) and
+    /// Partial-round accounting is explicit per participant: every
+    /// participant is charged its download and `completion × compute`,
+    /// but **only a device that completed uploads** — a mid-round dropout
+    /// (`completion < 1`) can never be charged a full round of compute,
+    /// nor any uplink time. Link scales divide the nominal link rates, so
+    /// a device on a degraded link pays proportionally longer transfers.
+    ///
+    /// The three per-device quantities are closures of the device index
+    /// so heterogeneous payloads (each device ships its *own* model) and
     /// heterogeneous workloads (shard sizes differ) are both expressible.
+    ///
+    /// # Panics
+    /// Panics when a participant's `link_scale` is not positive or its
+    /// `completion` is outside `[0, 1]`.
     pub fn advance_round(
         &mut self,
-        active: &[usize],
+        participants: &[RoundParticipant],
         samples_per_device: &dyn Fn(usize) -> usize,
         down_bytes_per_device: &dyn Fn(usize) -> usize,
         up_bytes_per_device: &dyn Fn(usize) -> usize,
         server_seconds: f64,
     ) -> f64 {
-        let device_time = active
+        let device_time = participants
             .iter()
-            .map(|&d| {
-                let r = &self.devices[d];
-                r.download_time(down_bytes_per_device(d))
-                    + r.compute_time(samples_per_device(d))
-                    + r.upload_time(up_bytes_per_device(d))
+            .map(|p| {
+                assert!(p.link_scale > 0.0, "link scale must be positive");
+                assert!((0.0..=1.0).contains(&p.completion), "completion must be in [0, 1]");
+                let r = &self.devices[p.device];
+                let down = r.download_time(down_bytes_per_device(p.device)) / p.link_scale;
+                let compute = r.compute_time(samples_per_device(p.device)) * p.completion;
+                let up = if p.completed() {
+                    r.upload_time(up_bytes_per_device(p.device)) / p.link_scale
+                } else {
+                    0.0
+                };
+                down + compute + up
             })
             .fold(0.0f64, f64::max);
         let dt = device_time + server_seconds;
@@ -158,10 +209,76 @@ mod tests {
         let pop = vec![DeviceResources::smartphone(), DeviceResources::microcontroller()];
         let mut clock = SimClock::new(pop);
         // Only the fast device active.
-        let fast = clock.advance_round(&[0], &|_| 100, &|_| 1000, &|_| 1000, 0.5);
+        let fast =
+            clock.advance_round(&[RoundParticipant::full(0)], &|_| 100, &|_| 1000, &|_| 1000, 0.5);
         // Both active: the MCU dominates.
-        let both = clock.advance_round(&[0, 1], &|_| 100, &|_| 1000, &|_| 1000, 0.5);
+        let both = clock.advance_round(
+            &[RoundParticipant::full(0), RoundParticipant::full(1)],
+            &|_| 100,
+            &|_| 1000,
+            &|_| 1000,
+            0.5,
+        );
         assert!(both > 10.0 * fast, "fast {fast}, both {both}");
         assert!((clock.now() - (fast + both)).abs() < 1e-9);
+    }
+
+    /// Satellite bugfix pin: partial-round accounting. A dropout is
+    /// charged its download and the completed fraction of its compute —
+    /// never the full round, and never any upload.
+    #[test]
+    fn dropout_charges_partial_compute_and_no_upload() {
+        // 10 samples/s compute, 100 B/s up, 200 B/s down: with 50
+        // samples, 400 B down, 300 B up the full round is exactly
+        // 2 + 5 + 3 = 10 s.
+        let r = DeviceResources {
+            compute_samples_per_sec: 10.0,
+            uplink_bytes_per_sec: 100.0,
+            downlink_bytes_per_sec: 200.0,
+        };
+        let mut clock = SimClock::new(vec![r]);
+        let full =
+            clock.advance_round(&[RoundParticipant::full(0)], &|_| 50, &|_| 400, &|_| 300, 0.0);
+        assert_eq!(full, 10.0);
+        // Dropping out at 40% of compute: 2 + 0.4·5 = 4 s exactly; the
+        // 3 s upload never happens.
+        let dropped = clock.advance_round(
+            &[RoundParticipant { device: 0, completion: 0.4, link_scale: 1.0 }],
+            &|_| 50,
+            &|_| 400,
+            &|_| 300,
+            0.0,
+        );
+        assert_eq!(dropped, 4.0);
+        // Even at completion → 1 a dropout stays strictly under the full
+        // round by the upload leg.
+        let near = clock.advance_round(
+            &[RoundParticipant { device: 0, completion: 0.999, link_scale: 1.0 }],
+            &|_| 50,
+            &|_| 400,
+            &|_| 300,
+            0.0,
+        );
+        assert!(near < full - 2.9, "upload must never be charged to a dropout");
+        // A halved link doubles both transfer legs and only them:
+        // 4 + 5 + 6 = 15 s.
+        let throttled = clock.advance_round(
+            &[RoundParticipant { device: 0, completion: 1.0, link_scale: 0.5 }],
+            &|_| 50,
+            &|_| 400,
+            &|_| 300,
+            0.0,
+        );
+        assert_eq!(throttled, 15.0);
+    }
+
+    #[test]
+    fn clock_restores_to_a_checkpointed_instant() {
+        let mut clock = SimClock::new(vec![DeviceResources::smartphone()]);
+        clock.advance_round(&[RoundParticipant::full(0)], &|_| 10, &|_| 10, &|_| 10, 0.0);
+        let t = clock.now();
+        let mut fresh = SimClock::new(vec![DeviceResources::smartphone()]);
+        fresh.set_now(t);
+        assert_eq!(fresh, clock);
     }
 }

@@ -1,8 +1,39 @@
 //! Property-based tests on the FL substrate's public API.
 
 use fedzkt_data::{DataFamily, Partition, SynthConfig};
-use fedzkt_fl::{accuracy, DeviceResources, ParticipationSampler, SimClock};
+use fedzkt_fl::{
+    accuracy, ChurnProcess, ChurnSpec, DeviceResources, ParticipationSampler, RoundParticipant,
+    SimClock,
+};
 use proptest::prelude::*;
+
+/// Arbitrary *valid* churn specs: every field ranges over its legal
+/// domain, with a flags word forcing the degenerate branches (no
+/// departures, no dropout, steady links) back in so they stay covered.
+fn churn_spec() -> impl Strategy<Value = ChurnSpec> {
+    (
+        0u64..1000,
+        0usize..6,
+        0.5f32..12.0,
+        0usize..5,
+        0usize..8,
+        0.0f32..0.95,
+        0.05f32..1.0,
+        0usize..8,
+    )
+        .prop_map(|(seed, arrival_window, life, duty_period, on, drop, floor, flags)| {
+            ChurnSpec {
+                seed,
+                arrival_window,
+                mean_lifetime: if flags & 1 != 0 { 0.0 } else { life },
+                duty_period,
+                // duty_on must sit in 1..=duty_period when cycling at all.
+                duty_on: if duty_period == 0 { 0 } else { on % duty_period + 1 },
+                dropout: if flags & 2 != 0 { 0.0 } else { drop },
+                bandwidth_floor: if flags & 4 != 0 { 1.0 } else { floor },
+            }
+        })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -49,9 +80,104 @@ proptest! {
         let pop = DeviceResources::heterogeneous_population(4, seed);
         let mut clock_small = SimClock::new(pop.clone());
         let mut clock_big = SimClock::new(pop);
-        let small = clock_small.advance_round(&[0, 1], &|_| samples, &|_| 1000, &|_| 1000, 0.1);
-        let big = clock_big.advance_round(&[0, 1, 2, 3], &|_| samples, &|_| 1000, &|_| 1000, 0.1);
+        let two: Vec<_> = (0..2).map(RoundParticipant::full).collect();
+        let four: Vec<_> = (0..4).map(RoundParticipant::full).collect();
+        let small = clock_small.advance_round(&two, &|_| samples, &|_| 1000, &|_| 1000, 0.1);
+        let big = clock_big.advance_round(&four, &|_| samples, &|_| 1000, &|_| 1000, 0.1);
         prop_assert!(big >= small - 1e-9);
+    }
+
+    /// The availability timeline is invariant under fleet sharding: for
+    /// every chunk size, walking the fleet a chunk at a time (as a
+    /// sharded registry does) yields exactly the monolithic scan. The
+    /// registry's internal layout can never leak into which devices
+    /// exist in a round.
+    #[test]
+    fn churn_timeline_is_shard_invariant(
+        spec in churn_spec(),
+        devices in 1usize..200,
+        chunk in 1usize..300,
+        round in 0usize..30,
+    ) {
+        let p = ChurnProcess::new(spec, devices);
+        prop_assert_eq!(p.available_chunked(round, chunk), p.available(round));
+    }
+
+    /// The timeline is a pure function of (spec, device, round): querying
+    /// rounds in any scrambled order, with repeats, returns the same
+    /// answers as a fresh evaluator queried in ascending order — no
+    /// hidden cursor, which is what lets a resumed run re-derive the
+    /// exact fleet history from the spec alone.
+    #[test]
+    fn churn_timeline_is_query_order_independent(
+        spec in churn_spec(),
+        devices in 1usize..100,
+        order in proptest::collection::vec(0usize..20, 1..30),
+    ) {
+        let scrambled = ChurnProcess::new(spec, devices);
+        let mut seen: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &round in &order {
+            seen.push((round, scrambled.available(round)));
+            // The per-round draws must be equally history-free.
+            let _ = scrambled.dropout(round % devices, round);
+            let _ = scrambled.link_scale(round % devices, round);
+        }
+        let fresh = ChurnProcess::new(spec, devices);
+        for (round, avail) in seen {
+            prop_assert_eq!(avail, fresh.available(round));
+        }
+        for round in 0..20 {
+            for k in 0..devices {
+                prop_assert_eq!(scrambled.dropout(k, round), fresh.dropout(k, round));
+                prop_assert_eq!(
+                    scrambled.link_scale(k, round).to_bits(),
+                    fresh.link_scale(k, round).to_bits()
+                );
+            }
+        }
+    }
+
+    /// Range invariants of the per-round draws: dropout fractions are
+    /// partial completions in [0, 1), link scales stay inside the
+    /// configured [floor, 1] band, and the degenerate spec values switch
+    /// each draw off entirely.
+    #[test]
+    fn churn_draws_stay_in_range(
+        spec in churn_spec(),
+        devices in 1usize..100,
+        round in 0usize..30,
+    ) {
+        let p = ChurnProcess::new(spec, devices);
+        for k in 0..devices {
+            // Surviving the round (None) is always legal; a drop must
+            // come with a partial-completion fraction in [0, 1).
+            if let Some(fraction) = p.dropout(k, round) {
+                prop_assert!(spec.dropout > 0.0);
+                prop_assert!((0.0..1.0).contains(&fraction));
+            }
+            if spec.dropout == 0.0 {
+                prop_assert_eq!(p.dropout(k, round), None);
+            }
+            let scale = p.link_scale(k, round);
+            prop_assert!(scale >= f64::from(spec.bandwidth_floor) && scale <= 1.0);
+            if spec.bandwidth_floor >= 1.0 {
+                prop_assert_eq!(scale, 1.0);
+            }
+        }
+    }
+
+    /// A quiescent spec is behaviourally the static fleet: everyone
+    /// available every round, regardless of the other knob values.
+    #[test]
+    fn quiescent_churn_is_the_static_fleet(
+        seed in 0u64..1000,
+        devices in 1usize..100,
+        round in 0usize..50,
+    ) {
+        let spec = ChurnSpec { seed, ..Default::default() };
+        prop_assert!(spec.is_quiescent());
+        let p = ChurnProcess::new(spec, devices);
+        prop_assert_eq!(p.available(round), (0..devices).collect::<Vec<_>>());
     }
 
     /// Partition + subset: every shard of every scheme yields a dataset

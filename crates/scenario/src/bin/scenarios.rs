@@ -1,11 +1,14 @@
-//! The `scenarios` CLI: list, describe, run and sweep declarative
+//! The `scenarios` CLI: list, describe, run, sweep and serve declarative
 //! experiment scenarios.
 //!
 //! ```sh
 //! scenarios list
 //! scenarios describe quickstart [--json]
 //! scenarios run tiny --out target/scenarios
+//! scenarios run tiny --halt-at-round 1 --out target/ck   # kill mid-run…
+//! scenarios run tiny --resume target/ck/tiny.ckpt --out target/ck  # …resume
 //! scenarios sweep tiny --seeds 1,2 --participations 0.5,1 --out target/sweep
+//! scenarios serve tiny --seeds 1,2,3,4 --out target/jobs   # durable queue
 //! ```
 //!
 //! `run` and `sweep` write one `<name>.csv` + `<name>.json` artifact pair
@@ -14,12 +17,20 @@
 //! into child scenarios and executes them fleet-parallel on the workspace
 //! worker pool (`fedzkt_tensor::par`); results are bit-identical for every
 //! thread count.
+//!
+//! `serve` is the long-run form of `sweep`: the same grid expansion, but
+//! the queue's state lives on disk in `--out`, so a killed process loses
+//! at most `--checkpoint-every` rounds per in-flight cell. On restart it
+//! skips cells whose `<name>.json` artifact already exists, resumes cells
+//! with a `<name>.ckpt` snapshot from that exact round, and starts the
+//! rest fresh; a cell that panics is isolated and reported without taking
+//! down the queue.
 
 use fedzkt_data::Partition;
-use fedzkt_fl::{CodecSpec, ComputeFormat, Materialization};
+use fedzkt_fl::{CodecSpec, ComputeFormat, Materialization, SimCheckpoint};
 use fedzkt_scenario::{presets, resolve, standard_zoo, Scenario, ScenarioError};
 use fedzkt_tensor::par;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Human-readable codec label for `describe` and cell tables.
@@ -38,8 +49,11 @@ subcommands:
   describe <name|file> [--json]  summary (or canonical JSON) of a scenario
   run <name|file> [options]      execute one scenario
   sweep <name|file> [axes]       expand grid axes and execute fleet-parallel
+  serve <name|file> [axes]       durable job queue over the expanded grid:
+                                 skips finished cells, resumes half-done ones
+                                 from their checkpoints, survives kills
 
-run/sweep options:
+run/sweep/serve options:
   --out DIR          artifact directory (default target/scenarios)
   --threads N        worker threads (0 = FEDZKT_THREADS / all cores)
   --seed N           override the scenario's master seed (run only)
@@ -47,7 +61,17 @@ run/sweep options:
   --materialization M  override the fleet mode: eager|lazy (run only)
   --compute F        override the inference compute format: f32|int8 (run only)
 
-sweep axes (comma-separated values; absent axes keep the base value):
+run durability options:
+  --checkpoint-every N  snapshot <out>/<name>.ckpt every N completed rounds
+  --halt-at-round K     stop once K rounds are done, leaving a checkpoint
+  --resume FILE         restore a checkpoint and run the remaining rounds
+
+serve options:
+  --checkpoint-every N  per-cell snapshot cadence in rounds (default 1)
+  --stop-after N        exit after completing N cells (the queue state is on
+                        disk; a later serve picks up the rest)
+
+sweep/serve axes (comma-separated values; absent axes keep the base value):
   --seeds 1,2,3      master seeds
   --betas 0.1,0.5    Dirichlet concentration (conflicts with --cs)
   --cs 2,3,5         quantity-skew classes per device (conflicts with --betas)
@@ -66,6 +90,7 @@ fn main() -> ExitCode {
         Some("describe") => cmd_describe(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -143,6 +168,19 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
         }
         None => println!("resources:  none (no simulated clock)"),
     }
+    if let Some(churn) = &scenario.churn {
+        println!(
+            "churn:      arrival window {}, mean lifetime {} rounds, duty {}/{}, dropout {}, \
+             bandwidth floor {} (seed {})",
+            churn.arrival_window,
+            churn.mean_lifetime,
+            churn.duty_on,
+            churn.duty_period,
+            churn.dropout,
+            churn.bandwidth_floor,
+            churn.seed
+        );
+    }
     println!("codec:      {}", codec_label(&scenario.sim.codec));
     println!("compute:    {} (inference phases)", scenario.sim.compute.as_str());
     println!(
@@ -166,6 +204,10 @@ struct RunOptions {
     codec: Option<CodecSpec>,
     materialization: Option<Materialization>,
     compute: Option<ComputeFormat>,
+    checkpoint_every: Option<usize>,
+    halt_at_round: Option<usize>,
+    resume: Option<PathBuf>,
+    stop_after: Option<usize>,
     rest: Vec<(String, String)>,
 }
 
@@ -177,6 +219,10 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
         codec: None,
         materialization: None,
         compute: None,
+        checkpoint_every: None,
+        halt_at_round: None,
+        resume: None,
+        stop_after: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -209,6 +255,30 @@ fn parse_options(args: &[String]) -> Result<RunOptions, String> {
                     format!("--compute: unknown compute format \"{value}\" (f32|int8)")
                 })?);
             }
+            "--checkpoint-every" => {
+                let every: usize = value
+                    .parse()
+                    .map_err(|_| format!("--checkpoint-every: bad round count \"{value}\""))?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(every);
+            }
+            "--halt-at-round" => {
+                opts.halt_at_round = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--halt-at-round: bad round count \"{value}\""))?,
+                );
+            }
+            "--resume" => opts.resume = Some(PathBuf::from(value)),
+            "--stop-after" => {
+                opts.stop_after = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--stop-after: bad cell count \"{value}\""))?,
+                );
+            }
             other => opts.rest.push((other.to_string(), value)),
         }
     }
@@ -222,12 +292,28 @@ fn write_artifacts(log: &fedzkt_fl::RunLog, dir: &PathBuf, name: &str) -> Result
     Ok(())
 }
 
+/// The checkpoint file a run or serve cell writes for a scenario.
+fn checkpoint_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.ckpt"))
+}
+
+fn save_checkpoint(ck: &SimCheckpoint, path: &Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    }
+    ck.save(path).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let reference = args.first().ok_or("run needs a scenario name or file")?;
     let mut scenario = load(reference)?;
     let opts = parse_options(&args[1..])?;
     if let Some((flag, _)) = opts.rest.first() {
         return Err(format!("unknown flag {flag} for run"));
+    }
+    if opts.stop_after.is_some() {
+        return Err("--stop-after is a serve option".into());
     }
     if let Some(threads) = opts.threads {
         scenario.sim.threads = threads;
@@ -254,21 +340,53 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         scenario.sim.materialization,
         scenario.sim.compute.as_str()
     );
+    let mut sim = scenario.build().map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.resume {
+        let ck = SimCheckpoint::load(path)
+            .map_err(|e| format!("loading {}: {e}", path.display()))?;
+        sim.resume_from(&ck)
+            .map_err(|e| format!("{}: checkpoint does not fit this scenario: {e}", path.display()))?;
+        println!("resumed from {} ({} rounds already done)", path.display(), ck.rounds_done);
+    }
+    let total = scenario.sim.rounds;
+    let halt = opts.halt_at_round.map_or(total, |k| k.min(total));
+    let ckpt = checkpoint_path(&opts.out_dir, &scenario.name);
     println!("{:>6} {:>9} {:>11} {:>12} {:>10}", "round", "avg-acc", "train-loss", "uplink-KiB", "sim-time");
-    let log = scenario
-        .run_with(&mut |m| {
-            println!(
-                "{:>6} {:>8.1}% {:>11.4} {:>12.1} {:>9.0}s",
-                m.round,
-                100.0 * m.avg_device_accuracy,
-                m.train_loss,
-                m.upload_bytes as f64 / 1024.0,
-                m.sim_seconds
-            );
-        })
-        .map_err(|e| e.to_string())?;
+    for round in sim.log().rounds.len()..halt {
+        let m = sim.round(round);
+        println!(
+            "{:>6} {:>8.1}% {:>11.4} {:>12.1} {:>9.0}s",
+            m.round,
+            100.0 * m.avg_device_accuracy,
+            m.train_loss,
+            m.upload_bytes as f64 / 1024.0,
+            m.sim_seconds
+        );
+        if let Some(every) = opts.checkpoint_every {
+            if (round + 1).is_multiple_of(every) {
+                save_checkpoint(&sim.checkpoint(), &ckpt)?;
+                println!("  [checkpoint] {} ({} rounds)", ckpt.display(), round + 1);
+            }
+        }
+    }
+    if halt < total {
+        // A deliberate mid-run stop always leaves a snapshot, whether or
+        // not a periodic cadence was requested.
+        save_checkpoint(&sim.checkpoint(), &ckpt)?;
+        println!(
+            "halted after {halt} of {total} rounds; resume with: scenarios run {reference} \
+             --resume {} --out {}",
+            ckpt.display(),
+            opts.out_dir.display()
+        );
+        return Ok(());
+    }
+    let log = sim.log().clone();
     println!("final average device accuracy: {:.2}%", 100.0 * log.final_accuracy());
-    write_artifacts(&log, &opts.out_dir, &scenario.name)
+    write_artifacts(&log, &opts.out_dir, &scenario.name)?;
+    // The run is complete: its snapshot has nothing left to resume.
+    let _ = std::fs::remove_file(&ckpt);
+    Ok(())
 }
 
 fn parse_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<Vec<T>, String> {
@@ -299,26 +417,37 @@ fn expand<T: Clone>(
     out
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let reference = args.first().ok_or("sweep needs a scenario name or file")?;
-    let base = load(reference)?;
-    let opts = parse_options(&args[1..])?;
+/// Reject the run-only overrides for the grid subcommands (sweep/serve),
+/// which spell the same intents as axes.
+fn reject_run_only(opts: &RunOptions, gridcmd: &str) -> Result<(), String> {
     if opts.seed.is_some() {
-        return Err("--seed is a run option; sweep over seeds with --seeds a,b,c".into());
+        return Err(format!("--seed is a run option; {gridcmd} over seeds with --seeds a,b,c"));
     }
     if opts.codec.is_some() {
-        return Err("--codec is a run option; sweep over codecs with --codecs a,b,c".into());
+        return Err(format!("--codec is a run option; {gridcmd} over codecs with --codecs a,b,c"));
     }
     if opts.materialization.is_some() {
-        return Err(
-            "--materialization is a run option; sweep over modes with --materializations a,b"
-                .into(),
-        );
+        return Err(format!(
+            "--materialization is a run option; {gridcmd} over modes with --materializations a,b"
+        ));
     }
     if opts.compute.is_some() {
-        return Err("--compute is a run option; sweep over formats with --computes a,b".into());
+        return Err(format!("--compute is a run option; {gridcmd} over formats with --computes a,b"));
     }
+    if opts.halt_at_round.is_some() || opts.resume.is_some() {
+        return Err(format!(
+            "--halt-at-round/--resume are run options; {gridcmd} manages per-cell checkpoints \
+             itself"
+        ));
+    }
+    Ok(())
+}
 
+/// Expand the grid axes in `rest` over `base` — the one cell-expansion
+/// shared by `sweep` and `serve` — and validate every cell up front: a
+/// typo in one axis value should fail fast, not after the other cells
+/// have burned compute.
+fn expand_cells(base: Scenario, rest: &[(String, String)]) -> Result<Vec<Scenario>, String> {
     let mut seeds: Vec<u64> = Vec::new();
     let mut betas: Vec<f32> = Vec::new();
     let mut cs: Vec<usize> = Vec::new();
@@ -328,7 +457,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut codecs: Vec<CodecSpec> = Vec::new();
     let mut materializations: Vec<Materialization> = Vec::new();
     let mut computes: Vec<ComputeFormat> = Vec::new();
-    for (flag, value) in &opts.rest {
+    for (flag, value) in rest {
         match flag.as_str() {
             "--seeds" => seeds = parse_list(flag, value)?,
             "--betas" => betas = parse_list(flag, value)?,
@@ -430,13 +559,25 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             return Err(format!("--zoos: unknown zoo \"{zoo}\" (small|cifar)"));
         }
     }
-
-    // Validate the whole grid up front: a typo in one axis value should
-    // fail fast, not after the other cells have burned compute.
     for cell in &mut cells {
         cell.sim.threads = 1; // fleet-level parallelism owns the workers
         cell.validate().map_err(|e| format!("cell {}: {e}", cell.name))?;
     }
+    Ok(cells)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let reference = args.first().ok_or("sweep needs a scenario name or file")?;
+    let base = load(reference)?;
+    let opts = parse_options(&args[1..])?;
+    reject_run_only(&opts, "sweep")?;
+    if opts.checkpoint_every.is_some() || opts.stop_after.is_some() {
+        return Err(
+            "--checkpoint-every/--stop-after are serve options; sweep runs the grid in one shot"
+                .into(),
+        );
+    }
+    let cells = expand_cells(base, &opts.rest)?;
 
     let workers = par::resolve_threads(opts.threads.unwrap_or(0));
     println!(
@@ -513,5 +654,158 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} of {} cells failed:\n  {}", failures.len(), cells.len(), failures.join("\n  ")))
+    }
+}
+
+/// How a serve cell stands, derived entirely from the artifact directory —
+/// the queue has no state file to corrupt or lose.
+enum CellStatus {
+    /// `<name>.json` artifact present: nothing to do.
+    Done,
+    /// `<name>.ckpt` present: continue from its round.
+    Resumable,
+    /// Neither: start from round 0.
+    Fresh,
+}
+
+fn cell_status(dir: &Path, name: &str) -> CellStatus {
+    if dir.join(format!("{name}.json")).exists() {
+        CellStatus::Done
+    } else if checkpoint_path(dir, name).exists() {
+        CellStatus::Resumable
+    } else {
+        CellStatus::Fresh
+    }
+}
+
+/// Execute one serve cell to completion: build, resume from its snapshot
+/// when one fits, checkpoint every `every` rounds, and write the final
+/// artifacts (dropping the snapshot) on success. Returns a one-line
+/// completion summary.
+fn serve_cell(cell: &Scenario, dir: &Path, every: usize) -> Result<String, String> {
+    let mut sim = cell.build().map_err(|e| e.to_string())?;
+    let ckpt = checkpoint_path(dir, &cell.name);
+    let mut resumed = 0;
+    if ckpt.exists() {
+        // A snapshot that fails to load or fit (schema drift, an edited
+        // scenario reusing a cell name) falls back to a fresh start — a
+        // stale file must not wedge the queue forever.
+        match SimCheckpoint::load(&ckpt).map_err(|e| e.to_string()).and_then(|ck| {
+            sim.resume_from(&ck).map(|()| ck.rounds_done)
+        }) {
+            Ok(rounds) => resumed = rounds,
+            Err(e) => {
+                eprintln!("  [{}] discarding stale checkpoint: {e}", cell.name);
+                sim = cell.build().map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    let total = cell.sim.rounds;
+    for round in sim.log().rounds.len()..total {
+        sim.round(round);
+        let done = round + 1;
+        if done < total && done.is_multiple_of(every) {
+            save_checkpoint(&sim.checkpoint(), &ckpt)?;
+        }
+    }
+    let log = sim.log().clone();
+    log.write_artifacts(dir, &cell.name)
+        .map_err(|e| format!("writing artifacts for {}: {e}", cell.name))?;
+    let _ = std::fs::remove_file(&ckpt);
+    Ok(format!(
+        "{}: {:.2}% final accuracy ({} rounds, {} resumed)",
+        cell.name,
+        100.0 * log.final_accuracy(),
+        total,
+        resumed
+    ))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let reference = args.first().ok_or("serve needs a scenario name or file")?;
+    let base = load(reference)?;
+    let opts = parse_options(&args[1..])?;
+    reject_run_only(&opts, "serve")?;
+    let cells = expand_cells(base, &opts.rest)?;
+    let every = opts.checkpoint_every.unwrap_or(1);
+    let dir = opts.out_dir.clone();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+
+    let mut done = 0;
+    let mut resuming = 0;
+    let mut pending: Vec<&Scenario> = Vec::new();
+    for cell in &cells {
+        match cell_status(&dir, &cell.name) {
+            CellStatus::Done => done += 1,
+            CellStatus::Resumable => {
+                resuming += 1;
+                pending.push(cell);
+            }
+            CellStatus::Fresh => pending.push(cell),
+        }
+    }
+    let fresh = pending.len() - resuming;
+    let deferred = match opts.stop_after {
+        Some(limit) if pending.len() > limit => pending.split_off(limit).len(),
+        _ => 0,
+    };
+    println!(
+        "serve: {} cells from \"{}\" ({} already done, {} resuming, {} fresh, {} deferred)",
+        cells.len(),
+        reference,
+        done,
+        resuming,
+        fresh,
+        deferred
+    );
+    if pending.is_empty() {
+        println!("queue drained: artifacts in {}", dir.display());
+        return Ok(());
+    }
+
+    let workers = par::resolve_threads(opts.threads.unwrap_or(0));
+    let results: Vec<Result<String, String>> =
+        par::map_indexed(pending.len(), workers, |i| {
+            // Per-cell crash isolation: one diverged or buggy cell is a
+            // reported failure, not the end of the queue (the worker
+            // never unwinds into the pool).
+            let cell = pending[i];
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve_cell(cell, &dir, every)
+            }))
+            .unwrap_or_else(|panic| {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".into());
+                Err(format!("panicked: {message}"))
+            })
+        });
+
+    let mut failures = Vec::new();
+    for (cell, result) in pending.iter().zip(results) {
+        match result {
+            Ok(summary) => println!("  [done] {summary}"),
+            Err(e) => {
+                println!("  [FAILED] {}: {e}", cell.name);
+                failures.push(format!("{}: {e}", cell.name));
+            }
+        }
+    }
+    if deferred > 0 {
+        println!(
+            "{deferred} cell(s) deferred by --stop-after; run serve again to continue"
+        );
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} attempted cells failed:\n  {}",
+            failures.len(),
+            pending.len(),
+            failures.join("\n  ")
+        ))
     }
 }

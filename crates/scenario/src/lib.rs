@@ -41,6 +41,14 @@
 //!   including transfer time for the codec-encoded payloads over each
 //!   device's links (optionally pinned by a [`LinkBandwidth`] override,
 //!   where `+∞` spells an unlimited link).
+//! * [`Scenario::churn`] — optional fleet dynamics
+//!   ([`ChurnSpec`](fedzkt_fl::ChurnSpec)): device arrival/departure,
+//!   duty-cycle availability, mid-round dropout, time-varying link
+//!   bandwidth. Every draw is a pure function of `(spec, device, round)`,
+//!   so the timeline is identical across thread counts, shard sizes and
+//!   checkpoint/resume, and a million-device fleet pays O(1) memory for
+//!   it. `None` (the field is omitted from JSON) is the static fleet
+//!   every pre-churn file describes.
 //! * [`Scenario::algorithm`] — [`Algo`]: FedZKT, FedAvg, FedProx or FedMD
 //!   with their hyperparameters.
 //! * [`Scenario::sim`] — the protocol knobs every algorithm shares
@@ -62,7 +70,15 @@
 //!    then describes the architecture mix, not the head count) and
 //!    `sim.materialization` to `Lazy` — see `mega_fleet()` for the
 //!    pattern; leave both at their defaults (`0` / `Eager`) for
-//!    paper-scale fleets.
+//!    paper-scale fleets. For a dynamic fleet, attach a
+//!    [`ChurnSpec`](fedzkt_fl::ChurnSpec): start from
+//!    `ChurnSpec::default()` (quiescent) and set only the dynamics you
+//!    want — an `arrival_window`/`mean_lifetime` for flash crowds
+//!    (`churn_flash_crowd()`), a `dropout` probability and
+//!    `bandwidth_floor` for lossy fleets (`churn_lossy()`). Give the
+//!    churn model its own `seed` so a master-seed sweep can hold the
+//!    fleet dynamics fixed. A quiescent spec is dropped at build time, so
+//!    it is always safe to attach.
 //! 2. Append a [`Preset`] entry to [`presets`] with a unique name and a
 //!    one-line description.
 //! 3. Regenerate its golden file:
@@ -78,10 +94,20 @@
 //! * `describe <name|file> [--json]` — summary or canonical JSON;
 //! * `run <name|file>` — execute, writing `<name>.csv` + `<name>.json`
 //!   artifacts (`--codec q8` / `--materialization lazy` override the wire
-//!   format / fleet mode for one run);
+//!   format / fleet mode for one run; `--checkpoint-every N` snapshots
+//!   `<out>/<name>.ckpt`, `--halt-at-round K` stops early with a
+//!   checkpoint, and `--resume FILE` continues one — the resumed log is
+//!   bit-identical to an uninterrupted run);
 //! * `sweep <name|file> --seeds 1,2 --codecs raw,q8,q4,topk:0.1
 //!   --materializations eager,lazy …` — expand grid axes into child
-//!   scenarios and execute them fleet-parallel.
+//!   scenarios and execute them fleet-parallel;
+//! * `serve <name|file> [axes]` — the durable form of `sweep`: a job
+//!   queue whose state is the artifact directory itself (`<name>.json`
+//!   present = done, `<name>.ckpt` = half-run, else fresh), so a killed
+//!   process loses at most `--checkpoint-every` rounds per in-flight
+//!   cell and a restart picks up exactly where it stopped; panicking
+//!   cells are isolated and reported, and `--stop-after N` bounds one
+//!   invocation's work.
 
 #![warn(missing_docs)]
 

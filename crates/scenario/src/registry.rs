@@ -13,7 +13,7 @@ use crate::{
 };
 use fedzkt_core::{FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
-use fedzkt_fl::{CodecSpec, FedAvgConfig, Materialization, SimConfig};
+use fedzkt_fl::{ChurnSpec, CodecSpec, FedAvgConfig, Materialization, SimConfig};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
 /// Workload tier: how much compute an experiment spends.
@@ -213,6 +213,7 @@ impl Scenario {
             zoo: standard_zoo(family, scale.devices),
             registered_devices: 0,
             resources: None,
+            churn: None,
             algorithm: Algo::FedZkt(scale.fedzkt_config(family, tier)),
             sim: SimConfig { rounds: scale.rounds, seed, ..Default::default() },
         }
@@ -372,6 +373,47 @@ fn lowband_straggler() -> Scenario {
     sc
 }
 
+fn churn_flash_crowd() -> Scenario {
+    // A flash crowd: the fleet trickles online over the first three
+    // rounds and early arrivals age out (mean lifetime 6 rounds), so
+    // every round sees a different available population. Seconds-scale
+    // on purpose — the churn path's determinism and CI workhorse (the
+    // dynamic-fleet analogue of `tiny`).
+    let mut sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 19);
+    sc.set_device_count(6);
+    sc.sim.rounds = 4;
+    sc.sim.participation = 0.8;
+    sc.churn = Some(ChurnSpec {
+        seed: 19,
+        arrival_window: 3,
+        mean_lifetime: 6.0,
+        ..Default::default()
+    });
+    sc
+}
+
+fn churn_lossy() -> Scenario {
+    // A dropout-heavy fleet on a quantized uplink: every sampled device
+    // receives the Q8 payload and burns partial compute, but fails to
+    // report with probability 0.25, while its link wanders down to 40%
+    // of nominal — the `quant-uplink` anchor under hostile dynamics.
+    let mut sc = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 23);
+    sc.sim.rounds = 4;
+    sc.sim.codec = CodecSpec::QuantQ8;
+    sc.resources = Some(ResourceSpec {
+        assignment: ResourceAssignment::Smartphone,
+        bandwidth: None,
+        server_seconds: 0.5,
+    });
+    sc.churn = Some(ChurnSpec {
+        seed: 23,
+        dropout: 0.25,
+        bandwidth_floor: 0.4,
+        ..Default::default()
+    });
+    sc
+}
+
 fn mega_fleet() -> Scenario {
     // The lazy registry's acceptance anchor: one **million** registered
     // devices, ~1000 sampled per round, each holding one sample and a
@@ -392,6 +434,7 @@ fn mega_fleet() -> Scenario {
         zoo: vec![(ModelSpec::Mlp { hidden: 8 }, 1)],
         registered_devices: 1_000_000,
         resources: None,
+        churn: None,
         algorithm: Algo::FedAvg(FedAvgConfig {
             local_epochs: 1,
             batch_size: 16,
@@ -480,6 +523,18 @@ pub fn presets() -> Vec<Preset> {
             about: "straggler run on 20 kB/s uplinks with top-k(0.25) sparsified payloads",
             paper_scale: false,
             build: lowband_straggler,
+        },
+        Preset {
+            name: "churn-flash-crowd",
+            about: "six devices arriving over three rounds and aging out (dynamic-fleet CI anchor)",
+            paper_scale: false,
+            build: churn_flash_crowd,
+        },
+        Preset {
+            name: "churn-lossy",
+            about: "25% mid-round dropout and wandering links over Q8-quantized payloads",
+            paper_scale: false,
+            build: churn_lossy,
         },
         Preset {
             name: "mega-fleet",

@@ -14,7 +14,8 @@ use fedzkt_core::{DistillLoss, FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
 use fedzkt_fl::json::{self, Value};
 use fedzkt_fl::{
-    CodecSpec, ComputeFormat, DeviceResources, FedAvgConfig, Materialization, SimConfig,
+    ChurnSpec, CodecSpec, ComputeFormat, DeviceResources, FedAvgConfig, Materialization,
+    SimConfig,
 };
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
@@ -280,6 +281,18 @@ fn resources_j(r: &ResourceSpec) -> J {
     ])
 }
 
+fn churn_j(c: &ChurnSpec) -> J {
+    J::Obj(vec![
+        ("seed", u64j(c.seed)),
+        ("arrival_window", us(c.arrival_window)),
+        ("mean_lifetime", f32j(c.mean_lifetime)),
+        ("duty_period", us(c.duty_period)),
+        ("duty_on", us(c.duty_on)),
+        ("dropout", f32j(c.dropout)),
+        ("bandwidth_floor", f32j(c.bandwidth_floor)),
+    ])
+}
+
 fn codec_j(c: &CodecSpec) -> J {
     J::Obj(match *c {
         CodecSpec::Raw => vec![("kind", sj("raw"))],
@@ -496,6 +509,18 @@ fn resources_from(v: &Value) -> Result<ResourceSpec, String> {
     Ok(ResourceSpec { assignment, bandwidth, server_seconds: f64_f(v, "server_seconds")? })
 }
 
+fn churn_from(v: &Value) -> Result<ChurnSpec, String> {
+    Ok(ChurnSpec {
+        seed: u64_f(v, "seed")?,
+        arrival_window: usize_f(v, "arrival_window")?,
+        mean_lifetime: f32_f(v, "mean_lifetime")?,
+        duty_period: usize_f(v, "duty_period")?,
+        duty_on: usize_f(v, "duty_on")?,
+        dropout: f32_f(v, "dropout")?,
+        bandwidth_floor: f32_f(v, "bandwidth_floor")?,
+    })
+}
+
 fn codec_from(v: &Value) -> Result<CodecSpec, String> {
     Ok(match str_f(v, "kind")? {
         "raw" => CodecSpec::Raw,
@@ -535,6 +560,12 @@ fn scenario_from(v: &Value) -> Result<Scenario, String> {
         Value::Null => None,
         other => Some(resources_from(other)?),
     };
+    // Absent (a pre-churn-era file, or any static-fleet file — the
+    // writer omits the field for `None`) means no fleet dynamics.
+    let churn = match v.get("churn") {
+        None | Some(Value::Null) => None,
+        Some(other) => Some(churn_from(other)?),
+    };
     Ok(Scenario {
         name: str_f(v, "name")?.to_string(),
         data: DataSpec {
@@ -554,6 +585,7 @@ fn scenario_from(v: &Value) -> Result<Scenario, String> {
             Some(_) => usize_f(v, "registered_devices")?,
         },
         resources,
+        churn,
         algorithm: algo_from(req(v, "algorithm")?)?,
         sim: SimConfig {
             rounds: usize_f(sim, "rounds")?,
@@ -596,7 +628,7 @@ impl Scenario {
     /// it byte for byte — the property the checked-in `scenarios/*.json`
     /// golden files are tested under.
     pub fn to_json(&self) -> String {
-        let tree = J::Obj(vec![
+        let mut fields = vec![
             ("name", sj(&self.name)),
             (
                 "data",
@@ -623,9 +655,15 @@ impl Scenario {
             ),
             ("registered_devices", us(self.registered_devices)),
             ("resources", self.resources.as_ref().map_or(J::Null, resources_j)),
-            ("algorithm", algo_j(&self.algorithm)),
-            ("sim", sim_j(&self.sim)),
-        ]);
+        ];
+        // Omitted (not `null`) for a static fleet: every pre-churn file
+        // stays byte-identical under parse → to_json.
+        if let Some(churn) = &self.churn {
+            fields.push(("churn", churn_j(churn)));
+        }
+        fields.push(("algorithm", algo_j(&self.algorithm)));
+        fields.push(("sim", sim_j(&self.sim)));
+        let tree = J::Obj(fields);
         let mut out = String::new();
         pretty(&tree, 0, &mut out);
         out.push('\n');
@@ -770,6 +808,35 @@ mod tests {
         assert_eq!(sc, back);
         let broken = json.replace("\"compute\": \"int8\"", "\"compute\": \"fp8\"");
         assert!(matches!(Scenario::from_json(&broken), Err(ScenarioError::Parse(_))));
+    }
+
+    #[test]
+    fn churn_is_omitted_for_static_fleets_and_roundtrips_when_set() {
+        // A static fleet writes the pre-churn schema byte for byte…
+        let sc = presets()[0].scenario();
+        assert!(sc.churn.is_none());
+        assert!(!sc.to_json().contains("churn"), "{}", sc.to_json());
+        // …and an explicit `null` reads back as the same static fleet.
+        let nulled = sc
+            .to_json()
+            .replace("  \"algorithm\": {", "  \"churn\": null,\n  \"algorithm\": {");
+        assert_eq!(Scenario::from_json(&nulled).unwrap(), sc);
+        // A dynamic fleet round-trips exactly through its churn block.
+        let dynamic = crate::preset("churn-flash-crowd").expect("churn preset");
+        let json = dynamic.to_json();
+        assert!(json.contains("\"arrival_window\": 3"), "{json}");
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(dynamic, back);
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn invalid_churn_is_rejected_by_validate_not_parse() {
+        let mut sc = crate::preset("churn-lossy").expect("churn preset");
+        sc.churn.as_mut().unwrap().dropout = 1.5;
+        let back = Scenario::from_json(&sc.to_json()).expect("parse is schema-only");
+        let err = back.validate().expect_err("dropout 1.5 is invalid");
+        assert!(err.to_string().contains("churn"), "{err}");
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::ScenarioError;
 use fedzkt_core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Dataset, Partition, PartitionError, SynthConfig};
 use fedzkt_fl::{
-    DeviceResources, ErasedSimulation, FedAvg, FedAvgConfig, RoundMetrics, RunLog, SimConfig,
-    Simulation,
+    ChurnSpec, DeviceResources, ErasedSimulation, FedAvg, FedAvgConfig, RoundMetrics, RunLog,
+    SimConfig, Simulation,
 };
 use fedzkt_models::ModelSpec;
 use serde::{Deserialize, Serialize};
@@ -245,6 +245,11 @@ pub struct Scenario {
     pub registered_devices: usize,
     /// Simulated device resources (None = no simulated clock).
     pub resources: Option<ResourceSpec>,
+    /// Fleet dynamics — arrival/departure, duty cycling, mid-round
+    /// dropout, time-varying links (None = the static fleet every
+    /// pre-churn scenario implies). Serialized only when present, so
+    /// static-fleet files are byte-identical to the pre-churn schema.
+    pub churn: Option<ChurnSpec>,
     /// The algorithm and its hyperparameters.
     pub algorithm: Algo,
     /// Protocol-level knobs shared by every algorithm.
@@ -513,6 +518,11 @@ impl Scenario {
                 }
             }
         }
+        if let Some(churn) = &self.churn {
+            churn
+                .validate()
+                .map_err(|msg| ScenarioError::InvalidSim(format!("churn: {msg}")))?;
+        }
         // Hyperparameter floats must be finite: a NaN/∞ learning rate only
         // fails much later (as a diverged run or unreloadable JSON — the
         // canonical serialization has no non-finite literals). The one
@@ -688,26 +698,30 @@ impl Scenario {
             sim: SimConfig,
             resources: Option<Vec<DeviceResources>>,
             server_seconds: f64,
+            churn: Option<ChurnSpec>,
         ) -> Box<dyn ErasedSimulation> {
             let mut builder = Simulation::builder(algo, test, sim);
             if let Some(resources) = resources {
                 builder = builder.resources(resources).server_seconds(server_seconds);
+            }
+            if let Some(churn) = churn {
+                builder = builder.churn(churn);
             }
             Box::new(builder.build())
         }
         Ok(match &self.algorithm {
             Algo::FedZkt(cfg) => {
                 let fed = FedZkt::new(&m.zoo, &m.train, &m.shards, *cfg, &sim);
-                finish(fed, m.test, sim, m.resources, server_seconds)
+                finish(fed, m.test, sim, m.resources, server_seconds, self.churn)
             }
             Algo::FedAvg(cfg) | Algo::FedProx(cfg) => {
                 let fed = FedAvg::new(m.zoo[0], &m.train, &m.shards, *cfg, &sim);
-                finish(fed, m.test, sim, m.resources, server_seconds)
+                finish(fed, m.test, sim, m.resources, server_seconds, self.churn)
             }
             Algo::FedMd { cfg, .. } => {
                 let public = m.public.expect("materialize provides a public set for fedmd");
                 let fed = FedMd::new(&m.zoo, &m.train, &m.shards, public, *cfg, &sim);
-                finish(fed, m.test, sim, m.resources, server_seconds)
+                finish(fed, m.test, sim, m.resources, server_seconds, self.churn)
             }
         })
     }

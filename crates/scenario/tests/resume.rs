@@ -1,0 +1,68 @@
+//! Checkpoint/resume equivalence at the scenario level: a run killed
+//! after *any* round and resumed from its serialized checkpoint must
+//! finish with a `RunLog` bit-identical to the uninterrupted run.
+//!
+//! This is the durability guarantee the `scenarios run --halt-at-round /
+//! --resume` flags and the `scenarios serve` queue stand on, exercised
+//! through the same algorithm-erased interface the CLI uses — for a
+//! static fleet (`tiny`) and a dynamic one (`churn-lossy`, which adds
+//! mid-round dropout and wandering links on top of the quantized wire
+//! path). Checkpoints cross a JSON round-trip on the way, so the
+//! serialized form — not just the in-memory struct — carries the full
+//! simulation state.
+
+use fedzkt_fl::SimCheckpoint;
+use fedzkt_scenario::preset;
+
+fn assert_resume_equivalence(name: &str) {
+    let scenario = preset(name).unwrap_or_else(|| panic!("preset {name} exists"));
+    let rounds = scenario.sim.rounds;
+
+    let mut reference = scenario.build().expect("reference build");
+    reference.run();
+    let reference_json = reference.log().to_json();
+
+    // Kill after round k, for every k — including k = 0, a checkpoint
+    // taken before any training at all.
+    for k in 0..rounds {
+        let mut first = scenario.build().expect("first life builds");
+        for round in 0..k {
+            first.round(round);
+        }
+        let wire = first.checkpoint().to_json();
+        let ck = SimCheckpoint::from_json(&wire)
+            .unwrap_or_else(|e| panic!("{name}: checkpoint at round {k} re-parses: {e}"));
+        assert_eq!(ck.rounds_done, k);
+
+        let mut second = scenario.build().expect("second life builds");
+        second
+            .resume_from(&ck)
+            .unwrap_or_else(|e| panic!("{name}: resume at round {k} accepted: {e}"));
+        second.run();
+        assert_eq!(
+            second.log().to_json(),
+            reference_json,
+            "{name}: resume after round {k} diverged from the uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn tiny_resumes_bit_identically_from_every_round() {
+    assert_resume_equivalence("tiny");
+}
+
+#[test]
+fn churn_lossy_resumes_bit_identically_from_every_round() {
+    assert_resume_equivalence("churn-lossy");
+}
+
+#[test]
+fn checkpoints_from_a_different_scenario_are_rejected() {
+    let tiny = preset("tiny").unwrap();
+    let other = preset("churn-lossy").unwrap();
+    let ck = other.build().expect("builds").checkpoint();
+    let mut sim = tiny.build().expect("builds");
+    let err = sim.resume_from(&ck).expect_err("foreign checkpoint must not load");
+    assert!(!err.is_empty(), "rejection carries a reason");
+}

@@ -7,6 +7,7 @@
 //! on any checkout/release imbalance, so the counter cannot silently
 //! undercount.
 
+use fedzkt::fl::ChurnSpec;
 use fedzkt::scenario::Scenario;
 
 /// A 100 000-device tiny-model scenario (the checked-in `mega-fleet`
@@ -44,5 +45,52 @@ fn lazy_fleet_peak_residency_is_bounded_by_the_sampled_set() {
             max_sampled
         );
         assert!(round.peak_resident_devices >= round.active_devices.len());
+    }
+}
+
+/// Churn must not change the memory story: the availability scan is a
+/// pure function evaluated device-at-a-time, so a churning 100k fleet
+/// keeps peak residency bounded by the devices actually *touched* in a
+/// round (sampled survivors + mid-round dropouts, which materialize for
+/// their partial compute slice) — never by the registered or even the
+/// available population.
+#[test]
+fn churning_fleet_peak_residency_stays_o_of_sampled() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/mega-fleet.json");
+    let mut sc = Scenario::load(path).expect("checked-in mega-fleet scenario");
+
+    sc.registered_devices = 100_000;
+    sc.data.train_n = 100_000;
+    sc.data.test_n = 32;
+    sc.sim.participation = 0.01;
+    sc.sim.rounds = 2;
+    sc.churn = Some(ChurnSpec {
+        seed: 17,
+        arrival_window: 2,
+        duty_period: 3,
+        duty_on: 2,
+        dropout: 0.2,
+        ..Default::default()
+    });
+
+    let log = sc.run().expect("churning shrunk mega-fleet runs");
+    assert_eq!(log.rounds.len(), 2);
+
+    for round in &log.rounds {
+        assert_eq!(round.registered_devices, 100_000);
+        assert!(
+            round.available_devices < 100_000,
+            "round {}: duty cycling must keep part of the fleet offline",
+            round.round
+        );
+        assert!(round.dropped_devices > 0, "20% dropout over ~1k sampled devices");
+        let touched = round.active_devices.len() + round.dropped_devices;
+        assert!(
+            round.peak_resident_devices <= touched + 1,
+            "round {}: peak resident {} exceeds the touched working set {}",
+            round.round,
+            round.peak_resident_devices,
+            touched
+        );
     }
 }

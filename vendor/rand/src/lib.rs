@@ -51,6 +51,29 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's internal state, for checkpointing: feeding the
+        /// returned words back through [`StdRng::from_state`] resumes the
+        /// stream exactly where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state captured by [`StdRng::state`].
+        ///
+        /// The all-zero state is xoshiro's one degenerate fixed point (the
+        /// stream would be constant zero); it can never be produced by
+        /// `seed_from_u64`, so it is rejected here to catch corrupted
+        /// checkpoints early.
+        ///
+        /// # Panics
+        /// Panics when `s` is all zeros.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "all-zero xoshiro state is degenerate");
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -255,6 +278,24 @@ mod tests {
             let w = rng.random_range(-5i64..=5);
             assert!((-5..=5).contains(&w));
         }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            a.random::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero xoshiro state")]
+    fn all_zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]
