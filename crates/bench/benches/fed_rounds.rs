@@ -6,9 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedzkt_core::{FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
-use fedzkt_fl::{FedAvg, FedAvgConfig, SimConfig, Simulation};
+use fedzkt_fl::{FedAvg, FedAvgConfig, FedEt, FedGkt, SimConfig, Simulation};
 use fedzkt_models::ModelSpec;
-use fedzkt_scenario::{Materialized, Scenario, Tier};
+use fedzkt_scenario::{standard_algorithm, Algo, Materialized, Scenario, Tier};
 use std::hint::black_box;
 
 /// The tiny-tier standard scenario, materialized once per benchmark group.
@@ -47,6 +47,42 @@ fn bench_fedzkt_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// One round of each knowledge-transfer algorithm at its standard tiny
+/// config — where the work sits (device ensemble distillation for Fed-ET,
+/// server-side head training for FedGKT) relative to the FedZKT/FedAvg
+/// rows above.
+fn bench_knowledge_transfer_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_kt");
+    group.sample_size(10);
+    let base = Scenario::standard(DataFamily::MnistLike, Partition::Iid, Tier::Tiny, 1);
+
+    let mut fedet_sc = base.clone();
+    fedet_sc.algorithm = standard_algorithm(&base, "fedet").expect("known algorithm");
+    let m = fedet_sc.materialize().expect("fedet scenario materializes");
+    let public = m.public.clone().expect("materialize provides a public set for fedet");
+    let Algo::FedEt { cfg, .. } = fedet_sc.algorithm else { unreachable!() };
+    group.bench_function("fedet_tiny", |bench| {
+        bench.iter(|| {
+            let fed = FedEt::new(&m.zoo, &m.train, &m.shards, public.clone(), cfg, &fedet_sc.sim);
+            let mut sim = Simulation::builder(fed, m.test.clone(), fedet_sc.sim).build();
+            black_box(sim.round(0))
+        });
+    });
+
+    let mut gkt_sc = base.clone();
+    gkt_sc.algorithm = standard_algorithm(&base, "fedgkt").expect("known algorithm");
+    let mg = gkt_sc.materialize().expect("fedgkt scenario materializes");
+    let Algo::FedGkt(cfg) = gkt_sc.algorithm else { unreachable!() };
+    group.bench_function("fedgkt_tiny", |bench| {
+        bench.iter(|| {
+            let fed = FedGkt::new(&mg.zoo, &mg.train, &mg.shards, cfg, &gkt_sc.sim);
+            let mut sim = Simulation::builder(fed, mg.test.clone(), gkt_sc.sim).build();
+            black_box(sim.round(0))
+        });
+    });
+    group.finish();
+}
+
 /// Device-parallel local training across thread counts (the device update is
 /// the embarrassingly parallel phase of a round; results are bit-identical
 /// for every thread count, only wall-clock varies).
@@ -67,5 +103,5 @@ fn bench_round_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fedzkt_round, bench_round_threads);
+criterion_group!(benches, bench_fedzkt_round, bench_knowledge_transfer_round, bench_round_threads);
 criterion_main!(benches);

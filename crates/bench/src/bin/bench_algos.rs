@@ -1,0 +1,112 @@
+//! Algorithm-family baseline: final accuracy, uplink traffic and
+//! simulated wall-clock for the four knowledge-transfer algorithms
+//! (FedZKT, FedMD, Fed-ET, FedGKT) on one miniaturized heterogeneous
+//! CIFAR-like workload — same data, same partition, same Models A–E zoo,
+//! same simulated hardware, only the algorithm swapped. Emits
+//! `BENCH_algos.json` (current directory, or the path given as the first
+//! positional argument) so later PRs can compare the accuracy/traffic
+//! trade-off against a committed baseline.
+//!
+//! Everything in the JSON except `wall_seconds` is *simulated* and
+//! bit-deterministic (threads are pinned to 1): accuracy, per-round
+//! uplink/downlink bytes and `sim_seconds` reproduce exactly on any host.
+//!
+//! Run with `cargo run --release -p fedzkt_bench --bin bench_algos`.
+
+use fedzkt_data::{DataFamily, Partition};
+use fedzkt_scenario::{
+    standard_algorithm, ResourceAssignment, ResourceSpec, Scenario, Tier,
+};
+use std::time::Instant;
+
+/// The shared workload every algorithm runs: the `hetero-cifar` preset's
+/// shape miniaturized (Quick-tier data, half the rounds), with
+/// quantity-skewed shards and simulated heterogeneous hardware so
+/// `sim_seconds` reflects compute *and* transfer time per algorithm.
+fn base_scenario() -> Scenario {
+    let mut sc = Scenario::standard(
+        DataFamily::Cifar10Like,
+        Partition::QuantitySkew { classes_per_device: 5 },
+        Tier::Quick,
+        7,
+    );
+    sc.set_device_count(5);
+    sc.sim.rounds = 4;
+    sc.sim.threads = 1;
+    sc.resources = Some(ResourceSpec {
+        assignment: ResourceAssignment::Heterogeneous { seed: 7 },
+        bandwidth: None,
+        server_seconds: 1.0,
+    });
+    sc
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_algos.json".to_string());
+
+    let mut rows = String::new();
+    let algos = ["fedzkt", "fedmd", "fedet", "fedgkt"];
+    for (i, name) in algos.iter().enumerate() {
+        let mut cell = base_scenario();
+        cell.algorithm = standard_algorithm(&cell, name)
+            .expect("every benched algorithm has a standard config");
+        cell.name = format!("bench-{name}");
+        cell.validate().expect("the bench scenario is well-formed");
+        let t0 = Instant::now();
+        let log = cell.run().expect("the bench scenario runs");
+        let wall = t0.elapsed().as_secs_f64();
+        let upload: u64 = log.rounds.iter().map(|r| r.upload_bytes).sum();
+        let download: u64 = log.rounds.iter().map(|r| r.download_bytes).sum();
+        let sim_seconds: f64 = log.rounds.iter().map(|r| r.sim_seconds).sum();
+        eprintln!(
+            "{name:<7} final {:.2}%  up {upload} B  down {download} B  sim {sim_seconds:.1} s  \
+             wall {wall:.2} s",
+            100.0 * log.final_accuracy()
+        );
+        rows.push_str(&format!(
+            "    \"{name}\": {{ \"final_accuracy\": {:.4}, \"best_accuracy\": {:.4}, \
+             \"upload_bytes\": {upload}, \"download_bytes\": {download}, \
+             \"sim_seconds\": {sim_seconds:.2}, \"wall_seconds\": {wall:.3} }}{}\n",
+            log.final_accuracy(),
+            log.best_accuracy(),
+            if i + 1 < algos.len() { "," } else { "" }
+        ));
+    }
+
+    let base = base_scenario();
+    let json = format!(
+        r#"{{
+  "generated_by": "cargo run --release -p fedzkt_bench --bin bench_algos",
+  "workload": {{
+    "family": "{family}",
+    "partition": "{partition}",
+    "devices": {devices},
+    "rounds": {rounds},
+    "img": {img},
+    "train_n": {train_n},
+    "test_n": {test_n},
+    "seed": {seed}
+  }},
+  "algorithms": {{
+{rows}  }},
+  "note": "One shared hetero-cifar workload, only the algorithm swapped (each at its standard config for this scale). All fields except wall_seconds are simulated and bit-deterministic across hosts and thread counts: accuracy and traffic come from the seeded run, sim_seconds from the simulated hardware clock. Traffic profiles differ by design: FedZKT downlinks generator weights, FedMD exchanges logits over a public corpus, Fed-ET ships full device models both ways, FedGKT uplinks per-sample features+logits but downlinks only soft labels."
+}}
+"#,
+        family = base.data.family.name(),
+        partition = base.partition,
+        devices = base.devices(),
+        rounds = base.sim.rounds,
+        img = base.data.img,
+        train_n = base.data.train_n,
+        test_n = base.data.test_n,
+        seed = base.sim.seed,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_algos.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

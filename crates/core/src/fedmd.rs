@@ -11,6 +11,13 @@
 //! here by running it with a similar-distribution public set
 //! (`Cifar100Like`) and a different-distribution one (`SvhnLike`).
 //!
+//! FedMD anchors the workspace's knowledge-transfer family: Fed-ET
+//! (`fedzkt_fl::FedEt`) keeps the public-set dependence but distills the
+//! device ensemble into a large server-only model with diversity-weighted
+//! consensus, and FedGKT (`fedzkt_fl::FedGkt`) drops the public set
+//! entirely by splitting each model and exchanging per-sample
+//! features/soft labels instead of logits on shared data.
+//!
 //! Runs under the [`Simulation`](fedzkt_fl::Simulation) driver like the
 //! other algorithms: the transfer-learning warm-up happens lazily, per
 //! device, the first round a device participates (a straggler that never

@@ -11,6 +11,15 @@
 //! lossy codec returns a perturbed state — compression error genuinely
 //! flows into training instead of being wished away.
 //!
+//! The payload is a **named tensor bundle**, not necessarily a model: a
+//! `StateDict` is just an ordered list of shaped tensors, so the same
+//! four codecs carry FedAvg/Fed-ET weight dicts *and* FedGKT's per-sample
+//! `{features [n,d], logits [n,C], labels [n]}` uplink. Uplink and
+//! downlink may use different bundles — an algorithm declares both via
+//! `FederatedAlgorithm::payload_template` / `downlink_template`, and the
+//! driver sizes each direction from its own template (FedGKT's soft-label
+//! downlink is a fraction of its feature uplink).
+//!
 //! ## The four codecs
 //!
 //! | [`CodecSpec`] | wire payload per tensor | lossy? |

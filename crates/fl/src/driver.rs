@@ -219,8 +219,10 @@ impl RoundContext {
 /// * every payload a device sends or receives goes through
 ///   [`RoundContext::through_wire`] and is recorded in `ctx.comm` at its
 ///   encoded size; a device's per-round traffic is the wire size of its
-///   own model or logits ([`FederatedAlgorithm::payload_template`]),
-///   never a function of server-side state;
+///   own named tensor bundle — uplink per
+///   [`FederatedAlgorithm::payload_template`], downlink per
+///   [`FederatedAlgorithm::downlink_template`] — never a function of
+///   server-side state;
 /// * same seed ⇒ same run, for every worker-thread count and codec.
 pub trait FederatedAlgorithm {
     /// Number of devices in the federation.
@@ -245,16 +247,30 @@ pub trait FederatedAlgorithm {
         None
     }
 
-    /// A template of device `k`'s per-round payload — the quantity the
-    /// paper's communication claims are stated in (FedZKT: `O(|w_k|)`, a
-    /// state dict of the device's own model; FedMD: an alignment-sized
-    /// logit tensor). Every codec's wire size is a pure function of the
-    /// template's tensor *shapes*, so
+    /// A template of device `k`'s per-round **uplink** payload — the
+    /// quantity the paper's communication claims are stated in. The
+    /// template is a *named tensor bundle*: a [`StateDict`] whose tensors
+    /// are whatever the protocol ships, in a fixed order — a model's
+    /// parameters (FedZKT: `O(|w_k|)`), a single alignment-sized logit
+    /// tensor (FedMD), or a per-sample feature/logit/label triple
+    /// (FedGKT) — not necessarily any module's state. Every codec's wire
+    /// size is a pure function of the template's tensor *shapes*, so
     /// [`PayloadCodec::wire_bytes`]`(template)` is the device's expected
-    /// per-direction traffic — the invariant the workspace protocol suite
+    /// per-round uplink — the invariant the workspace protocol suite
     /// checks against the recorded [`CommTracker`] totals. Values need not
     /// match what a live round ships.
     fn payload_template(&self, k: usize) -> StateDict;
+
+    /// A template of device `k`'s per-round **downlink** payload, for the
+    /// protocols whose two directions carry differently shaped bundles
+    /// (FedGKT uplinks per-sample features+logits but downlinks only
+    /// soft labels). Defaults to [`FederatedAlgorithm::payload_template`]
+    /// — correct for every symmetric protocol. The driver charges
+    /// mid-round dropouts their downlink at this template's wire size,
+    /// and the protocol suite checks recorded downlink totals against it.
+    fn downlink_template(&self, k: usize) -> StateDict {
+        self.payload_template(k)
+    }
 
     /// Training samples device `k` processes locally in one round (drives
     /// the simulated clock's compute time).
@@ -665,9 +681,9 @@ impl<A: FederatedAlgorithm> Simulation<A> {
             self.algo.server_update(round, &active, &mut ctx);
         }
         // A dropout received the round's broadcast before dying: charge
-        // its downlink at the wire size of its own payload template.
+        // its downlink at the wire size of its own downlink template.
         for &(k, _) in &dropouts {
-            let wire = ctx.wire_size(&self.algo.payload_template(k));
+            let wire = ctx.wire_size(&self.algo.downlink_template(k));
             ctx.comm.record_download(k, wire);
         }
 

@@ -1,0 +1,700 @@
+//! Fed-ET (Cho et al., 2022) — ensemble knowledge transfer with
+//! diversity-weighted consensus distillation.
+//!
+//! Fed-ET keeps the paper's heterogeneous-device premise but transfers
+//! knowledge through a **public transfer set** and a large **server
+//! model**: each round the active devices train locally and upload their
+//! (small) models; the server scores a transfer subset with every uploaded
+//! model, folds the logits into a consensus whose per-device weights are
+//! boosted by *diversity* — a device whose predictions stray from the
+//! ensemble mean carries information the mean lacks — distills the
+//! consensus into the server model, and finally transfers the refreshed
+//! server knowledge back into each device architecture before the
+//! downlink.
+//!
+//! Runs under the generic [`Simulation`](crate::Simulation) driver like
+//! every other algorithm in the workspace — zero protocol machinery of its
+//! own. Both wire directions carry the device's own model state dict, so
+//! the default [`downlink_template`](FederatedAlgorithm::downlink_template)
+//! applies; the decoded uplink (not the device's bit-exact state) is what
+//! the server ensembles, and the decoded downlink is what the device keeps
+//! — lossy-codec error enters both sides of the transfer.
+//!
+//! ## Scale model
+//!
+//! Nothing in a Fed-ET round touches an inactive device: local training,
+//! scoring, distillation and transfer all run over the active set. Under
+//! [`Materialization::Lazy`] the fleet stays at O(active) resident devices
+//! outside evaluation, exactly like FedMD, and lazy and eager runs are
+//! bit-identical.
+
+use crate::checkpoint::AlgoState;
+use crate::registry::{DeviceRegistry, Materialization};
+use crate::{
+    digest_logits, train_local_fleet, DigestConfig, FederatedAlgorithm, FleetJob,
+    LocalTrainConfig, RoundContext, SimConfig,
+};
+use fedzkt_autograd::{no_grad, Var};
+use fedzkt_data::Dataset;
+use fedzkt_models::ModelSpec;
+use fedzkt_nn::{load_state_dict, state_dict, Module, StateDict};
+use fedzkt_tensor::{seeded_rng, split_seed, Tensor};
+use rand::seq::SliceRandom;
+
+/// Hyperparameters of [`FedEt`]'s update rules. Protocol-level knobs
+/// (rounds, participation, seed, threads, codec) live in [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedEtConfig {
+    /// Local training epochs per round.
+    pub local_epochs: usize,
+    /// Mini-batch size (local training, distillation and transfer).
+    pub batch_size: usize,
+    /// Device learning rate.
+    pub lr: f32,
+    /// Public samples scored per round (the transfer subset).
+    pub transfer_size: usize,
+    /// Epochs of consensus distillation into the server model per round.
+    pub distill_epochs: usize,
+    /// Epochs of server→device knowledge transfer per round.
+    pub transfer_epochs: usize,
+    /// Server-model distillation learning rate.
+    pub server_lr: f32,
+    /// Diversity boost λ in the consensus weights `α_k ∝ n_k (1 + λ d_k)`;
+    /// 0 recovers plain sample-count weighting.
+    pub diversity_lambda: f32,
+    /// The (large) server model the ensemble is distilled into.
+    pub server_model: ModelSpec,
+}
+
+impl Default for FedEtConfig {
+    fn default() -> Self {
+        FedEtConfig {
+            local_epochs: 1,
+            batch_size: 32,
+            lr: 0.01,
+            transfer_size: 128,
+            distill_epochs: 2,
+            transfer_epochs: 2,
+            server_lr: 0.01,
+            diversity_lambda: 1.0,
+            server_model: ModelSpec::SmallCnn { base_channels: 8 },
+        }
+    }
+}
+
+/// One simulated device: its architecture, and the model itself while the
+/// device is materialized (`None` between rounds in a lazy fleet).
+struct EtSlot {
+    spec: ModelSpec,
+    model: Option<Box<dyn Module>>,
+}
+
+/// Private shards, stored per the fleet's materialization mode.
+enum EtData {
+    Eager(Vec<Dataset>),
+    Lazy { train: Dataset, index: Vec<Vec<usize>> },
+}
+
+impl EtData {
+    fn shard_len(&self, k: usize) -> usize {
+        match self {
+            EtData::Eager(shards) => shards[k].len(),
+            EtData::Lazy { index, .. } => index[k].len(),
+        }
+    }
+}
+
+/// A Fed-ET federation over heterogeneous on-device models, a public
+/// transfer set and one server model.
+pub struct FedEt {
+    cfg: FedEtConfig,
+    seed: u64,
+    io: (usize, usize, usize),
+    mode: Materialization,
+    slots: Vec<EtSlot>,
+    data: EtData,
+    registry: DeviceRegistry,
+    public: Dataset,
+    server: Box<dyn Module>,
+    /// Zero-sample dataset handed to transfer-only fleet jobs (their
+    /// `epochs: 0` local pass is a no-op by contract).
+    empty: Dataset,
+    /// The round's decoded uploads, produced by `local_update` and
+    /// consumed by `server_update` — intra-round scratch, never
+    /// checkpointed.
+    pending: Vec<(usize, StateDict)>,
+}
+
+impl FedEt {
+    /// Build the federation. `public` provides the transfer set; its
+    /// labels are taken modulo the private class count (only its inputs
+    /// are ever scored, but the relabelling keeps the dataset well-formed
+    /// for the class-count accessors). `sim` supplies the run seed and the
+    /// fleet's [`Materialization`] mode.
+    ///
+    /// # Panics
+    /// Panics when `zoo`/`shards` lengths differ or are empty, or when the
+    /// public set's image geometry differs from the private one.
+    pub fn new(
+        zoo: &[ModelSpec],
+        train: &Dataset,
+        shards: &[Vec<usize>],
+        public: Dataset,
+        cfg: FedEtConfig,
+        sim: &SimConfig,
+    ) -> Self {
+        assert!(!zoo.is_empty(), "need at least one device");
+        assert_eq!(zoo.len(), shards.len(), "zoo/shards length mismatch");
+        assert_eq!(
+            (public.channels(), public.img_size()),
+            (train.channels(), train.img_size()),
+            "public/private image geometry mismatch"
+        );
+        let (channels, classes, img) = (train.channels(), train.num_classes(), train.img_size());
+        let public = Dataset::new(
+            public.images().clone(),
+            public.labels().iter().map(|&l| l % classes).collect(),
+            classes,
+        );
+        let (slots, data, registry) = match sim.materialization {
+            Materialization::Eager => (
+                zoo.iter()
+                    .enumerate()
+                    .map(|(i, spec)| EtSlot {
+                        spec: *spec,
+                        model: Some(spec.build(
+                            channels,
+                            classes,
+                            img,
+                            split_seed(sim.seed, 0xE7_0000 + i as u64),
+                        )),
+                    })
+                    .collect::<Vec<_>>(),
+                EtData::Eager(shards.iter().map(|idx| train.subset(idx)).collect()),
+                DeviceRegistry::eager(zoo.len()),
+            ),
+            Materialization::Lazy => (
+                zoo.iter().map(|spec| EtSlot { spec: *spec, model: None }).collect(),
+                EtData::Lazy { train: train.clone(), index: shards.to_vec() },
+                DeviceRegistry::new(zoo.len()),
+            ),
+        };
+        let server = cfg.server_model.build(channels, classes, img, split_seed(sim.seed, 0xE7_5EED));
+        FedEt {
+            cfg,
+            seed: sim.seed,
+            io: (channels, classes, img),
+            mode: sim.materialization,
+            slots,
+            data,
+            registry,
+            public,
+            server,
+            empty: Dataset::new(Tensor::zeros(&[0, channels, img, img]), Vec::new(), classes),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The relabelled public transfer set.
+    pub fn public(&self) -> &Dataset {
+        &self.public
+    }
+
+    /// The server model the ensemble is distilled into.
+    pub fn server(&self) -> &dyn Module {
+        self.server.as_ref()
+    }
+
+    /// Device `k`'s materialized model.
+    ///
+    /// # Panics
+    /// Panics when the device is not resident — a lifecycle bug, since
+    /// every code path that touches a model materializes it first.
+    fn model(&self, k: usize) -> &dyn Module {
+        self.slots[k].model.as_deref().expect("device model must be resident here")
+    }
+
+    /// Materialize device `k` if it is not already resident (the same
+    /// seeded build as the eager constructor, overlaid with the stored
+    /// summary, if any).
+    fn ensure_resident(&mut self, k: usize) {
+        if self.slots[k].model.is_some() {
+            return;
+        }
+        let (channels, classes, img) = self.io;
+        let model = self.slots[k].spec.build(
+            channels,
+            classes,
+            img,
+            split_seed(self.seed, 0xE7_0000 + k as u64),
+        );
+        if let Some(summary) = self.registry.take_summary(k) {
+            load_state_dict(model.as_ref(), &summary)
+                .expect("registry summary matches device architecture");
+        }
+        self.slots[k].model = Some(model);
+        self.registry.checkout(k);
+    }
+
+    /// Stage the private shards of `ids` for a lazy fleet's dispatch
+    /// (empty in eager mode, where the shards are held permanently).
+    fn stage_shards(&self, ids: &[usize]) -> Vec<Dataset> {
+        match &self.data {
+            EtData::Eager(_) => Vec::new(),
+            EtData::Lazy { train, index } => {
+                ids.iter().map(|&k| train.subset(&index[k])).collect()
+            }
+        }
+    }
+
+    /// The `i`-th staged shard of `ids` — from the permanent store in
+    /// eager mode, from `staged` in lazy mode.
+    fn shard<'a>(&'a self, staged: &'a [Dataset], ids: &[usize], i: usize) -> &'a Dataset {
+        match &self.data {
+            EtData::Eager(shards) => &shards[ids[i]],
+            EtData::Lazy { .. } => &staged[i],
+        }
+    }
+
+    /// Size of the round's transfer subset.
+    fn transfer_len(&self) -> usize {
+        self.cfg.transfer_size.min(self.public.len())
+    }
+}
+
+impl FederatedAlgorithm for FedEt {
+    fn devices(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Device phase: local cross-entropy training on the fleet, then each
+    /// active device uploads its model. The device keeps its bit-exact
+    /// trained state; the server receives the wire (decoded) copy.
+    fn local_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) -> f32 {
+        for &k in active {
+            self.ensure_resident(k);
+        }
+        let staged = self.stage_shards(active);
+        let jobs: Vec<FleetJob> = active
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| FleetJob {
+                spec: self.slots[k].spec,
+                snapshot: state_dict(self.model(k)),
+                data: self.shard(&staged, active, i),
+                cfg: LocalTrainConfig {
+                    epochs: self.cfg.local_epochs,
+                    batch_size: self.cfg.batch_size,
+                    lr: self.cfg.lr,
+                    momentum: 0.9,
+                    seed: split_seed(self.seed, 0xE7_1000 + (round * 31 + k) as u64),
+                    ..Default::default()
+                },
+                pretrain: None,
+                digest: None,
+                rebuild_seed: split_seed(self.seed, 0xE7_2000 + (round * 31 + k) as u64),
+            })
+            .collect();
+        let results = train_local_fleet(&jobs, self.io, ctx.threads());
+        drop(jobs);
+        drop(staged);
+        let mut loss_sum = 0.0f32;
+        self.pending.clear();
+        for (&k, (loss, sd)) in active.iter().zip(results) {
+            loss_sum += loss;
+            let (decoded, wire) = ctx.through_wire(&sd);
+            ctx.comm.record_upload(k, wire);
+            load_state_dict(self.model(k), &sd)
+                .expect("fleet result matches device architecture");
+            self.pending.push((k, decoded));
+        }
+        loss_sum / active.len().max(1) as f32
+    }
+
+    /// Server phase: score the round's transfer subset with every uploaded
+    /// model, fold the logits into the diversity-weighted consensus,
+    /// distill it into the server model, transfer the refreshed knowledge
+    /// back into each device architecture, and downlink the result.
+    fn server_update(&mut self, round: usize, active: &[usize], ctx: &mut RoundContext) {
+        debug_assert_eq!(self.pending.len(), active.len());
+        let uploads = std::mem::take(&mut self.pending);
+        let (channels, classes, img) = self.io;
+
+        // 1. Sample the transfer subset of the public data.
+        let mut rng = seeded_rng(split_seed(self.seed, 0xE7_3000 + round as u64));
+        let mut indices: Vec<usize> = (0..self.public.len()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(self.transfer_len());
+        let (align_x, _) = self.public.batch(&indices);
+        let align_var = Var::constant(align_x.clone());
+
+        // 2. Ensemble logits, from what the wire delivered: each uploaded
+        // (decoded) state is loaded into a scratch rebuild and scored.
+        let scores: Vec<Tensor> = uploads
+            .iter()
+            .map(|(k, sd)| {
+                let scratch = self.slots[*k].spec.build(
+                    channels,
+                    classes,
+                    img,
+                    split_seed(self.seed, 0xE7_7000 + (round * 31 + k) as u64),
+                );
+                load_state_dict(scratch.as_ref(), sd)
+                    .expect("uploaded state matches device architecture");
+                scratch.set_training(false);
+                no_grad(|| scratch.forward(&align_var).value_clone())
+            })
+            .collect();
+
+        // 3. Diversity-weighted consensus, `α_k ∝ n_k (1 + λ d_k)` where
+        // `d_k` is device k's mean absolute deviation from the uniform
+        // ensemble mean — a device that disagrees with the crowd carries
+        // information the crowd lacks (arXiv 2204.12703's weighted
+        // consensus, over logits).
+        let mut mean = scores[0].clone();
+        for s in &scores[1..] {
+            mean.add_scaled_inplace(s, 1.0).expect("ensemble logit shapes agree");
+        }
+        let mean = mean.mul_scalar(1.0 / scores.len() as f32);
+        let weights: Vec<f32> = uploads
+            .iter()
+            .zip(&scores)
+            .map(|((k, _), s)| {
+                let deviation: f32 =
+                    s.data().iter().zip(mean.data()).map(|(a, b)| (a - b).abs()).sum();
+                let d = deviation / s.data().len().max(1) as f32;
+                self.data.shard_len(*k).max(1) as f32 * (1.0 + self.cfg.diversity_lambda * d)
+            })
+            .collect();
+        let total: f32 = weights.iter().sum();
+        let mut consensus = Tensor::zeros(scores[0].shape());
+        for (s, w) in scores.iter().zip(&weights) {
+            consensus.add_scaled_inplace(s, w / total).expect("ensemble logit shapes agree");
+        }
+
+        // 4. Distill the consensus into the server model.
+        digest_logits(
+            self.server.as_ref(),
+            &DigestConfig {
+                inputs: &align_x,
+                targets: &consensus,
+                epochs: self.cfg.distill_epochs,
+                batch_size: self.cfg.batch_size,
+                lr: self.cfg.server_lr,
+                seed: split_seed(self.seed, 0xE7_4000 + round as u64),
+            },
+        );
+
+        // 5. The refreshed server knowledge on the transfer subset.
+        self.server.set_training(false);
+        let teacher = no_grad(|| self.server.forward(&align_var).value_clone());
+        self.server.set_training(true);
+
+        // 6. Transfer back into each device architecture (on the fleet —
+        // a digest-only job: the `epochs: 0` local pass is a no-op), then
+        // downlink; the device keeps the decoded copy.
+        let (ids, states): (Vec<usize>, Vec<StateDict>) = uploads.into_iter().unzip();
+        let jobs: Vec<FleetJob> = ids
+            .iter()
+            .zip(states)
+            .map(|(&k, snapshot)| FleetJob {
+                spec: self.slots[k].spec,
+                snapshot,
+                data: &self.empty,
+                cfg: LocalTrainConfig { epochs: 0, ..Default::default() },
+                pretrain: None,
+                digest: Some(DigestConfig {
+                    inputs: &align_x,
+                    targets: &teacher,
+                    epochs: self.cfg.transfer_epochs,
+                    batch_size: self.cfg.batch_size,
+                    // Raw-logit ℓ1 gradients dwarf cross-entropy's; the
+                    // fraction of the base rate is the workspace's digest
+                    // idiom (see FedMD).
+                    lr: self.cfg.lr * 0.2,
+                    seed: split_seed(self.seed, 0xE7_5000 + (round * 31 + k) as u64),
+                }),
+                rebuild_seed: split_seed(self.seed, 0xE7_6000 + (round * 31 + k) as u64),
+            })
+            .collect();
+        let results = train_local_fleet(&jobs, self.io, ctx.threads());
+        drop(jobs);
+        for (&k, (_, sd)) in ids.iter().zip(results) {
+            let (decoded, wire) = ctx.through_wire(&sd);
+            ctx.comm.record_download(k, wire);
+            load_state_dict(self.model(k), &decoded)
+                .expect("transfer result matches device architecture");
+        }
+    }
+
+    fn device_model(&self, k: usize) -> &dyn Module {
+        self.model(k)
+    }
+
+    fn global_model(&self) -> Option<&dyn Module> {
+        Some(self.server.as_ref())
+    }
+
+    /// The O(|w_k|) claim: device `k` only ever exchanges its own model,
+    /// in both directions. (A non-resident device answers from its
+    /// summary, or from a fresh seeded build if it never trained — shapes
+    /// are what matter here.)
+    fn payload_template(&self, k: usize) -> StateDict {
+        if let Some(model) = &self.slots[k].model {
+            return state_dict(model.as_ref());
+        }
+        if let Some(summary) = self.registry.summary(k) {
+            return summary.clone();
+        }
+        let (channels, classes, img) = self.io;
+        let model = self.slots[k].spec.build(
+            channels,
+            classes,
+            img,
+            split_seed(self.seed, 0xE7_0000 + k as u64),
+        );
+        state_dict(model.as_ref())
+    }
+
+    fn local_samples(&self, k: usize) -> usize {
+        self.cfg.local_epochs * self.data.shard_len(k)
+    }
+
+    fn construction_seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+
+    fn registry(&self) -> Option<&DeviceRegistry> {
+        Some(&self.registry)
+    }
+
+    fn prepare_eval(&mut self) {
+        for k in 0..self.slots.len() {
+            self.ensure_resident(k);
+        }
+    }
+
+    fn end_round(&mut self, _round: usize) {
+        if self.mode.is_lazy() {
+            for k in 0..self.slots.len() {
+                if let Some(model) = self.slots[k].model.take() {
+                    self.registry.store_summary(k, state_dict(model.as_ref()));
+                    self.registry.release(k);
+                }
+            }
+        }
+    }
+
+    /// What Fed-ET carries across rounds: every trained device model
+    /// (resident or summarized), the server model, and the registry's
+    /// monotone counters. `pending` is intra-round scratch; the transfer
+    /// subset and all RNG streams are pure functions of `(seed, round)`.
+    fn save_state(&self) -> AlgoState {
+        let mut state = AlgoState::new();
+        for (k, slot) in self.slots.iter().enumerate() {
+            if let Some(model) = &slot.model {
+                state.put_dict(format!("device_{k}"), &state_dict(model.as_ref()));
+            }
+        }
+        for (k, summary) in self.registry.summaries() {
+            state.put_dict(format!("device_{k}"), summary);
+        }
+        state.put_dict("server", &state_dict(self.server.as_ref()));
+        state.put_words(
+            "registry",
+            vec![self.registry.peak_resident() as u64, self.registry.touched() as u64],
+        );
+        state
+    }
+
+    fn load_state(&mut self, state: &AlgoState) -> Result<(), String> {
+        for k in 0..self.slots.len() {
+            let name = format!("device_{k}");
+            if !state.has_blob(&name) {
+                continue; // never trained: rematerializes from its seed
+            }
+            let sd = state.dict(&name)?;
+            match self.mode {
+                Materialization::Eager => load_state_dict(self.model(k), &sd)
+                    .map_err(|e| format!("device {k}: {e}"))?,
+                Materialization::Lazy => self.registry.store_summary(k, sd),
+            }
+        }
+        let server = state.dict("server")?;
+        load_state_dict(self.server.as_ref(), &server).map_err(|e| format!("server: {e}"))?;
+        let reg = state.words("registry")?;
+        if reg.len() != 2 {
+            return Err("registry counters must be [peak_resident, touched]".into());
+        }
+        self.registry.absorb_counters(reg[0] as usize, reg[1] as usize);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CodecSpec, PayloadCodec, SimCheckpoint, Simulation};
+    use fedzkt_data::{DataFamily, Partition, SynthConfig};
+
+    fn setup(sim: SimConfig) -> Simulation<FedEt> {
+        let (train, test) = SynthConfig {
+            family: DataFamily::Cifar10Like,
+            img: 8,
+            train_n: 96,
+            test_n: 48,
+            classes: 4,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        let (public, _) = SynthConfig {
+            family: DataFamily::Cifar100Like,
+            img: 8,
+            train_n: 64,
+            test_n: 8,
+            classes: 8,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
+        let shards = Partition::Iid.split(train.labels(), 4, 3, 5).unwrap();
+        let zoo = vec![
+            ModelSpec::Mlp { hidden: 16 },
+            ModelSpec::SmallCnn { base_channels: 2 },
+            ModelSpec::LeNet { scale: 0.5, deep: false },
+        ];
+        let fed = FedEt::new(
+            &zoo,
+            &train,
+            &shards,
+            public,
+            FedEtConfig {
+                local_epochs: 2,
+                batch_size: 16,
+                lr: 0.05,
+                transfer_size: 32,
+                distill_epochs: 1,
+                transfer_epochs: 1,
+                server_lr: 0.02,
+                diversity_lambda: 1.0,
+                server_model: ModelSpec::SmallCnn { base_channels: 4 },
+            },
+            &sim,
+        );
+        Simulation::builder(fed, test, sim).build()
+    }
+
+    fn default_sim() -> SimConfig {
+        SimConfig { rounds: 2, seed: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn fedet_learns_above_chance() {
+        let mut sim = setup(default_sim());
+        let log = sim.run();
+        assert_eq!(log.rounds.len(), 2);
+        assert!(log.final_accuracy() > 0.3, "accuracy {}", log.final_accuracy());
+        assert!(log.rounds[1].global_accuracy.expect("server model evaluated") > 0.0);
+    }
+
+    #[test]
+    fn communication_is_model_sized_in_both_directions() {
+        let mut sim = setup(default_sim());
+        let metrics = sim.round(0);
+        let expected: u64 = (0..3)
+            .map(|k| CodecSpec::Raw.wire_bytes(&sim.algorithm().payload_template(k)) as u64)
+            .sum();
+        assert_eq!(metrics.upload_bytes, expected);
+        assert_eq!(metrics.download_bytes, expected, "both directions carry the device model");
+    }
+
+    #[test]
+    fn lossy_codec_error_flows_into_training() {
+        // The same seed under Raw vs Q8 must diverge: the server ensembles
+        // the decoded uploads and the devices keep the decoded downlink.
+        let run = |codec: CodecSpec| {
+            let mut sim = setup(SimConfig { codec, ..default_sim() });
+            sim.round(0);
+            state_dict(sim.algorithm().device_model(0))
+        };
+        assert_ne!(run(CodecSpec::Raw), run(CodecSpec::QuantQ8));
+    }
+
+    #[test]
+    fn transfer_moves_devices_toward_the_server_view() {
+        // After a round, every active device must have changed state (local
+        // training + transfer both ran).
+        let mut sim = setup(default_sim());
+        let before: Vec<StateDict> =
+            (0..3).map(|k| state_dict(sim.algorithm().device_model(k))).collect();
+        sim.round(0);
+        for (k, b) in before.iter().enumerate() {
+            assert_ne!(&state_dict(sim.algorithm().device_model(k)), b, "device {k}");
+        }
+    }
+
+    #[test]
+    fn lazy_run_is_bit_identical_to_eager() {
+        let run = |mode: Materialization| {
+            let mut sim = setup(SimConfig {
+                rounds: 2,
+                participation: 0.67,
+                seed: 1,
+                materialization: mode,
+                ..Default::default()
+            });
+            sim.run().to_json()
+        };
+        let mut eager = run(Materialization::Eager);
+        let mut lazy = run(Materialization::Lazy);
+        for log in [&mut eager, &mut lazy] {
+            *log = log
+                .split("\"peak_resident_devices\":")
+                .map(|part| match part.find('}') {
+                    Some(i) => &part[i..],
+                    None => part,
+                })
+                .collect();
+        }
+        assert_eq!(eager, lazy, "lazy Fed-ET diverged from eager");
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_the_uninterrupted_run_bit_for_bit() {
+        for mode in [Materialization::Eager, Materialization::Lazy] {
+            let sim_cfg = SimConfig {
+                rounds: 2,
+                participation: 0.67,
+                seed: 1,
+                materialization: mode,
+                ..Default::default()
+            };
+            let reference = setup(sim_cfg).run().clone();
+            let mut first = setup(sim_cfg);
+            first.round(0);
+            let ck = SimCheckpoint::from_json(&first.checkpoint().to_json()).unwrap();
+            drop(first);
+            let mut resumed = setup(sim_cfg);
+            resumed.resume_from(&ck).expect("resume");
+            let log = resumed.run().clone();
+            assert_eq!(log.to_json(), reference.to_json(), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn lazy_fleet_stays_at_the_active_count_without_eval() {
+        let mut sim = setup(SimConfig {
+            rounds: 2,
+            participation: 0.67,
+            seed: 1,
+            eval_every: 0,
+            materialization: Materialization::Lazy,
+            ..Default::default()
+        });
+        sim.round(0);
+        let reg = sim.algorithm().registry().expect("fedet exposes its registry");
+        assert_eq!(reg.resident(), 0);
+        assert_eq!(reg.peak_resident(), 2, "eval off → peak stays at the active count");
+    }
+}

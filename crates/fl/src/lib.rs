@@ -35,7 +35,14 @@
 //!   objective) over homogeneous models, used both as substrate validation
 //!   and as conceptual baselines for the FedZKT comparison in
 //!   `fedzkt-core` (which contributes `FedZkt` and `FedMd` as further
-//!   [`FederatedAlgorithm`] implementations).
+//!   [`FederatedAlgorithm`] implementations);
+//! * [`FedEt`] — Fed-ET (Cho et al.): device-ensemble knowledge transfer
+//!   onto one large server model through diversity-weighted consensus
+//!   distillation on a public transfer set;
+//! * [`FedGkt`] — FedGKT (He et al.): split training whose wire payloads
+//!   are *per-sample feature/logit bundles* rather than model state —
+//!   the algorithm that exercises the named-tensor-bundle payload
+//!   contract hardest.
 //!
 //! ## Writing a new algorithm
 //!
@@ -49,6 +56,23 @@
 //! evaluation cadence and run logging for free — and the workspace's
 //! protocol-invariant and determinism suites apply to your algorithm
 //! unchanged.
+//!
+//! ### The payload contract: named tensor bundles
+//!
+//! `payload_template(k)` describes device `k`'s per-round **uplink** as a
+//! *named tensor bundle* — a [`StateDict`](fedzkt_nn::StateDict) whose
+//! tensors are whatever your protocol ships, in a fixed order. That may
+//! be a model's parameters ([`FedAvg`], [`FedEt`]), a single
+//! alignment-sized logit tensor (FedMD), or a per-sample
+//! feature/logit/label triple ([`FedGkt`]) — the template does **not**
+//! have to match any module's state. Because every codec's wire size is a
+//! pure function of the template's tensor *shapes*, the protocol suite
+//! can assert `Σ wire_bytes(template) == recorded traffic` without
+//! knowing your protocol. When the two directions carry differently
+//! shaped bundles, also override `downlink_template(k)` (it defaults to
+//! the uplink template); the driver charges mid-round dropouts their
+//! downlink at that template's size, and the invariant suite checks
+//! downlink totals against it.
 //!
 //! ## Example
 //!
@@ -84,6 +108,8 @@ mod comm;
 mod driver;
 mod eval;
 mod fedavg;
+mod fedet;
+mod fedgkt;
 pub mod json;
 mod metrics;
 mod participation;
@@ -101,6 +127,8 @@ pub use driver::{
 };
 pub use eval::{accuracy, evaluate};
 pub use fedavg::{FedAvg, FedAvgConfig};
+pub use fedet::{FedEt, FedEtConfig};
+pub use fedgkt::{FedGkt, FedGktConfig};
 pub use fedzkt_tensor::ComputeFormat;
 pub use metrics::{RoundMetrics, RunLog};
 pub use participation::ParticipationSampler;

@@ -7,6 +7,14 @@
 //! multi-step learning-rate schedule, and serializable state dicts for
 //! moving model parameters between the simulated server and devices.
 //!
+//! A [`StateDict`] is deliberately just an ordered **named tensor
+//! bundle** — shaped tensors split into params and buffers, with no
+//! model semantics attached. That is what lets the wire layer
+//! (`fedzkt_fl::PayloadCodec`) and the binary checkpoint format carry
+//! non-model payloads unchanged: FedGKT ships per-sample
+//! features/logits/labels through the same encode/decode path a FedAvg
+//! weight update takes.
+//!
 //! ## Example
 //!
 //! ```

@@ -28,7 +28,9 @@
 
 use fedzkt_data::Partition;
 use fedzkt_fl::{CodecSpec, ComputeFormat, Materialization, SimCheckpoint};
-use fedzkt_scenario::{presets, resolve, standard_zoo, Scenario, ScenarioError};
+use fedzkt_scenario::{
+    presets, resolve, standard_algorithm, standard_zoo, Scenario, ScenarioError,
+};
 use fedzkt_tensor::par;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -78,6 +80,8 @@ sweep/serve axes (comma-separated values; absent axes keep the base value):
   --participations 0.2,1.0
   --devices 5,10     device counts (re-cycles the zoo)
   --zoos small,cifar paper zoo families
+  --algos fedzkt,fedmd,fedet,fedgkt   algorithms (also fedavg, fedprox),
+                     each at its standard config for the cell's scale
   --codecs raw,q8,q4,topk:0.1   wire codecs
   --materializations eager,lazy   fleet materialization modes
   --computes f32,int8   inference compute formats
@@ -107,12 +111,13 @@ fn main() -> ExitCode {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<18} {:<7} description", "name", "scale");
+    println!("{:<18} {:<7} {:<8} description", "name", "scale", "algo");
     for preset in presets() {
         println!(
-            "{:<18} {:<7} {}",
+            "{:<18} {:<7} {:<8} {}",
             preset.name,
             if preset.paper_scale { "paper" } else { "quick" },
+            preset.scenario().algorithm.name(),
             preset.about
         );
     }
@@ -454,6 +459,7 @@ fn expand_cells(base: Scenario, rest: &[(String, String)]) -> Result<Vec<Scenari
     let mut participations: Vec<f32> = Vec::new();
     let mut devices: Vec<usize> = Vec::new();
     let mut zoos: Vec<String> = Vec::new();
+    let mut algos: Vec<String> = Vec::new();
     let mut codecs: Vec<CodecSpec> = Vec::new();
     let mut materializations: Vec<Materialization> = Vec::new();
     let mut computes: Vec<ComputeFormat> = Vec::new();
@@ -465,6 +471,7 @@ fn expand_cells(base: Scenario, rest: &[(String, String)]) -> Result<Vec<Scenari
             "--participations" => participations = parse_list(flag, value)?,
             "--devices" => devices = parse_list(flag, value)?,
             "--zoos" => zoos = parse_list(flag, value)?,
+            "--algos" => algos = parse_list(flag, value)?,
             "--codecs" => {
                 codecs = value
                     .split(',')
@@ -495,6 +502,14 @@ fn expand_cells(base: Scenario, rest: &[(String, String)]) -> Result<Vec<Scenari
     }
     if !betas.is_empty() && !cs.is_empty() {
         return Err("--betas and --cs both redefine the partition; sweep one at a time".into());
+    }
+    for algo in &algos {
+        if standard_algorithm(&base, algo).is_none() {
+            return Err(format!(
+                "--algos: unknown algorithm \"{algo}\" \
+                 (fedzkt|fedavg|fedprox|fedmd|fedet|fedgkt)"
+            ));
+        }
     }
 
     let mut cells = vec![base];
@@ -528,6 +543,17 @@ fn expand_cells(base: Scenario, rest: &[(String, String)]) -> Result<Vec<Scenari
                 _ => fedzkt_data::DataFamily::MnistLike,
             };
             sc.zoo = standard_zoo(family, sc.devices());
+        },
+    );
+    cells = expand(
+        cells,
+        &algos,
+        |a| format!("a{a}"),
+        |sc, algo| {
+            // Unknown names were rejected above, before any expansion.
+            if let Some(algorithm) = standard_algorithm(sc, algo) {
+                sc.algorithm = algorithm;
+            }
         },
     );
     cells = expand(

@@ -118,7 +118,8 @@ mod spec;
 
 pub use error::ScenarioError;
 pub use registry::{
-    fedmd_public_family, preset, presets, resolve, standard_zoo, Preset, Scale, Tier,
+    fedmd_public_family, preset, presets, resolve, standard_algorithm, standard_zoo, Preset, Scale,
+    Tier,
 };
 pub use spec::{
     Algo, DataSpec, LinkBandwidth, Materialized, ResourceAssignment, ResourceSpec, Scenario,

@@ -13,7 +13,9 @@ use crate::{
 };
 use fedzkt_core::{FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
-use fedzkt_fl::{ChurnSpec, CodecSpec, FedAvgConfig, Materialization, SimConfig};
+use fedzkt_fl::{
+    ChurnSpec, CodecSpec, FedAvgConfig, FedEtConfig, FedGktConfig, Materialization, SimConfig,
+};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
 /// Workload tier: how much compute an experiment spends.
@@ -142,6 +144,42 @@ impl Scale {
             ..Default::default()
         }
     }
+
+    /// The standard Fed-ET configuration at this scale. The server model
+    /// mirrors [`Scale::fedzkt_config`]'s global-model choice, so the two
+    /// ensemble-to-server protocols distill onto the same architecture.
+    pub fn fedet_config(&self, family: DataFamily, tier: Tier) -> FedEtConfig {
+        let server_model = if family == DataFamily::Cifar10Like {
+            ModelSpec::MobileNetV2 { width: 1.0 }
+        } else {
+            ModelSpec::SmallCnn { base_channels: 8 }
+        };
+        FedEtConfig {
+            local_epochs: self.local_epochs,
+            batch_size: self.batch,
+            lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
+            transfer_size: (self.train_n / 4).clamp(32, 5000),
+            distill_epochs: self.local_epochs,
+            transfer_epochs: self.local_epochs,
+            server_lr: 0.01,
+            diversity_lambda: 1.0,
+            server_model,
+        }
+    }
+
+    /// The standard FedGKT configuration at this scale.
+    pub fn fedgkt_config(&self, tier: Tier) -> FedGktConfig {
+        FedGktConfig {
+            local_epochs: self.local_epochs,
+            kd_epochs: 1,
+            server_epochs: 2,
+            batch_size: self.batch,
+            lr: if tier == Tier::Paper { 0.01 } else { 0.05 },
+            server_lr: 0.01,
+            feature_dim: 32,
+            server_hidden: 64,
+        }
+    }
 }
 
 /// The paper's per-family zoo, cycled over `devices` as `(spec, count)`
@@ -170,6 +208,45 @@ pub fn fedmd_public_family(private: DataFamily) -> DataFamily {
         DataFamily::KmnistLike => DataFamily::FashionLike,
         _ => DataFamily::Cifar100Like,
     }
+}
+
+/// The [`Scale`]-derived standard configuration of a named algorithm for
+/// an existing scenario — the `scenarios sweep --algos` axis and the
+/// algorithm bench share this mapping. The scale is rebuilt from the
+/// scenario's *own* data geometry (train/test sizes, image side, device
+/// count, rounds), so the swapped-in algorithm stays a controlled
+/// comparison with whatever the base cell runs; the tier — which only
+/// picks learning rates and epoch/iteration counts — is inferred from the
+/// training-set size. Returns `None` for an unknown name.
+pub fn standard_algorithm(scenario: &Scenario, name: &str) -> Option<Algo> {
+    let family = scenario.data.family;
+    let tier = if scenario.data.train_n >= 10_000 {
+        Tier::Paper
+    } else if scenario.data.train_n >= 400 {
+        Tier::Quick
+    } else {
+        Tier::Tiny
+    };
+    let mut scale = Scale::for_family(family, tier);
+    scale.devices = scenario.devices();
+    scale.rounds = scenario.sim.rounds;
+    scale.img = scenario.data.img;
+    scale.train_n = scenario.data.train_n;
+    scale.test_n = scenario.data.test_n;
+    Some(match name {
+        "fedzkt" => Algo::FedZkt(scale.fedzkt_config(family, tier)),
+        "fedavg" => Algo::FedAvg(scale.fedavg_config(tier)),
+        "fedprox" => Algo::FedProx(FedAvgConfig { prox_mu: 0.01, ..scale.fedavg_config(tier) }),
+        "fedmd" => {
+            Algo::FedMd { public: fedmd_public_family(family), cfg: scale.fedmd_config(tier) }
+        }
+        "fedet" => Algo::FedEt {
+            public: fedmd_public_family(family),
+            cfg: scale.fedet_config(family, tier),
+        },
+        "fedgkt" => Algo::FedGkt(scale.fedgkt_config(tier)),
+        _ => return None,
+    })
 }
 
 impl Scenario {
@@ -414,6 +491,45 @@ fn churn_lossy() -> Scenario {
     sc
 }
 
+fn fedet_hetero() -> Scenario {
+    // Fed-ET on the CIFAR hetero zoo: five devices across the paper's
+    // Models A-E ensemble into one MobileNet server over a CIFAR-100-like
+    // transfer set, on heterogeneous simulated hardware. Seconds-scale on
+    // purpose — the ensemble-transfer path's determinism and CI anchor.
+    let mut sc = Scenario::standard(DataFamily::Cifar10Like, Partition::Iid, Tier::Tiny, 29);
+    sc.set_device_count(5);
+    sc.sim.rounds = 3;
+    sc.resources = Some(ResourceSpec {
+        assignment: ResourceAssignment::Heterogeneous { seed: 29 },
+        bandwidth: None,
+        server_seconds: 1.0,
+    });
+    let scale = Scale::for_family(DataFamily::Cifar10Like, Tier::Tiny);
+    sc.algorithm = Algo::FedEt {
+        public: DataFamily::Cifar100Like,
+        cfg: scale.fedet_config(DataFamily::Cifar10Like, Tier::Tiny),
+    };
+    sc
+}
+
+fn fedgkt_split() -> Scenario {
+    // FedGKT on the CIFAR hetero zoo under label skew: devices keep small
+    // feature extractors, ship per-sample feature/logit bundles uplink and
+    // digest the server head's soft labels downlink. Seconds-scale on
+    // purpose — the split-payload path's determinism and CI anchor.
+    let mut sc = Scenario::standard(
+        DataFamily::Cifar10Like,
+        Partition::QuantitySkew { classes_per_device: 5 },
+        Tier::Tiny,
+        31,
+    );
+    sc.set_device_count(5);
+    sc.sim.rounds = 3;
+    let scale = Scale::for_family(DataFamily::Cifar10Like, Tier::Tiny);
+    sc.algorithm = Algo::FedGkt(scale.fedgkt_config(Tier::Tiny));
+    sc
+}
+
 fn mega_fleet() -> Scenario {
     // The lazy registry's acceptance anchor: one **million** registered
     // devices, ~1000 sampled per round, each holding one sample and a
@@ -535,6 +651,18 @@ pub fn presets() -> Vec<Preset> {
             about: "25% mid-round dropout and wandering links over Q8-quantized payloads",
             paper_scale: false,
             build: churn_lossy,
+        },
+        Preset {
+            name: "fedet-hetero",
+            about: "Fed-ET: Models A-E ensemble into a MobileNet server via weighted-consensus distillation",
+            paper_scale: false,
+            build: fedet_hetero,
+        },
+        Preset {
+            name: "fedgkt-split",
+            about: "FedGKT: split training shipping per-sample features+logits up, soft labels down",
+            paper_scale: false,
+            build: fedgkt_split,
         },
         Preset {
             name: "mega-fleet",

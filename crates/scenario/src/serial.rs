@@ -14,8 +14,8 @@ use fedzkt_core::{DistillLoss, FedMdConfig, FedZktConfig};
 use fedzkt_data::{DataFamily, Partition};
 use fedzkt_fl::json::{self, Value};
 use fedzkt_fl::{
-    ChurnSpec, CodecSpec, ComputeFormat, DeviceResources, FedAvgConfig, Materialization,
-    SimConfig,
+    ChurnSpec, CodecSpec, ComputeFormat, DeviceResources, FedAvgConfig, FedEtConfig,
+    FedGktConfig, Materialization, SimConfig,
 };
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 
@@ -234,6 +234,33 @@ fn fedmd_cfg_j(c: &FedMdConfig) -> J {
     ])
 }
 
+fn fedet_cfg_j(c: &FedEtConfig) -> J {
+    J::Obj(vec![
+        ("local_epochs", us(c.local_epochs)),
+        ("batch_size", us(c.batch_size)),
+        ("lr", f32j(c.lr)),
+        ("transfer_size", us(c.transfer_size)),
+        ("distill_epochs", us(c.distill_epochs)),
+        ("transfer_epochs", us(c.transfer_epochs)),
+        ("server_lr", f32j(c.server_lr)),
+        ("diversity_lambda", f32j(c.diversity_lambda)),
+        ("server_model", model_j(&c.server_model)),
+    ])
+}
+
+fn fedgkt_cfg_j(c: &FedGktConfig) -> J {
+    J::Obj(vec![
+        ("local_epochs", us(c.local_epochs)),
+        ("kd_epochs", us(c.kd_epochs)),
+        ("server_epochs", us(c.server_epochs)),
+        ("batch_size", us(c.batch_size)),
+        ("lr", f32j(c.lr)),
+        ("server_lr", f32j(c.server_lr)),
+        ("feature_dim", us(c.feature_dim)),
+        ("server_hidden", us(c.server_hidden)),
+    ])
+}
+
 fn device_resources_j(r: &DeviceResources) -> J {
     J::Obj(vec![
         ("compute_samples_per_sec", f32j(r.compute_samples_per_sec)),
@@ -314,6 +341,12 @@ fn algo_j(a: &Algo) -> J {
             ("public", sj(family_slug(*public))),
             ("config", fedmd_cfg_j(cfg)),
         ],
+        Algo::FedEt { public, cfg } => vec![
+            ("kind", sj("fedet")),
+            ("public", sj(family_slug(*public))),
+            ("config", fedet_cfg_j(cfg)),
+        ],
+        Algo::FedGkt(cfg) => vec![("kind", sj("fedgkt")), ("config", fedgkt_cfg_j(cfg))],
     })
 }
 
@@ -461,6 +494,33 @@ fn fedmd_cfg_from(v: &Value) -> Result<FedMdConfig, String> {
     })
 }
 
+fn fedet_cfg_from(v: &Value) -> Result<FedEtConfig, String> {
+    Ok(FedEtConfig {
+        local_epochs: usize_f(v, "local_epochs")?,
+        batch_size: usize_f(v, "batch_size")?,
+        lr: f32_f(v, "lr")?,
+        transfer_size: usize_f(v, "transfer_size")?,
+        distill_epochs: usize_f(v, "distill_epochs")?,
+        transfer_epochs: usize_f(v, "transfer_epochs")?,
+        server_lr: f32_f(v, "server_lr")?,
+        diversity_lambda: f32_f(v, "diversity_lambda")?,
+        server_model: model_from(req(v, "server_model")?)?,
+    })
+}
+
+fn fedgkt_cfg_from(v: &Value) -> Result<FedGktConfig, String> {
+    Ok(FedGktConfig {
+        local_epochs: usize_f(v, "local_epochs")?,
+        kd_epochs: usize_f(v, "kd_epochs")?,
+        server_epochs: usize_f(v, "server_epochs")?,
+        batch_size: usize_f(v, "batch_size")?,
+        lr: f32_f(v, "lr")?,
+        server_lr: f32_f(v, "server_lr")?,
+        feature_dim: usize_f(v, "feature_dim")?,
+        server_hidden: usize_f(v, "server_hidden")?,
+    })
+}
+
 fn device_resources_from(v: &Value) -> Result<DeviceResources, String> {
     Ok(DeviceResources {
         compute_samples_per_sec: f32_f(v, "compute_samples_per_sec")?,
@@ -541,6 +601,11 @@ fn algo_from(v: &Value) -> Result<Algo, String> {
             public: family_from_slug(str_f(v, "public")?)?,
             cfg: fedmd_cfg_from(config)?,
         },
+        "fedet" => Algo::FedEt {
+            public: family_from_slug(str_f(v, "public")?)?,
+            cfg: fedet_cfg_from(config)?,
+        },
+        "fedgkt" => Algo::FedGkt(fedgkt_cfg_from(config)?),
         other => return Err(format!("unknown algorithm kind \"{other}\"")),
     })
 }

@@ -4,8 +4,8 @@ use crate::ScenarioError;
 use fedzkt_core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
 use fedzkt_data::{DataFamily, Dataset, Partition, PartitionError, SynthConfig};
 use fedzkt_fl::{
-    ChurnSpec, DeviceResources, ErasedSimulation, FedAvg, FedAvgConfig, RoundMetrics, RunLog,
-    SimConfig, Simulation,
+    ChurnSpec, DeviceResources, ErasedSimulation, FedAvg, FedAvgConfig, FedEt, FedEtConfig,
+    FedGkt, FedGktConfig, RoundMetrics, RunLog, SimConfig, Simulation,
 };
 use fedzkt_models::ModelSpec;
 use serde::{Deserialize, Serialize};
@@ -153,16 +153,32 @@ pub enum Algo {
         /// FedMD hyperparameters.
         cfg: FedMdConfig,
     },
+    /// Fed-ET: ensemble transfer onto a large server model through
+    /// diversity-weighted consensus distillation on a public transfer set
+    /// drawn from `public`.
+    FedEt {
+        /// Family the public (transfer) dataset is drawn from.
+        public: DataFamily,
+        /// Fed-ET hyperparameters.
+        cfg: FedEtConfig,
+    },
+    /// FedGKT: split training exchanging per-sample feature/logit bundles
+    /// uplink and soft labels downlink — no public data, no model on the
+    /// wire.
+    FedGkt(FedGktConfig),
 }
 
 impl Algo {
-    /// Short lowercase name ("fedzkt", "fedavg", "fedprox", "fedmd").
+    /// Short lowercase name ("fedzkt", "fedavg", "fedprox", "fedmd",
+    /// "fedet", "fedgkt").
     pub fn name(&self) -> &'static str {
         match self {
             Algo::FedZkt(_) => "fedzkt",
             Algo::FedAvg(_) => "fedavg",
             Algo::FedProx(_) => "fedprox",
             Algo::FedMd { .. } => "fedmd",
+            Algo::FedEt { .. } => "fedet",
+            Algo::FedGkt(_) => "fedgkt",
         }
     }
 }
@@ -265,7 +281,8 @@ pub struct Materialized {
     pub train: Dataset,
     /// Held-out test data.
     pub test: Dataset,
-    /// FedMD's public dataset, when the algorithm needs one.
+    /// The public dataset, when the algorithm needs one (FedMD's
+    /// logit-alignment corpus, Fed-ET's transfer set).
     pub public: Option<Dataset>,
     /// Device shards (index sets into `train`).
     pub shards: Vec<Vec<usize>>,
@@ -369,6 +386,38 @@ impl Scenario {
     pub fn fedmd_cfg_mut(&mut self) -> Option<&mut FedMdConfig> {
         match &mut self.algorithm {
             Algo::FedMd { cfg, .. } => Some(cfg),
+            _ => None,
+        }
+    }
+
+    /// The Fed-ET config, when this scenario runs Fed-ET.
+    pub fn fedet_cfg(&self) -> Option<&FedEtConfig> {
+        match &self.algorithm {
+            Algo::FedEt { cfg, .. } => Some(cfg),
+            _ => None,
+        }
+    }
+
+    /// Mutable form of [`Scenario::fedet_cfg`].
+    pub fn fedet_cfg_mut(&mut self) -> Option<&mut FedEtConfig> {
+        match &mut self.algorithm {
+            Algo::FedEt { cfg, .. } => Some(cfg),
+            _ => None,
+        }
+    }
+
+    /// The FedGKT config, when this scenario runs FedGKT.
+    pub fn fedgkt_cfg(&self) -> Option<&FedGktConfig> {
+        match &self.algorithm {
+            Algo::FedGkt(cfg) => Some(cfg),
+            _ => None,
+        }
+    }
+
+    /// Mutable form of [`Scenario::fedgkt_cfg`].
+    pub fn fedgkt_cfg_mut(&mut self) -> Option<&mut FedGktConfig> {
+        match &mut self.algorithm {
+            Algo::FedGkt(cfg) => Some(cfg),
             _ => None,
         }
     }
@@ -621,6 +670,54 @@ impl Scenario {
                     )));
                 }
             }
+            Algo::FedEt { public, cfg } => {
+                if cfg.batch_size == 0 || cfg.transfer_size == 0 {
+                    return Err(ScenarioError::InvalidAlgorithm(
+                        "fedet batch and transfer sizes must be positive".into(),
+                    ));
+                }
+                check_model_spec(&cfg.server_model).map_err(|msg| {
+                    ScenarioError::InvalidAlgorithm(format!(
+                        "server model {}: {msg}",
+                        cfg.server_model.name()
+                    ))
+                })?;
+                finite("lr", cfg.lr)?;
+                finite("server_lr", cfg.server_lr)?;
+                if !cfg.diversity_lambda.is_finite() || cfg.diversity_lambda < 0.0 {
+                    return Err(ScenarioError::InvalidAlgorithm(format!(
+                        "diversity_lambda {} must be finite and non-negative (0 = plain \
+                         sample-count weighting)",
+                        cfg.diversity_lambda
+                    )));
+                }
+                // Devices and the server score the public transfer set with
+                // models built for the private geometry.
+                if public.channels() != d.family.channels() {
+                    return Err(ScenarioError::InvalidAlgorithm(format!(
+                        "fedet public family {} has {} channel(s) but the private family {} has \
+                         {}; pick a public family with matching image geometry",
+                        public.name(),
+                        public.channels(),
+                        d.family.name(),
+                        d.family.channels()
+                    )));
+                }
+            }
+            Algo::FedGkt(cfg) => {
+                if cfg.batch_size == 0 {
+                    return Err(ScenarioError::InvalidAlgorithm(
+                        "fedgkt batch size must be positive".into(),
+                    ));
+                }
+                if cfg.feature_dim == 0 || cfg.server_hidden == 0 {
+                    return Err(ScenarioError::InvalidAlgorithm(
+                        "fedgkt feature_dim and server_hidden must be positive".into(),
+                    ));
+                }
+                finite("lr", cfg.lr)?;
+                finite("server_lr", cfg.server_lr)?;
+            }
         }
         Ok(())
     }
@@ -652,7 +749,7 @@ impl Scenario {
             self.sim.seed.wrapping_add(17),
         )?;
         let public = match &self.algorithm {
-            Algo::FedMd { public, .. } => {
+            Algo::FedMd { public, .. } | Algo::FedEt { public, .. } => {
                 // Geometry-compatible with the private data; its own seed
                 // stream so the public corpus is not a relabelled private
                 // one.
@@ -721,6 +818,15 @@ impl Scenario {
             Algo::FedMd { cfg, .. } => {
                 let public = m.public.expect("materialize provides a public set for fedmd");
                 let fed = FedMd::new(&m.zoo, &m.train, &m.shards, public, *cfg, &sim);
+                finish(fed, m.test, sim, m.resources, server_seconds, self.churn)
+            }
+            Algo::FedEt { cfg, .. } => {
+                let public = m.public.expect("materialize provides a public set for fedet");
+                let fed = FedEt::new(&m.zoo, &m.train, &m.shards, public, *cfg, &sim);
+                finish(fed, m.test, sim, m.resources, server_seconds, self.churn)
+            }
+            Algo::FedGkt(cfg) => {
+                let fed = FedGkt::new(&m.zoo, &m.train, &m.shards, *cfg, &sim);
                 finish(fed, m.test, sim, m.resources, server_seconds, self.churn)
             }
         })

@@ -58,6 +58,22 @@ fn churn_lossy_resumes_bit_identically_from_every_round() {
 }
 
 #[test]
+fn fedet_hetero_resumes_bit_identically_from_every_round() {
+    // Fed-ET's checkpoint carries the server model next to the device
+    // ensemble; a resumed run must re-enter the consensus-distillation
+    // loop exactly where the first life left it.
+    assert_resume_equivalence("fedet-hetero");
+}
+
+#[test]
+fn fedgkt_split_resumes_bit_identically_from_every_round() {
+    // FedGKT is the interesting case: its cross-round state includes the
+    // per-device soft labels the server downlinked (consumed one round
+    // later), so a kill between downlink and digest must not lose them.
+    assert_resume_equivalence("fedgkt-split");
+}
+
+#[test]
 fn checkpoints_from_a_different_scenario_are_rejected() {
     let tiny = preset("tiny").unwrap();
     let other = preset("churn-lossy").unwrap();

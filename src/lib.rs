@@ -14,7 +14,8 @@
 //! * [`models`] — the heterogeneous on-device model zoo + generator;
 //! * [`data`] — synthetic dataset families and non-IID partitioners;
 //! * [`fl`] — the generic `Simulation` driver + `FederatedAlgorithm`
-//!   trait, simulation substrate, FedAvg/FedProx;
+//!   trait, simulation substrate, FedAvg/FedProx, and the
+//!   knowledge-transfer additions Fed-ET and FedGKT;
 //! * [`core`] — FedZKT itself (Algorithms 1–3), FedMD, bounds, probes;
 //! * [`scenario`] — the declarative experiment layer: one serializable
 //!   `Scenario` per experiment, a named preset registry, and the erased

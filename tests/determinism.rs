@@ -7,9 +7,11 @@
 //! Since the execution model went multi-threaded, the contract has a second
 //! axis: the thread count is a throughput knob, never a semantics knob.
 //! `threads = 1` and `threads = 4` must produce bit-identical logs — for
-//! **every** algorithm running under the driver (FedZKT and FedMD both
-//! dispatch their device phases onto the fleet) — and the parallel tensor
-//! kernels (GEMM, conv2d) must produce bit-identical buffers.
+//! **every** algorithm running under the driver (FedZKT, FedMD and Fed-ET
+//! dispatch their device phases onto the fleet; FedGKT's composite split
+//! models train serially but still evaluate on the pool) — and the
+//! parallel tensor kernels (GEMM, conv2d) must produce bit-identical
+//! buffers.
 
 use fedzkt::autograd::Var;
 use fedzkt::core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
@@ -240,6 +242,44 @@ fn lazy_scenario_runs_bit_identically_across_thread_counts() {
     scenario.sim.threads = 4;
     let four = scenario.run().expect("runnable scenario");
     assert_eq!(one, four, "lazy threads=1 vs threads=4 diverged");
+    assert_bit_identical(&one, &four);
+    assert_eq!(one.to_json(), four.to_json());
+}
+
+#[test]
+fn fedet_scenario_runs_bit_identically_across_thread_counts() {
+    let _guard = serial_guard();
+    // Fed-ET fans its devices' CE training and transfer-back digests onto
+    // the same fleet machinery as FedZKT, and folds the uploaded ensemble
+    // in device order on the driver thread — so the checked-in preset
+    // must carry the thread-count guarantee end to end.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/fedet-hetero.json");
+    let mut scenario =
+        fedzkt::scenario::Scenario::load(path).expect("checked-in fedet-hetero scenario");
+    scenario.sim.threads = 1;
+    let one = scenario.run().expect("runnable scenario");
+    scenario.sim.threads = 4;
+    let four = scenario.run().expect("runnable scenario");
+    assert_eq!(one, four, "Fed-ET threads=1 vs threads=4 diverged");
+    assert_bit_identical(&one, &four);
+    assert_eq!(one.to_json(), four.to_json());
+}
+
+#[test]
+fn fedgkt_scenario_runs_bit_identically_across_thread_counts() {
+    let _guard = serial_guard();
+    // FedGKT's split training runs its composite extractor+head models
+    // serially on the driver thread, but evaluation and the server's head
+    // training still see the worker pool — the preset must be invariant
+    // to its size like every other algorithm.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/fedgkt-split.json");
+    let mut scenario =
+        fedzkt::scenario::Scenario::load(path).expect("checked-in fedgkt-split scenario");
+    scenario.sim.threads = 1;
+    let one = scenario.run().expect("runnable scenario");
+    scenario.sim.threads = 4;
+    let four = scenario.run().expect("runnable scenario");
+    assert_eq!(one, four, "FedGKT threads=1 vs threads=4 diverged");
     assert_bit_identical(&one, &four);
     assert_eq!(one.to_json(), four.to_json());
 }

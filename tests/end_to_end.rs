@@ -351,6 +351,66 @@ fn eval_cadence_spans_a_real_run() {
     assert!(last.avg_device_accuracy > 0.0);
 }
 
+/// The two knowledge-transfer presets run end-to-end through the scenario
+/// layer (miniaturized like the lazy/eager sweep — same family, partition,
+/// algorithm and codec, tiny sizes). Fed-ET's symmetric state-dict traffic
+/// and FedGKT's asymmetric feature/soft-label exchange must both show up
+/// in the RunLog exactly as the protocol defines them.
+#[test]
+fn knowledge_transfer_presets_run_end_to_end() {
+    let shrink = |name: &str| {
+        let mut sc = fedzkt::scenario::preset(name).expect("registry preset");
+        sc.data.img = 8;
+        sc.data.train_n = 96;
+        sc.data.test_n = 32;
+        sc.set_device_count(3);
+        sc.sim.rounds = 2;
+        sc.sim.eval_batch = 32;
+        if let Some(cfg) = sc.fedet_cfg_mut() {
+            cfg.local_epochs = 1;
+            cfg.batch_size = 8;
+            cfg.transfer_size = 16;
+            cfg.distill_epochs = 1;
+            cfg.transfer_epochs = 1;
+            cfg.server_model = ModelSpec::SmallCnn { base_channels: 4 };
+        }
+        if let Some(cfg) = sc.fedgkt_cfg_mut() {
+            cfg.local_epochs = 1;
+            cfg.kd_epochs = 1;
+            cfg.server_epochs = 1;
+            cfg.batch_size = 8;
+            cfg.feature_dim = 8;
+            cfg.server_hidden = 16;
+        }
+        sc
+    };
+
+    let fedet = shrink("fedet-hetero").run().expect("fedet-hetero runs");
+    assert_eq!(fedet.rounds.len(), 2);
+    assert!(fedet.rounds.iter().all(|r| r.avg_device_accuracy.is_finite()));
+    for r in &fedet.rounds {
+        // Fed-ET downlinks what it uplinked: full device state dicts.
+        assert_eq!(r.upload_bytes, r.download_bytes, "round {}", r.round);
+        assert!(r.upload_bytes > 0);
+    }
+
+    let fedgkt = shrink("fedgkt-split").run().expect("fedgkt-split runs");
+    assert_eq!(fedgkt.rounds.len(), 2);
+    assert!(fedgkt.rounds.iter().all(|r| r.avg_device_accuracy.is_finite()));
+    for r in &fedgkt.rounds {
+        // FedGKT uplinks per-sample features+logits+labels but downlinks
+        // only [n, C] soft labels — strictly less, every round.
+        assert!(
+            r.download_bytes < r.upload_bytes,
+            "round {}: downlink {} must be under uplink {}",
+            r.round,
+            r.download_bytes,
+            r.upload_bytes
+        );
+        assert!(r.download_bytes > 0);
+    }
+}
+
 /// The int8 compute format is an accuracy/semantics knob for inference
 /// phases only; on the checked-in `tiny` preset it must land within one
 /// accuracy point of the f32 run.

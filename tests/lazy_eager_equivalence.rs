@@ -62,6 +62,22 @@ fn miniaturize(sc: &mut Scenario) {
             lr: cfg.lr,
         };
     }
+    if let Some(cfg) = sc.fedet_cfg_mut() {
+        cfg.local_epochs = 1;
+        cfg.batch_size = 8;
+        cfg.transfer_size = 16;
+        cfg.distill_epochs = 1;
+        cfg.transfer_epochs = 1;
+        cfg.server_model = ModelSpec::SmallCnn { base_channels: 4 };
+    }
+    if let Some(cfg) = sc.fedgkt_cfg_mut() {
+        cfg.local_epochs = 1;
+        cfg.kd_epochs = 1;
+        cfg.server_epochs = 1;
+        cfg.batch_size = 8;
+        cfg.feature_dim = 8;
+        cfg.server_hidden = 16;
+    }
 }
 
 fn run_in_mode(sc: &Scenario, mode: Materialization) -> RunLog {

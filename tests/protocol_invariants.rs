@@ -2,17 +2,21 @@
 //! in the implementation — the properties DESIGN.md §6 calls out.
 //!
 //! Since the `Simulation` redesign these are stated once, **at the trait
-//! level**, and checked for all three algorithms (FedZKT, FedAvg/FedProx,
-//! FedMD): stragglers stay bit-unchanged, and per-round traffic equals the
-//! sum of the active devices' own payloads — FedZKT's `O(|w_k|)` claim.
-//! FedZKT-specific invariants (server-side size independence, architectural
+//! level**, and checked for the whole algorithm family (FedZKT,
+//! FedAvg/FedProx, FedMD, Fed-ET, FedGKT): stragglers stay bit-unchanged,
+//! and per-round traffic equals the sum of the active devices' own
+//! payloads' wire sizes — uplink from `payload_template`, downlink from
+//! `downlink_template`, which FedGKT's asymmetric protocol (per-sample
+//! features up, soft labels down) keeps honest. FedZKT-specific
+//! invariants (server-side size independence, architectural
 //! incompatibility of the zoo, distillation effectiveness, probe
 //! side-effect freedom) follow below.
 
 use fedzkt::core::{FedMd, FedMdConfig, FedZkt, FedZktConfig};
 use fedzkt::data::{DataFamily, Dataset, Partition, SynthConfig};
 use fedzkt::fl::{
-    CodecSpec, FedAvg, FedAvgConfig, FederatedAlgorithm, PayloadCodec, SimConfig, Simulation,
+    CodecSpec, FedAvg, FedAvgConfig, FedEt, FedEtConfig, FedGkt, FedGktConfig,
+    FederatedAlgorithm, PayloadCodec, SimConfig, Simulation,
 };
 use fedzkt::models::{GeneratorSpec, ModelSpec};
 use fedzkt::nn::{param_bytes, state_dict};
@@ -112,6 +116,62 @@ fn fedmd_sim(sim: SimConfig) -> Simulation<FedMd> {
     Simulation::builder(fed, test, sim).build()
 }
 
+fn fedet_sim(sim: SimConfig) -> Simulation<FedEt> {
+    let (train, test) = data(25);
+    let (public, _) = SynthConfig {
+        family: DataFamily::FashionLike,
+        img: 8,
+        train_n: 64,
+        test_n: 8,
+        classes: 4,
+        seed: 26,
+        ..Default::default()
+    }
+    .generate();
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 25).unwrap();
+    let fed = FedEt::new(
+        &zoo(),
+        &train,
+        &shards,
+        public,
+        FedEtConfig {
+            local_epochs: 1,
+            batch_size: 16,
+            lr: 0.05,
+            transfer_size: 32,
+            distill_epochs: 1,
+            transfer_epochs: 1,
+            server_lr: 0.02,
+            diversity_lambda: 1.0,
+            server_model: ModelSpec::SmallCnn { base_channels: 4 },
+        },
+        &sim,
+    );
+    Simulation::builder(fed, test, sim).build()
+}
+
+fn fedgkt_sim(sim: SimConfig) -> Simulation<FedGkt> {
+    let (train, test) = data(27);
+    let shards = Partition::Iid.split(train.labels(), 4, 3, 27).unwrap();
+    let fed = FedGkt::new(
+        &zoo(),
+        &train,
+        &shards,
+        FedGktConfig {
+            local_epochs: 1,
+            kd_epochs: 1,
+            server_epochs: 1,
+            batch_size: 16,
+            lr: 0.05,
+            server_lr: 0.02,
+            feature_dim: 8,
+            server_hidden: 16,
+        },
+        &sim,
+    );
+    Simulation::builder(fed, test, sim).build()
+}
+
 /// Trait-level invariant 1: devices outside the active set are
 /// bit-unchanged by a round — stragglers neither train nor receive
 /// updates, in every algorithm.
@@ -137,22 +197,30 @@ fn assert_stragglers_untouched<A: FederatedAlgorithm>(sim: &mut Simulation<A>) {
 
 /// Trait-level invariant 2: per-round traffic equals the sum of the
 /// active devices' own payloads' **encoded wire sizes** under the run's
-/// codec, in both directions — `O(|w_k|)` per device for the
-/// model-exchanging algorithms, logit-shaped for FedMD, and never a
-/// function of server-side state. (Every codec's wire size is a pure
-/// function of the payload template's shapes, so the expectation is
-/// computable without replaying the round.)
+/// codec — uplink sized by `payload_template`, downlink by
+/// `downlink_template` — and never a function of server-side state.
+/// `O(|w_k|)` per device for the model-exchanging algorithms,
+/// logit-shaped for FedMD, per-sample-bundle up / soft-labels down for
+/// FedGKT. (Every codec's wire size is a pure function of a template's
+/// shapes, so both expectations are computable without replaying the
+/// round.)
 fn assert_traffic_is_wire_sized<A: FederatedAlgorithm>(sim: &mut Simulation<A>) {
     let codec = sim.config().codec;
     let metrics = sim.round(0);
-    let expected: u64 = metrics
+    let expected_up: u64 = metrics
         .active_devices
         .iter()
         .map(|&k| codec.wire_bytes(&sim.algorithm().payload_template(k)) as u64)
         .sum();
-    assert!(expected > 0, "payloads must be non-trivial");
-    assert_eq!(metrics.upload_bytes, expected, "uplink under {codec:?}");
-    assert_eq!(metrics.download_bytes, expected, "downlink under {codec:?}");
+    let expected_down: u64 = metrics
+        .active_devices
+        .iter()
+        .map(|&k| codec.wire_bytes(&sim.algorithm().downlink_template(k)) as u64)
+        .sum();
+    assert!(expected_up > 0, "payloads must be non-trivial");
+    assert!(expected_down > 0, "downlinks must be non-trivial");
+    assert_eq!(metrics.upload_bytes, expected_up, "uplink under {codec:?}");
+    assert_eq!(metrics.download_bytes, expected_down, "downlink under {codec:?}");
 }
 
 // participation 0.34 of 3 devices → exactly 1 active, 2 stragglers.
@@ -179,6 +247,8 @@ fn stragglers_untouched_under_every_lossy_codec() {
             SimConfig { codec, ..partial() },
         ));
         assert_stragglers_untouched(&mut fedmd_sim(SimConfig { codec, ..partial() }));
+        assert_stragglers_untouched(&mut fedet_sim(SimConfig { codec, ..partial() }));
+        assert_stragglers_untouched(&mut fedgkt_sim(SimConfig { codec, ..partial() }));
         // FedAvg's shared-model degeneration of the invariant, as above:
         // one active device must still be able to move the global model.
         let mut sim = fedavg_sim(SimConfig { codec, ..partial() });
@@ -228,6 +298,54 @@ fn traffic_is_wire_sized_fedmd() {
         assert_traffic_is_wire_sized(&mut fedmd_sim(SimConfig { codec, ..full() }));
     }
     assert_traffic_is_wire_sized(&mut fedmd_sim(partial()));
+}
+
+#[test]
+fn stragglers_keep_their_stale_models_fedet() {
+    assert_stragglers_untouched(&mut fedet_sim(partial()));
+}
+
+#[test]
+fn stragglers_keep_their_stale_models_fedgkt() {
+    assert_stragglers_untouched(&mut fedgkt_sim(partial()));
+}
+
+#[test]
+fn traffic_is_wire_sized_fedet() {
+    for codec in CODECS {
+        assert_traffic_is_wire_sized(&mut fedet_sim(SimConfig { codec, ..full() }));
+    }
+    assert_traffic_is_wire_sized(&mut fedet_sim(partial()));
+}
+
+#[test]
+fn traffic_is_wire_sized_fedgkt() {
+    for codec in CODECS {
+        assert_traffic_is_wire_sized(&mut fedgkt_sim(SimConfig { codec, ..full() }));
+    }
+    assert_traffic_is_wire_sized(&mut fedgkt_sim(partial()));
+}
+
+/// FedGKT's wire payloads are shard-shaped, not model-shaped: the uplink
+/// bundle rows scale with the device's sample count, the downlink is
+/// soft labels only — so the generalized invariant 2 above genuinely
+/// exercises asymmetric templates.
+#[test]
+fn fedgkt_templates_are_per_sample_and_asymmetric() {
+    let sim = fedgkt_sim(full());
+    for k in 0..sim.devices() {
+        let up = sim.algorithm().payload_template(k);
+        let down = sim.algorithm().downlink_template(k);
+        let n = sim.algorithm().local_samples(k);
+        // features [n, d] + logits [n, C] + labels [n] up; logits [n, C] down.
+        assert_eq!(up.params.len(), 3, "device {k}");
+        assert_eq!(up.params[0].shape(), &[n, 8], "device {k} features");
+        assert_eq!(up.params[1].shape(), &[n, 4], "device {k} logits");
+        assert_eq!(up.params[2].shape(), &[n], "device {k} labels");
+        assert_eq!(down.params.len(), 1, "device {k}");
+        assert_eq!(down.params[0].shape(), &[n, 4], "device {k} soft labels");
+        assert!(up.byte_size() > down.byte_size(), "device {k}: uplink must dominate");
+    }
 }
 
 /// The lossy codecs genuinely shrink what the tracker records — the
