@@ -32,6 +32,7 @@
 use crate::Var;
 use fedzkt_tensor::compute::{current_format, ComputeFormat};
 use fedzkt_tensor::ops::{col2im, gemm, im2col_batch, im2col_panel, Conv2dGeometry};
+use fedzkt_tensor::typed;
 use fedzkt_tensor::{par, Tensor};
 
 /// Columns lowered and consumed per fused-forward panel. 256 output pixels
@@ -94,9 +95,22 @@ impl Var {
                 let mut col = vec![0.0f32; kvol * pw];
                 im2col_panel(x.data(), g * group_in, sample_stride, n, &geom, c0, &mut col);
                 let mut og = vec![0.0f32; oc_per_g * pw];
-                // Explicit-format call: workers don't inherit the caller's
-                // thread-local compute scope.
-                gemm::gemm_nn_with(format, wg, &col, &mut og, oc_per_g, kvol, pw);
+                // Explicit-format calls: workers don't inherit the caller's
+                // thread-local compute scope. Full panels have a
+                // compile-time width, so the typed wrapper proves the
+                // column/output lengths by construction and enters below
+                // the shape guards; the last (narrower) panel keeps the
+                // dynamic entry. Same kernels, same order — bit-identical.
+                if pw == FUSE_PANEL && typed::enabled() {
+                    typed::gemm_nn_cols_with::<FUSE_PANEL>(
+                        format,
+                        wg,
+                        typed::Rows2D::with_rows(&col, kvol),
+                        typed::RowsMut2D::with_rows(&mut og, oc_per_g),
+                    );
+                } else {
+                    gemm::gemm_nn_with(format, wg, &col, &mut og, oc_per_g, kvol, pw);
+                }
                 og
             });
             // Scatter [OCg, panel] blocks (sample-major columns) into NCHW.
@@ -376,6 +390,25 @@ mod tests {
             for (a, b) in fused.value().data().iter().zip(&expected) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{xs:?} x {ws:?}");
             }
+        }
+    }
+
+    /// The typed full-panel path must be bit-identical to the dynamic
+    /// panel GEMM it shims (it enters the same dispatch below the shape
+    /// guards). ncols = 576 exercises two full `FUSE_PANEL` panels *and* a
+    /// narrower last panel, which stays on the dynamic entry.
+    #[test]
+    fn typed_panel_path_bit_identical_to_dynamic() {
+        let mut rng = seeded_rng(33);
+        let x = Tensor::randn(&[4, 3, 12, 12], &mut rng);
+        let w = Tensor::randn(&[8, 3, 3, 3], &mut rng);
+        assert!(typed::enabled(), "typed paths default on");
+        let on = Var::constant(x.clone()).conv2d(&Var::constant(w.clone()), 1, 1, 1);
+        typed::set_enabled(false);
+        let off = Var::constant(x.clone()).conv2d(&Var::constant(w.clone()), 1, 1, 1);
+        typed::set_enabled(true);
+        for (a, b) in on.value().data().iter().zip(off.value().data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -17,6 +17,7 @@ use fedzkt_data::{DataFamily, Partition, SynthConfig};
 use fedzkt_fl::{SimConfig, Simulation};
 use fedzkt_models::{GeneratorSpec, ModelSpec};
 use fedzkt_tensor::ops::{gemm, im2col, im2col_batch, Conv2dGeometry};
+use fedzkt_tensor::typed::{Rows2D, RowsMut2D, View2D};
 use fedzkt_tensor::{par, seeded_rng, ComputeFormat, Tensor};
 use std::hint::black_box;
 use std::time::Instant;
@@ -145,6 +146,72 @@ fn round_seconds(devices: usize, threads: usize, runs: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Typed-vs-dynamic linear-forward rows over the paper zoo's recurring
+/// dense layer shapes (the widths in `fedzkt_nn::typed`'s dispatch
+/// table), batch 16, single-threaded. The typed wrappers replace the
+/// three per-operand length guards with compile-time facts, so the
+/// contract is *parity*: `typed_vs_dynamic` hovering at 1.0 is the
+/// zero-cost-shim claim, measured. Each cell times `reps` back-to-back
+/// calls to lift tiny layers out of timer noise.
+fn typed_linear_rows(runs: usize) -> String {
+    let batch = 16usize;
+    par::set_threads(1);
+    let mut rows = String::new();
+    macro_rules! layer {
+        ($label:expr, $in:literal, $out:literal, $last:expr) => {{
+            const IN: usize = $in;
+            const OUT: usize = $out;
+            let mut rng = seeded_rng(4);
+            let x = Tensor::randn(&[batch, IN], &mut rng);
+            let w = Tensor::randn(&[OUT, IN], &mut rng);
+            // Enough repetitions that a cell is ~ms-scale even for the
+            // smallest head layers.
+            let reps = (2_000_000 / (batch * IN * OUT)).max(64);
+            let dynamic = time_median(runs, || {
+                let mut out = vec![0.0f32; batch * OUT];
+                for _ in 0..reps {
+                    gemm::gemm_nt(x.data(), w.data(), &mut out, batch, IN, OUT);
+                }
+                black_box(&out);
+            });
+            let typed = time_median(runs, || {
+                let mut out = vec![0.0f32; batch * OUT];
+                let wv = View2D::<OUT, IN>::new(w.data());
+                for _ in 0..reps {
+                    fedzkt_tensor::typed::gemm_nt_rows::<IN, OUT>(
+                        Rows2D::with_rows(x.data(), batch),
+                        wv,
+                        RowsMut2D::with_rows(&mut out, batch),
+                    );
+                }
+                black_box(&out);
+            });
+            let per_call_d = dynamic / reps as f64 * 1e9;
+            let per_call_t = typed / reps as f64 * 1e9;
+            eprintln!(
+                "linear {label} [{batch}, {IN}] x [{OUT}, {IN}]T: dynamic {per_call_d:.0} ns, \
+                 typed {per_call_t:.0} ns ({:.3}x)",
+                per_call_d / per_call_t,
+                label = $label,
+            );
+            rows.push_str(&format!(
+                "    \"{}\": {{ \"in\": {IN}, \"out\": {OUT}, \"dynamic_ns\": {per_call_d:.1}, \"typed_ns\": {per_call_t:.1}, \"typed_vs_dynamic\": {:.3} }}{}\n",
+                $label,
+                per_call_d / per_call_t,
+                if $last { "" } else { "," }
+            ));
+        }};
+    }
+    layer!("mlp_hidden_64_64", 64, 64, false);
+    layer!("mlp_taper_64_32", 64, 32, false);
+    layer!("lenet_fc_120_84", 120, 84, false);
+    layer!("lenet_head_84_10", 84, 10, false);
+    layer!("fedgkt_server_head_32_64", 32, 64, false);
+    layer!("mlp_head_64_10", 64, 10, true);
+    par::set_threads(0);
+    rows
+}
+
 /// Forward conv lowering over an 8-sample batch, all single-threaded so
 /// the comparison isolates the lowering strategy from the row partition:
 ///
@@ -229,6 +296,8 @@ fn main() {
         ));
     }
 
+    let typed_rows = typed_linear_rows(kernel_runs);
+
     let g1 = gemm_seconds(n, 1, kernel_runs);
     let g4 = gemm_seconds(n, 4, kernel_runs);
     eprintln!("gemm {n}^3: 1 thread {:.2} GFLOP/s, 4 threads {:.2} GFLOP/s", gflop / g1, gflop / g4);
@@ -254,6 +323,8 @@ fn main() {
   "backend": "{backend}",
   "gemm_kernels_256_threads_1": {{
 {kernel_rows}  }},
+  "typed_linear_forward_batch16_threads_1": {{
+{typed_rows}  }},
   "gemm_256x256x256": {{
     "threads_1": {{ "seconds": {g1:.6}, "gflops": {gf1:.3} }},
     "threads_4": {{ "seconds": {g4:.6}, "gflops": {gf4:.3} }},
@@ -271,7 +342,7 @@ fn main() {
     "threads_4_seconds": {r4:.4},
     "speedup_4_vs_1": {rsp:.3}
   }},
-  "note": "Thread-count speedups are bounded by host_cpus: on a single-core host threads_4 cannot beat threads_1; re-run on a multi-core host for the parallel baseline. Results are bit-identical across thread counts by construction. The dispatched rows use the runtime-detected backend above; on a host without AVX2 they equal the scalar rows."
+  "note": "Thread-count speedups are bounded by host_cpus: on a single-core host threads_4 cannot beat threads_1; re-run on a multi-core host for the parallel baseline. Results are bit-identical across thread counts by construction. The dispatched rows use the runtime-detected backend above; on a host without AVX2 they equal the scalar rows. The typed_linear rows compare the dynamic guarded entry against the const-generic typed wrapper on identical kernels: typed_vs_dynamic near 1.0 is the zero-cost-shim contract (small deviations are timer noise on microsecond layers)."
 }}
 "#,
         backend = gemm::backend_name(),

@@ -66,6 +66,7 @@
 
 use fedzkt_nn::StateDict;
 use fedzkt_tensor::ops::quant::{quant_range, quantize};
+use fedzkt_tensor::typed::{Rows2D, RowsMut2D};
 use fedzkt_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -332,10 +333,16 @@ fn encode_tensor_quant(data: &[f32], levels: f32, packed: bool, out: &mut Vec<u8
     put_f32(out, min);
     put_f32(out, scale);
     if packed {
-        for pair in data.chunks(2) {
-            let lo = quantize(pair[0], min, scale, levels);
-            let hi = pair.get(1).map_or(0, |&v| quantize(v, min, scale, levels));
-            out.push(lo | (hi << 4));
+        // The nibble-pair stride is a compile-time fact: walk the largest
+        // exact [_, 2] prefix through a typed view (pair width proven once
+        // at the split, not per iteration), then the odd trailing element
+        // explicitly — same bytes as a `chunks(2)` walk, stated in types.
+        let (pairs, tail) = Rows2D::<2>::split(data);
+        for &[lo, hi] in pairs.iter() {
+            out.push(quantize(lo, min, scale, levels) | (quantize(hi, min, scale, levels) << 4));
+        }
+        if let Some(&last) = tail.first() {
+            out.push(quantize(last, min, scale, levels));
         }
     } else {
         for &v in data {
@@ -355,12 +362,17 @@ fn decode_tensor_quant(
     // n-sized allocation happens.
     if packed {
         let bytes = r.take(n.div_ceil(2))?;
-        let mut data = Vec::with_capacity(n);
-        for (i, &b) in bytes.iter().enumerate() {
-            data.push(min + scale * (b & 0x0F) as f32);
-            if 2 * i + 1 < n {
-                data.push(min + scale * (b >> 4) as f32);
-            }
+        // Mirror of the packed encode: unpack nibble pairs through the
+        // typed [_, 2] prefix, then the odd trailing element (low nibble
+        // of the final byte) explicitly.
+        let mut data = vec![0.0f32; n];
+        let (mut pairs, tail) = RowsMut2D::<2>::split(&mut data);
+        for (pair, &b) in pairs.iter_mut().zip(bytes) {
+            pair[0] = min + scale * (b & 0x0F) as f32;
+            pair[1] = min + scale * (b >> 4) as f32;
+        }
+        if let (Some(last), Some(&b)) = (tail.first_mut(), bytes.last()) {
+            *last = min + scale * (b & 0x0F) as f32;
         }
         Ok(data)
     } else {
@@ -638,6 +650,57 @@ mod tests {
         huge_shape.extend_from_slice(&(1u32 << 30).to_le_bytes());
         let err = CodecSpec::Raw.decode(&huge_shape).unwrap_err();
         assert!(err.0.contains("elements"), "{err}");
+    }
+
+    /// An empty FedGKT bundle — a device with zero local samples ships
+    /// `{features [0, d], logits [0, C], labels [0]}` — must round-trip
+    /// through every codec as zero-element tensors with shapes intact.
+    #[test]
+    fn empty_fedgkt_bundle_roundtrips_through_every_codec() {
+        let dict = sd(vec![
+            Tensor::zeros(&[0, 32]),
+            Tensor::zeros(&[0, 10]),
+            Tensor::zeros(&[0]),
+        ]);
+        for codec in ALL {
+            let encoded = codec.encode(&dict);
+            assert_eq!(encoded.len(), codec.wire_bytes(&dict), "{codec:?}");
+            let back = codec.decode(&encoded).unwrap_or_else(|e| panic!("{codec:?}: {e}"));
+            assert_eq!(back.params.len(), 3, "{codec:?}");
+            for (a, b) in dict.params.iter().zip(&back.params) {
+                assert_eq!(a.shape(), b.shape(), "{codec:?}");
+                assert!(b.data().is_empty(), "{codec:?}");
+            }
+        }
+    }
+
+    /// Odd-length tensors exercise the packed codec's trailing element
+    /// (the low nibble of the final byte) on both sides of the wire.
+    #[test]
+    fn q4_odd_length_tail_roundtrips() {
+        for n in [1usize, 3, 7, 65] {
+            let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.61).cos()).collect();
+            let dict = sd(vec![Tensor::from_vec(data.clone(), &[n]).unwrap()]);
+            let codec = CodecSpec::QuantQ4;
+            let encoded = codec.encode(&dict);
+            assert_eq!(encoded.len(), codec.wire_bytes(&dict), "n={n}");
+            let back = codec.decode(&encoded).unwrap();
+            assert_eq!(back.params[0].data().len(), n);
+            // The tail element must carry a real value, not a zero slot.
+            let (min, scale) = {
+                let (lo, hi) = data.iter().fold(
+                    (f32::INFINITY, f32::NEG_INFINITY),
+                    |(lo, hi), &v| (lo.min(v), hi.max(v)),
+                );
+                (lo, (hi - lo) / 15.0)
+            };
+            let last = back.params[0].data()[n - 1];
+            assert!(
+                (last - data[n - 1]).abs() <= scale * 0.5 + 1e-4,
+                "n={n}: tail {last} vs {} (min {min})",
+                data[n - 1]
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Statically-wired model builders: layer pairing as a compile-time fact.
+//!
+//! The dynamic zoo ([`crate::ModelSpec`]) is runtime-dimensioned by
+//! design — specs arrive from scenario JSON. But a builder whose widths
+//! *are* architecture constants can wire its dense stack through
+//! `fedzkt_nn::typed` so that a mismatched layer pairing **does not
+//! compile**, instead of panicking inside a GEMM at round N. [`TypedMlp`]
+//! is the paper zoo's fully connected model in that form; its forward and
+//! its parameter initialisation are bit-identical to [`crate::Mlp`] under
+//! the same seed (same RNG consumption order, same kernels).
+//!
+//! Mis-wiring two layers is rejected by the type system:
+//!
+//! ```compile_fail
+//! use fedzkt_nn::typed::{Feat, TypedLinear};
+//!
+//! struct MisWired {
+//!     fc1: TypedLinear<64, 64>,
+//!     fc2: TypedLinear<32, 16>, // fc1 produces Feat<64>, fc2 wants Feat<32>
+//! }
+//!
+//! impl MisWired {
+//!     fn forward(&self, x: &Feat<64>) -> Feat<16> {
+//!         self.fc2.forward_typed(&self.fc1.forward_typed(x)) // does not compile
+//!     }
+//! }
+//! ```
+
+use fedzkt_autograd::Var;
+use fedzkt_nn::typed::{Feat, TypedLinear};
+use fedzkt_nn::Module;
+use fedzkt_tensor::seeded_rng;
+
+/// [`crate::Mlp`] with const-generic widths: flatten → `IN → H1` ReLU →
+/// `H1 → H2` ReLU → `H2 → OUT` logits. The inter-layer widths appear in
+/// two field types each, so the stack only compiles when it is wired
+/// consistently.
+///
+/// Weight-identical to `Mlp::new(in_channels, num_classes, img, hidden,
+/// seed)` when `IN == in_channels · img²`, `H1 == hidden`,
+/// `H2 == max(hidden / 2, 1)`, `OUT == num_classes` — the constructor
+/// consumes its RNG in the same order.
+pub struct TypedMlp<const IN: usize, const H1: usize, const H2: usize, const OUT: usize> {
+    fc1: TypedLinear<IN, H1>,
+    fc2: TypedLinear<H1, H2>,
+    head: TypedLinear<H2, OUT>,
+}
+
+impl<const IN: usize, const H1: usize, const H2: usize, const OUT: usize>
+    TypedMlp<IN, H1, H2, OUT>
+{
+    /// Build with Glorot-uniform weights from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        TypedMlp {
+            fc1: TypedLinear::new(true, &mut rng),
+            fc2: TypedLinear::new(true, &mut rng),
+            head: TypedLinear::new(true, &mut rng),
+        }
+    }
+
+    /// Forward over an already-flattened `[batch, IN]` activation, fully
+    /// inside the typed world — no shape exists here that the compiler
+    /// has not checked.
+    pub fn forward_typed(&self, x: &Feat<IN>) -> Feat<OUT> {
+        let h = self.fc1.forward_typed(x).relu();
+        let h = self.fc2.forward_typed(&h).relu();
+        self.head.forward_typed(&h)
+    }
+}
+
+impl<const IN: usize, const H1: usize, const H2: usize, const OUT: usize> Module
+    for TypedMlp<IN, H1, H2, OUT>
+{
+    fn forward(&self, x: &Var) -> Var {
+        self.forward_typed(&Feat::new(x.flatten_batch())).into_var()
+    }
+
+    fn params(&self) -> Vec<Var> {
+        [self.fc1.params(), self.fc2.params(), self.head.params()].concat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mlp;
+    use fedzkt_tensor::{seeded_rng, Tensor};
+
+    fn bits(v: &Var) -> Vec<u32> {
+        v.value().data().iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// The typed builder must be indistinguishable from the dynamic one:
+    /// same seed → same parameters, same input → bit-identical logits.
+    #[test]
+    fn typed_mlp_bit_identical_to_dynamic_mlp() {
+        // Mlp::new(1, 4, 8, 64, seed): IN = 1·8² = 64, H1 = 64, H2 = 32,
+        // OUT = 4 — the tiny preset's Mlp at miniaturized size.
+        let dynamic = Mlp::new(1, 4, 8, 64, 99);
+        let typed = TypedMlp::<64, 64, 32, 4>::new(99);
+        for (a, b) in dynamic.params().iter().zip(typed.params().iter()) {
+            assert_eq!(bits(a), bits(b), "parameter mismatch");
+        }
+        let x = Var::constant(Tensor::randn(&[5, 1, 8, 8], &mut seeded_rng(123)));
+        assert_eq!(bits(&dynamic.forward(&x)), bits(&typed.forward(&x)));
+    }
+
+    #[test]
+    fn typed_mlp_trains_an_empty_batch() {
+        // The n = 0 degenerate batch flows through typed forward/backward.
+        let m = TypedMlp::<16, 8, 4, 10>::new(1);
+        let y = m.forward(&Var::constant(Tensor::zeros(&[0, 1, 4, 4])));
+        assert_eq!(y.shape(), vec![0, 10]);
+    }
+}

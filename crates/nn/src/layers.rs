@@ -45,10 +45,26 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.weight.shape()[0]
     }
+
+    /// The weight parameter, `[out_features, in_features]`.
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// The bias parameter `[out_features]`, if the layer has one.
+    pub fn bias_param(&self) -> Option<&Var> {
+        self.bias.as_ref()
+    }
 }
 
 impl Module for Linear {
     fn forward(&self, x: &Var) -> Var {
+        // Zoo-width layers take the statically-shaped fast path (same
+        // kernels, bit-identical — see `crate::typed`); anything else, or
+        // a disabled toggle, falls through to the dynamic entry.
+        if let Some(y) = crate::typed::dispatch_linear(x, &self.weight, self.bias.as_ref()) {
+            return y;
+        }
         x.linear(&self.weight, self.bias.as_ref())
     }
 

@@ -35,6 +35,7 @@ pub mod par;
 mod rng;
 mod shape;
 mod tensor;
+pub mod typed;
 
 pub use compute::ComputeFormat;
 pub use error::TensorError;

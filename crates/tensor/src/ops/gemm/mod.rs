@@ -21,6 +21,17 @@
 //! running buffer directly and avoid a temporary. `out` must have exactly
 //! `m * n` elements.
 //!
+//! ## Shape checks
+//!
+//! The public entry points assert every operand length against `(m, k, n)`
+//! **in every build profile** — a mismatch panics at the call boundary with
+//! the operand name and the full problem size instead of computing on a
+//! mis-sized prefix or faulting deep inside a kernel. The checks are three
+//! integer compares per call, negligible next to the kernel. Fixed-shape
+//! hot loops that want even those compares gone go through
+//! [`crate::typed`], whose const-generic views prove the lengths at
+//! construction and enter below the guards.
+//!
 //! ## Determinism
 //!
 //! For fixed operands each output element is accumulated in a fixed order
@@ -87,6 +98,15 @@
 //!    (`tests/properties.rs` compares every path against the naive
 //!    triple loop on remainder-heavy shapes) and a row to `bench_gemm` so
 //!    `BENCH_gemm.json` tracks its GFLOPs against the scalar baseline.
+//! 5. **Respect the typed shim contract.** The [`crate::typed`] wrappers
+//!    enter through the `*_unchecked` seam *above* the format `match`, so a
+//!    new backend wired into that `match` is automatically reachable from
+//!    both the dynamic and the typed path — never add a kernel entry that
+//!    bypasses `gemm_{nn,nt,tn}_unchecked`, or the two paths (and their
+//!    bit-identity contract, pinned by `typed_matches_dynamic_bitwise` in
+//!    `tests/properties.rs`) can diverge. Shape validation belongs in the
+//!    public entries and the typed constructors only; kernels may assume
+//!    proven lengths.
 
 pub mod int8;
 pub mod scalar;
@@ -125,11 +145,46 @@ pub fn vector_available() -> bool {
     }
 }
 
+/// Always-on entry guard: one compare per operand, with the cold panic
+/// path outlined so the check costs a predictable branch next to an
+/// `O(m·k·n)` kernel. The `typed` layer (`crate::typed`) proves lengths at
+/// view construction and calls the `*_unchecked` seam directly, skipping
+/// even these three compares.
+#[inline(always)]
+fn check_len(
+    kernel: &'static str,
+    operand: &'static str,
+    got: usize,
+    want: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if got != want {
+        shape_panic(kernel, operand, got, want, m, k, n);
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn shape_panic(
+    kernel: &'static str,
+    operand: &'static str,
+    got: usize,
+    want: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> ! {
+    panic!("{kernel}: {operand}.len() = {got}, expected {want} for (m={m}, k={k}, n={n})");
+}
+
 /// `out += A × B` with `A: [m, k]`, `B: [k, n]`, `out: [m, n]`, all dense
 /// row-major, in the thread-local [`ComputeFormat`] scope.
 ///
 /// # Panics
-/// Debug-asserts the slice lengths implied by `(m, k, n)`.
+/// In every build profile, if a slice length disagrees with `(m, k, n)` —
+/// the message names the operand, its length, and the full problem size.
 pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     gemm_nn_with(current_format(), a, b, out, m, k, n);
 }
@@ -145,9 +200,24 @@ pub fn gemm_nn_with(
     k: usize,
     n: usize,
 ) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
+    check_len("gemm_nn", "a", a.len(), m * k, m, k, n);
+    check_len("gemm_nn", "b", b.len(), k * n, m, k, n);
+    check_len("gemm_nn", "out", out.len(), m * n, m, k, n);
+    gemm_nn_unchecked(format, a, b, out, m, k, n);
+}
+
+/// Dispatch seam below the entry guards: callers must have proven the slice
+/// lengths (`crate::typed` does so by construction). Threading, backend
+/// selection, and the accumulate order are identical to [`gemm_nn_with`].
+pub(crate) fn gemm_nn_unchecked(
+    format: ComputeFormat,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     match format {
         ComputeFormat::F32 => row_partitioned(out, m, k, n, |row0, rows| {
             #[cfg(target_arch = "x86_64")]
@@ -169,7 +239,8 @@ pub fn gemm_nn_with(
 /// a dot product of two rows), so no transpose is ever materialised.
 ///
 /// # Panics
-/// Debug-asserts the slice lengths implied by `(m, k, n)`.
+/// In every build profile, if a slice length disagrees with `(m, k, n)` —
+/// the message names the operand, its length, and the full problem size.
 pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     gemm_nt_with(current_format(), a, b, out, m, k, n);
 }
@@ -184,9 +255,22 @@ pub fn gemm_nt_with(
     k: usize,
     n: usize,
 ) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(out.len(), m * n);
+    check_len("gemm_nt", "a", a.len(), m * k, m, k, n);
+    check_len("gemm_nt", "b", b.len(), n * k, m, k, n);
+    check_len("gemm_nt", "out", out.len(), m * n, m, k, n);
+    gemm_nt_unchecked(format, a, b, out, m, k, n);
+}
+
+/// Guard-free dispatch seam for [`gemm_nt_with`]; see [`gemm_nn_unchecked`].
+pub(crate) fn gemm_nt_unchecked(
+    format: ComputeFormat,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     match format {
         ComputeFormat::F32 => row_partitioned(out, m, k, n, |row0, rows| {
             #[cfg(target_arch = "x86_64")]
@@ -205,7 +289,8 @@ pub fn gemm_nt_with(
 /// thread-local [`ComputeFormat`] scope.
 ///
 /// # Panics
-/// Debug-asserts the slice lengths implied by `(k, m, n)`.
+/// In every build profile, if a slice length disagrees with `(k, m, n)` —
+/// the message names the operand, its length, and the full problem size.
 pub fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
     gemm_tn_with(current_format(), a, b, out, k, m, n);
 }
@@ -220,9 +305,23 @@ pub fn gemm_tn_with(
     m: usize,
     n: usize,
 ) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
+    check_len("gemm_tn", "a", a.len(), k * m, m, k, n);
+    check_len("gemm_tn", "b", b.len(), k * n, m, k, n);
+    check_len("gemm_tn", "out", out.len(), m * n, m, k, n);
+    gemm_tn_unchecked(format, a, b, out, k, m, n);
+}
+
+/// Guard-free dispatch seam for [`gemm_tn_with`]; see [`gemm_nn_unchecked`].
+/// Argument order follows [`gemm_tn`]: `k` first.
+pub(crate) fn gemm_tn_unchecked(
+    format: ComputeFormat,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
     match format {
         ComputeFormat::F32 => row_partitioned(out, m, k, n, |row0, rows| {
             #[cfg(target_arch = "x86_64")]

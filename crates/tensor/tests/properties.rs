@@ -2,6 +2,7 @@
 
 use fedzkt_tensor::ops::quant::{quant_range, Q8_LEVELS};
 use fedzkt_tensor::ops::{col2im, gemm, im2col, Conv2dGeometry};
+use fedzkt_tensor::typed::{self, Rows2D, RowsMut2D, View2D, ViewMut2D};
 use fedzkt_tensor::{conv_output_size, seeded_rng, ComputeFormat, Tensor};
 use proptest::prelude::*;
 
@@ -248,6 +249,94 @@ proptest! {
                 (f64::from(x) - r).abs() <= tol,
                 "int8: {x} vs {r}, bound {bound} at m={m} k={k} n={n}"
             );
+        }
+    }
+
+    #[test]
+    fn typed_matches_dynamic_bitwise(
+        seed in 0u64..500, shape_idx in 0usize..12, batch in 0usize..20, fmt in 0usize..2,
+    ) {
+        // The typed shims promise *bit* identity with the dynamic entries:
+        // they land on the same `gemm_*_unchecked` dispatch with the same
+        // `(m, k, n)`, so not a single rounding step may differ. Checked
+        // for all three layouts and both compute formats, over a shape
+        // table that sweeps zero extents, degenerate 1s, and sizes off the
+        // microkernel lane/tile widths — plus the batch-dynamic `*_rows`
+        // wrapper with a random batch.
+        let format = if fmt == 1 { ComputeFormat::Int8 } else { ComputeFormat::F32 };
+        macro_rules! case {
+            ($m:literal, $k:literal, $n:literal) => {{
+                const M: usize = $m;
+                const K: usize = $k;
+                const N: usize = $n;
+                let mut rng = seeded_rng(seed);
+                let a_t = Tensor::randn(&[(M * K).max(1)], &mut rng);
+                let b_t = Tensor::randn(&[(K * N).max(1)], &mut rng);
+                let bt_t = Tensor::randn(&[(N * K).max(1)], &mut rng);
+                let at_t = Tensor::randn(&[(K * M).max(1)], &mut rng);
+                let ab_t = Tensor::randn(&[(batch * K).max(1)], &mut rng);
+                let a = &a_t.data()[..M * K];
+                let b = &b_t.data()[..K * N];
+                let bt = &bt_t.data()[..N * K];
+                let at = &at_t.data()[..K * M];
+                let ab = &ab_t.data()[..batch * K];
+
+                let d_nn = run_f32(|o| gemm::gemm_nn_with(format, a, b, o, M, K, N), M * N);
+                let t_nn = run_f32(
+                    |o| typed::gemm_nn_with::<M, K, N>(
+                        format, View2D::new(a), View2D::new(b), ViewMut2D::new(o),
+                    ),
+                    M * N,
+                );
+                prop_assert_eq!(bits(&d_nn), bits(&t_nn), "nn m={} k={} n={}", M, K, N);
+
+                let d_nt = run_f32(|o| gemm::gemm_nt_with(format, a, bt, o, M, K, N), M * N);
+                let t_nt = run_f32(
+                    |o| typed::gemm_nt_with::<M, K, N>(
+                        format, View2D::new(a), View2D::new(bt), ViewMut2D::new(o),
+                    ),
+                    M * N,
+                );
+                prop_assert_eq!(bits(&d_nt), bits(&t_nt), "nt m={} k={} n={}", M, K, N);
+
+                let d_tn = run_f32(|o| gemm::gemm_tn_with(format, at, b, o, K, M, N), M * N);
+                let t_tn = run_f32(
+                    |o| typed::gemm_tn_with::<M, K, N>(
+                        format, View2D::new(at), View2D::new(b), ViewMut2D::new(o),
+                    ),
+                    M * N,
+                );
+                prop_assert_eq!(bits(&d_tn), bits(&t_tn), "tn m={} k={} n={}", M, K, N);
+
+                let d_rows =
+                    run_f32(|o| gemm::gemm_nt_with(format, ab, bt, o, batch, K, N), batch * N);
+                let t_rows = run_f32(
+                    |o| typed::gemm_nt_rows_with::<K, N>(
+                        format,
+                        Rows2D::with_rows(ab, batch),
+                        View2D::new(bt),
+                        RowsMut2D::with_rows(o, batch),
+                    ),
+                    batch * N,
+                );
+                prop_assert_eq!(
+                    bits(&d_rows), bits(&t_rows), "nt_rows batch={} k={} n={}", batch, K, N
+                );
+            }};
+        }
+        match shape_idx {
+            0 => case!(0, 3, 4),
+            1 => case!(3, 0, 4),
+            2 => case!(3, 4, 0),
+            3 => case!(1, 1, 1),
+            4 => case!(2, 3, 4),
+            5 => case!(5, 8, 3),
+            6 => case!(8, 8, 8),
+            7 => case!(7, 16, 9),
+            8 => case!(17, 5, 33),
+            9 => case!(12, 34, 7),
+            10 => case!(33, 9, 17),
+            _ => case!(4, 64, 10),
         }
     }
 

@@ -1,0 +1,62 @@
+//! The typed-layer correctness contract: the const-generic typed GEMM
+//! paths (`fedzkt_tensor::typed`, the zoo dispatch table in
+//! `fedzkt_nn::typed`, the fused conv panel shim) are a *proof* layer,
+//! never a semantics layer. A full federated run with the typed paths
+//! enabled must produce a `RunLog` **bit-identical** to the same run with
+//! every typed shim disabled — same kernels, same `(m, k, n)`, same
+//! accumulation order, so not a single float bit may move.
+//!
+//! Two CI anchors run at their checked-in size: `tiny` (the FedZKT
+//! smoke preset — generator, distillation, MLP zoo) and `fedgkt-split`
+//! (the asymmetric split-training algorithm whose n = 0 feature bundles
+//! and server-head dense stack lean hardest on the typed wrappers).
+
+use std::sync::Mutex;
+
+use fedzkt::scenario::Scenario;
+use fedzkt::tensor::typed;
+
+/// The enable toggle is process-global; serialize the tests that flip it
+/// so the "typed off" half of one comparison cannot overlap another.
+static TOGGLE: Mutex<()> = Mutex::new(());
+
+/// Restores the typed toggle on drop, panic included.
+struct ToggleGuard;
+
+impl Drop for ToggleGuard {
+    fn drop(&mut self) {
+        typed::set_enabled(true);
+    }
+}
+
+fn run_log_json(sc: &Scenario) -> String {
+    sc.clone().run().unwrap_or_else(|e| panic!("{}: {e}", sc.name)).to_json()
+}
+
+fn assert_typed_transparent(preset: &str) {
+    let _serial = TOGGLE.lock().unwrap();
+    let path = format!("{}/scenarios/{preset}.json", env!("CARGO_MANIFEST_DIR"));
+    let sc = Scenario::load(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+
+    assert!(typed::enabled(), "typed paths are the default");
+    let typed_run = run_log_json(&sc);
+
+    let _restore = ToggleGuard;
+    typed::set_enabled(false);
+    let dynamic_run = run_log_json(&sc);
+
+    assert_eq!(
+        typed_run, dynamic_run,
+        "{preset}: typed run diverged from dynamic run"
+    );
+}
+
+#[test]
+fn tiny_run_log_is_bit_identical_typed_vs_dynamic() {
+    assert_typed_transparent("tiny");
+}
+
+#[test]
+fn fedgkt_split_run_log_is_bit_identical_typed_vs_dynamic() {
+    assert_typed_transparent("fedgkt-split");
+}
